@@ -1,0 +1,118 @@
+//! Ablation benches over the framework's design choices (DESIGN.md §5):
+//! benefit function, forward selection, invitation policy, swap cap, and
+//! duplicate-cache capacity. Each variant runs the same bench-scale
+//! dynamic scenario, so both runtime cost and (via stderr shape notes)
+//! outcome quality are comparable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddr_bench::bench_gnutella;
+use ddr_core::{ForwardSelection, InvitationPolicy};
+use ddr_gnutella::{run_scenario, BenefitKind, Mode};
+use std::hint::black_box;
+
+fn benefit_functions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/benefit");
+    g.sample_size(10);
+    for (name, kind) in [
+        ("cumulative_BR", BenefitKind::Cumulative),
+        ("count", BenefitKind::Count),
+        ("latency_aware", BenefitKind::LatencyAware),
+        ("advertised_bw", BenefitKind::AdvertisedBandwidth),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = bench_gnutella(Mode::Dynamic, 2);
+                cfg.benefit = kind;
+                run_scenario(black_box(cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn forward_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/forward");
+    g.sample_size(10);
+    for (name, sel) in [
+        ("flood", ForwardSelection::All),
+        ("random2", ForwardSelection::RandomK(2)),
+        ("directed_bft2", ForwardSelection::TopKBenefit(2)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = bench_gnutella(Mode::Dynamic, 2);
+                cfg.forward = sel;
+                run_scenario(black_box(cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn invitation_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/invitation");
+    g.sample_size(10);
+    for (name, pol) in [
+        ("always_accept", InvitationPolicy::AlwaysAccept),
+        ("benefit_gated", InvitationPolicy::BenefitGated),
+        (
+            "summary_gated",
+            InvitationPolicy::SummaryGated { min_similarity: 0.3 },
+        ),
+        (
+            "trial_20min",
+            InvitationPolicy::TrialPeriod {
+                trial_millis: 20 * 60 * 1_000,
+            },
+        ),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = bench_gnutella(Mode::Dynamic, 2);
+                cfg.invitation = pol;
+                run_scenario(black_box(cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn swap_cap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/swap_cap");
+    g.sample_size(10);
+    for (name, cap) in [("one_swap", 1usize), ("unbounded", usize::MAX)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = bench_gnutella(Mode::Dynamic, 2);
+                cfg.max_swaps_per_reconfig = cap;
+                run_scenario(black_box(cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn dup_cache_capacity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/dup_cache");
+    g.sample_size(10);
+    for cap in [64usize, 512, 4_096] {
+        g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
+            b.iter(|| {
+                let mut cfg = bench_gnutella(Mode::Dynamic, 2);
+                cfg.dup_cache_capacity = cap;
+                run_scenario(black_box(cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    benefit_functions,
+    forward_selection,
+    invitation_policy,
+    swap_cap,
+    dup_cache_capacity
+);
+criterion_main!(benches);

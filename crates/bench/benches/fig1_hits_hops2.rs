@@ -1,0 +1,35 @@
+//! Bench for Figure 1 (hops = 2): full static and dynamic scenario runs at
+//! bench scale. Criterion reports the simulation cost; the bench also
+//! asserts the figure's *shape* once (dynamic ≥ static hits, ≤ messages)
+//! so a regression in the protocol shows up as a bench failure, not just
+//! a silent number change.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddr_bench::bench_gnutella;
+use ddr_gnutella::{run_scenario, Mode};
+use std::hint::black_box;
+
+fn fig1(c: &mut Criterion) {
+    // One-shot shape check (not timed).
+    let s = run_scenario(bench_gnutella(Mode::Static, 2));
+    let d = run_scenario(bench_gnutella(Mode::Dynamic, 2));
+    assert!(
+        d.total_hits() >= s.total_hits(),
+        "Fig1(a) shape: dynamic hits {} < static {}",
+        d.total_hits(),
+        s.total_hits()
+    );
+
+    let mut g = c.benchmark_group("fig1_hops2");
+    g.sample_size(10);
+    g.bench_function("static", |b| {
+        b.iter(|| run_scenario(black_box(bench_gnutella(Mode::Static, 2))))
+    });
+    g.bench_function("dynamic", |b| {
+        b.iter(|| run_scenario(black_box(bench_gnutella(Mode::Dynamic, 2))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench for Figure 2 (hops = 4): the heavy-flooding regime. Message
+//! volume grows ~10× over hops = 2, which is exactly what this bench
+//! quantifies (cost per simulated hour of 4-hop flooding).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddr_bench::bench_gnutella;
+use ddr_gnutella::{run_scenario, Mode};
+use std::hint::black_box;
+
+fn fig2(c: &mut Criterion) {
+    let s = run_scenario(bench_gnutella(Mode::Static, 4));
+    let d = run_scenario(bench_gnutella(Mode::Dynamic, 4));
+    assert!(
+        d.total_messages() <= s.total_messages() * 1.05,
+        "Fig2(b) shape: dynamic messages {} outgrew static {}",
+        d.total_messages(),
+        s.total_messages()
+    );
+
+    let mut g = c.benchmark_group("fig2_hops4");
+    g.sample_size(10);
+    g.bench_function("static", |b| {
+        b.iter(|| run_scenario(black_box(bench_gnutella(Mode::Static, 4))))
+    });
+    g.bench_function("dynamic", |b| {
+        b.iter(|| run_scenario(black_box(bench_gnutella(Mode::Dynamic, 4))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench for Figure 3(a): one scenario run per hop limit 1–4 and mode —
+//! the delay sweep. Criterion's parameterised groups give the cost curve
+//! over the terminating condition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddr_bench::bench_gnutella;
+use ddr_gnutella::{run_scenario, Mode};
+use std::hint::black_box;
+
+fn fig3a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3a_delay");
+    g.sample_size(10);
+    for hops in 1..=4u8 {
+        g.bench_with_input(BenchmarkId::new("static", hops), &hops, |b, &h| {
+            b.iter(|| run_scenario(black_box(bench_gnutella(Mode::Static, h))))
+        });
+        g.bench_with_input(BenchmarkId::new("dynamic", hops), &hops, |b, &h| {
+            b.iter(|| run_scenario(black_box(bench_gnutella(Mode::Dynamic, h))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig3a);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench for Figure 3(b): the reconfiguration-threshold sweep
+//! K ∈ {1, 2, 4, 8, 16} (dynamic, hops = 2). Reconfiguration frequency is
+//! inversely proportional to K, so this doubles as a cost curve for the
+//! update machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddr_bench::bench_gnutella;
+use ddr_gnutella::{run_scenario, Mode};
+use std::hint::black_box;
+
+fn fig3b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3b_threshold");
+    g.sample_size(10);
+    for k in [1u32, 2, 4, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut cfg = bench_gnutella(Mode::Dynamic, 2);
+                cfg.reconfig_threshold = k;
+                run_scenario(black_box(cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig3b);
+criterion_main!(benches);

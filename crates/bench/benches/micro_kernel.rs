@@ -1,0 +1,109 @@
+//! Microbenchmarks of the simulation kernel's hot paths: event-heap
+//! throughput, RNG stream derivation, fast-hash map operations, and the
+//! duplicate-suppression cache. These dominate the inner loop of every
+//! scenario run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ddr_core::DupCache;
+use ddr_sim::{EventQueue, FastHashMap, QueryId, RngFactory, SimTime};
+use std::hint::black_box;
+
+fn event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/event_queue");
+    const N: u64 = 10_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("push_pop_10k_fifo", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(N as usize);
+            for i in 0..N {
+                q.schedule_at(SimTime::from_millis(i), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("push_pop_10k_interleaved", |b| {
+        // The realistic pattern: pops interleaved with future pushes.
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(64);
+            q.schedule_at(SimTime::ZERO, 0u64);
+            let mut acc = 0u64;
+            for i in 0..N {
+                if let Some((t, e)) = q.pop() {
+                    acc = acc.wrapping_add(e);
+                    q.schedule_at(t + ddr_sim::SimDuration::from_millis(1 + (i % 7)), i);
+                    if i % 3 == 0 {
+                        q.schedule_at(t + ddr_sim::SimDuration::from_millis(2), i);
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn rng_streams(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/rng");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("derive_1k_streams", |b| {
+        let f = RngFactory::new(7);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1_000 {
+                acc = acc.wrapping_add(f.sub_seed("bench", i));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn fast_map(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/fast_map");
+    const N: u64 = 10_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("insert_lookup_10k_u64", |b| {
+        b.iter(|| {
+            let mut m: FastHashMap<u64, u64> = ddr_sim::hash::fast_map();
+            for i in 0..N {
+                m.insert(i.wrapping_mul(0x9E37_79B9), i);
+            }
+            let mut acc = 0u64;
+            for i in 0..N {
+                if let Some(&v) = m.get(&(i.wrapping_mul(0x9E37_79B9))) {
+                    acc = acc.wrapping_add(v);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn dup_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/dup_cache");
+    const N: u64 = 10_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("first_sighting_10k_with_eviction", |b| {
+        b.iter(|| {
+            let mut cache = DupCache::new(1_024);
+            let mut fresh = 0u32;
+            for i in 0..N {
+                // ~25 % duplicates, like a 4-neighbor flood
+                let id = QueryId(i / 4 * 3);
+                if cache.first_sighting(id) {
+                    fresh += 1;
+                }
+            }
+            black_box(fresh)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, event_queue, rng_streams, fast_map, dup_cache);
+criterion_main!(benches);

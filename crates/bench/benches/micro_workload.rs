@@ -1,0 +1,74 @@
+//! Microbenchmarks of workload generation: Zipf sampling (every query
+//! draws two), distinct-sampling (library construction), profile
+//! generation, and delay sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ddr_net::{BandwidthClass, DelayModel};
+use ddr_sim::RngFactory;
+use ddr_workload::{generate_profiles, Catalog, WorkloadConfig, Zipf};
+use std::hint::black_box;
+
+fn zipf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload/zipf");
+    const N: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+    let z = Zipf::new(4_000, 0.9);
+    g.bench_function("sample_100k_n4000", |b| {
+        let rngs = RngFactory::new(1);
+        b.iter(|| {
+            let mut rng = rngs.stream("zipf", 0);
+            let mut acc = 0usize;
+            for _ in 0..N {
+                acc = acc.wrapping_add(z.sample(&mut rng));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("sample_distinct_100_of_4000", |b| {
+        let rngs = RngFactory::new(2);
+        b.iter(|| {
+            let mut rng = rngs.stream("zipfd", 0);
+            black_box(z.sample_distinct(&mut rng, 100))
+        })
+    });
+    g.finish();
+}
+
+fn profiles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload/profiles");
+    g.sample_size(10);
+    let cfg = WorkloadConfig::paper_scaled(10); // 200 users
+    let catalog = Catalog::new(cfg.songs, cfg.categories, cfg.theta);
+    g.bench_function("generate_200_users", |b| {
+        let rngs = RngFactory::new(3);
+        b.iter(|| black_box(generate_profiles(&cfg, &catalog, &rngs)))
+    });
+    g.finish();
+}
+
+fn delays(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net/delay");
+    const N: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+    let model = DelayModel::paper();
+    g.bench_function("sample_100k", |b| {
+        let rngs = RngFactory::new(4);
+        b.iter(|| {
+            let mut rng = rngs.stream("delay", 0);
+            let mut acc = 0u64;
+            for i in 0..N {
+                let a = if i % 3 == 0 {
+                    BandwidthClass::Modem56K
+                } else {
+                    BandwidthClass::Lan
+                };
+                acc = acc.wrapping_add(model.sample(&mut rng, a, BandwidthClass::Cable).as_millis());
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, zipf, profiles, delays);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Bench for the PeerOlap case study: static vs dynamic scenario cost,
+//! plus the chunk-cost function in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ddr_peerolap::{chunk_processing_ms, run_peerolap, OlapMode, PeerOlapConfig};
+use ddr_sim::ItemId;
+use std::hint::black_box;
+
+fn bench_cfg(mode: OlapMode) -> PeerOlapConfig {
+    let mut c = PeerOlapConfig::default_scenario(mode);
+    c.peers = 24;
+    c.groups = 4;
+    c.chunks_per_region = 2_048;
+    c.cache_capacity = 512;
+    c.sim_hours = 3;
+    c.warmup_hours = 1;
+    c.seed = 0xBEEC;
+    c
+}
+
+fn scenario(c: &mut Criterion) {
+    let s = run_peerolap(bench_cfg(OlapMode::Static));
+    let d = run_peerolap(bench_cfg(OlapMode::Dynamic));
+    assert!(
+        d.peer_share() >= s.peer_share() * 0.95,
+        "peerolap shape: dynamic peer share {} collapsed vs static {}",
+        d.peer_share(),
+        s.peer_share()
+    );
+
+    let mut g = c.benchmark_group("peerolap/scenario");
+    g.sample_size(10);
+    g.bench_function("static", |b| {
+        b.iter(|| run_peerolap(black_box(bench_cfg(OlapMode::Static))))
+    });
+    g.bench_function("dynamic", |b| {
+        b.iter(|| run_peerolap(black_box(bench_cfg(OlapMode::Dynamic))))
+    });
+    g.finish();
+}
+
+fn chunk_costs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("peerolap/chunk_cost");
+    const N: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("cost_100k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..N {
+                acc = acc.wrapping_add(chunk_processing_ms(ItemId(i as u32)));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, scenario, chunk_costs);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Bench for the search-cost techniques (paper §2): plain BFS vs
+//! iterative deepening vs local indices, on the same bench-scale
+//! scenario. Runtime here tracks simulated message volume, so the bench
+//! doubles as a cost comparison of the strategies themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddr_bench::bench_gnutella;
+use ddr_gnutella::config::SearchStrategy;
+use ddr_gnutella::{run_scenario, Mode};
+use std::hint::black_box;
+
+fn strategies(c: &mut Criterion) {
+    // Shape check once: local indices must cut messages vs plain BFS.
+    let bfs = run_scenario(bench_gnutella(Mode::Static, 4));
+    let mut li_cfg = bench_gnutella(Mode::Static, 4);
+    li_cfg.strategy = SearchStrategy::LocalIndices { radius: 1 };
+    let li = run_scenario(li_cfg);
+    assert!(
+        li.total_messages() < bfs.total_messages(),
+        "local indices did not reduce messages: {} vs {}",
+        li.total_messages(),
+        bfs.total_messages()
+    );
+
+    let mut g = c.benchmark_group("strategies_hops4");
+    g.sample_size(10);
+    g.bench_function("bfs", |b| {
+        b.iter(|| run_scenario(black_box(bench_gnutella(Mode::Dynamic, 4))))
+    });
+    g.bench_function("iterative_deepening", |b| {
+        b.iter(|| {
+            let mut cfg = bench_gnutella(Mode::Dynamic, 4);
+            cfg.strategy = SearchStrategy::IterativeDeepening {
+                depths: vec![1, 2, 4],
+            };
+            run_scenario(black_box(cfg))
+        })
+    });
+    g.bench_function("local_indices_r1", |b| {
+        b.iter(|| {
+            let mut cfg = bench_gnutella(Mode::Dynamic, 4);
+            cfg.strategy = SearchStrategy::LocalIndices { radius: 1 };
+            run_scenario(black_box(cfg))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, strategies);
+criterion_main!(benches);

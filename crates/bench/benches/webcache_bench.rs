@@ -1,0 +1,55 @@
+//! Bench for the web-cache case study: static vs dynamic neighborhoods,
+//! plus the LRU hot path in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ddr_bench::bench_webcache;
+use ddr_sim::ItemId;
+use ddr_webcache::{run_webcache, CacheMode, LruCache};
+use std::hint::black_box;
+
+fn scenario(c: &mut Criterion) {
+    let s = run_webcache(bench_webcache(CacheMode::Static));
+    let d = run_webcache(bench_webcache(CacheMode::Dynamic));
+    assert!(
+        d.neighbor_hit_ratio() >= s.neighbor_hit_ratio(),
+        "webcache shape: dynamic sibling hits {} < static {}",
+        d.neighbor_hit_ratio(),
+        s.neighbor_hit_ratio()
+    );
+
+    let mut g = c.benchmark_group("webcache/scenario");
+    g.sample_size(10);
+    g.bench_function("static", |b| {
+        b.iter(|| run_webcache(black_box(bench_webcache(CacheMode::Static))))
+    });
+    g.bench_function("dynamic", |b| {
+        b.iter(|| run_webcache(black_box(bench_webcache(CacheMode::Dynamic))))
+    });
+    g.finish();
+}
+
+fn lru(c: &mut Criterion) {
+    let mut g = c.benchmark_group("webcache/lru");
+    const N: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("insert_touch_100k_cap1k", |b| {
+        b.iter(|| {
+            let mut cache = LruCache::new(1_000);
+            let mut hits = 0u32;
+            for i in 0..N {
+                // Zipf-ish skew via modulus trick: low ids recur often.
+                let id = ItemId((i % 17 * i % 2_048) as u32);
+                if cache.touch(id) {
+                    hits += 1;
+                } else {
+                    cache.insert(id);
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, scenario, lru);
+criterion_main!(benches);

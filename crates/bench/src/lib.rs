@@ -1,0 +1,10 @@
+//! Shared scenario builders for the Criterion benchmark suite.
+//!
+//! Benches reproduce every paper figure at a reduced scale (protocol
+//! densities preserved — see `WorkloadConfig::paper_scaled`) so the whole
+//! suite runs in minutes on one core; the `ddr-experiments` binaries do
+//! the full-scale runs.
+
+pub mod scenarios;
+
+pub use scenarios::{bench_gnutella, bench_webcache, BENCH_SEED};

@@ -1,0 +1,30 @@
+//! Scaled scenario builders used by all benches.
+
+use ddr_gnutella::{Mode, ScenarioConfig};
+use ddr_webcache::{CacheMode, WebCacheConfig};
+
+/// The fixed seed all benches share: Criterion measures runtime, and the
+/// simulated work must be identical across iterations and code versions.
+pub const BENCH_SEED: u64 = 0xBE_EC;
+
+/// A Gnutella scenario at bench scale: 100 users (paper densities), 8
+/// simulated hours, 1 warm-up hour.
+pub fn bench_gnutella(mode: Mode, hops: u8) -> ScenarioConfig {
+    let mut c = ScenarioConfig::scaled(mode, hops, 20, 8);
+    c.seed = BENCH_SEED;
+    c
+}
+
+/// A web-cache scenario at bench scale: 32 proxies, 4 groups, 4 hours.
+pub fn bench_webcache(mode: CacheMode) -> WebCacheConfig {
+    let mut c = WebCacheConfig::default_scenario(mode);
+    c.proxies = 32;
+    c.groups = 4;
+    c.pages_per_group = 4_000;
+    c.global_pages = 4_000;
+    c.cache_capacity = 500;
+    c.sim_hours = 4;
+    c.warmup_hours = 1;
+    c.seed = BENCH_SEED;
+    c
+}

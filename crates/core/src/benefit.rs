@@ -1,0 +1,219 @@
+//! Benefit functions (paper §3.4: "The benefit function should capture the
+//! general goals and characteristics of the system").
+//!
+//! Two layers:
+//!
+//! * [`ResultScore`] — the *per-result* increment folded into the stats
+//!   store when a reply arrives. The paper's music case study uses
+//!   `B / R` (B = answering link bandwidth weight, R = result-list size:
+//!   "the larger the results list, the lesser its significance").
+//! * [`BenefitFunction`] — the *ranking* score computed from a node's
+//!   accumulated [`NodeStats`] when neighbors are re-selected.
+
+use crate::stats_store::NodeStats;
+use ddr_net::BandwidthClass;
+
+/// Per-result score policies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ResultScore {
+    /// The paper's music-sharing score: `B / R` where `B` is the
+    /// responder's bandwidth weight and `R` the total number of results
+    /// the query obtained.
+    BandwidthOverResults,
+    /// Every result counts 1 (web-caching style, "the number of retrieved
+    /// pages … is a good candidate").
+    Unit,
+    /// Bandwidth weight alone, ignoring result-list size (ablation).
+    BandwidthOnly,
+    /// `B / R` with the *raw line-rate* weight (1 : 27 : 179) instead of
+    /// the delay-based weight — ablation showing how an extreme `B`
+    /// swamps the content-similarity signal.
+    RawBandwidthOverResults,
+}
+
+impl ResultScore {
+    /// Score one result: `bandwidth` is the responder's class, `results`
+    /// the total result count of the query (≥ 1).
+    pub fn score(self, bandwidth: BandwidthClass, results: usize) -> f64 {
+        debug_assert!(results >= 1, "scored a result of a zero-result query");
+        match self {
+            ResultScore::BandwidthOverResults => {
+                bandwidth.benefit_weight() / results.max(1) as f64
+            }
+            ResultScore::Unit => 1.0,
+            ResultScore::BandwidthOnly => bandwidth.benefit_weight(),
+            ResultScore::RawBandwidthOverResults => {
+                bandwidth.raw_rate_weight() / results.max(1) as f64
+            }
+        }
+    }
+}
+
+/// Ranking functions over accumulated statistics.
+pub trait BenefitFunction: Send + Sync {
+    /// The score used to rank node candidates; higher is better.
+    fn benefit(&self, stats: &NodeStats) -> f64;
+
+    /// A short name for tables and run banners.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's case-study ranking: cumulative Σ-score (with `B/R`
+/// per-result scores this is exactly "the cumulative benefit of all nodes
+/// for which it keeps statistics").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CumulativeBenefit;
+
+impl BenefitFunction for CumulativeBenefit {
+    fn benefit(&self, stats: &NodeStats) -> f64 {
+        stats.benefit
+    }
+    fn name(&self) -> &'static str {
+        "cumulative"
+    }
+}
+
+/// Pure result-count ranking (ablation: ignores bandwidth and list size).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountBenefit;
+
+impl BenefitFunction for CountBenefit {
+    fn benefit(&self, stats: &NodeStats) -> f64 {
+        stats.results as f64
+    }
+    fn name(&self) -> &'static str {
+        "count"
+    }
+}
+
+/// Latency-aware ranking for the web-caching instantiation ("the number of
+/// retrieved pages, combined with the end-to-end latency, is a good
+/// candidate for benefit"): results per second of observed latency.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyAwareBenefit {
+    /// Latency floor in ms, preventing division blow-ups for LAN-fast
+    /// neighbors.
+    pub floor_ms: f64,
+}
+
+impl Default for LatencyAwareBenefit {
+    fn default() -> Self {
+        LatencyAwareBenefit { floor_ms: 1.0 }
+    }
+}
+
+impl BenefitFunction for LatencyAwareBenefit {
+    fn benefit(&self, stats: &NodeStats) -> f64 {
+        let lat = stats.mean_latency_ms().unwrap_or(f64::INFINITY);
+        stats.results as f64 / (lat.max(self.floor_ms) / 1_000.0)
+    }
+    fn name(&self) -> &'static str {
+        "latency-aware"
+    }
+}
+
+/// Advertised-bandwidth ranking (uses exploration info only; nodes without
+/// a known class rank last). Models neighbor selection driven purely by
+/// Ping-Pong data.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdvertisedBandwidthBenefit;
+
+impl BenefitFunction for AdvertisedBandwidthBenefit {
+    fn benefit(&self, stats: &NodeStats) -> f64 {
+        stats.bandwidth.map(|b| b.benefit_weight()).unwrap_or(0.0)
+    }
+    fn name(&self) -> &'static str {
+        "advertised-bandwidth"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddr_sim::SimTime;
+
+    fn stats(results: u64, benefit: f64, lat_ms: f64, lat_n: u64) -> NodeStats {
+        NodeStats {
+            results,
+            answered: results,
+            benefit,
+            last_update: SimTime::ZERO,
+            bandwidth: Some(BandwidthClass::Cable),
+            latency_sum_ms: lat_ms * lat_n as f64,
+            latency_count: lat_n,
+        }
+    }
+
+    #[test]
+    fn paper_score_divides_by_result_count() {
+        let s = ResultScore::BandwidthOverResults;
+        let one = s.score(BandwidthClass::Lan, 1);
+        let ten = s.score(BandwidthClass::Lan, 10);
+        assert!((one / ten - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_score_scales_with_bandwidth() {
+        let s = ResultScore::BandwidthOverResults;
+        assert!(s.score(BandwidthClass::Lan, 3) > s.score(BandwidthClass::Modem56K, 3));
+    }
+
+    #[test]
+    fn unit_score_ignores_everything() {
+        assert_eq!(ResultScore::Unit.score(BandwidthClass::Modem56K, 100), 1.0);
+        assert_eq!(ResultScore::Unit.score(BandwidthClass::Lan, 1), 1.0);
+    }
+
+    #[test]
+    fn cumulative_ranks_by_accumulated_benefit() {
+        let f = CumulativeBenefit;
+        assert!(f.benefit(&stats(1, 5.0, 100.0, 1)) > f.benefit(&stats(10, 2.0, 100.0, 10)));
+    }
+
+    #[test]
+    fn count_ranks_by_results() {
+        let f = CountBenefit;
+        assert!(f.benefit(&stats(10, 2.0, 100.0, 10)) > f.benefit(&stats(1, 5.0, 100.0, 1)));
+    }
+
+    #[test]
+    fn latency_aware_prefers_fast_nodes() {
+        let f = LatencyAwareBenefit::default();
+        let fast = stats(5, 0.0, 70.0, 5);
+        let slow = stats(5, 0.0, 300.0, 5);
+        assert!(f.benefit(&fast) > f.benefit(&slow));
+        // equal latency → more results win
+        let more = stats(10, 0.0, 70.0, 10);
+        assert!(f.benefit(&more) > f.benefit(&fast));
+    }
+
+    #[test]
+    fn latency_aware_handles_no_observations() {
+        let f = LatencyAwareBenefit::default();
+        let mut s = stats(3, 0.0, 0.0, 0);
+        s.latency_count = 0;
+        s.latency_sum_ms = 0.0;
+        assert_eq!(f.benefit(&s), 0.0);
+    }
+
+    #[test]
+    fn advertised_bandwidth_unknown_ranks_last() {
+        let f = AdvertisedBandwidthBenefit;
+        let mut unknown = stats(3, 3.0, 100.0, 3);
+        unknown.bandwidth = None;
+        let known = stats(0, 0.0, 0.0, 0);
+        assert!(f.benefit(&known) > f.benefit(&unknown));
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            CumulativeBenefit.name(),
+            CountBenefit.name(),
+            LatencyAwareBenefit::default().name(),
+            AdvertisedBandwidthBenefit.name(),
+        ];
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

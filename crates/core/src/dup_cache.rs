@@ -1,0 +1,141 @@
+//! Duplicate-message suppression (paper §4.1: "each node keeps a list of
+//! recent messages" so a query received through a second path is
+//! discarded).
+//!
+//! Implemented as a bounded FIFO set: O(1) membership + insertion, oldest
+//! entries forgotten first. The bound matters — an unbounded set grows
+//! with every query in the run, and real Gnutella clients keep a bounded
+//! table; the capacity-sensitivity ablation in `ddr-bench` measures how
+//! small the bound can go before duplicate floods reappear.
+
+use ddr_sim::{FastHashSet, QueryId};
+use std::collections::VecDeque;
+
+/// A bounded set of recently seen query ids.
+///
+/// ```
+/// use ddr_core::DupCache;
+/// use ddr_sim::QueryId;
+///
+/// let mut seen = DupCache::new(128);
+/// assert!(seen.first_sighting(QueryId(7)), "first copy: process it");
+/// assert!(!seen.first_sighting(QueryId(7)), "second copy: discard");
+/// ```
+#[derive(Debug, Clone)]
+pub struct DupCache {
+    seen: FastHashSet<QueryId>,
+    order: VecDeque<QueryId>,
+    capacity: usize,
+}
+
+impl DupCache {
+    /// A cache remembering up to `capacity` recent ids.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0` — a zero-size cache silently degrades
+    /// to "forward every duplicate", which is never intended.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "DupCache capacity must be positive");
+        DupCache {
+            seen: ddr_sim::hash::fast_set(),
+            order: VecDeque::with_capacity(capacity.min(1 << 16)),
+            capacity,
+        }
+    }
+
+    /// Record `id`; returns `true` if it was **new** (process the message)
+    /// and `false` if it is a duplicate (discard).
+    pub fn first_sighting(&mut self, id: QueryId) -> bool {
+        if self.seen.contains(&id) {
+            return false;
+        }
+        if self.order.len() == self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        self.order.push_back(id);
+        self.seen.insert(id);
+        true
+    }
+
+    /// Whether `id` is currently remembered (no mutation).
+    pub fn contains(&self, id: QueryId) -> bool {
+        self.seen.contains(&id)
+    }
+
+    /// Number of remembered ids.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether nothing is remembered.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Forget everything (log-off/log-in cycles start fresh).
+    pub fn clear(&mut self) {
+        self.seen.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_then_duplicate() {
+        let mut c = DupCache::new(8);
+        assert!(c.first_sighting(QueryId(1)));
+        assert!(!c.first_sighting(QueryId(1)));
+        assert!(c.contains(QueryId(1)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_oldest_at_capacity() {
+        let mut c = DupCache::new(3);
+        for i in 1..=3 {
+            assert!(c.first_sighting(QueryId(i)));
+        }
+        assert!(c.first_sighting(QueryId(4))); // evicts 1
+        assert!(!c.contains(QueryId(1)));
+        assert!(c.contains(QueryId(2)));
+        assert!(c.first_sighting(QueryId(1)), "forgotten id is new again");
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn duplicates_do_not_consume_capacity() {
+        let mut c = DupCache::new(2);
+        c.first_sighting(QueryId(1));
+        for _ in 0..10 {
+            assert!(!c.first_sighting(QueryId(1)));
+        }
+        c.first_sighting(QueryId(2));
+        // 1 must still be remembered: duplicates didn't push it out
+        assert!(c.contains(QueryId(1)));
+    }
+
+    #[test]
+    fn clear_forgets_all() {
+        let mut c = DupCache::new(4);
+        c.first_sighting(QueryId(1));
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.first_sighting(QueryId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = DupCache::new(0);
+    }
+}

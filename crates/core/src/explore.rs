@@ -1,0 +1,166 @@
+//! Exploration policies (paper §3.3, Algo 2).
+//!
+//! "Whereas search concerns the retrieval of actual content, the goal of
+//! exploration is to identify beneficial nodes that may become neighbors."
+//! Exploration *queries about* collections of data without fetching; the
+//! replies carry "statistics and summarized information" which are folded
+//! into the [`crate::StatsStore`].
+//!
+//! This module implements the two decision points the paper identifies:
+//! when exploration is **triggered** and **what** is probed. The music
+//! case study needs neither (its search doubles as exploration — "the
+//! absence of a central repository and directory information enforces an
+//! extensive search process and there is no need for a separate
+//! exploration step"), but the web-cache case study and the ablation
+//! benches exercise both.
+
+use ddr_sim::{NodeId, SimDuration, SimTime};
+
+/// Events that trigger an exploration round ("the choice of events is very
+/// important since it significantly affects performance").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExplorationTrigger {
+    /// Fixed period ("there should be a correlation between the
+    /// exploration frequency and the frequency with which repositories
+    /// change their contents").
+    Periodic(SimDuration),
+    /// After every `n` local requests (request-count clock rather than
+    /// wall clock, matching the reconfiguration-threshold style of §4.3).
+    EveryNRequests(u32),
+    /// When a neighbor disappears (the Gnutella Ping re-join behaviour:
+    /// "nodes issue a dummy query … when some of their neighbors abandon
+    /// them").
+    OnNeighborLoss,
+}
+
+/// Tracks trigger state for one node and answers "should I explore now?".
+#[derive(Debug, Clone)]
+pub struct ExplorationPlanner {
+    trigger: ExplorationTrigger,
+    last_fired: SimTime,
+    requests_since: u32,
+    pending_loss: bool,
+}
+
+impl ExplorationPlanner {
+    /// A planner with the given trigger, anchored at t = 0.
+    pub fn new(trigger: ExplorationTrigger) -> Self {
+        ExplorationPlanner {
+            trigger,
+            last_fired: SimTime::ZERO,
+            requests_since: 0,
+            pending_loss: false,
+        }
+    }
+
+    /// The configured trigger.
+    pub fn trigger(&self) -> ExplorationTrigger {
+        self.trigger
+    }
+
+    /// Note a local request (for request-count triggers).
+    pub fn on_request(&mut self) {
+        self.requests_since = self.requests_since.saturating_add(1);
+    }
+
+    /// Note a neighbor loss (for loss triggers).
+    pub fn on_neighbor_loss(&mut self) {
+        self.pending_loss = true;
+    }
+
+    /// Whether an exploration round should fire at `now`; firing resets
+    /// the trigger state.
+    pub fn should_fire(&mut self, now: SimTime) -> bool {
+        let fire = match self.trigger {
+            ExplorationTrigger::Periodic(period) => {
+                now.saturating_since(self.last_fired) >= period
+            }
+            ExplorationTrigger::EveryNRequests(n) => self.requests_since >= n,
+            ExplorationTrigger::OnNeighborLoss => self.pending_loss,
+        };
+        if fire {
+            self.last_fired = now;
+            self.requests_since = 0;
+            self.pending_loss = false;
+        }
+        fire
+    }
+}
+
+/// What an exploration probe asks about (Algo 2: "select set of data items
+/// to query for").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeContent {
+    /// A dummy ping (the Gnutella Ping-Pong protocol): discovers liveness
+    /// and bandwidth only.
+    Ping,
+    /// Ask whether the probed node stores specific items (summary of the
+    /// prober's hot set) — web-cache digests style.
+    Items(Vec<ddr_sim::ItemId>),
+}
+
+/// A planned exploration round: whom to probe and what to ask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplorationRound {
+    /// Probe targets (outgoing neighbors; they propagate further while
+    /// the terminating condition holds).
+    pub targets: Vec<NodeId>,
+    /// Probe content.
+    pub content: ProbeContent,
+    /// Hop limit for probe propagation.
+    pub max_hops: u8,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_fires_after_period() {
+        let mut p = ExplorationPlanner::new(ExplorationTrigger::Periodic(
+            SimDuration::from_secs(10),
+        ));
+        assert!(!p.should_fire(SimTime::from_secs(5)));
+        assert!(p.should_fire(SimTime::from_secs(10)));
+        // reset: needs another full period
+        assert!(!p.should_fire(SimTime::from_secs(15)));
+        assert!(p.should_fire(SimTime::from_secs(20)));
+    }
+
+    #[test]
+    fn request_count_fires_every_n() {
+        let mut p = ExplorationPlanner::new(ExplorationTrigger::EveryNRequests(3));
+        for _ in 0..2 {
+            p.on_request();
+            assert!(!p.should_fire(SimTime::ZERO));
+        }
+        p.on_request();
+        assert!(p.should_fire(SimTime::ZERO));
+        assert!(!p.should_fire(SimTime::ZERO), "counter must reset");
+    }
+
+    #[test]
+    fn neighbor_loss_fires_once() {
+        let mut p = ExplorationPlanner::new(ExplorationTrigger::OnNeighborLoss);
+        assert!(!p.should_fire(SimTime::ZERO));
+        p.on_neighbor_loss();
+        assert!(p.should_fire(SimTime::from_secs(1)));
+        assert!(!p.should_fire(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn multiple_losses_coalesce() {
+        let mut p = ExplorationPlanner::new(ExplorationTrigger::OnNeighborLoss);
+        p.on_neighbor_loss();
+        p.on_neighbor_loss();
+        assert!(p.should_fire(SimTime::ZERO));
+        assert!(!p.should_fire(SimTime::ZERO));
+    }
+
+    #[test]
+    fn probe_content_variants() {
+        let ping = ProbeContent::Ping;
+        let items = ProbeContent::Items(vec![ddr_sim::ItemId(1), ddr_sim::ItemId(2)]);
+        assert_ne!(ping, items);
+    }
+}

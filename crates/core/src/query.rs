@@ -1,0 +1,137 @@
+//! Query descriptors shared by the search machinery.
+
+use ddr_sim::{ItemId, NodeId, QueryId, SimTime};
+
+/// A propagating search request (one per user query; the id travels with
+/// every forwarded copy so duplicate suppression works across paths).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryDescriptor {
+    /// Unique id of this query instance.
+    pub id: QueryId,
+    /// The node that issued the query (replies travel back to it; the
+    /// paper's case study replies directly to the initiator rather than
+    /// via the reverse route, which changes delay but not hit counts).
+    pub origin: NodeId,
+    /// The item searched for (each query requests exactly one song).
+    pub item: ItemId,
+    /// Remaining hops ("all propagations terminate after h hops").
+    pub ttl: u8,
+    /// Hops this copy has travelled from the origin (1 on first
+    /// arrival at a neighbor). Lets responders report their overlay
+    /// distance, the quantity behind the paper's "most of the results
+    /// come from nearby nodes" claim.
+    pub travelled: u8,
+    /// Issue time at the origin, for first-result delay measurement.
+    pub issued_at: SimTime,
+}
+
+impl QueryDescriptor {
+    /// The descriptor for the next hop: TTL decremented.
+    ///
+    /// # Panics
+    /// Panics if the TTL is already zero (forwarding such a query is a
+    /// protocol bug the simulators must not commit).
+    pub fn next_hop(&self) -> QueryDescriptor {
+        assert!(self.ttl > 0, "forwarded a dead query {}", self.id);
+        QueryDescriptor {
+            ttl: self.ttl - 1,
+            travelled: self.travelled.saturating_add(1),
+            ..*self
+        }
+    }
+
+    /// Whether the query may travel further.
+    pub fn alive(&self) -> bool {
+        self.ttl > 0
+    }
+}
+
+/// Aggregate outcome of one user query, recorded at the initiator when the
+/// collection timeout fires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The query.
+    pub query: QueryDescriptor,
+    /// Nodes that returned the item, in arrival order.
+    pub responders: Vec<NodeId>,
+    /// Arrival time of the first result, if any.
+    pub first_result_at: Option<SimTime>,
+}
+
+impl SearchOutcome {
+    /// An outcome with no responders (miss).
+    pub fn miss(query: QueryDescriptor) -> Self {
+        SearchOutcome {
+            query,
+            responders: Vec::new(),
+            first_result_at: None,
+        }
+    }
+
+    /// Whether at least one result arrived.
+    pub fn hit(&self) -> bool {
+        !self.responders.is_empty()
+    }
+
+    /// Number of results (the `R` in the paper's `B/R` benefit).
+    pub fn result_count(&self) -> usize {
+        self.responders.len()
+    }
+
+    /// Delay from issue to first result.
+    pub fn first_result_delay(&self) -> Option<ddr_sim::SimDuration> {
+        self.first_result_at
+            .map(|t| t.saturating_since(self.query.issued_at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddr_sim::SimDuration;
+
+    fn q(ttl: u8) -> QueryDescriptor {
+        QueryDescriptor {
+            id: QueryId(1),
+            origin: NodeId(0),
+            item: ItemId(5),
+            ttl,
+            travelled: 1,
+            issued_at: SimTime::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn next_hop_decrements_ttl_and_counts_distance() {
+        let d = q(3).next_hop();
+        assert_eq!(d.ttl, 2);
+        assert_eq!(d.travelled, 2);
+        assert!(d.alive());
+        assert_eq!(d.id, QueryId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "dead query")]
+    fn forwarding_dead_query_panics() {
+        let _ = q(0).next_hop();
+    }
+
+    #[test]
+    fn ttl_one_is_alive_until_forwarded() {
+        let d = q(1);
+        assert!(d.alive());
+        assert!(!d.next_hop().alive());
+    }
+
+    #[test]
+    fn outcome_hit_and_delay() {
+        let mut o = SearchOutcome::miss(q(2));
+        assert!(!o.hit());
+        assert_eq!(o.first_result_delay(), None);
+        o.responders.push(NodeId(7));
+        o.first_result_at = Some(SimTime::from_millis(450));
+        assert!(o.hit());
+        assert_eq!(o.result_count(), 1);
+        assert_eq!(o.first_result_delay(), Some(SimDuration::from_millis(350)));
+    }
+}

@@ -1,0 +1,285 @@
+//! Search policies (paper §3.2, Algo 1).
+//!
+//! Two orthogonal choices parameterise the generic search algorithm:
+//!
+//! * **where to forward** — "from the simple send-to-all approach to
+//!   random, or history based selection" → [`ForwardSelection`];
+//! * **when to stop** — "a common threshold … is the maximum number of
+//!   hops" → [`TerminationPolicy`].
+//!
+//! [`IterativeDeepening`] implements Yang & Garcia-Molina's technique
+//! (§2): successive BFS waves with growing depth until the query is
+//! satisfied or the maximum depth is reached. It is a *driver* strategy at
+//! the initiator; each wave uses the ordinary forward/termination
+//! machinery.
+
+use crate::benefit::BenefitFunction;
+use crate::stats_store::StatsStore;
+use ddr_sim::{NodeId, SimDuration};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Which outgoing neighbors receive a (forwarded) query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardSelection {
+    /// Flood: send to every outgoing neighbor (Gnutella BFS; the paper's
+    /// case study).
+    All,
+    /// Send to `k` uniformly random outgoing neighbors.
+    RandomK(usize),
+    /// Directed BFT: send to the `k` most beneficial outgoing neighbors
+    /// according to the node's statistics; unknown nodes rank last but are
+    /// still eligible (exploration pressure).
+    TopKBenefit(usize),
+}
+
+impl ForwardSelection {
+    /// Select forward targets among `neighbors`, never including
+    /// `exclude` (the node the query just arrived from — echoing a query
+    /// straight back is always wasted).
+    pub fn select<R: Rng + ?Sized>(
+        &self,
+        neighbors: &[NodeId],
+        exclude: Option<NodeId>,
+        stats: &StatsStore,
+        benefit: &dyn BenefitFunction,
+        rng: &mut R,
+    ) -> Vec<NodeId> {
+        let mut candidates: Vec<NodeId> = neighbors
+            .iter()
+            .copied()
+            .filter(|&n| Some(n) != exclude)
+            .collect();
+        match *self {
+            ForwardSelection::All => candidates,
+            ForwardSelection::RandomK(k) => {
+                candidates.shuffle(rng);
+                candidates.truncate(k);
+                candidates
+            }
+            ForwardSelection::TopKBenefit(k) => {
+                // Deterministic ordering: benefit desc, id asc. Nodes with
+                // no statistics score 0.
+                candidates.sort_unstable_by(|&a, &b| {
+                    let ba = stats.get(a).map(|s| benefit.benefit(s)).unwrap_or(0.0);
+                    let bb = stats.get(b).map(|s| benefit.benefit(s)).unwrap_or(0.0);
+                    bb.partial_cmp(&ba)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                candidates.truncate(k);
+                candidates
+            }
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            ForwardSelection::All => "flood".into(),
+            ForwardSelection::RandomK(k) => format!("random-{k}"),
+            ForwardSelection::TopKBenefit(k) => format!("directed-bft-{k}"),
+        }
+    }
+}
+
+/// When query propagation stops (beyond "a node holding the result replies
+/// and does not forward", which the simulators implement directly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TerminationPolicy {
+    /// Maximum hops a query may travel (Squid: 1; Gnutella: up to 7; the
+    /// paper's experiments: 1–4 with 5 for the combined process).
+    pub max_hops: u8,
+}
+
+impl TerminationPolicy {
+    /// A policy with the given hop limit.
+    pub const fn hops(max_hops: u8) -> Self {
+        TerminationPolicy { max_hops }
+    }
+
+    /// Initial TTL for a fresh query.
+    pub const fn initial_ttl(&self) -> u8 {
+        self.max_hops
+    }
+}
+
+/// Iterative deepening: a schedule of successive depths and the wait
+/// between waves. The initiator launches depth `depths[0]`, waits
+/// `wave_timeout`, and if unsatisfied relaunches with the next depth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IterativeDeepening {
+    /// Strictly increasing depth schedule (e.g. `[1, 2, 4]`).
+    pub depths: Vec<u8>,
+    /// Time to wait for results between waves.
+    pub wave_timeout: SimDuration,
+}
+
+impl IterativeDeepening {
+    /// Build a schedule; depths must be non-empty and strictly increasing.
+    ///
+    /// # Panics
+    /// Panics on an empty or non-increasing schedule.
+    pub fn new(depths: Vec<u8>, wave_timeout: SimDuration) -> Self {
+        assert!(!depths.is_empty(), "empty deepening schedule");
+        assert!(
+            depths.windows(2).all(|w| w[0] < w[1]),
+            "depth schedule must strictly increase: {depths:?}"
+        );
+        IterativeDeepening {
+            depths,
+            wave_timeout,
+        }
+    }
+
+    /// Depth of wave `i`, if the schedule has one.
+    pub fn depth(&self, wave: usize) -> Option<u8> {
+        self.depths.get(wave).copied()
+    }
+
+    /// Number of waves.
+    pub fn waves(&self) -> usize {
+        self.depths.len()
+    }
+
+    /// The deepest wave (equivalent plain-BFS depth).
+    pub fn max_depth(&self) -> u8 {
+        *self.depths.last().expect("non-empty by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benefit::CumulativeBenefit;
+    use crate::stats_store::ReplyObservation;
+    use ddr_net::BandwidthClass;
+    use ddr_sim::SimTime;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn neighbors() -> Vec<NodeId> {
+        vec![NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+    }
+
+    fn stats_with_benefits(pairs: &[(u32, f64)]) -> StatsStore {
+        let mut s = StatsStore::new();
+        for &(n, b) in pairs {
+            s.record_reply(ReplyObservation {
+                from: NodeId(n),
+                bandwidth: Some(BandwidthClass::Cable),
+                score: b,
+                latency_ms: 100.0,
+                at: SimTime::ZERO,
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn flood_selects_all_but_excluded() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let s = StatsStore::new();
+        let sel = ForwardSelection::All.select(
+            &neighbors(),
+            Some(NodeId(2)),
+            &s,
+            &CumulativeBenefit,
+            &mut rng,
+        );
+        assert_eq!(sel, vec![NodeId(1), NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn random_k_bounds_count_and_excludes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let s = StatsStore::new();
+        for _ in 0..50 {
+            let sel = ForwardSelection::RandomK(2).select(
+                &neighbors(),
+                Some(NodeId(1)),
+                &s,
+                &CumulativeBenefit,
+                &mut rng,
+            );
+            assert_eq!(sel.len(), 2);
+            assert!(!sel.contains(&NodeId(1)));
+        }
+    }
+
+    #[test]
+    fn random_k_larger_than_pool_returns_all() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let s = StatsStore::new();
+        let sel = ForwardSelection::RandomK(10).select(
+            &neighbors(),
+            None,
+            &s,
+            &CumulativeBenefit,
+            &mut rng,
+        );
+        assert_eq!(sel.len(), 4);
+    }
+
+    #[test]
+    fn directed_bft_picks_highest_benefit() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let s = stats_with_benefits(&[(1, 0.5), (2, 9.0), (3, 3.0)]);
+        let sel = ForwardSelection::TopKBenefit(2).select(
+            &neighbors(),
+            None,
+            &s,
+            &CumulativeBenefit,
+            &mut rng,
+        );
+        assert_eq!(sel, vec![NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn directed_bft_ties_break_by_id() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let s = StatsStore::new(); // everyone scores 0
+        let sel = ForwardSelection::TopKBenefit(2).select(
+            &neighbors(),
+            None,
+            &s,
+            &CumulativeBenefit,
+            &mut rng,
+        );
+        assert_eq!(sel, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ForwardSelection::All.label(), "flood");
+        assert_eq!(ForwardSelection::RandomK(3).label(), "random-3");
+        assert_eq!(ForwardSelection::TopKBenefit(2).label(), "directed-bft-2");
+    }
+
+    #[test]
+    fn termination_ttl() {
+        assert_eq!(TerminationPolicy::hops(4).initial_ttl(), 4);
+    }
+
+    #[test]
+    fn deepening_schedule() {
+        let id = IterativeDeepening::new(vec![1, 2, 4], SimDuration::from_secs(2));
+        assert_eq!(id.waves(), 3);
+        assert_eq!(id.depth(0), Some(1));
+        assert_eq!(id.depth(2), Some(4));
+        assert_eq!(id.depth(3), None);
+        assert_eq!(id.max_depth(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn deepening_rejects_non_increasing() {
+        let _ = IterativeDeepening::new(vec![2, 2], SimDuration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn deepening_rejects_empty() {
+        let _ = IterativeDeepening::new(vec![], SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the neighbor-update planner (Algos 3/4 core).
+
+use ddr_core::stats_store::ReplyObservation;
+use ddr_core::{plan_asymmetric_update, CumulativeBenefit, StatsStore};
+use ddr_net::BandwidthClass;
+use ddr_sim::{NodeId, SimTime};
+use proptest::prelude::*;
+
+fn store_from(pairs: &[(u32, f64)]) -> StatsStore {
+    let mut s = StatsStore::new();
+    for &(n, score) in pairs {
+        s.record_reply(ReplyObservation {
+            from: NodeId(n),
+            bandwidth: Some(BandwidthClass::Cable),
+            score,
+            latency_ms: 100.0,
+            at: SimTime::ZERO,
+        });
+    }
+    s
+}
+
+proptest! {
+    /// Structural invariants of every plan: selected set fits capacity,
+    /// keep/evict partition the current list, adds are disjoint from it,
+    /// no duplicates anywhere.
+    #[test]
+    fn plan_structure_invariants(
+        known in proptest::collection::vec((0u32..20, 0.0f64..100.0), 0..20),
+        current in proptest::collection::btree_set(0u32..20, 0..6),
+        capacity in 1usize..6,
+        offline in proptest::collection::btree_set(0u32..20, 0..5),
+    ) {
+        let stats = store_from(&known);
+        let current: Vec<NodeId> = current.into_iter().map(NodeId).collect();
+        let eligible = |n: NodeId| !offline.contains(&n.0);
+        let plan = plan_asymmetric_update(&current, &stats, &CumulativeBenefit, capacity, eligible);
+
+        // capacity respected
+        prop_assert!(plan.add.len() + plan.keep.len() <= capacity);
+        // keep ∪ evict == current, disjoint
+        let mut ke: Vec<NodeId> = plan.keep.iter().chain(&plan.evict).copied().collect();
+        ke.sort();
+        let mut cur = current.clone();
+        cur.sort();
+        prop_assert_eq!(ke, cur, "keep+evict must partition current");
+        for k in &plan.keep {
+            prop_assert!(!plan.evict.contains(k));
+        }
+        // adds are new and eligible
+        for a in &plan.add {
+            prop_assert!(!current.contains(a), "added an incumbent");
+            prop_assert!(eligible(*a), "added an ineligible node");
+        }
+        // kept nodes are eligible
+        for k in &plan.keep {
+            prop_assert!(eligible(*k), "kept an ineligible node");
+        }
+        // no duplicates in adds
+        let set: std::collections::HashSet<_> = plan.add.iter().collect();
+        prop_assert_eq!(set.len(), plan.add.len());
+    }
+
+    /// Optimality: every added node's benefit is ≥ every evicted
+    /// *eligible* node's benefit (the planner never trades down).
+    #[test]
+    fn plan_never_trades_down(
+        known in proptest::collection::vec((0u32..20, 0.0f64..100.0), 0..20),
+        current in proptest::collection::btree_set(0u32..20, 0..6),
+        capacity in 1usize..6,
+    ) {
+        let stats = store_from(&known);
+        let current: Vec<NodeId> = current.into_iter().map(NodeId).collect();
+        let plan = plan_asymmetric_update(&current, &stats, &CumulativeBenefit, capacity, |_| true);
+        let benefit = |n: NodeId| stats.get(n).map(|s| s.benefit).unwrap_or(0.0);
+        for a in &plan.add {
+            for e in &plan.evict {
+                prop_assert!(
+                    benefit(*a) >= benefit(*e),
+                    "added {:?} ({}) while evicting better {:?} ({})",
+                    a, benefit(*a), e, benefit(*e)
+                );
+            }
+        }
+    }
+
+    /// limit_swaps: the capped plan's adds are a prefix of the full
+    /// plan's adds, live evictions never exceed what capacity demands,
+    /// and the final occupancy fits.
+    #[test]
+    fn limit_swaps_invariants(
+        known in proptest::collection::vec((0u32..20, 0.0f64..100.0), 0..20),
+        current in proptest::collection::btree_set(0u32..20, 0..6),
+        capacity in 1usize..6,
+        max_swaps in 0usize..4,
+        offline in proptest::collection::btree_set(0u32..20, 0..5),
+    ) {
+        let stats = store_from(&known);
+        let current: Vec<NodeId> = current.into_iter().map(NodeId).collect();
+        let eligible = |n: NodeId| !offline.contains(&n.0);
+        let full = plan_asymmetric_update(&current, &stats, &CumulativeBenefit, capacity, eligible);
+        let full_adds = full.add.clone();
+        let limited = full.limit_swaps(max_swaps, capacity, &stats, &CumulativeBenefit, eligible);
+
+        prop_assert!(limited.add.len() <= max_swaps);
+        prop_assert_eq!(&limited.add[..], &full_adds[..limited.add.len()], "adds must be a prefix");
+        // dead incumbents always evicted
+        for &n in &current {
+            if !eligible(n) {
+                prop_assert!(limited.evict.contains(&n), "dead incumbent {n} survived");
+            }
+        }
+        // final occupancy fits capacity
+        prop_assert!(limited.keep.len() + limited.add.len() <= capacity);
+        // keep ∪ evict still partitions current
+        let mut ke: Vec<NodeId> = limited.keep.iter().chain(&limited.evict).copied().collect();
+        ke.sort();
+        ke.dedup();
+        let mut cur = current.clone();
+        cur.sort();
+        prop_assert_eq!(ke, cur);
+    }
+}

@@ -1,0 +1,53 @@
+//! The event alphabet of the Gnutella simulation.
+
+use ddr_core::QueryDescriptor;
+use ddr_net::BandwidthClass;
+use ddr_sim::{NodeId, QueryId};
+
+/// Everything that can happen in a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GnutellaEvent {
+    /// Churn toggle: the node flips online/offline (exactly one pending
+    /// toggle exists per node at all times).
+    Toggle { node: NodeId },
+    /// The node's user issues their next query. `session` guards against
+    /// stale events from a previous online session.
+    IssueQuery { node: NodeId, session: u32 },
+    /// A query message arrives at `to`, sent by `from`.
+    QueryArrive {
+        to: NodeId,
+        from: NodeId,
+        desc: QueryDescriptor,
+    },
+    /// A result reply reaches the query's initiator. Carries the
+    /// responder's bandwidth class (the Ping-Pong information channel the
+    /// paper's benefit function relies on).
+    ReplyArrive {
+        to: NodeId,
+        from: NodeId,
+        query: QueryId,
+        bandwidth: BandwidthClass,
+        /// Overlay distance (hops) from the initiator to the responder.
+        hops: u8,
+    },
+    /// The initiator stops collecting results for `query` and finalises
+    /// statistics/metrics.
+    QueryFinalize { node: NodeId, query: QueryId },
+    /// A neighborhood invitation (Algo 5) arrives at `to` from `from`.
+    InviteArrive { to: NodeId, from: NodeId },
+    /// An eviction notice (Algo 5) arrives at `to` from `from`.
+    EvictArrive { to: NodeId, from: NodeId },
+    /// Iterative deepening: the collection window of `wave` for `query`
+    /// at the initiating `node` has elapsed — finalise or relaunch deeper.
+    WaveCheck { node: NodeId, query: QueryId, wave: u8 },
+    /// Local indices: periodic rebuild of `node`'s radius-r index.
+    /// `session` guards against stale events from earlier sessions.
+    IndexRefresh { node: NodeId, session: u32 },
+    /// Trial-relationship expiry (§3.4 solution a): `node` evaluates
+    /// whether the provisionally-accepted `peer` earned its slot.
+    TrialExpire {
+        node: NodeId,
+        peer: NodeId,
+        session: u32,
+    },
+}

@@ -1,0 +1,210 @@
+//! Run metrics matching the paper's reported quantities.
+
+use ddr_stats::{BucketSeries, Histogram, RunningStats};
+use serde::Serialize;
+
+/// Everything measured during a run. All series are bucketed by simulated
+/// hour; the warm-up window is excluded by the accessor methods on
+/// [`RunReport`], not at collection time, so tests can inspect warm-up
+/// behaviour too.
+#[derive(Debug, Clone, Serialize)]
+pub struct Metrics {
+    /// Queries issued per hour.
+    pub queries_issued: BucketSeries,
+    /// Queries satisfied (≥ 1 result) per hour, bucketed by the hour the
+    /// first result arrived (Figs 1a, 2a).
+    pub hits: BucketSeries,
+    /// Query messages propagated per hour (Figs 1b, 2b) — query
+    /// transmissions only, per the paper ("messages (i.e., queries)").
+    pub messages: BucketSeries,
+    /// All results obtained per hour (the totals annotated in Fig 3a).
+    pub results: BucketSeries,
+    /// First-result delay in ms (Fig 3a), post-warm-up only.
+    pub first_delay_ms: RunningStats,
+    /// First-result delay histogram (50 ms buckets to 5 s).
+    pub first_delay_hist: Histogram,
+    /// Reconfigurations executed (dynamic mode).
+    pub reconfigurations: u64,
+    /// Invitations sent / accepted.
+    pub invitations_sent: u64,
+    /// Invitations that resulted in a new link.
+    pub invitations_accepted: u64,
+    /// Eviction notices sent.
+    pub evictions: u64,
+    /// Login events.
+    pub logins: u64,
+    /// Logoff events.
+    pub logoffs: u64,
+    /// Queries that were dropped as duplicates somewhere in the network.
+    pub duplicates_dropped: u64,
+    /// Replies answered from a local index on behalf of a nearby holder
+    /// (local-indices strategy only).
+    pub index_answers: u64,
+    /// Iterative-deepening waves launched beyond the first.
+    pub extra_waves: u64,
+    /// Overlay distance (hops) of the *first* result of each satisfied
+    /// query, post-warm-up — the paper's "most of the results come from
+    /// nearby nodes" is a claim about this distribution.
+    pub first_result_hops: RunningStats,
+    /// Overlay distance of every result, post-warm-up.
+    pub result_hops: RunningStats,
+    /// Trial relationships (§3.4 solution a) that became permanent.
+    pub trials_confirmed: u64,
+    /// Trial relationships terminated for lack of benefit.
+    pub trials_failed: u64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            queries_issued: BucketSeries::new(),
+            hits: BucketSeries::new(),
+            messages: BucketSeries::new(),
+            results: BucketSeries::new(),
+            first_delay_ms: RunningStats::new(),
+            first_delay_hist: Histogram::new(50.0, 100),
+            reconfigurations: 0,
+            invitations_sent: 0,
+            invitations_accepted: 0,
+            evictions: 0,
+            logins: 0,
+            logoffs: 0,
+            duplicates_dropped: 0,
+            index_answers: 0,
+            extra_waves: 0,
+            first_result_hops: RunningStats::new(),
+            result_hops: RunningStats::new(),
+            trials_confirmed: 0,
+            trials_failed: 0,
+        }
+    }
+}
+
+impl Metrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The result of a completed run: metrics plus the measurement window.
+/// Serialises to JSON for archival (`--csv DIR` in the experiment
+/// binaries also writes `<name>.json` next to the CSVs).
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Collected metrics.
+    pub metrics: Metrics,
+    /// First measured hour (inclusive) — the warm-up boundary.
+    pub from_hour: u64,
+    /// Horizon hour (exclusive).
+    pub to_hour: u64,
+    /// Mode label ("Gnutella" / "Dynamic_Gnutella").
+    pub label: &'static str,
+}
+
+impl RunReport {
+    /// Hits per hour over the measurement window.
+    pub fn hits_series(&self) -> Vec<f64> {
+        self.metrics
+            .hits
+            .window(self.from_hour as usize, self.to_hour as usize)
+    }
+
+    /// Messages per hour over the measurement window.
+    pub fn messages_series(&self) -> Vec<f64> {
+        self.metrics
+            .messages
+            .window(self.from_hour as usize, self.to_hour as usize)
+    }
+
+    /// Total hits over the window (Fig 3b's y-axis).
+    pub fn total_hits(&self) -> f64 {
+        self.metrics
+            .hits
+            .window_sum(self.from_hour as usize, self.to_hour as usize)
+    }
+
+    /// Total results over the window (Fig 3a's column annotations).
+    pub fn total_results(&self) -> f64 {
+        self.metrics
+            .results
+            .window_sum(self.from_hour as usize, self.to_hour as usize)
+    }
+
+    /// Total messages over the window.
+    pub fn total_messages(&self) -> f64 {
+        self.metrics
+            .messages
+            .window_sum(self.from_hour as usize, self.to_hour as usize)
+    }
+
+    /// Mean hits per measured hour.
+    pub fn mean_hits_per_hour(&self) -> f64 {
+        self.metrics
+            .hits
+            .window_mean(self.from_hour as usize, self.to_hour as usize)
+    }
+
+    /// Mean messages per measured hour.
+    pub fn mean_messages_per_hour(&self) -> f64 {
+        self.metrics
+            .messages
+            .window_mean(self.from_hour as usize, self.to_hour as usize)
+    }
+
+    /// Mean first-result delay in ms (Fig 3a's y-axis).
+    pub fn mean_first_delay_ms(&self) -> f64 {
+        self.metrics.first_delay_ms.mean()
+    }
+
+    /// Hit ratio over the window.
+    pub fn hit_ratio(&self) -> f64 {
+        let q = self
+            .metrics
+            .queries_issued
+            .window_sum(self.from_hour as usize, self.to_hour as usize);
+        if q == 0.0 {
+            0.0
+        } else {
+            self.total_hits() / q
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_windows_exclude_warmup() {
+        let mut m = Metrics::new();
+        m.hits.add(0, 100.0); // warm-up hour
+        m.hits.add(2, 10.0);
+        m.hits.add(3, 20.0);
+        m.queries_issued.add(2, 40.0);
+        m.queries_issued.add(3, 20.0);
+        let r = RunReport {
+            metrics: m,
+            from_hour: 2,
+            to_hour: 4,
+            label: "Gnutella",
+        };
+        assert_eq!(r.total_hits(), 30.0);
+        assert_eq!(r.hits_series(), vec![10.0, 20.0]);
+        assert_eq!(r.mean_hits_per_hour(), 15.0);
+        assert_eq!(r.hit_ratio(), 0.5);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = RunReport {
+            metrics: Metrics::new(),
+            from_hour: 0,
+            to_hour: 1,
+            label: "Gnutella",
+        };
+        assert_eq!(r.total_hits(), 0.0);
+        assert_eq!(r.hit_ratio(), 0.0);
+        assert_eq!(r.mean_first_delay_ms(), 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Per-peer mutable state.
+
+use ddr_core::{DupCache, StatsStore};
+use ddr_sim::{FastHashMap, ItemId, NodeId, QueryId, SimTime};
+use ddr_workload::{ChurnProcess, QueryGenerator};
+
+/// An in-flight query at its initiator.
+#[derive(Debug, Clone)]
+pub struct PendingQuery {
+    /// The item searched for (needed to relaunch deepening waves).
+    pub item: ItemId,
+    /// When the query was issued (the *original* issue time — deepening
+    /// waves inherit it so delays measure from the user's request).
+    pub issued_at: SimTime,
+    /// Current iterative-deepening wave (0 for plain BFS).
+    pub wave: u8,
+    /// Responders in arrival order with their arrival times.
+    pub responders: Vec<(NodeId, SimTime)>,
+    /// Arrival time of the first result.
+    pub first_at: Option<SimTime>,
+}
+
+impl PendingQuery {
+    /// A fresh pending record.
+    pub fn new(item: ItemId, issued_at: SimTime) -> Self {
+        PendingQuery {
+            item,
+            issued_at,
+            wave: 0,
+            responders: Vec::new(),
+            first_at: None,
+        }
+    }
+
+    /// Record an arriving result.
+    pub fn record(&mut self, from: NodeId, at: SimTime) {
+        if self.first_at.is_none() {
+            self.first_at = Some(at);
+        }
+        self.responders.push((from, at));
+    }
+}
+
+/// One peer's complete mutable state.
+pub struct PeerState {
+    /// Whether the user is currently online.
+    pub online: bool,
+    /// Monotone session counter; bumped at each login so stale
+    /// `IssueQuery` events from earlier sessions are ignored.
+    pub session: u32,
+    /// Statistics about other nodes (survives offline periods — user
+    /// preferences are static, so old knowledge stays valuable).
+    pub stats: StatsStore,
+    /// Recent-message list for duplicate suppression.
+    pub seen: DupCache,
+    /// Requests issued since the last reconfiguration.
+    pub requests_since_reconfig: u32,
+    /// Invitations sent whose outcome has not yet arrived. Each reserves
+    /// one neighbor slot so random refills don't race the acceptance.
+    pub pending_invites: u32,
+    /// In-flight queries issued by this peer.
+    pub pending: FastHashMap<QueryId, PendingQuery>,
+    /// The churn process driving this user's on/off schedule.
+    pub churn: ChurnProcess,
+    /// The query stream of this user.
+    pub queries: QueryGenerator,
+}
+
+impl PeerState {
+    /// Reset the per-session state on login. Statistics survive; the
+    /// duplicate cache and in-flight queries do not.
+    pub fn begin_session(&mut self) {
+        self.online = true;
+        self.session = self.session.wrapping_add(1);
+        self.seen.clear();
+        self.pending.clear();
+        self.requests_since_reconfig = 0;
+        self.pending_invites = 0;
+    }
+
+    /// Clear in-flight state on logoff.
+    pub fn end_session(&mut self) {
+        self.online = false;
+        self.pending.clear();
+        self.pending_invites = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddr_sim::RngFactory;
+    use ddr_workload::WorkloadConfig;
+
+    fn peer() -> PeerState {
+        let cfg = WorkloadConfig::paper();
+        let rngs = RngFactory::new(1);
+        PeerState {
+            online: false,
+            session: 0,
+            stats: StatsStore::new(),
+            seen: DupCache::new(16),
+            requests_since_reconfig: 0,
+            pending_invites: 0,
+            pending: ddr_sim::hash::fast_map(),
+            churn: ChurnProcess::new(&cfg, &rngs, 0),
+            queries: QueryGenerator::new(&cfg, &rngs, 0),
+        }
+    }
+
+    #[test]
+    fn session_lifecycle() {
+        let mut p = peer();
+        p.seen.first_sighting(QueryId(1));
+        p.pending.insert(QueryId(1), PendingQuery::new(ItemId(0), SimTime::ZERO));
+        p.begin_session();
+        assert!(p.online);
+        assert_eq!(p.session, 1);
+        assert!(p.pending.is_empty());
+        assert!(p.seen.first_sighting(QueryId(1)), "dup cache must clear");
+        p.end_session();
+        assert!(!p.online);
+    }
+
+    #[test]
+    fn pending_query_records_first_and_all() {
+        let mut q = PendingQuery::new(ItemId(3), SimTime::from_millis(10));
+        q.record(NodeId(5), SimTime::from_millis(200));
+        q.record(NodeId(6), SimTime::from_millis(300));
+        assert_eq!(q.first_at, Some(SimTime::from_millis(200)));
+        assert_eq!(q.responders.len(), 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Running a complete scenario: world construction, event priming, the
+//! run loop, and report extraction.
+
+use crate::config::ScenarioConfig;
+use crate::metrics::RunReport;
+use crate::world::GnutellaWorld;
+use ddr_sim::{EventQueue, RunOutcome, Simulation, SimTime, World};
+
+/// Run one scenario to its horizon and return the report. A pure function
+/// of the configuration (which embeds the seed): calling it twice yields
+/// identical reports.
+pub fn run_scenario(config: ScenarioConfig) -> RunReport {
+    let (report, _world) = run_scenario_with_world(config);
+    report
+}
+
+/// Like [`run_scenario`] but also hands back the final world, for tests
+/// that assert on end-state invariants (topology consistency, peer state).
+pub fn run_scenario_with_world(config: ScenarioConfig) -> (RunReport, GnutellaWorld) {
+    let label = config.mode.label();
+    let from_hour = config.warmup_hours;
+    let to_hour = config.sim_hours;
+    let horizon = SimTime::from_hours(config.sim_hours);
+
+    let mut world = GnutellaWorld::new(config);
+    // Prime initial events through a queue, then transplant into the sim.
+    let mut sim = {
+        let mut queue: EventQueue<<GnutellaWorld as World>::Event> = EventQueue::new();
+        world.prime(&mut queue);
+        let mut sim = Simulation::new(world);
+        while let Some((t, ev)) = queue.pop() {
+            sim.schedule_at(t, ev);
+        }
+        sim
+    };
+
+    let outcome = sim.run(horizon);
+    debug_assert!(
+        matches!(outcome, RunOutcome::ReachedHorizon),
+        "a churn-driven simulation never drains: {outcome:?}"
+    );
+    let world = sim.into_world();
+    (
+        RunReport {
+            metrics: world.metrics.clone(),
+            from_hour,
+            to_hour,
+            label,
+        },
+        world,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Mode, ScenarioConfig};
+
+    /// A small-but-alive configuration: 200 users, paper densities,
+    /// 12 simulated hours. Fast enough for unit tests (< 1 s release,
+    /// a few seconds debug).
+    fn small(mode: Mode, hops: u8) -> ScenarioConfig {
+        let mut c = ScenarioConfig::scaled(mode, hops, 10, 12);
+        c.seed = 2024;
+        c
+    }
+
+    #[test]
+    fn static_run_produces_traffic_and_hits() {
+        let report = run_scenario(small(Mode::Static, 2));
+        assert!(report.total_messages() > 0.0, "no messages propagated");
+        assert!(report.total_hits() > 0.0, "no query was ever satisfied");
+        assert!(report.metrics.logins + report.metrics.logoffs > 0, "no churn");
+        // static mode never reconfigures
+        assert_eq!(report.metrics.reconfigurations, 0);
+        assert_eq!(report.metrics.invitations_sent, 0);
+    }
+
+    #[test]
+    fn dynamic_run_reconfigures() {
+        let report = run_scenario(small(Mode::Dynamic, 2));
+        assert!(report.metrics.reconfigurations > 0, "dynamic never reconfigured");
+        assert!(report.total_hits() > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_scenario(small(Mode::Dynamic, 2));
+        let b = run_scenario(small(Mode::Dynamic, 2));
+        assert_eq!(a.total_hits(), b.total_hits());
+        assert_eq!(a.total_messages(), b.total_messages());
+        assert_eq!(a.metrics.reconfigurations, b.metrics.reconfigurations);
+        assert_eq!(a.mean_first_delay_ms(), b.mean_first_delay_ms());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_scenario(small(Mode::Static, 2));
+        let mut cfg = small(Mode::Static, 2);
+        cfg.seed = 999;
+        let b = run_scenario(cfg);
+        assert_ne!(
+            (a.total_hits(), a.total_messages()),
+            (b.total_hits(), b.total_messages())
+        );
+    }
+
+    #[test]
+    fn topology_consistent_after_run() {
+        for mode in [Mode::Static, Mode::Dynamic] {
+            let (_, world) = run_scenario_with_world(small(mode, 2));
+            let errors = world.topology().check_consistency();
+            assert!(errors.is_empty(), "{mode:?}: {errors:?}");
+            // degree bound respected
+            for i in 0..world.config().workload.users {
+                let n = ddr_sim::NodeId::from_index(i);
+                assert!(world.topology().degree(n) <= world.config().degree);
+            }
+        }
+    }
+
+    #[test]
+    fn offline_nodes_hold_no_links() {
+        let (_, world) = run_scenario_with_world(small(Mode::Dynamic, 2));
+        for i in 0..world.config().workload.users {
+            let n = ddr_sim::NodeId::from_index(i);
+            if !world.online().contains(n) {
+                assert_eq!(
+                    world.topology().degree(n),
+                    0,
+                    "offline node {n} still linked"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hop_limit_one_still_finds_neighbors_content() {
+        let report = run_scenario(small(Mode::Static, 1));
+        assert!(report.total_hits() > 0.0);
+        // With hops=1 each query sends at most `degree` messages.
+        let queries: f64 = report
+            .metrics
+            .queries_issued
+            .window_sum(0, report.to_hour as usize);
+        assert!(report.metrics.messages.window_sum(0, report.to_hour as usize)
+            <= queries * 4.0 + 1.0);
+    }
+
+    #[test]
+    fn more_hops_mean_more_messages_and_hits() {
+        let h1 = run_scenario(small(Mode::Static, 1));
+        let h3 = run_scenario(small(Mode::Static, 3));
+        assert!(h3.total_messages() > h1.total_messages() * 2.0);
+        assert!(h3.total_hits() >= h1.total_hits());
+    }
+}

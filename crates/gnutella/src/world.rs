@@ -1,0 +1,1078 @@
+//! The Gnutella simulation world: all mutable state plus the event
+//! semantics of Algo 5.
+//!
+//! Protocol summary (paper §4.1):
+//!
+//! * `Send_Query`: the initiator floods its neighbors, collects results
+//!   until a timeout, then updates statistics (`B / R` per result).
+//! * `Process_Query`: duplicate queries are discarded via the
+//!   recent-message list; a node holding the song replies straight to the
+//!   initiator and does **not** forward; otherwise it forwards to its
+//!   neighbors while hops remain.
+//! * `Reconfigure`: every `reconfig_threshold` requests the node computes
+//!   the most beneficial neighborhood, sends eviction notices to dropped
+//!   neighbors and invitations to new ones, and resets its counter.
+//! * `Process_Invitation`: the invited node always accepts (paper case i),
+//!   evicting its least beneficial neighbor when full, and resets its own
+//!   reconfiguration counter to damp cascades.
+//! * `Process_Eviction`: the evicted node resets the evictor's statistics
+//!   and does not seek an immediate replacement.
+//!
+//! Static mode strips all of the above except `Process_Query`, replacing
+//! lost neighbors with random online nodes — vanilla Gnutella.
+
+use crate::config::{Mode, ScenarioConfig};
+use crate::events::GnutellaEvent;
+use crate::metrics::Metrics;
+use crate::peer::{PeerState, PendingQuery};
+use ddr_core::benefit::BenefitFunction;
+use crate::config::SearchStrategy;
+use ddr_core::{
+    plan_asymmetric_update, CategorySummary, DupCache, InvitationContext, InvitationDecision,
+    LocalIndex, QueryDescriptor, StatsStore,
+};
+use ddr_sim::ItemId;
+use ddr_net::NetworkModel;
+use ddr_overlay::Topology;
+use ddr_sim::{NodeId, QueryId, RngFactory, Scheduler, SimTime, Trace, World};
+use ddr_workload::{generate_profiles, Catalog, ChurnProcess, QueryGenerator, UserProfile};
+use rand::rngs::SmallRng;
+
+/// O(1) membership/add/remove set of online nodes that also exposes a
+/// dense slice for random sampling (needed by the random-join logic).
+#[derive(Debug, Clone)]
+pub struct OnlineSet {
+    list: Vec<NodeId>,
+    /// pos[node] = index in `list` + 1; 0 = absent.
+    pos: Vec<u32>,
+}
+
+impl OnlineSet {
+    fn new(n: usize) -> Self {
+        OnlineSet {
+            list: Vec::with_capacity(n),
+            pos: vec![0; n],
+        }
+    }
+
+    fn add(&mut self, node: NodeId) {
+        if self.pos[node.index()] == 0 {
+            self.list.push(node);
+            self.pos[node.index()] = self.list.len() as u32;
+        }
+    }
+
+    fn remove(&mut self, node: NodeId) {
+        let p = self.pos[node.index()];
+        if p == 0 {
+            return;
+        }
+        let idx = (p - 1) as usize;
+        let last = *self.list.last().expect("non-empty when pos set");
+        self.list.swap_remove(idx);
+        self.pos[node.index()] = 0;
+        if last != node {
+            self.pos[last.index()] = p;
+        }
+    }
+
+    /// Whether `node` is online.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.pos[node.index()] != 0
+    }
+
+    /// Number of online nodes.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Whether nobody is online.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Dense slice of online nodes (arbitrary but deterministic order).
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.list
+    }
+}
+
+/// The complete simulation state.
+pub struct GnutellaWorld {
+    config: ScenarioConfig,
+    catalog: Catalog,
+    profiles: Vec<UserProfile>,
+    net: NetworkModel,
+    topology: Topology,
+    peers: Vec<PeerState>,
+    /// Per-node content summaries (piggybacked on invitations when the
+    /// summary-gated policy is active).
+    summaries: Vec<CategorySummary>,
+    /// Per-node radius-r content indices (local-indices strategy only).
+    indices: Vec<Option<LocalIndex>>,
+    /// Which users are free-riders (query but never answer).
+    free_rider: Vec<bool>,
+    /// Results served per node (load-balance analysis).
+    served: Vec<u64>,
+    online: OnlineSet,
+    benefit: Box<dyn BenefitFunction>,
+    rng: SmallRng,
+    next_query: u64,
+    /// Collected metrics (public so reports and tests can read them).
+    pub metrics: Metrics,
+    /// Optional protocol trace (disabled by default; enable with
+    /// [`GnutellaWorld::enable_trace`] for white-box debugging).
+    pub trace: Trace,
+}
+
+impl GnutellaWorld {
+    /// Build the initial world: profiles, network classes, the random
+    /// bootstrap overlay among initially-online users — everything derived
+    /// deterministically from `(config, config.seed)`.
+    pub fn new(config: ScenarioConfig) -> Self {
+        config.validate().expect("invalid scenario config");
+        let rngs = RngFactory::new(config.seed);
+        let catalog = Catalog::new(
+            config.workload.songs,
+            config.workload.categories,
+            config.workload.theta,
+        );
+        let profiles = generate_profiles(&config.workload, &catalog, &rngs);
+        let net = NetworkModel::paper(config.workload.users, &rngs);
+        let mut topology = Topology::symmetric(config.workload.users, config.degree);
+        let mut online = OnlineSet::new(config.workload.users);
+
+        let peers: Vec<PeerState> = (0..config.workload.users)
+            .map(|i| {
+                let churn = ChurnProcess::new(&config.workload, &rngs, i as u64);
+                let queries = QueryGenerator::new(&config.workload, &rngs, i as u64);
+                PeerState {
+                    online: false,
+                    session: 0,
+                    stats: StatsStore::new(),
+                    seen: DupCache::new(config.dup_cache_capacity),
+                    requests_since_reconfig: 0,
+                    pending_invites: 0,
+                    pending: ddr_sim::hash::fast_map(),
+                    churn,
+                    queries,
+                }
+            })
+            .collect();
+
+        let summaries = profiles
+            .iter()
+            .map(|p| {
+                CategorySummary::build(p.library(), catalog.categories() as usize, |i| {
+                    catalog.category_of(i).index()
+                })
+            })
+            .collect();
+        let free_rider = {
+            let mut flags = vec![false; config.workload.users];
+            let count =
+                (config.workload.users as f64 * config.free_rider_fraction).round() as usize;
+            // Deterministic selection via a dedicated stream: shuffle the
+            // population and mark the first `count`.
+            use rand::seq::SliceRandom;
+            let mut order: Vec<usize> = (0..config.workload.users).collect();
+            order.shuffle(&mut rngs.stream("freeriders", 0));
+            for &i in order.iter().take(count) {
+                flags[i] = true;
+            }
+            flags
+        };
+        let served = vec![0u64; config.workload.users];
+        let indices = vec![None; 0]; // sized after `config` moves in
+        let mut world = GnutellaWorld {
+            config,
+            catalog,
+            profiles,
+            net,
+            topology,
+            peers,
+            summaries,
+            indices,
+            free_rider,
+            served,
+            online,
+            benefit: Box::new(ddr_core::CumulativeBenefit),
+            rng: rngs.stream("world", 0),
+            next_query: 0,
+            metrics: Metrics::new(),
+            trace: Trace::disabled(),
+        };
+        world.benefit = world.config.benefit.build();
+        world.indices = vec![None; world.config.workload.users];
+
+        // Initially-online users and the random bootstrap overlay.
+        let mut initial: Vec<NodeId> = Vec::new();
+        for i in 0..world.peers.len() {
+            if world.peers[i].churn.online() {
+                world.peers[i].begin_session();
+                let n = NodeId::from_index(i);
+                world.online.add(n);
+                initial.push(n);
+            }
+        }
+        online = std::mem::replace(&mut world.online, OnlineSet::new(0));
+        topology = std::mem::replace(&mut world.topology, Topology::symmetric(0, 0));
+        topology.populate_random_symmetric(&initial, world.config.degree, &mut world.rng);
+        world.online = online;
+        world.topology = topology;
+        world
+    }
+
+    /// Seed the initial events. Call once before running.
+    pub fn prime(&mut self, sched: &mut ddr_sim::EventQueue<GnutellaEvent>) {
+        for i in 0..self.peers.len() {
+            let node = NodeId::from_index(i);
+            let toggle_in = self.peers[i].churn.next_toggle();
+            sched.schedule_in(toggle_in, GnutellaEvent::Toggle { node });
+            if self.peers[i].online {
+                let d = self.peers[i].queries.next_interval();
+                sched.schedule_in(
+                    d,
+                    GnutellaEvent::IssueQuery {
+                        node,
+                        session: self.peers[i].session,
+                    },
+                );
+                if let SearchStrategy::LocalIndices { radius } = self.config.strategy {
+                    self.rebuild_index(node, radius);
+                    sched.schedule_in(
+                        self.config.index_refresh,
+                        GnutellaEvent::IndexRefresh {
+                            node,
+                            session: self.peers[i].session,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Rebuild `node`'s local index from the current overlay and the
+    /// (static) libraries of everything within `radius` hops.
+    fn rebuild_index(&mut self, node: NodeId, radius: u8) {
+        let profiles = &self.profiles;
+        let idx = LocalIndex::build(node, &self.topology, radius as usize, |n| {
+            profiles[n.index()].library()
+        });
+        self.indices[node.index()] = Some(idx);
+    }
+
+    /// First *online, serving* holder of `item` in `node`'s local index,
+    /// if any (free-riders refuse to serve, index or not).
+    fn index_holder(&self, node: NodeId, item: ItemId) -> Option<NodeId> {
+        let idx = self.indices[node.index()].as_ref()?;
+        idx.holders(item)
+            .iter()
+            .copied()
+            .find(|&h| self.online.contains(h) && !self.free_rider[h.index()])
+    }
+
+    /// Keep the most recent `capacity` protocol-event records (logins,
+    /// reconfigurations, invitations, evictions) for white-box debugging.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Trace::bounded(capacity);
+    }
+
+    /// The scenario configuration.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// The overlay (tests assert consistency invariants on it).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The online set.
+    pub fn online(&self) -> &OnlineSet {
+        &self.online
+    }
+
+    /// Peer state for inspection in tests.
+    pub fn peer(&self, node: NodeId) -> &PeerState {
+        &self.peers[node.index()]
+    }
+
+    /// Fraction of overlay links whose endpoints share a favourite
+    /// category — the interest-clustering measure behind the dynamic
+    /// mode's gains ("nodes with similar access patterns or interests are
+    /// grouped together", paper §1).
+    pub fn same_category_link_fraction(&self) -> f64 {
+        let mut total = 0usize;
+        let mut same = 0usize;
+        for i in 0..self.peers.len() {
+            let n = NodeId::from_index(i);
+            for m in self.topology.out(n).iter() {
+                total += 1;
+                if self.profiles[i].favorite == self.profiles[m.index()].favorite {
+                    same += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            same as f64 / total as f64
+        }
+    }
+
+    /// Whether `node` is a configured free-rider.
+    pub fn is_free_rider(&self, node: NodeId) -> bool {
+        self.free_rider[node.index()]
+    }
+
+    /// Results served per node (load-balance analysis).
+    pub fn served_loads(&self) -> Vec<f64> {
+        self.served.iter().map(|&s| s as f64).collect()
+    }
+
+    /// Mean overlay degree over the *online* nodes matching `pred`
+    /// (`None` if no online node matches).
+    pub fn mean_degree_where<P: Fn(NodeId) -> bool>(&self, pred: P) -> Option<f64> {
+        let mut sum = 0usize;
+        let mut n = 0usize;
+        for i in 0..self.peers.len() {
+            let node = NodeId::from_index(i);
+            if self.peers[i].online && pred(node) {
+                sum += self.topology.degree(node);
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum as f64 / n as f64)
+    }
+
+    /// Mean benefit-bearing statistics entries per online peer
+    /// (diagnostics for how much knowledge reconfiguration can draw on).
+    pub fn mean_stats_entries(&self) -> f64 {
+        let online: Vec<_> = (0..self.peers.len())
+            .filter(|&i| self.peers[i].online)
+            .collect();
+        if online.is_empty() {
+            return 0.0;
+        }
+        online.iter().map(|&i| self.peers[i].stats.len()).sum::<usize>() as f64
+            / online.len() as f64
+    }
+
+    fn is_dynamic(&self) -> bool {
+        self.config.mode == Mode::Dynamic
+    }
+
+    // ---- protocol actions -------------------------------------------------
+
+    fn send_query(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        desc: QueryDescriptor,
+        sched: &mut Scheduler<'_, GnutellaEvent>,
+    ) {
+        let d = self.net.one_way_delay(&mut self.rng, from, to);
+        self.metrics
+            .messages
+            .incr(sched.now().as_hours() as usize);
+        sched.after(d, GnutellaEvent::QueryArrive { to, from, desc });
+    }
+
+    /// Flood a fresh (or relaunched) query from its initiator.
+    fn flood_from_origin(
+        &mut self,
+        node: NodeId,
+        qid: QueryId,
+        item: ItemId,
+        ttl: u8,
+        sched: &mut Scheduler<'_, GnutellaEvent>,
+    ) {
+        let desc = QueryDescriptor {
+            id: qid,
+            origin: node,
+            item,
+            ttl,
+            travelled: 1,
+            issued_at: sched.now(),
+        };
+        let targets = self.config.forward.select(
+            self.topology.out(node).as_slice(),
+            None,
+            &self.peers[node.index()].stats,
+            self.benefit.as_ref(),
+            &mut self.rng,
+        );
+        for t in targets {
+            self.send_query(node, t, desc, sched);
+        }
+    }
+
+    fn login(&mut self, node: NodeId, sched: &mut Scheduler<'_, GnutellaEvent>) {
+        let i = node.index();
+        if !self.config.persist_stats {
+            self.peers[i].stats = StatsStore::new();
+        }
+        self.peers[i].begin_session();
+        self.online.add(node);
+        self.metrics.logins += 1;
+        self.trace.record_with(sched.now(), || format!("{node} login"));
+        if self.is_dynamic() && self.config.benefit_join_on_login {
+            // Re-cluster from remembered statistics: invite the most
+            // beneficial known online nodes for every slot they can fill.
+            let online = &self.online;
+            let invites: Vec<NodeId> = self.peers[i]
+                .stats
+                .ranked_by(
+                    |s| self.benefit.benefit(s),
+                    |m| m != node && online.contains(m),
+                )
+                .into_iter()
+                .take_while(|&(_, b)| b > 0.0)
+                .take(self.config.degree)
+                .map(|(m, _)| m)
+                .collect();
+            for a in invites {
+                self.metrics.invitations_sent += 1;
+                self.peers[i].pending_invites += 1;
+                let d = self.net.one_way_delay(&mut self.rng, node, a);
+                sched.after(d, GnutellaEvent::InviteArrive { to: a, from: node });
+            }
+        }
+        // Gnutella join: link to random online nodes with free slots
+        // (minus slots reserved for pending invitations).
+        let target = self
+            .config
+            .degree
+            .saturating_sub(self.peers[i].pending_invites as usize);
+        self.topology.join_random_symmetric(
+            node,
+            self.online.as_slice(),
+            target,
+            self.config.degree,
+            &mut self.rng,
+        );
+        let d = self.peers[i].queries.next_interval();
+        sched.after(
+            d,
+            GnutellaEvent::IssueQuery {
+                node,
+                session: self.peers[i].session,
+            },
+        );
+        if let SearchStrategy::LocalIndices { radius } = self.config.strategy {
+            self.rebuild_index(node, radius);
+            sched.after(
+                self.config.index_refresh,
+                GnutellaEvent::IndexRefresh {
+                    node,
+                    session: self.peers[i].session,
+                },
+            );
+        }
+    }
+
+    fn logoff(&mut self, node: NodeId, sched: &mut Scheduler<'_, GnutellaEvent>) {
+        let i = node.index();
+        self.peers[i].end_session();
+        self.online.remove(node);
+        self.metrics.logoffs += 1;
+        self.trace.record_with(sched.now(), || format!("{node} logoff"));
+        let former = self.topology.isolate(node);
+        // "Neighbor log-offs trigger the update process" (dynamic); static
+        // nodes replace lost neighbors randomly.
+        for m in former {
+            if !self.online.contains(m) {
+                continue;
+            }
+            if self.is_dynamic() {
+                if self.config.reconfig_on_neighbor_loss {
+                    self.reconfigure(m, sched);
+                }
+            } else {
+                self.topology.join_random_symmetric(
+                    m,
+                    self.online.as_slice(),
+                    self.config.degree,
+                    self.config.degree,
+                    &mut self.rng,
+                );
+            }
+        }
+    }
+
+    fn issue_query(
+        &mut self,
+        node: NodeId,
+        session: u32,
+        sched: &mut Scheduler<'_, GnutellaEvent>,
+    ) {
+        let i = node.index();
+        if !self.peers[i].online || self.peers[i].session != session {
+            return; // stale event from a previous session
+        }
+        let now = sched.now();
+
+        let item = {
+            let catalog = &self.catalog;
+            let profile = &self.profiles[i];
+            self.peers[i].queries.next_target(catalog, profile)
+        };
+        let qid = QueryId(self.next_query);
+        self.next_query += 1;
+        self.peers[i].seen.first_sighting(qid);
+        self.peers[i].pending.insert(qid, PendingQuery::new(item, now));
+        self.metrics.queries_issued.incr(now.as_hours() as usize);
+
+        match self.config.strategy.clone() {
+            SearchStrategy::Bfs => {
+                self.flood_from_origin(node, qid, item, self.config.max_hops, sched);
+                sched.after(
+                    self.config.query_timeout,
+                    GnutellaEvent::QueryFinalize { node, query: qid },
+                );
+            }
+            SearchStrategy::IterativeDeepening { depths } => {
+                self.flood_from_origin(node, qid, item, depths[0], sched);
+                sched.after(
+                    self.config.wave_timeout,
+                    GnutellaEvent::WaveCheck {
+                        node,
+                        query: qid,
+                        wave: 0,
+                    },
+                );
+            }
+            SearchStrategy::LocalIndices { radius } => {
+                if let Some(holder) = self.index_holder(node, item) {
+                    // Contact the indexed holder directly: one targeted
+                    // message, one reply — no flood.
+                    self.metrics.index_answers += 1;
+                    self.served[holder.index()] += 1;
+                    self.metrics.messages.incr(now.as_hours() as usize);
+                    let there = self.net.one_way_delay(&mut self.rng, node, holder);
+                    let back = self.net.one_way_delay(&mut self.rng, holder, node);
+                    let bw = self.net.class(holder);
+                    sched.after(
+                        there + back,
+                        GnutellaEvent::ReplyArrive {
+                            to: node,
+                            from: holder,
+                            query: qid,
+                            bandwidth: bw,
+                            hops: 1,
+                        },
+                    );
+                } else {
+                    // The last `radius` hops are covered by indices at the
+                    // frontier, so the flood itself travels shorter.
+                    let ttl = self.config.max_hops.saturating_sub(radius).max(1);
+                    self.flood_from_origin(node, qid, item, ttl, sched);
+                }
+                sched.after(
+                    self.config.query_timeout,
+                    GnutellaEvent::QueryFinalize { node, query: qid },
+                );
+            }
+        }
+
+        // Reconfiguration clock ticks in requests (paper §4.3).
+        self.peers[i].requests_since_reconfig += 1;
+        if self.is_dynamic()
+            && self.peers[i].requests_since_reconfig >= self.config.reconfig_threshold
+        {
+            self.reconfigure(node, sched);
+        }
+
+        let d = self.peers[i].queries.next_interval();
+        sched.after(d, GnutellaEvent::IssueQuery { node, session });
+    }
+
+    fn query_arrive(
+        &mut self,
+        to: NodeId,
+        from: NodeId,
+        desc: QueryDescriptor,
+        sched: &mut Scheduler<'_, GnutellaEvent>,
+    ) {
+        let i = to.index();
+        if !self.peers[i].online {
+            return; // the node logged off while the message was in flight
+        }
+        if !self.peers[i].seen.first_sighting(desc.id) {
+            self.metrics.duplicates_dropped += 1;
+            return; // "if the same message has been received before, discard"
+        }
+        if !self.free_rider[i] && self.profiles[i].has(desc.item) {
+            // Reply to the initiator and do not propagate (§4.1).
+            // Free-riders skip this branch entirely: they hold content
+            // but refuse to serve it (§2's imbalance scenario).
+            self.served[i] += 1;
+            let bw = self.net.class(to);
+            let d = self.net.one_way_delay(&mut self.rng, to, desc.origin);
+            sched.after(
+                d,
+                GnutellaEvent::ReplyArrive {
+                    to: desc.origin,
+                    from: to,
+                    query: desc.id,
+                    bandwidth: bw,
+                    hops: desc.travelled,
+                },
+            );
+            return;
+        }
+        if let SearchStrategy::LocalIndices { .. } = self.config.strategy {
+            // Answer on behalf of an indexed nearby holder (Yang &
+            // Garcia-Molina: the index covers the final hops, so the
+            // query terminates here).
+            if let Some(holder) = self.index_holder(to, desc.item) {
+                self.metrics.index_answers += 1;
+                self.served[holder.index()] += 1;
+                let bw = self.net.class(holder);
+                let d = self.net.one_way_delay(&mut self.rng, to, desc.origin);
+                sched.after(
+                    d,
+                    GnutellaEvent::ReplyArrive {
+                        to: desc.origin,
+                        from: holder,
+                        query: desc.id,
+                        bandwidth: bw,
+                        hops: desc.travelled.saturating_add(1),
+                    },
+                );
+                return;
+            }
+        }
+        if desc.ttl <= 1 {
+            return; // hop limit reached
+        }
+        let fwd = desc.next_hop();
+        let targets = self.config.forward.select(
+            self.topology.out(to).as_slice(),
+            Some(from),
+            &self.peers[i].stats,
+            self.benefit.as_ref(),
+            &mut self.rng,
+        );
+        for t in targets {
+            self.send_query(to, t, fwd, sched);
+        }
+    }
+
+    fn reply_arrive(&mut self, to: NodeId, from: NodeId, query: QueryId, hops: u8, now: SimTime) {
+        let i = to.index();
+        if !self.peers[i].online {
+            return;
+        }
+        if let Some(pq) = self.peers[i].pending.get_mut(&query) {
+            let was_first = pq.first_at.is_none();
+            pq.record(from, now);
+            if now.as_hours() >= self.config.warmup_hours {
+                self.metrics.result_hops.record(hops as f64);
+                if was_first {
+                    self.metrics.first_result_hops.record(hops as f64);
+                }
+            }
+            if was_first {
+                self.metrics.hits.incr(now.as_hours() as usize);
+            }
+        }
+    }
+
+    fn finalize_query(&mut self, node: NodeId, query: QueryId) {
+        let i = node.index();
+        let Some(pq) = self.peers[i].pending.remove(&query) else {
+            return; // logged off in the meantime, or double finalize
+        };
+        let results = pq.responders.len();
+        if results == 0 {
+            return;
+        }
+        let first_at = pq.first_at.expect("responders non-empty");
+        let hour = first_at.as_hours();
+        self.metrics.results.add(hour as usize, results as f64);
+        if hour >= self.config.warmup_hours {
+            let delay = first_at.saturating_since(pq.issued_at).as_millis() as f64;
+            self.metrics.first_delay_ms.record(delay);
+            self.metrics.first_delay_hist.record(delay);
+        }
+        // "Obtain results and update statistics" — each result scores
+        // B / R (statistics are only consumed in dynamic mode, but keeping
+        // them in static mode costs little and simplifies A/B debugging).
+        if self.is_dynamic() {
+            for &(responder, at) in &pq.responders {
+                let bandwidth = self.net.class(responder);
+                let score = self.config.result_score.score(bandwidth, results);
+                let latency_ms = at.saturating_since(pq.issued_at).as_millis() as f64;
+                self.peers[i].stats.record_reply(ddr_core::stats_store::ReplyObservation {
+                    from: responder,
+                    bandwidth: Some(bandwidth),
+                    score,
+                    latency_ms,
+                    at,
+                });
+            }
+        }
+    }
+
+    /// Algo 5 `Reconfigure`: compute the most beneficial neighborhood,
+    /// evict dropped neighbors, invite newcomers, reset the counter.
+    fn reconfigure(&mut self, node: NodeId, sched: &mut Scheduler<'_, GnutellaEvent>) {
+        let i = node.index();
+        self.peers[i].requests_since_reconfig = 0;
+        self.metrics.reconfigurations += 1;
+        self.trace
+            .record_with(sched.now(), || format!("{node} reconfigure"));
+
+        let plan = {
+            let online = &self.online;
+            let eligible = |m: NodeId| m != node && online.contains(m);
+            plan_asymmetric_update(
+                self.topology.out(node).as_slice(),
+                &self.peers[i].stats,
+                self.benefit.as_ref(),
+                self.config.degree,
+                eligible,
+            )
+            .limit_swaps(
+                self.config.max_swaps_per_reconfig,
+                self.config.degree,
+                &self.peers[i].stats,
+                self.benefit.as_ref(),
+                eligible,
+            )
+        };
+        for e in plan.evict {
+            if self.topology.unlink_symmetric(node, e) {
+                self.metrics.evictions += 1;
+                let d = self.net.one_way_delay(&mut self.rng, node, e);
+                sched.after(d, GnutellaEvent::EvictArrive { to: e, from: node });
+            }
+        }
+        for a in plan.add {
+            self.metrics.invitations_sent += 1;
+            self.peers[i].pending_invites += 1;
+            let d = self.net.one_way_delay(&mut self.rng, node, a);
+            sched.after(d, GnutellaEvent::InviteArrive { to: a, from: node });
+        }
+        // Maintain the connectivity floor with random links (slots
+        // reserved for in-flight invitations stay free, otherwise random
+        // links would race the acceptances and the benefit-driven link
+        // would be dropped on arrival). Above the floor, only invitations
+        // add links — the paper's dynamic variant regains links through
+        // the protocol, not through random reconnects.
+        let reserved = self.peers[i].pending_invites as usize;
+        let floor = self
+            .config
+            .min_degree_floor
+            .min(self.config.degree.saturating_sub(reserved));
+        if self.topology.degree(node) < floor {
+            self.topology.join_random_symmetric(
+                node,
+                self.online.as_slice(),
+                floor,
+                self.config.degree,
+                &mut self.rng,
+            );
+        }
+    }
+
+    /// Algo 5 `Process_Invitation` — always accept (or benefit-gate),
+    /// evicting the least beneficial neighbor when full; reset the
+    /// reconfiguration counter to avoid cascading updates.
+    fn invite_arrive(
+        &mut self,
+        to: NodeId,
+        from: NodeId,
+        sched: &mut Scheduler<'_, GnutellaEvent>,
+    ) {
+        let m = to.index();
+        // The invitation's outcome is now known either way: release the
+        // inviter's slot reservation (cleared on logoff, hence saturating).
+        let inv = from.index();
+        self.peers[inv].pending_invites = self.peers[inv].pending_invites.saturating_sub(1);
+        if !self.peers[m].online || !self.online.contains(from) {
+            return; // either end vanished while the invitation travelled
+        }
+        if self.topology.out(to).contains(from) {
+            return; // already neighbors (race with another update)
+        }
+        if self.topology.degree(from) >= self.config.degree {
+            return; // the inviter filled up meanwhile: negative outcome
+        }
+        let ctx = InvitationContext {
+            inviter_summary: Some(&self.summaries[from.index()]),
+            own_summary: Some(&self.summaries[to.index()]),
+        };
+        let decision = self.config.invitation.decide(
+            from,
+            self.topology.out(to).as_slice(),
+            &self.peers[m].stats,
+            self.benefit.as_ref(),
+            self.config.degree,
+            &ctx,
+        );
+        match decision {
+            InvitationDecision::Accept { evict } => {
+                if let Some(w) = evict {
+                    if self.topology.unlink_symmetric(to, w) {
+                        self.metrics.evictions += 1;
+                        let d = self.net.one_way_delay(&mut self.rng, to, w);
+                        sched.after(d, GnutellaEvent::EvictArrive { to: w, from: to });
+                    }
+                }
+                if self.topology.link_symmetric(to, from).is_ok() {
+                    self.metrics.invitations_accepted += 1;
+                    self.peers[m].requests_since_reconfig = 0;
+                    self.trace.record_with(sched.now(), || {
+                        format!("{to} accepted invitation from {from}")
+                    });
+                    if let ddr_core::InvitationPolicy::TrialPeriod { trial_millis } =
+                        self.config.invitation
+                    {
+                        // Provisional acceptance: re-evaluate after the
+                        // trial window (§3.4 solution a).
+                        sched.after(
+                            ddr_sim::SimDuration::from_millis(trial_millis),
+                            GnutellaEvent::TrialExpire {
+                                node: to,
+                                peer: from,
+                                session: self.peers[m].session,
+                            },
+                        );
+                    }
+                }
+            }
+            InvitationDecision::Reject => {}
+        }
+    }
+
+    /// Algo 5 `Process_Eviction`: reset the evictor's statistics so the
+    /// node will not try to reconnect in the near future.
+    fn evict_arrive(&mut self, to: NodeId, from: NodeId) {
+        let w = to.index();
+        if !self.peers[w].online {
+            return;
+        }
+        self.peers[w].stats.reset_node(from);
+    }
+}
+
+impl GnutellaWorld {
+    /// Iterative deepening: the wave's collection window elapsed.
+    fn wave_check(
+        &mut self,
+        node: NodeId,
+        query: QueryId,
+        wave: u8,
+        sched: &mut Scheduler<'_, GnutellaEvent>,
+    ) {
+        let i = node.index();
+        if !self.peers[i].online {
+            return;
+        }
+        let Some(pq) = self.peers[i].pending.get(&query) else {
+            return; // finalised or superseded
+        };
+        if pq.wave != wave {
+            return; // a deeper wave is already in flight
+        }
+        let depths = match &self.config.strategy {
+            SearchStrategy::IterativeDeepening { depths } => depths.clone(),
+            _ => return, // strategy changed? impossible within a run
+        };
+        let satisfied = !pq.responders.is_empty();
+        let next_wave = wave as usize + 1;
+        if satisfied || next_wave >= depths.len() {
+            self.finalize_query(node, query);
+            return;
+        }
+        // Relaunch deeper under a fresh wire id; the pending record (and
+        // the original issue time) carries over.
+        let mut pq = self.peers[i].pending.remove(&query).expect("checked above");
+        pq.wave = next_wave as u8;
+        let item = pq.item;
+        let qid2 = QueryId(self.next_query);
+        self.next_query += 1;
+        self.peers[i].seen.first_sighting(qid2);
+        self.peers[i].pending.insert(qid2, pq);
+        self.metrics.extra_waves += 1;
+        self.flood_from_origin(node, qid2, item, depths[next_wave], sched);
+        sched.after(
+            self.config.wave_timeout,
+            GnutellaEvent::WaveCheck {
+                node,
+                query: qid2,
+                wave: next_wave as u8,
+            },
+        );
+    }
+
+    /// Trial expiry (§3.4 solution a): keep the provisional neighbor only
+    /// if it produced benefit during the trial window.
+    fn trial_expire(
+        &mut self,
+        node: NodeId,
+        peer: NodeId,
+        session: u32,
+        sched: &mut Scheduler<'_, GnutellaEvent>,
+    ) {
+        let i = node.index();
+        if !self.peers[i].online || self.peers[i].session != session {
+            return; // the trial died with the session
+        }
+        if !self.topology.out(node).contains(peer) {
+            return; // already unlinked by other means
+        }
+        let earned = self.peers[i]
+            .stats
+            .get(peer)
+            .map(|s| self.benefit.benefit(s))
+            .unwrap_or(0.0);
+        if earned <= 0.0 {
+            if self.topology.unlink_symmetric(node, peer) {
+                self.metrics.evictions += 1;
+                self.metrics.trials_failed += 1;
+                self.trace.record_with(sched.now(), || {
+                    format!("{node} ended trial with {peer} (no benefit)")
+                });
+                let d = self.net.one_way_delay(&mut self.rng, node, peer);
+                sched.after(d, GnutellaEvent::EvictArrive { to: peer, from: node });
+            }
+        } else {
+            self.metrics.trials_confirmed += 1;
+        }
+    }
+
+    /// Local indices: periodic rebuild while the node stays online.
+    fn index_refresh(
+        &mut self,
+        node: NodeId,
+        session: u32,
+        sched: &mut Scheduler<'_, GnutellaEvent>,
+    ) {
+        let i = node.index();
+        if !self.peers[i].online || self.peers[i].session != session {
+            return; // stale event from an earlier session
+        }
+        if let SearchStrategy::LocalIndices { radius } = self.config.strategy {
+            self.rebuild_index(node, radius);
+            sched.after(
+                self.config.index_refresh,
+                GnutellaEvent::IndexRefresh { node, session },
+            );
+        }
+    }
+}
+
+impl World for GnutellaWorld {
+    type Event = GnutellaEvent;
+
+    fn handle(
+        &mut self,
+        now: SimTime,
+        event: GnutellaEvent,
+        sched: &mut Scheduler<'_, GnutellaEvent>,
+    ) {
+        match event {
+            GnutellaEvent::Toggle { node } => {
+                // `ChurnProcess::next_toggle` already flipped the target
+                // state when this event was scheduled, so `churn.online()`
+                // is the state to enter now.
+                let i = node.index();
+                let goes_online = self.peers[i].churn.online();
+                if goes_online && !self.peers[i].online {
+                    self.login(node, sched);
+                } else if !goes_online && self.peers[i].online {
+                    self.logoff(node, sched);
+                }
+                let d = self.peers[i].churn.next_toggle();
+                sched.after(d, GnutellaEvent::Toggle { node });
+            }
+            GnutellaEvent::IssueQuery { node, session } => {
+                self.issue_query(node, session, sched);
+            }
+            GnutellaEvent::QueryArrive { to, from, desc } => {
+                self.query_arrive(to, from, desc, sched);
+            }
+            GnutellaEvent::ReplyArrive {
+                to,
+                from,
+                query,
+                bandwidth: _,
+                hops,
+            } => {
+                self.reply_arrive(to, from, query, hops, now);
+            }
+            GnutellaEvent::QueryFinalize { node, query } => {
+                self.finalize_query(node, query);
+            }
+            GnutellaEvent::InviteArrive { to, from } => {
+                self.invite_arrive(to, from, sched);
+            }
+            GnutellaEvent::EvictArrive { to, from } => {
+                self.evict_arrive(to, from);
+            }
+            GnutellaEvent::WaveCheck { node, query, wave } => {
+                self.wave_check(node, query, wave, sched);
+            }
+            GnutellaEvent::IndexRefresh { node, session } => {
+                self.index_refresh(node, session, sched);
+            }
+            GnutellaEvent::TrialExpire {
+                node,
+                peer,
+                session,
+            } => {
+                self.trial_expire(node, peer, session, sched);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_set_add_remove_contains() {
+        let mut s = OnlineSet::new(5);
+        s.add(NodeId(1));
+        s.add(NodeId(3));
+        assert!(s.contains(NodeId(1)));
+        assert!(!s.contains(NodeId(0)));
+        assert_eq!(s.len(), 2);
+        s.remove(NodeId(1));
+        assert!(!s.contains(NodeId(1)));
+        assert!(s.contains(NodeId(3)));
+        assert_eq!(s.as_slice(), &[NodeId(3)]);
+    }
+
+    #[test]
+    fn online_set_swap_remove_keeps_positions() {
+        let mut s = OnlineSet::new(5);
+        for i in 0..5 {
+            s.add(NodeId(i));
+        }
+        s.remove(NodeId(0)); // last element swaps into slot 0
+        for i in 1..5 {
+            assert!(s.contains(NodeId(i)), "lost node {i}");
+        }
+        s.remove(NodeId(4));
+        assert_eq!(s.len(), 3);
+        assert!(!s.contains(NodeId(4)));
+    }
+
+    #[test]
+    fn online_set_idempotent_ops() {
+        let mut s = OnlineSet::new(3);
+        s.add(NodeId(2));
+        s.add(NodeId(2));
+        assert_eq!(s.len(), 1);
+        s.remove(NodeId(2));
+        s.remove(NodeId(2));
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+    }
+}

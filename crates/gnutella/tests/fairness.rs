@@ -1,0 +1,97 @@
+//! Free-rider and load-balance behaviour (paper §2: static configurations
+//! let relations become "unbalanced, if a peer only requires, but refuses
+//! to provide any content" — dynamic reconfiguration is supposed to fix
+//! exactly this, because a node that never answers accumulates zero
+//! benefit and gets evicted).
+
+use ddr_gnutella::scenario::run_scenario_with_world;
+use ddr_gnutella::{Mode, ScenarioConfig};
+use ddr_sim::NodeId;
+
+fn cfg(mode: Mode, free_riders: f64) -> ScenarioConfig {
+    let mut c = ScenarioConfig::scaled(mode, 2, 8, 24);
+    c.free_rider_fraction = free_riders;
+    c.seed = 13;
+    c
+}
+
+#[test]
+fn free_rider_selection_is_deterministic_and_sized() {
+    let (_, a) = run_scenario_with_world(cfg(Mode::Static, 0.25));
+    let (_, b) = run_scenario_with_world(cfg(Mode::Static, 0.25));
+    let users = a.config().workload.users;
+    let count = (0..users)
+        .filter(|&i| a.is_free_rider(NodeId::from_index(i)))
+        .count();
+    assert_eq!(count, (users as f64 * 0.25).round() as usize);
+    for i in 0..users {
+        let n = NodeId::from_index(i);
+        assert_eq!(a.is_free_rider(n), b.is_free_rider(n));
+    }
+}
+
+#[test]
+fn free_riders_never_serve() {
+    let (_, world) = run_scenario_with_world(cfg(Mode::Static, 0.25));
+    let loads = world.served_loads();
+    for (i, &load) in loads.iter().enumerate() {
+        if world.is_free_rider(NodeId::from_index(i)) {
+            assert_eq!(load, 0.0, "free-rider {i} served results");
+        }
+    }
+    // ... while contributors do serve.
+    assert!(loads.iter().sum::<f64>() > 0.0);
+}
+
+#[test]
+fn free_riders_depress_hits() {
+    let (clean, _) = run_scenario_with_world(cfg(Mode::Static, 0.0));
+    let (infested, _) = run_scenario_with_world(cfg(Mode::Static, 0.25));
+    assert!(
+        infested.total_hits() < clean.total_hits(),
+        "free riders should cost hits: {} vs {}",
+        infested.total_hits(),
+        clean.total_hits()
+    );
+}
+
+#[test]
+fn dynamic_mode_starves_free_riders_of_neighbors() {
+    let (_, stat) = run_scenario_with_world(cfg(Mode::Static, 0.25));
+    let (_, dynm) = run_scenario_with_world(cfg(Mode::Dynamic, 0.25));
+
+    let fr_static = stat
+        .mean_degree_where(|n| stat.is_free_rider(n))
+        .expect("free riders online");
+    let fr_dynamic = dynm
+        .mean_degree_where(|n| dynm.is_free_rider(n))
+        .expect("free riders online");
+    let contrib_dynamic = dynm
+        .mean_degree_where(|n| !dynm.is_free_rider(n))
+        .expect("contributors online");
+
+    // In the static overlay free-riders are indistinguishable; dynamic
+    // reconfiguration drains their neighborhoods relative to both the
+    // static case and to contributors in the same run.
+    assert!(
+        fr_dynamic < fr_static * 0.9,
+        "dynamic did not starve free riders: {fr_dynamic} vs static {fr_static}"
+    );
+    assert!(
+        fr_dynamic < contrib_dynamic * 0.9,
+        "free riders as connected as contributors: {fr_dynamic} vs {contrib_dynamic}"
+    );
+}
+
+#[test]
+fn serving_load_is_skewed_and_measurable() {
+    let (_, world) = run_scenario_with_world(cfg(Mode::Dynamic, 0.0));
+    let loads = world.served_loads();
+    let g = ddr_stats::gini(&loads);
+    let top10 = ddr_stats::top_share(&loads, 0.10);
+    // Zipf content popularity + bandwidth preference make serving load
+    // unequal, but not degenerate.
+    assert!(g > 0.1, "implausibly even load: gini {g}");
+    assert!(g < 0.95, "implausibly concentrated load: gini {g}");
+    assert!(top10 > 0.10 && top10 < 0.95, "top-10% share {top10}");
+}

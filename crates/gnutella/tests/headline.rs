@@ -1,0 +1,49 @@
+//! Integration test: the paper's headline claims must hold on a
+//! scaled-down but realistic scenario (paper densities, 500 users, 36 h).
+//!
+//! These are shape assertions, not absolute-number matches — see
+//! EXPERIMENTS.md for the full-scale comparison.
+
+use ddr_gnutella::{run_scenario, Mode, ScenarioConfig};
+
+fn cfg(mode: Mode, hops: u8) -> ScenarioConfig {
+    let mut c = ScenarioConfig::scaled(mode, hops, 4, 36);
+    c.seed = 7;
+    c
+}
+
+#[test]
+fn dynamic_beats_static_on_hits_hops2() {
+    let s = run_scenario(cfg(Mode::Static, 2));
+    let d = run_scenario(cfg(Mode::Dynamic, 2));
+    assert!(
+        d.total_hits() > s.total_hits(),
+        "Fig 1(a) shape violated: dynamic {} <= static {}",
+        d.total_hits(),
+        s.total_hits()
+    );
+}
+
+#[test]
+fn dynamic_sends_fewer_messages_hops2() {
+    let s = run_scenario(cfg(Mode::Static, 2));
+    let d = run_scenario(cfg(Mode::Dynamic, 2));
+    assert!(
+        d.total_messages() < s.total_messages(),
+        "Fig 1(b) shape violated: dynamic {} >= static {}",
+        d.total_messages(),
+        s.total_messages()
+    );
+}
+
+#[test]
+fn dynamic_first_result_delay_lower() {
+    let s = run_scenario(cfg(Mode::Static, 2));
+    let d = run_scenario(cfg(Mode::Dynamic, 2));
+    assert!(
+        d.mean_first_delay_ms() < s.mean_first_delay_ms(),
+        "Fig 3(a) shape violated: dynamic {} >= static {}",
+        d.mean_first_delay_ms(),
+        s.mean_first_delay_ms()
+    );
+}

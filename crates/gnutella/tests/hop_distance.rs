@@ -1,0 +1,64 @@
+//! Result hop-distance behaviour — the paper's stated mechanism for
+//! Fig 3(a): "In the dynamic scheme, most of the results come from
+//! nearby nodes, and extensive searching is not necessary."
+
+use ddr_gnutella::{run_scenario, Mode, ScenarioConfig};
+
+fn cfg(mode: Mode, hops: u8) -> ScenarioConfig {
+    let mut c = ScenarioConfig::scaled(mode, hops, 8, 24);
+    c.seed = 17;
+    c
+}
+
+#[test]
+fn dynamic_first_results_come_from_nearer_nodes() {
+    let s = run_scenario(cfg(Mode::Static, 4));
+    let d = run_scenario(cfg(Mode::Dynamic, 4));
+    let sd = s.metrics.first_result_hops.mean();
+    let dd = d.metrics.first_result_hops.mean();
+    assert!(
+        dd < sd,
+        "dynamic first results not nearer: {dd} vs {sd} hops"
+    );
+    // hop distances are valid overlay distances
+    assert!(s.metrics.first_result_hops.min() >= 1.0);
+    assert!(s.metrics.first_result_hops.max() <= 4.0);
+}
+
+#[test]
+fn hop_distance_bounded_by_hop_limit() {
+    for hops in [1u8, 2, 3] {
+        let r = run_scenario(cfg(Mode::Static, hops));
+        assert!(
+            r.metrics.result_hops.max() <= hops as f64,
+            "hops={hops}: result at distance {}",
+            r.metrics.result_hops.max()
+        );
+        assert!(r.metrics.result_hops.count() > 0);
+    }
+}
+
+#[test]
+fn mean_distance_grows_with_hop_limit_for_static() {
+    let h1 = run_scenario(cfg(Mode::Static, 1));
+    let h4 = run_scenario(cfg(Mode::Static, 4));
+    assert!(
+        h4.metrics.result_hops.mean() > h1.metrics.result_hops.mean(),
+        "deeper searches must pull results from farther away"
+    );
+    assert_eq!(h1.metrics.result_hops.max(), 1.0);
+}
+
+#[test]
+fn first_result_is_no_farther_than_average_result() {
+    // The first result to arrive is biased toward nearby responders
+    // (shorter network path), so its mean distance is ≤ the all-results
+    // mean.
+    let r = run_scenario(cfg(Mode::Static, 4));
+    assert!(
+        r.metrics.first_result_hops.mean() <= r.metrics.result_hops.mean() + 0.05,
+        "first results farther than average: {} vs {}",
+        r.metrics.first_result_hops.mean(),
+        r.metrics.result_hops.mean()
+    );
+}

@@ -1,0 +1,61 @@
+//! White-box protocol tracing: the bounded trace records the update
+//! protocol's key events without affecting the simulation.
+
+use ddr_gnutella::{GnutellaWorld, Mode, ScenarioConfig};
+use ddr_sim::{EventQueue, Simulation, SimTime};
+
+fn run_with_trace(capacity: usize) -> GnutellaWorld {
+    let mut cfg = ScenarioConfig::scaled(Mode::Dynamic, 2, 20, 4);
+    cfg.seed = 55;
+    let mut world = GnutellaWorld::new(cfg);
+    if capacity > 0 {
+        world.enable_trace(capacity);
+    }
+    let mut queue: EventQueue<_> = EventQueue::new();
+    world.prime(&mut queue);
+    let mut sim = Simulation::new(world);
+    while let Some((t, ev)) = queue.pop() {
+        sim.schedule_at(t, ev);
+    }
+    sim.run(SimTime::from_hours(4));
+    sim.into_world()
+}
+
+#[test]
+fn trace_captures_protocol_events() {
+    let world = run_with_trace(50_000);
+    let records: Vec<String> = world
+        .trace
+        .records()
+        .map(|(_, m)| m.to_string())
+        .collect();
+    assert!(!records.is_empty(), "no trace records captured");
+    assert!(records.iter().any(|m| m.contains("login")));
+    assert!(records.iter().any(|m| m.contains("reconfigure")));
+    assert!(
+        records.iter().any(|m| m.contains("accepted invitation")),
+        "no invitation acceptance traced"
+    );
+    // timestamps are monotone (events recorded in processing order)
+    let times: Vec<_> = world.trace.records().map(|(t, _)| t).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn disabled_trace_records_nothing_and_changes_nothing() {
+    let traced = run_with_trace(50_000);
+    let silent = run_with_trace(0);
+    assert!(silent.trace.is_empty());
+    // tracing must not perturb the simulation
+    assert_eq!(
+        traced.metrics.reconfigurations,
+        silent.metrics.reconfigurations
+    );
+    assert_eq!(traced.metrics.hits.total(), silent.metrics.hits.total());
+}
+
+#[test]
+fn trace_is_bounded() {
+    let world = run_with_trace(16);
+    assert!(world.trace.len() <= 16);
+}

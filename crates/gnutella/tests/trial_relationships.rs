@@ -1,0 +1,70 @@
+//! §3.4 solution (a): temporary relationships that become permanent only
+//! if they produce benefit within a time threshold.
+
+use ddr_core::InvitationPolicy;
+use ddr_gnutella::{run_scenario, Mode, RunReport, ScenarioConfig};
+
+fn run(policy: InvitationPolicy) -> RunReport {
+    let mut c = ScenarioConfig::scaled(Mode::Dynamic, 2, 8, 24);
+    c.invitation = policy;
+    c.seed = 77;
+    run_scenario(c)
+}
+
+#[test]
+fn trials_resolve_both_ways() {
+    let r = run(InvitationPolicy::TrialPeriod {
+        trial_millis: 20 * 60 * 1_000, // 20 minutes
+    });
+    assert!(
+        r.metrics.trials_confirmed > 0,
+        "no trial ever succeeded — the policy is useless"
+    );
+    assert!(
+        r.metrics.trials_failed > 0,
+        "no trial ever failed — the filter is inert"
+    );
+    // a failed trial is an eviction, so evictions ≥ failures
+    assert!(r.metrics.evictions >= r.metrics.trials_failed);
+}
+
+#[test]
+fn always_accept_never_runs_trials() {
+    let r = run(InvitationPolicy::AlwaysAccept);
+    assert_eq!(r.metrics.trials_confirmed, 0);
+    assert_eq!(r.metrics.trials_failed, 0);
+}
+
+#[test]
+fn trial_policy_remains_competitive() {
+    let always = run(InvitationPolicy::AlwaysAccept);
+    let trial = run(InvitationPolicy::TrialPeriod {
+        trial_millis: 20 * 60 * 1_000,
+    });
+    // Trials prune useless links; the variant must stay in the same
+    // performance class as always-accept (within 15 % on hits).
+    assert!(
+        trial.total_hits() > always.total_hits() * 0.85,
+        "trial policy collapsed: {} vs {}",
+        trial.total_hits(),
+        always.total_hits()
+    );
+}
+
+#[test]
+fn short_trials_fail_more_than_long_trials() {
+    let short = run(InvitationPolicy::TrialPeriod {
+        trial_millis: 2 * 60 * 1_000, // 2 minutes: almost no chance to serve
+    });
+    let long = run(InvitationPolicy::TrialPeriod {
+        trial_millis: 60 * 60 * 1_000, // 1 hour
+    });
+    let short_fail_rate = short.metrics.trials_failed as f64
+        / (short.metrics.trials_failed + short.metrics.trials_confirmed).max(1) as f64;
+    let long_fail_rate = long.metrics.trials_failed as f64
+        / (long.metrics.trials_failed + long.metrics.trials_confirmed).max(1) as f64;
+    assert!(
+        short_fail_rate > long_fail_rate,
+        "failure rate should shrink with trial length: {short_fail_rate} vs {long_fail_rate}"
+    );
+}

@@ -1,0 +1,152 @@
+//! The assembled per-run network model: one bandwidth class per node plus
+//! the pairwise delay sampler.
+
+use crate::bandwidth::BandwidthClass;
+use crate::latency::DelayModel;
+use ddr_sim::{NodeId, RngFactory, SimDuration};
+use rand::Rng;
+
+/// Immutable network description for a simulation run.
+///
+/// Construction draws every node's bandwidth class from the run's seeded
+/// RNG; afterwards the model is read-only and can be shared by reference
+/// across worker threads in parameter sweeps.
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    classes: Vec<BandwidthClass>,
+    delays: DelayModel,
+}
+
+impl NetworkModel {
+    /// Build a model for `n` nodes with uniformly-sampled classes (the
+    /// paper's setting) and paper-default delays.
+    pub fn paper(n: usize, rngs: &RngFactory) -> Self {
+        let mut rng = rngs.stream("net.classes", 0);
+        let classes = (0..n)
+            .map(|_| BandwidthClass::sample_uniform(&mut rng))
+            .collect();
+        NetworkModel {
+            classes,
+            delays: DelayModel::paper(),
+        }
+    }
+
+    /// Build with explicit classes (tests, scripted scenarios).
+    pub fn with_classes(classes: Vec<BandwidthClass>, delays: DelayModel) -> Self {
+        NetworkModel { classes, delays }
+    }
+
+    /// Build a model where every node has the same class — used by
+    /// ablations to isolate bandwidth heterogeneity.
+    pub fn homogeneous(n: usize, class: BandwidthClass) -> Self {
+        NetworkModel {
+            classes: vec![class; n],
+            delays: DelayModel::paper(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the network is empty.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Bandwidth class of `node`.
+    #[inline]
+    pub fn class(&self, node: NodeId) -> BandwidthClass {
+        self.classes[node.index()]
+    }
+
+    /// The delay model in force.
+    pub fn delay_model(&self) -> &DelayModel {
+        &self.delays
+    }
+
+    /// Sample the one-way delay for a message `from → to`.
+    #[inline]
+    pub fn one_way_delay<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        from: NodeId,
+        to: NodeId,
+    ) -> SimDuration {
+        self.delays.sample(rng, self.class(from), self.class(to))
+    }
+
+    /// Expected (mean) one-way delay for a pair, for analytic baselines.
+    pub fn mean_delay(&self, from: NodeId, to: NodeId) -> SimDuration {
+        self.delays.mean(self.class(from), self.class(to))
+    }
+
+    /// Class census `(modem, cable, lan)` — used by tests and run banners.
+    pub fn census(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for &cls in &self.classes {
+            match cls {
+                BandwidthClass::Modem56K => c.0 += 1,
+                BandwidthClass::Cable => c.1 += 1,
+                BandwidthClass::Lan => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_model_census_roughly_even() {
+        let rngs = RngFactory::new(11);
+        let net = NetworkModel::paper(3_000, &rngs);
+        let (m, c, l) = net.census();
+        assert_eq!(m + c + l, 3_000);
+        for share in [m, c, l] {
+            assert!((850..=1_150).contains(&share), "skewed census: {m}/{c}/{l}");
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let rngs = RngFactory::new(5);
+        let a = NetworkModel::paper(100, &rngs);
+        let b = NetworkModel::paper(100, &rngs);
+        for i in 0..100 {
+            assert_eq!(a.class(NodeId(i)), b.class(NodeId(i)));
+        }
+    }
+
+    #[test]
+    fn homogeneous_model() {
+        let net = NetworkModel::homogeneous(10, BandwidthClass::Lan);
+        assert_eq!(net.census(), (0, 0, 10));
+        assert_eq!(net.mean_delay(NodeId(0), NodeId(1)).as_millis(), 70);
+    }
+
+    #[test]
+    fn delay_is_symmetric_in_expectation() {
+        let net = NetworkModel::with_classes(
+            vec![BandwidthClass::Modem56K, BandwidthClass::Lan],
+            DelayModel::paper(),
+        );
+        assert_eq!(net.mean_delay(NodeId(0), NodeId(1)), net.mean_delay(NodeId(1), NodeId(0)));
+        assert_eq!(net.mean_delay(NodeId(0), NodeId(1)).as_millis(), 300);
+    }
+
+    #[test]
+    fn sampled_delay_within_bounds() {
+        let net = NetworkModel::homogeneous(4, BandwidthClass::Cable);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..5_000 {
+            let d = net.one_way_delay(&mut rng, NodeId(0), NodeId(3)).as_millis();
+            assert!((90..=210).contains(&d));
+        }
+    }
+}

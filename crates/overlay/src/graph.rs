@@ -1,0 +1,138 @@
+//! Bounded-hop graph traversals over the overlay.
+//!
+//! Used by the local-indices search policy (index everything within `r`
+//! hops), by the evaluation ("each query can now reach up to N nodes") and
+//! by tests that cross-check flooding coverage.
+
+use crate::topology::Topology;
+use ddr_sim::{FastHashMap, NodeId};
+use std::collections::VecDeque;
+
+/// BFS from `start` following *outgoing* edges, up to `max_hops`.
+/// Returns `(node, hops)` for every reached node **excluding** `start`,
+/// in discovery order.
+pub fn bfs_within(topology: &Topology, start: NodeId, max_hops: usize) -> Vec<(NodeId, usize)> {
+    let mut visited: FastHashMap<NodeId, usize> = ddr_sim::hash::fast_map();
+    visited.insert(start, 0);
+    let mut queue: VecDeque<(NodeId, usize)> = VecDeque::new();
+    queue.push_back((start, 0));
+    let mut out = Vec::new();
+    while let Some((node, hops)) = queue.pop_front() {
+        if hops == max_hops {
+            continue;
+        }
+        for next in topology.out(node).iter() {
+            if let std::collections::hash_map::Entry::Vacant(e) = visited.entry(next) {
+                e.insert(hops + 1);
+                out.push((next, hops + 1));
+                queue.push_back((next, hops + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Number of distinct nodes reachable from `start` within `max_hops`
+/// (excluding `start` itself).
+pub fn reachable_within(topology: &Topology, start: NodeId, max_hops: usize) -> usize {
+    bfs_within(topology, start, max_hops).len()
+}
+
+/// Upper bound on nodes explored by flooding with degree `d` and `h` hops:
+/// `d + d(d-1) + d(d-1)^2 + …` — the series behind the paper's "only up to
+/// 4 + 4·3 + … nodes are explored during each query" remarks.
+pub fn flood_upper_bound(degree: usize, hops: usize) -> usize {
+    if degree == 0 || hops == 0 {
+        return 0;
+    }
+    let mut total = 0usize;
+    let mut frontier = degree;
+    for level in 0..hops {
+        total = total.saturating_add(frontier);
+        if level + 1 < hops {
+            frontier = frontier.saturating_mul(degree.saturating_sub(1));
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn chain(n: usize) -> Topology {
+        // 0 -> 1 -> 2 -> ... directed chain
+        let mut t = Topology::new(n, crate::RelationKind::Asymmetric, 2, 2);
+        for i in 0..n - 1 {
+            t.add_edge(NodeId(i as u32), NodeId(i as u32 + 1)).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn bfs_respects_hop_limit() {
+        let t = chain(10);
+        let reached = bfs_within(&t, NodeId(0), 3);
+        assert_eq!(
+            reached,
+            vec![(NodeId(1), 1), (NodeId(2), 2), (NodeId(3), 3)]
+        );
+        assert_eq!(reachable_within(&t, NodeId(0), 3), 3);
+    }
+
+    #[test]
+    fn bfs_zero_hops_reaches_nothing() {
+        let t = chain(3);
+        assert!(bfs_within(&t, NodeId(0), 0).is_empty());
+    }
+
+    #[test]
+    fn bfs_handles_cycles() {
+        let mut t = Topology::new(3, crate::RelationKind::Asymmetric, 2, 2);
+        t.add_edge(NodeId(0), NodeId(1)).unwrap();
+        t.add_edge(NodeId(1), NodeId(2)).unwrap();
+        t.add_edge(NodeId(2), NodeId(0)).unwrap();
+        let reached = bfs_within(&t, NodeId(0), 10);
+        assert_eq!(reached.len(), 2, "must terminate and not revisit");
+    }
+
+    #[test]
+    fn bfs_on_symmetric_star() {
+        let mut t = Topology::symmetric(5, 4);
+        for i in 1..5 {
+            t.link_symmetric(NodeId(0), NodeId(i)).unwrap();
+        }
+        assert_eq!(reachable_within(&t, NodeId(0), 1), 4);
+        // leaves see the hub at 1 hop and the other leaves at 2
+        assert_eq!(reachable_within(&t, NodeId(1), 2), 4);
+    }
+
+    #[test]
+    fn flood_bound_matches_paper_arithmetic() {
+        // degree 4: hop1 = 4, hop2 = 4 + 12 = 16, hop4 = 4+12+36+108 = 160
+        assert_eq!(flood_upper_bound(4, 1), 4);
+        assert_eq!(flood_upper_bound(4, 2), 16);
+        assert_eq!(flood_upper_bound(4, 4), 160);
+        assert_eq!(flood_upper_bound(0, 3), 0);
+        assert_eq!(flood_upper_bound(4, 0), 0);
+    }
+
+    #[test]
+    fn random_overlay_coverage_below_flood_bound() {
+        let mut t = Topology::symmetric(500, 4);
+        let members: Vec<NodeId> = (0..500).map(NodeId).collect();
+        let mut rng = SmallRng::seed_from_u64(1);
+        t.populate_random_symmetric(&members, 4, &mut rng);
+        for h in 1..=4 {
+            let bound = flood_upper_bound(4, h) ;
+            for &n in members.iter().take(20) {
+                assert!(
+                    reachable_within(&t, n, h) <= bound.max(4),
+                    "coverage exceeded flood bound at h={h}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! A capacity-bounded, duplicate-free, insertion-ordered neighbor list.
+//!
+//! Degree bounds in the paper are tiny (Gnutella: 4 neighbors), so a flat
+//! `Vec` with linear scans beats any hashed structure; insertion order is
+//! preserved because eviction policies and tie-breaking want stable,
+//! deterministic iteration.
+
+use ddr_sim::NodeId;
+
+/// Error returned by [`NeighborList::add`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddError {
+    /// The node is already present.
+    Duplicate,
+    /// The list is at capacity.
+    Full,
+}
+
+/// A bounded list of neighbor ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborList {
+    nodes: Vec<NodeId>,
+    capacity: usize,
+}
+
+impl NeighborList {
+    /// An empty list with the given capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        NeighborList {
+            nodes: Vec::with_capacity(capacity.min(64)),
+            capacity,
+        }
+    }
+
+    /// An effectively unbounded list (pure-asymmetric incoming lists).
+    pub fn unbounded() -> Self {
+        NeighborList {
+            nodes: Vec::new(),
+            capacity: usize::MAX,
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of neighbors.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether the list is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.nodes.len() >= self.capacity
+    }
+
+    /// Whether `node` is present.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// Add `node`; fails on duplicates and at capacity.
+    pub fn add(&mut self, node: NodeId) -> Result<(), AddError> {
+        if self.contains(node) {
+            return Err(AddError::Duplicate);
+        }
+        if self.is_full() {
+            return Err(AddError::Full);
+        }
+        self.nodes.push(node);
+        Ok(())
+    }
+
+    /// Remove `node`; returns whether it was present. Order of the
+    /// remaining entries is preserved (deterministic iteration matters for
+    /// reproducibility).
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        match self.nodes.iter().position(|&n| n == node) {
+            Some(i) => {
+                self.nodes.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove and return all entries (e.g. when a node logs off).
+    pub fn drain(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut self.nodes)
+    }
+
+    /// Iterate over neighbors in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// The neighbors as a slice (insertion order).
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.nodes
+    }
+}
+
+impl<'a> IntoIterator for &'a NeighborList {
+    type Item = NodeId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, NodeId>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.nodes.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_contains() {
+        let mut l = NeighborList::with_capacity(4);
+        assert!(l.add(NodeId(1)).is_ok());
+        assert!(l.contains(NodeId(1)));
+        assert!(!l.contains(NodeId(2)));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let mut l = NeighborList::with_capacity(4);
+        l.add(NodeId(1)).unwrap();
+        assert_eq!(l.add(NodeId(1)), Err(AddError::Duplicate));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn rejects_beyond_capacity() {
+        let mut l = NeighborList::with_capacity(2);
+        l.add(NodeId(1)).unwrap();
+        l.add(NodeId(2)).unwrap();
+        assert!(l.is_full());
+        assert_eq!(l.add(NodeId(3)), Err(AddError::Full));
+    }
+
+    #[test]
+    fn duplicate_reported_even_when_full() {
+        let mut l = NeighborList::with_capacity(1);
+        l.add(NodeId(1)).unwrap();
+        // duplicate takes precedence over full: the node IS a neighbor
+        assert_eq!(l.add(NodeId(1)), Err(AddError::Duplicate));
+    }
+
+    #[test]
+    fn remove_preserves_order() {
+        let mut l = NeighborList::with_capacity(4);
+        for i in 1..=4 {
+            l.add(NodeId(i)).unwrap();
+        }
+        assert!(l.remove(NodeId(2)));
+        assert!(!l.remove(NodeId(2)));
+        let rest: Vec<_> = l.iter().collect();
+        assert_eq!(rest, vec![NodeId(1), NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut l = NeighborList::with_capacity(3);
+        l.add(NodeId(5)).unwrap();
+        l.add(NodeId(6)).unwrap();
+        let out = l.drain();
+        assert_eq!(out, vec![NodeId(5), NodeId(6)]);
+        assert!(l.is_empty());
+        assert!(!l.is_full());
+    }
+
+    #[test]
+    fn unbounded_never_full() {
+        let mut l = NeighborList::unbounded();
+        for i in 0..10_000 {
+            l.add(NodeId(i)).unwrap();
+        }
+        assert!(!l.is_full());
+        assert_eq!(l.len(), 10_000);
+    }
+}

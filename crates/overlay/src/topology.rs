@@ -1,0 +1,456 @@
+//! The overlay topology: per-node outgoing/incoming lists plus mutation
+//! helpers that preserve the consistency invariant of paper §3.1.
+
+use crate::neighbors::{AddError, NeighborList};
+use crate::relation::RelationKind;
+use ddr_sim::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A violation of `u ∈ out(v) ⇒ v ∈ in(u)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConsistencyError {
+    /// The node whose outgoing list references `target`.
+    pub source: NodeId,
+    /// The node missing the reciprocal incoming entry.
+    pub target: NodeId,
+}
+
+/// Per-node link state.
+#[derive(Debug, Clone)]
+struct Links {
+    out: NeighborList,
+    inc: NeighborList,
+}
+
+/// The whole overlay.
+///
+/// ```
+/// use ddr_overlay::Topology;
+/// use ddr_sim::NodeId;
+///
+/// let mut t = Topology::symmetric(4, 2);
+/// t.link_symmetric(NodeId(0), NodeId(1)).unwrap();
+/// assert!(t.out(NodeId(1)).contains(NodeId(0)), "symmetric links are mutual");
+/// assert!(t.check_consistency().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: Vec<Links>,
+    relation: RelationKind,
+}
+
+impl Topology {
+    /// An edgeless overlay of `n` nodes with the given per-list capacities.
+    /// For [`RelationKind::PureAsymmetric`], `in_capacity` is ignored and
+    /// incoming lists are unbounded.
+    pub fn new(n: usize, relation: RelationKind, out_capacity: usize, in_capacity: usize) -> Self {
+        let nodes = (0..n)
+            .map(|_| Links {
+                out: NeighborList::with_capacity(out_capacity),
+                inc: if relation == RelationKind::PureAsymmetric {
+                    NeighborList::unbounded()
+                } else {
+                    NeighborList::with_capacity(in_capacity)
+                },
+            })
+            .collect();
+        Topology { nodes, relation }
+    }
+
+    /// A symmetric overlay (Gnutella-style) with equal out/in capacity.
+    pub fn symmetric(n: usize, degree: usize) -> Self {
+        Topology::new(n, RelationKind::Symmetric, degree, degree)
+    }
+
+    /// The all-to-all regime (§3.1's first case): every node's outgoing
+    /// and incoming lists contain all other repositories. "In order to
+    /// avoid unnecessary resource consumption, this category is applicable
+    /// only for small values of N" — the quadratic link count is the
+    /// caller's responsibility.
+    pub fn all_to_all(n: usize) -> Self {
+        let mut t = Topology::new(n, RelationKind::AllToAll, n.saturating_sub(1), n.saturating_sub(1));
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    let nb = NodeId::from_index(b);
+                    t.nodes[a].out.add(nb).expect("capacity n-1");
+                    t.nodes[a].inc.add(nb).expect("capacity n-1");
+                }
+            }
+        }
+        t
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the overlay has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The relation regime.
+    pub fn relation(&self) -> RelationKind {
+        self.relation
+    }
+
+    /// Outgoing neighbors of `node`.
+    #[inline]
+    pub fn out(&self, node: NodeId) -> &NeighborList {
+        &self.nodes[node.index()].out
+    }
+
+    /// Incoming neighbors of `node`.
+    #[inline]
+    pub fn inc(&self, node: NodeId) -> &NeighborList {
+        &self.nodes[node.index()].inc
+    }
+
+    /// Add a directed edge `from → to` (to joins from's outgoing list, from
+    /// joins to's incoming list). Keeps the invariant by rolling back when
+    /// the second half fails.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), AddError> {
+        assert_ne!(from, to, "self-loops are not meaningful in the overlay");
+        self.nodes[from.index()].out.add(to)?;
+        if let Err(e) = self.nodes[to.index()].inc.add(from) {
+            self.nodes[from.index()].out.remove(to);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Remove the directed edge `from → to`; returns whether it existed.
+    pub fn remove_edge(&mut self, from: NodeId, to: NodeId) -> bool {
+        let had = self.nodes[from.index()].out.remove(to);
+        if had {
+            let reciprocal = self.nodes[to.index()].inc.remove(from);
+            debug_assert!(reciprocal, "inconsistent edge {from}->{to}");
+        }
+        had
+    }
+
+    /// Create a symmetric link `a ↔ b` (both out lists and both in lists).
+    /// All four insertions succeed or none do.
+    pub fn link_symmetric(&mut self, a: NodeId, b: NodeId) -> Result<(), AddError> {
+        assert_ne!(a, b);
+        // Check all four capacities up front so rollback is never partial.
+        if self.nodes[a.index()].out.contains(b) {
+            return Err(AddError::Duplicate);
+        }
+        if self.nodes[a.index()].out.is_full()
+            || self.nodes[a.index()].inc.is_full()
+            || self.nodes[b.index()].out.is_full()
+            || self.nodes[b.index()].inc.is_full()
+        {
+            return Err(AddError::Full);
+        }
+        self.nodes[a.index()].out.add(b).expect("precondition checked");
+        self.nodes[a.index()].inc.add(b).expect("precondition checked");
+        self.nodes[b.index()].out.add(a).expect("precondition checked");
+        self.nodes[b.index()].inc.add(a).expect("precondition checked");
+        Ok(())
+    }
+
+    /// Tear down a symmetric link `a ↔ b`; returns whether it existed.
+    pub fn unlink_symmetric(&mut self, a: NodeId, b: NodeId) -> bool {
+        let had = self.nodes[a.index()].out.remove(b);
+        if had {
+            self.nodes[a.index()].inc.remove(b);
+            self.nodes[b.index()].out.remove(a);
+            self.nodes[b.index()].inc.remove(a);
+        }
+        had
+    }
+
+    /// Symmetric neighbor degree of `node` (out-list length).
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].out.len()
+    }
+
+    /// Remove every link touching `node` (log-off). Returns the former
+    /// symmetric neighbors (out-list) so callers can notify them.
+    pub fn isolate(&mut self, node: NodeId) -> Vec<NodeId> {
+        let out = self.nodes[node.index()].out.drain();
+        for &n in &out {
+            self.nodes[n.index()].inc.remove(node);
+            if self.relation.is_symmetric() {
+                self.nodes[n.index()].out.remove(node);
+            }
+        }
+        let inc = self.nodes[node.index()].inc.drain();
+        for &n in &inc {
+            self.nodes[n.index()].out.remove(node);
+            if self.relation.is_symmetric() {
+                self.nodes[n.index()].inc.remove(node);
+            }
+        }
+        out
+    }
+
+    /// Verify the consistency invariant across the whole overlay, plus the
+    /// `out == in` condition for symmetric regimes. Returns every violation.
+    pub fn check_consistency(&self) -> Vec<ConsistencyError> {
+        let mut errors = Vec::new();
+        for (i, links) in self.nodes.iter().enumerate() {
+            let v = NodeId::from_index(i);
+            for u in links.out.iter() {
+                if !self.nodes[u.index()].inc.contains(v) {
+                    errors.push(ConsistencyError { source: v, target: u });
+                }
+            }
+            if self.relation.is_symmetric() {
+                for u in links.out.iter() {
+                    if !links.inc.contains(u) {
+                        errors.push(ConsistencyError { source: v, target: u });
+                    }
+                }
+                if links.out.len() != links.inc.len() {
+                    errors.push(ConsistencyError { source: v, target: v });
+                }
+            }
+        }
+        errors
+    }
+
+    /// Bootstrap a random symmetric overlay among `members`, giving each up
+    /// to `degree` links — the paper's initial Gnutella configuration
+    /// ("both the initial configuration and the changes are purely
+    /// random"). Nodes outside `members` stay isolated.
+    pub fn populate_random_symmetric<R: Rng + ?Sized>(
+        &mut self,
+        members: &[NodeId],
+        degree: usize,
+        rng: &mut R,
+    ) {
+        // Repeated random-pairing passes: shuffle, then link consecutive
+        // under-full pairs. A few passes fill almost everyone; stragglers
+        // (odd counts, unlucky shuffles) stay under-full exactly like real
+        // bootstrap nodes waiting for contacts.
+        let mut candidates: Vec<NodeId> = members.to_vec();
+        for _pass in 0..degree * 4 {
+            candidates.retain(|&n| self.degree(n) < degree);
+            if candidates.len() < 2 {
+                break;
+            }
+            candidates.shuffle(rng);
+            for pair in candidates.chunks(2) {
+                if let [a, b] = *pair {
+                    let _ = self.link_symmetric(a, b);
+                }
+            }
+        }
+    }
+
+    /// Join `node` to a symmetric overlay by linking to random online
+    /// members with free slots (Gnutella login: "retrieves a number of
+    /// addresses of other nodes that are currently online" and picks
+    /// neighbors among them).
+    ///
+    /// `node_target` caps how many links `node` ends up with (callers may
+    /// reserve slots for in-flight invitations); `peer_degree` is the
+    /// network-wide degree bound candidates must respect.
+    pub fn join_random_symmetric<R: Rng + ?Sized>(
+        &mut self,
+        node: NodeId,
+        online: &[NodeId],
+        node_target: usize,
+        peer_degree: usize,
+        rng: &mut R,
+    ) -> usize {
+        let mut linked = 0;
+        if self.degree(node) >= node_target {
+            return 0;
+        }
+        let mut order: Vec<NodeId> = online
+            .iter()
+            .copied()
+            .filter(|&n| n != node && !self.out(node).contains(n))
+            .collect();
+        order.shuffle(rng);
+        for cand in order {
+            if self.degree(node) >= node_target {
+                break;
+            }
+            if self.degree(cand) < peer_degree && self.link_symmetric(node, cand).is_ok() {
+                linked += 1;
+            }
+        }
+        linked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn directed_edges_maintain_consistency() {
+        let mut t = Topology::new(4, RelationKind::Asymmetric, 2, 2);
+        t.add_edge(NodeId(0), NodeId(1)).unwrap();
+        t.add_edge(NodeId(0), NodeId(2)).unwrap();
+        assert!(t.out(NodeId(0)).contains(NodeId(1)));
+        assert!(t.inc(NodeId(1)).contains(NodeId(0)));
+        assert!(t.check_consistency().is_empty());
+        assert!(t.remove_edge(NodeId(0), NodeId(1)));
+        assert!(!t.inc(NodeId(1)).contains(NodeId(0)));
+        assert!(t.check_consistency().is_empty());
+    }
+
+    #[test]
+    fn add_edge_rolls_back_when_target_full() {
+        let mut t = Topology::new(4, RelationKind::Asymmetric, 3, 1);
+        t.add_edge(NodeId(1), NodeId(0)).unwrap();
+        // node 0's incoming list is now full
+        assert_eq!(t.add_edge(NodeId(2), NodeId(0)), Err(AddError::Full));
+        assert!(!t.out(NodeId(2)).contains(NodeId(0)), "rollback failed");
+        assert!(t.check_consistency().is_empty());
+    }
+
+    #[test]
+    fn pure_asymmetric_incoming_never_fills() {
+        let mut t = Topology::new(10, RelationKind::PureAsymmetric, 2, 0);
+        for i in 1..10 {
+            t.add_edge(NodeId(i), NodeId(0)).unwrap();
+        }
+        assert_eq!(t.inc(NodeId(0)).len(), 9);
+        assert!(t.check_consistency().is_empty());
+    }
+
+    #[test]
+    fn symmetric_link_is_mutual() {
+        let mut t = Topology::symmetric(4, 4);
+        t.link_symmetric(NodeId(0), NodeId(1)).unwrap();
+        for (a, b) in [(NodeId(0), NodeId(1)), (NodeId(1), NodeId(0))] {
+            assert!(t.out(a).contains(b));
+            assert!(t.inc(a).contains(b));
+        }
+        assert!(t.check_consistency().is_empty());
+        assert!(t.unlink_symmetric(NodeId(1), NodeId(0)));
+        assert_eq!(t.degree(NodeId(0)), 0);
+        assert_eq!(t.degree(NodeId(1)), 0);
+        assert!(t.check_consistency().is_empty());
+    }
+
+    #[test]
+    fn symmetric_link_respects_capacity_atomically() {
+        let mut t = Topology::symmetric(4, 1);
+        t.link_symmetric(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(t.link_symmetric(NodeId(0), NodeId(2)), Err(AddError::Full));
+        assert_eq!(t.link_symmetric(NodeId(2), NodeId(0)), Err(AddError::Full));
+        assert_eq!(t.degree(NodeId(2)), 0);
+        assert!(t.check_consistency().is_empty());
+    }
+
+    #[test]
+    fn duplicate_symmetric_link_rejected() {
+        let mut t = Topology::symmetric(4, 4);
+        t.link_symmetric(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(t.link_symmetric(NodeId(0), NodeId(1)), Err(AddError::Duplicate));
+    }
+
+    #[test]
+    fn isolate_cleans_both_directions() {
+        let mut t = Topology::symmetric(5, 4);
+        t.link_symmetric(NodeId(0), NodeId(1)).unwrap();
+        t.link_symmetric(NodeId(0), NodeId(2)).unwrap();
+        t.link_symmetric(NodeId(3), NodeId(0)).unwrap();
+        let former = t.isolate(NodeId(0));
+        assert_eq!(former.len(), 3);
+        assert_eq!(t.degree(NodeId(0)), 0);
+        for n in [NodeId(1), NodeId(2), NodeId(3)] {
+            assert!(!t.out(n).contains(NodeId(0)));
+            assert!(!t.inc(n).contains(NodeId(0)));
+        }
+        assert!(t.check_consistency().is_empty());
+    }
+
+    #[test]
+    fn detects_manufactured_inconsistency() {
+        let mut t = Topology::new(3, RelationKind::Asymmetric, 2, 2);
+        t.add_edge(NodeId(0), NodeId(1)).unwrap();
+        // Sabotage: remove the incoming half directly.
+        t.nodes[1].inc.remove(NodeId(0));
+        let errs = t.check_consistency();
+        assert_eq!(errs, vec![ConsistencyError { source: NodeId(0), target: NodeId(1) }]);
+    }
+
+    #[test]
+    fn random_bootstrap_fills_most_slots() {
+        let mut t = Topology::symmetric(100, 4);
+        let members: Vec<NodeId> = (0..100).map(NodeId).collect();
+        let mut rng = SmallRng::seed_from_u64(9);
+        t.populate_random_symmetric(&members, 4, &mut rng);
+        assert!(t.check_consistency().is_empty());
+        let mean_degree: f64 =
+            members.iter().map(|&n| t.degree(n)).sum::<usize>() as f64 / 100.0;
+        assert!(mean_degree > 3.0, "mean degree {mean_degree}");
+        assert!(members.iter().all(|&n| t.degree(n) <= 4));
+    }
+
+    #[test]
+    fn join_links_up_to_degree() {
+        let mut t = Topology::symmetric(50, 4);
+        let online: Vec<NodeId> = (1..50).map(NodeId).collect();
+        let mut rng = SmallRng::seed_from_u64(3);
+        t.populate_random_symmetric(&online, 4, &mut rng);
+        // Free one slot somewhere so the joiner can connect even if full.
+        let linked = t.join_random_symmetric(NodeId(0), &online, 4, 4, &mut rng);
+        assert!(linked <= 4);
+        assert_eq!(t.degree(NodeId(0)), linked);
+        assert!(t.check_consistency().is_empty());
+    }
+
+    #[test]
+    fn join_respects_reduced_target() {
+        let mut t = Topology::symmetric(10, 4);
+        let online: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let mut rng = SmallRng::seed_from_u64(4);
+        // reserve 2 slots: only 2 links may form even though degree is 4
+        let linked = t.join_random_symmetric(NodeId(0), &online, 2, 4, &mut rng);
+        assert_eq!(linked, 2);
+        assert_eq!(t.degree(NodeId(0)), 2);
+        // target already met → no-op
+        assert_eq!(t.join_random_symmetric(NodeId(0), &online, 2, 4, &mut rng), 0);
+    }
+
+    #[test]
+    fn all_to_all_is_complete_and_consistent() {
+        let t = Topology::all_to_all(6);
+        assert_eq!(t.relation(), RelationKind::AllToAll);
+        assert!(t.check_consistency().is_empty());
+        for a in 0..6u32 {
+            assert_eq!(t.degree(NodeId(a)), 5);
+            assert_eq!(t.inc(NodeId(a)).len(), 5);
+            for b in 0..6u32 {
+                if a != b {
+                    assert!(t.out(NodeId(a)).contains(NodeId(b)));
+                    assert!(t.inc(NodeId(a)).contains(NodeId(b)));
+                }
+            }
+        }
+        // one-hop flooding reaches everyone
+        assert_eq!(crate::reachable_within(&t, NodeId(0), 1), 5);
+    }
+
+    #[test]
+    fn all_to_all_degenerate_sizes() {
+        let t = Topology::all_to_all(1);
+        assert_eq!(t.degree(NodeId(0)), 0);
+        assert!(t.check_consistency().is_empty());
+        let t = Topology::all_to_all(2);
+        assert!(t.out(NodeId(0)).contains(NodeId(1)));
+        assert!(t.out(NodeId(1)).contains(NodeId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut t = Topology::symmetric(2, 4);
+        let _ = t.add_edge(NodeId(0), NodeId(0));
+    }
+}

@@ -1,0 +1,177 @@
+//! Configuration of the PeerOlap-style scenario.
+
+use ddr_sim::SimDuration;
+
+/// Static random neighborhoods vs framework-managed reconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OlapMode {
+    /// Fixed random outgoing neighbors.
+    Static,
+    /// Asymmetric neighbor updates driven by the processing-time benefit.
+    Dynamic,
+}
+
+impl OlapMode {
+    /// Label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            OlapMode::Static => "Static_PeerOlap",
+            OlapMode::Dynamic => "Dynamic_PeerOlap",
+        }
+    }
+}
+
+/// All knobs of the PeerOlap simulation.
+#[derive(Debug, Clone)]
+pub struct PeerOlapConfig {
+    /// Number of peers.
+    pub peers: usize,
+    /// Workload groups (peers in a group analyse the same cube region).
+    pub groups: usize,
+    /// Chunks per group region of the cube.
+    pub chunks_per_region: u32,
+    /// Probability a query targets the peer's own region.
+    pub region_affinity: f64,
+    /// Zipf exponent of chunk popularity within a region.
+    pub theta: f64,
+    /// Maximum chunks requested by one query (uniform 1..=max).
+    pub max_query_chunks: usize,
+    /// Chunk-cache capacity per peer.
+    pub cache_capacity: usize,
+    /// Outgoing-neighbor capacity.
+    pub out_degree: usize,
+    /// Incoming-list capacity (the bounded-asymmetric constraint; must be
+    /// ≥ out_degree for the network to be satisfiable on average).
+    pub in_capacity: usize,
+    /// Chunk-request hop limit (PeerOlap searches a small neighborhood;
+    /// the warehouse is the fallback).
+    pub max_hops: u8,
+    /// Mean inter-query time per peer.
+    pub mean_query_interval: SimDuration,
+    /// One-way delay to another peer.
+    pub peer_delay: SimDuration,
+    /// One-way delay to the warehouse.
+    pub warehouse_delay: SimDuration,
+    /// How long the P2P phase collects chunk replies before the warehouse
+    /// fills the gaps.
+    pub p2p_timeout: SimDuration,
+    /// Queries between neighbor updates (dynamic mode).
+    pub update_threshold: u32,
+    /// Mean session length before a peer leaves (exponential); `None`
+    /// disables churn. A departing peer keeps its cache (it is a
+    /// long-running analyst workstation, not a restarting daemon) but
+    /// all links touching it are torn down.
+    pub mean_session: Option<SimDuration>,
+    /// Mean absence before the peer returns (exponential).
+    pub mean_absence: SimDuration,
+    /// Simulated horizon.
+    pub sim_hours: u64,
+    /// Warm-up hours excluded from metrics.
+    pub warmup_hours: u64,
+    /// Root seed.
+    pub seed: u64,
+    /// Mode under test.
+    pub mode: OlapMode,
+}
+
+impl PeerOlapConfig {
+    /// Default scenario: 48 peers in 6 workload groups over a cube of
+    /// 6 × 8 192 chunks; caches hold a quarter of a region.
+    pub fn default_scenario(mode: OlapMode) -> Self {
+        PeerOlapConfig {
+            peers: 48,
+            groups: 6,
+            chunks_per_region: 8_192,
+            region_affinity: 0.7,
+            theta: 0.9,
+            max_query_chunks: 16,
+            cache_capacity: 2_048,
+            out_degree: 3,
+            in_capacity: 6,
+            max_hops: 2,
+            mean_query_interval: SimDuration::from_millis(4_000),
+            peer_delay: SimDuration::from_millis(40),
+            warehouse_delay: SimDuration::from_millis(150),
+            p2p_timeout: SimDuration::from_millis(500),
+            update_threshold: 40,
+            mean_session: None,
+            mean_absence: SimDuration::from_mins(15),
+            sim_hours: 8,
+            warmup_hours: 1,
+            seed: 0x01AF,
+            mode,
+        }
+    }
+
+    /// Total chunks in the cube.
+    pub fn total_chunks(&self) -> u32 {
+        self.groups as u32 * self.chunks_per_region
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.peers == 0 || self.groups == 0 || self.peers < self.groups {
+            return Err("need at least one peer per group".into());
+        }
+        if self.out_degree == 0 || self.out_degree >= self.peers {
+            return Err("out_degree out of range".into());
+        }
+        if self.in_capacity < self.out_degree {
+            return Err(format!(
+                "in_capacity ({}) below out_degree ({}): the network cannot be consistent on average",
+                self.in_capacity, self.out_degree
+            ));
+        }
+        if self.max_query_chunks == 0 {
+            return Err("queries must request at least one chunk".into());
+        }
+        if self.max_hops == 0 {
+            return Err("max_hops must be >= 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.region_affinity) {
+            return Err("region_affinity out of [0,1]".into());
+        }
+        if self.warmup_hours >= self.sim_hours {
+            return Err("warmup must precede the horizon".into());
+        }
+        if self.chunks_per_region == 0 {
+            return Err("regions must be non-empty".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        for mode in [OlapMode::Static, OlapMode::Dynamic] {
+            let c = PeerOlapConfig::default_scenario(mode);
+            assert!(c.validate().is_ok());
+            assert_eq!(c.total_chunks(), 6 * 8_192);
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(OlapMode::Static.label(), "Static_PeerOlap");
+        assert_eq!(OlapMode::Dynamic.label(), "Dynamic_PeerOlap");
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut c = PeerOlapConfig::default_scenario(OlapMode::Static);
+        c.in_capacity = 1;
+        assert!(c.validate().is_err(), "in_capacity < out_degree must fail");
+
+        let mut c = PeerOlapConfig::default_scenario(OlapMode::Static);
+        c.max_query_chunks = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = PeerOlapConfig::default_scenario(OlapMode::Static);
+        c.groups = 100;
+        assert!(c.validate().is_err());
+    }
+}

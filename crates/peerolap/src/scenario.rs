@@ -1,0 +1,192 @@
+//! Running a PeerOlap scenario end to end.
+
+use crate::config::PeerOlapConfig;
+use crate::world::{OlapEvent, PeerOlapWorld};
+use ddr_sim::{EventQueue, Simulation, SimTime};
+
+/// Report of one run.
+#[derive(Debug, Clone)]
+pub struct PeerOlapReport {
+    /// Mode label.
+    pub label: &'static str,
+    /// Collected metrics.
+    pub metrics: crate::world::OlapMetrics,
+    /// Measurement window.
+    pub from_hour: u64,
+    /// Horizon (exclusive).
+    pub to_hour: u64,
+    /// Same-group edge fraction at the end of the run.
+    pub same_group_fraction: f64,
+}
+
+impl PeerOlapReport {
+    fn window(&self, s: &ddr_stats::BucketSeries) -> f64 {
+        s.window_sum(self.from_hour as usize, self.to_hour as usize)
+    }
+
+    /// Total chunks requested in the window (all sources).
+    pub fn total_chunks(&self) -> f64 {
+        self.window(&self.metrics.chunks_local)
+            + self.window(&self.metrics.chunks_peer)
+            + self.window(&self.metrics.chunks_warehouse)
+    }
+
+    /// Share of chunks served by peers — the cooperation dividend.
+    pub fn peer_share(&self) -> f64 {
+        self.window(&self.metrics.chunks_peer) / self.total_chunks().max(1.0)
+    }
+
+    /// Share of chunks the warehouse had to compute (lower is better).
+    pub fn warehouse_share(&self) -> f64 {
+        self.window(&self.metrics.chunks_warehouse) / self.total_chunks().max(1.0)
+    }
+
+    /// Warehouse processing milliseconds consumed in the window.
+    pub fn warehouse_ms(&self) -> f64 {
+        self.window(&self.metrics.warehouse_ms)
+    }
+
+    /// Mean end-to-end query latency in ms.
+    pub fn mean_latency_ms(&self) -> f64 {
+        self.metrics.latency_ms.mean()
+    }
+}
+
+/// Run one scenario; deterministic in `(config, seed)`.
+pub fn run_peerolap(config: PeerOlapConfig) -> PeerOlapReport {
+    let label = config.mode.label();
+    let from_hour = config.warmup_hours;
+    let to_hour = config.sim_hours;
+    let horizon = SimTime::from_hours(config.sim_hours);
+
+    let mut world = PeerOlapWorld::new(config);
+    let mut queue: EventQueue<OlapEvent> = EventQueue::new();
+    world.prime(&mut queue);
+    let mut sim = Simulation::new(world);
+    while let Some((t, ev)) = queue.pop() {
+        sim.schedule_at(t, ev);
+    }
+    sim.run(horizon);
+    let world = sim.into_world();
+    PeerOlapReport {
+        label,
+        same_group_fraction: world.same_group_edge_fraction(),
+        metrics: world.metrics.clone(),
+        from_hour,
+        to_hour,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{OlapMode, PeerOlapConfig};
+    use ddr_sim::SimDuration;
+
+    fn small(mode: OlapMode) -> PeerOlapConfig {
+        let mut c = PeerOlapConfig::default_scenario(mode);
+        c.peers = 24;
+        c.groups = 4;
+        c.chunks_per_region = 2_048;
+        c.cache_capacity = 512;
+        c.sim_hours = 5;
+        c.warmup_hours = 1;
+        c.mean_query_interval = SimDuration::from_millis(2_000);
+        c.seed = 4;
+        c
+    }
+
+    #[test]
+    fn chunk_accounting_balances() {
+        let r = run_peerolap(small(OlapMode::Static));
+        assert!(r.total_chunks() > 0.0);
+        let shares = r.peer_share() + r.warehouse_share();
+        assert!((0.0..=1.0).contains(&shares));
+        assert!(r.metrics.queries.total() > 0.0);
+        assert!(r.mean_latency_ms() > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_peerolap(small(OlapMode::Dynamic));
+        let b = run_peerolap(small(OlapMode::Dynamic));
+        assert_eq!(a.total_chunks(), b.total_chunks());
+        assert_eq!(a.peer_share(), b.peer_share());
+        assert_eq!(a.mean_latency_ms(), b.mean_latency_ms());
+        assert_eq!(a.metrics.updates, b.metrics.updates);
+        assert_eq!(a.metrics.adds_refused, b.metrics.adds_refused);
+    }
+
+    #[test]
+    fn dynamic_raises_peer_share_and_cuts_warehouse_load() {
+        let s = run_peerolap(small(OlapMode::Static));
+        let d = run_peerolap(small(OlapMode::Dynamic));
+        assert!(
+            d.peer_share() > s.peer_share(),
+            "peer share: dynamic {} <= static {}",
+            d.peer_share(),
+            s.peer_share()
+        );
+        assert!(
+            d.warehouse_ms() < s.warehouse_ms(),
+            "warehouse load: dynamic {} >= static {}",
+            d.warehouse_ms(),
+            s.warehouse_ms()
+        );
+        assert!(
+            d.mean_latency_ms() < s.mean_latency_ms(),
+            "latency: dynamic {} >= static {}",
+            d.mean_latency_ms(),
+            s.mean_latency_ms()
+        );
+    }
+
+    #[test]
+    fn dynamic_clusters_same_group_peers() {
+        let s = run_peerolap(small(OlapMode::Static));
+        let d = run_peerolap(small(OlapMode::Dynamic));
+        assert!(
+            d.same_group_fraction > s.same_group_fraction,
+            "no clustering: {} vs {}",
+            d.same_group_fraction,
+            s.same_group_fraction
+        );
+    }
+
+    #[test]
+    fn bounded_incoming_lists_hold_and_refusals_happen() {
+        let cfg = small(OlapMode::Dynamic);
+        let in_capacity = cfg.in_capacity;
+        let peers = cfg.peers;
+        let mut world = crate::world::PeerOlapWorld::new(cfg);
+        let mut queue = ddr_sim::EventQueue::new();
+        world.prime(&mut queue);
+        let mut sim = ddr_sim::Simulation::new(world);
+        while let Some((t, ev)) = queue.pop() {
+            sim.schedule_at(t, ev);
+        }
+        sim.run(ddr_sim::SimTime::from_hours(3));
+        let world = sim.world();
+        assert!(world.topology().check_consistency().is_empty());
+        for p in 0..peers {
+            let n = ddr_sim::NodeId::from_index(p);
+            assert!(
+                world.topology().inc(n).len() <= in_capacity,
+                "incoming capacity violated at {n}"
+            );
+        }
+        // With in_capacity only 2× out_degree and clustering pressure,
+        // contention must appear.
+        assert!(
+            world.metrics.adds_refused > 0,
+            "bounded incoming lists never refused an adoption"
+        );
+    }
+
+    #[test]
+    fn static_never_updates() {
+        let r = run_peerolap(small(OlapMode::Static));
+        assert_eq!(r.metrics.updates, 0);
+        assert_eq!(r.metrics.edges_changed, 0);
+    }
+}

@@ -1,0 +1,604 @@
+//! The PeerOlap simulation world.
+//!
+//! Query flow:
+//!
+//! 1. local chunks come from the peer's own cache;
+//! 2. missing chunks are requested from the outgoing neighbors; each
+//!    request forwards up to `max_hops`, carrying only the chunks still
+//!    missing at the forwarder (the narrowing heuristic), and every peer
+//!    replies directly to the initiator with the subset it caches;
+//! 3. when the P2P collection window closes, the warehouse computes
+//!    whatever is still missing (paying per-chunk processing time), and
+//!    the query completes.
+//!
+//! Dynamic mode scores every serving peer by the **processing time it
+//! saved** and periodically re-selects outgoing neighbors (Algo 3). The
+//! bounded incoming lists make adoption contested: `add_edge` fails when
+//! the target's incoming list is full, and the updater simply moves on to
+//! the next candidate — §3.1's general asymmetric case.
+
+use crate::config::{OlapMode, PeerOlapConfig};
+use crate::cube::{chunk_processing_ms, CubeSpace, OlapQueryStream};
+use ddr_core::stats_store::ReplyObservation;
+use ddr_core::{plan_asymmetric_update, CumulativeBenefit, DupCache, StatsStore};
+use ddr_overlay::{RelationKind, Topology};
+use ddr_sim::{FastHashMap, ItemId, NodeId, QueryId, RngFactory, Scheduler, SimDuration, SimTime, World};
+use ddr_stats::{BucketSeries, RunningStats};
+use ddr_webcache::LruCache;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Events of the PeerOlap simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OlapEvent {
+    /// `peer` issues its next query.
+    IssueQuery { peer: NodeId },
+    /// A chunk request arrives at `to`.
+    ChunkRequest {
+        to: NodeId,
+        from: NodeId,
+        origin: NodeId,
+        query: QueryId,
+        ttl: u8,
+        chunks: Vec<ItemId>,
+    },
+    /// A (partial) chunk reply reaches the initiator.
+    ChunkReply {
+        to: NodeId,
+        from: NodeId,
+        query: QueryId,
+        chunks: Vec<ItemId>,
+    },
+    /// The P2P collection window for `query` closed.
+    P2pPhaseEnd { peer: NodeId, query: QueryId },
+    /// The query (including any warehouse work) finished; chunks enter
+    /// the local cache.
+    QueryComplete { peer: NodeId, query: QueryId },
+    /// `peer` flips between present and absent (churn mode only).
+    PeerToggle { peer: NodeId },
+}
+
+/// An in-flight query at its initiator.
+#[derive(Debug)]
+struct PendingOlap {
+    issued_at: SimTime,
+    /// Chunks still missing after the local cache.
+    wanted: Vec<ItemId>,
+    /// Chunk → first peer that supplied it.
+    acquired: FastHashMap<ItemId, NodeId>,
+    /// Arrival time of the last useful reply.
+    last_reply_at: SimTime,
+}
+
+/// Per-peer state.
+struct OlapPeer {
+    cache: LruCache,
+    stream: OlapQueryStream,
+    stats: StatsStore,
+    seen: DupCache,
+    pending: FastHashMap<QueryId, PendingOlap>,
+    queries_since_update: u32,
+}
+
+/// Aggregated metrics.
+#[derive(Debug, Clone, Default)]
+pub struct OlapMetrics {
+    /// Queries issued per hour.
+    pub queries: BucketSeries,
+    /// Chunks served from the local cache per hour.
+    pub chunks_local: BucketSeries,
+    /// Chunks served by peers per hour.
+    pub chunks_peer: BucketSeries,
+    /// Chunks computed by the warehouse per hour.
+    pub chunks_warehouse: BucketSeries,
+    /// Chunk-request messages per hour.
+    pub messages: BucketSeries,
+    /// End-to-end query latency in ms (post-warm-up).
+    pub latency_ms: RunningStats,
+    /// Warehouse processing time consumed, in ms, per hour.
+    pub warehouse_ms: BucketSeries,
+    /// Neighbor updates executed.
+    pub updates: u64,
+    /// Outgoing-edge adoptions refused because the target's incoming
+    /// list was full (the bounded-asymmetric contention signal).
+    pub adds_refused: u64,
+    /// Edges changed by updates.
+    pub edges_changed: u64,
+    /// Peer departures (churn mode only).
+    pub departures: u64,
+}
+
+/// The complete world.
+pub struct PeerOlapWorld {
+    config: PeerOlapConfig,
+    space: CubeSpace,
+    topology: Topology,
+    peers: Vec<OlapPeer>,
+    /// Whether each peer is currently present (always true without churn).
+    present: Vec<bool>,
+    rng: SmallRng,
+    next_query: u64,
+    /// Metrics, public for reports and tests.
+    pub metrics: OlapMetrics,
+}
+
+impl PeerOlapWorld {
+    /// Build the initial world with random outgoing neighborhoods.
+    pub fn new(config: PeerOlapConfig) -> Self {
+        config.validate().expect("invalid PeerOlap config");
+        let rngs = RngFactory::new(config.seed);
+        let space = CubeSpace::new(&config);
+        let mut topology = Topology::new(
+            config.peers,
+            RelationKind::Asymmetric,
+            config.out_degree,
+            config.in_capacity,
+        );
+        let mut rng = rngs.stream("peerolap.world", 0);
+        for p in 0..config.peers {
+            let me = NodeId::from_index(p);
+            let mut guard = 0;
+            while topology.out(me).len() < config.out_degree && guard < 100 * config.peers {
+                let q = NodeId::from_index(rng.gen_range(0..config.peers));
+                if q != me {
+                    let _ = topology.add_edge(me, q);
+                }
+                guard += 1;
+            }
+        }
+
+        let peers = (0..config.peers)
+            .map(|p| OlapPeer {
+                cache: LruCache::new(config.cache_capacity),
+                stream: OlapQueryStream::new(&config, &rngs, p),
+                stats: StatsStore::new(),
+                seen: DupCache::new(1_024),
+                pending: ddr_sim::hash::fast_map(),
+                queries_since_update: 0,
+            })
+            .collect();
+
+        let present = vec![true; config.peers];
+        PeerOlapWorld {
+            config,
+            space,
+            topology,
+            peers,
+            present,
+            rng,
+            next_query: 0,
+            metrics: OlapMetrics::default(),
+        }
+    }
+
+    /// Whether `peer` is currently present.
+    pub fn is_present(&self, peer: NodeId) -> bool {
+        self.present[peer.index()]
+    }
+
+    fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        let u: f64 = 1.0 - self.rng.gen::<f64>();
+        SimDuration::from_millis(((-(mean.as_millis() as f64)) * u.ln()).max(1.0) as u64)
+    }
+
+    /// Seed every peer's first query (and churn chains when enabled).
+    pub fn prime(&mut self, queue: &mut ddr_sim::EventQueue<OlapEvent>) {
+        for p in 0..self.peers.len() {
+            let d = self.peers[p].stream.next_interval();
+            queue.schedule_in(
+                d,
+                OlapEvent::IssueQuery {
+                    peer: NodeId::from_index(p),
+                },
+            );
+            if let Some(mean) = self.config.mean_session {
+                let d = self.exp_duration(mean);
+                queue.schedule_in(
+                    d,
+                    OlapEvent::PeerToggle {
+                        peer: NodeId::from_index(p),
+                    },
+                );
+            }
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PeerOlapConfig {
+        &self.config
+    }
+
+    /// The overlay, for invariant checks.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// A peer's workload group.
+    pub fn group_of_peer(&self, peer: NodeId) -> u32 {
+        self.peers[peer.index()].stream.group()
+    }
+
+    /// Fraction of outgoing edges connecting same-group peers.
+    pub fn same_group_edge_fraction(&self) -> f64 {
+        let mut total = 0usize;
+        let mut same = 0usize;
+        for p in 0..self.peers.len() {
+            let me = NodeId::from_index(p);
+            let g = self.group_of_peer(me);
+            for q in self.topology.out(me).iter() {
+                total += 1;
+                if self.group_of_peer(q) == g {
+                    same += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            same as f64 / total as f64
+        }
+    }
+
+    fn jittered(&mut self, base: SimDuration) -> SimDuration {
+        let f: f64 = self.rng.gen_range(0.85..1.15);
+        SimDuration::from_millis(((base.as_millis() as f64) * f).round().max(1.0) as u64)
+    }
+
+    fn issue_query(&mut self, peer: NodeId, sched: &mut Scheduler<'_, OlapEvent>) {
+        let i = peer.index();
+        let now = sched.now();
+        let hour = now.as_hours() as usize;
+
+        let d = self.peers[i].stream.next_interval();
+        sched.after(d, OlapEvent::IssueQuery { peer });
+
+        if !self.present[i] {
+            return; // absent peers issue nothing
+        }
+        self.metrics.queries.incr(hour);
+
+        let shape = {
+            let space = &self.space;
+            self.peers[i].stream.next_query(space)
+        };
+        // Local phase: touch what we have.
+        let mut wanted = Vec::new();
+        let mut local = 0u32;
+        for &c in &shape.chunks {
+            if self.peers[i].cache.touch(c) {
+                local += 1;
+            } else {
+                wanted.push(c);
+            }
+        }
+        self.metrics.chunks_local.add(hour, local as f64);
+
+        let qid = QueryId(self.next_query);
+        self.next_query += 1;
+
+        if wanted.is_empty() {
+            // Fully cached: done instantly.
+            if now.as_hours() >= self.config.warmup_hours {
+                self.metrics.latency_ms.record(1.0);
+            }
+            self.after_query(peer, sched);
+            return;
+        }
+
+        self.peers[i].seen.first_sighting(qid);
+        self.peers[i].pending.insert(
+            qid,
+            PendingOlap {
+                issued_at: now,
+                wanted: wanted.clone(),
+                acquired: ddr_sim::hash::fast_map(),
+                last_reply_at: now,
+            },
+        );
+        let targets: Vec<NodeId> = self.topology.out(peer).iter().collect();
+        for t in targets {
+            self.metrics.messages.incr(hour);
+            let d = self.jittered(self.config.peer_delay);
+            sched.after(
+                d,
+                OlapEvent::ChunkRequest {
+                    to: t,
+                    from: peer,
+                    origin: peer,
+                    query: qid,
+                    ttl: self.config.max_hops,
+                    chunks: wanted.clone(),
+                },
+            );
+        }
+        sched.after(
+            self.config.p2p_timeout,
+            OlapEvent::P2pPhaseEnd { peer, query: qid },
+        );
+        self.after_query(peer, sched);
+    }
+
+    /// Post-issue bookkeeping: the request-count reconfiguration clock.
+    fn after_query(&mut self, peer: NodeId, _sched: &mut Scheduler<'_, OlapEvent>) {
+        if self.config.mode != OlapMode::Dynamic {
+            return;
+        }
+        let i = peer.index();
+        self.peers[i].queries_since_update += 1;
+        if self.peers[i].queries_since_update >= self.config.update_threshold {
+            self.update_neighbors(peer);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the event's payload fields
+    fn chunk_request(
+        &mut self,
+        to: NodeId,
+        from: NodeId,
+        origin: NodeId,
+        query: QueryId,
+        ttl: u8,
+        chunks: Vec<ItemId>,
+        sched: &mut Scheduler<'_, OlapEvent>,
+    ) {
+        let i = to.index();
+        if !self.present[i] {
+            return; // the peer left while the request was in flight
+        }
+        if !self.peers[i].seen.first_sighting(query) {
+            return; // already served this query via another path
+        }
+        let (have, missing): (Vec<ItemId>, Vec<ItemId>) = chunks
+            .into_iter()
+            .partition(|&c| self.peers[i].cache.peek(c));
+        if !have.is_empty() {
+            let d = self.jittered(self.config.peer_delay);
+            sched.after(
+                d,
+                OlapEvent::ChunkReply {
+                    to: origin,
+                    from: to,
+                    query,
+                    chunks: have,
+                },
+            );
+        }
+        // Narrowed forwarding: only the still-missing chunks travel on.
+        if ttl > 1 && !missing.is_empty() {
+            let targets: Vec<NodeId> = self
+                .topology
+                .out(to)
+                .iter()
+                .filter(|&n| n != from && n != origin)
+                .collect();
+            let hour = sched.now().as_hours() as usize;
+            for t in targets {
+                self.metrics.messages.incr(hour);
+                let d = self.jittered(self.config.peer_delay);
+                sched.after(
+                    d,
+                    OlapEvent::ChunkRequest {
+                        to: t,
+                        from: to,
+                        origin,
+                        query,
+                        ttl: ttl - 1,
+                        chunks: missing.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn chunk_reply(
+        &mut self,
+        to: NodeId,
+        from: NodeId,
+        query: QueryId,
+        chunks: Vec<ItemId>,
+        now: SimTime,
+    ) {
+        let i = to.index();
+        let Some(pq) = self.peers[i].pending.get_mut(&query) else {
+            return; // the P2P phase already closed
+        };
+        let mut saved_ms = 0u64;
+        let mut fresh = 0u32;
+        for c in chunks {
+            if pq.wanted.contains(&c) && !pq.acquired.contains_key(&c) {
+                pq.acquired.insert(c, from);
+                saved_ms += chunk_processing_ms(c);
+                fresh += 1;
+            }
+        }
+        if fresh == 0 {
+            return; // everything was already supplied by someone faster
+        }
+        pq.last_reply_at = now;
+        let latency_ms = now.saturating_since(pq.issued_at).as_millis() as f64;
+        self.metrics.chunks_peer.add(now.as_hours() as usize, fresh as f64);
+        if self.config.mode == OlapMode::Dynamic {
+            // Benefit = warehouse processing time saved (§3.4: "in
+            // PeerOlap the dominating cost is the query processing time").
+            self.peers[i].stats.record_reply(ReplyObservation {
+                from,
+                bandwidth: None,
+                score: saved_ms as f64,
+                latency_ms,
+                at: now,
+            });
+        }
+    }
+
+    fn p2p_phase_end(&mut self, peer: NodeId, query: QueryId, sched: &mut Scheduler<'_, OlapEvent>) {
+        let i = peer.index();
+        let Some(pq) = self.peers[i].pending.get(&query) else {
+            return;
+        };
+        let now = sched.now();
+        let missing: Vec<ItemId> = pq
+            .wanted
+            .iter()
+            .copied()
+            .filter(|c| !pq.acquired.contains_key(c))
+            .collect();
+        if missing.is_empty() {
+            // Peers supplied everything; the query actually completed at
+            // the last useful reply.
+            let done_at = pq.last_reply_at;
+            if done_at.as_hours() >= self.config.warmup_hours {
+                self.metrics
+                    .latency_ms
+                    .record(done_at.saturating_since(pq.issued_at).as_millis() as f64);
+            }
+            sched.at(now, OlapEvent::QueryComplete { peer, query });
+            return;
+        }
+        // Warehouse fallback: round trip plus sequential chunk processing.
+        let hour = now.as_hours() as usize;
+        let proc_ms: u64 = missing.iter().map(|&c| chunk_processing_ms(c)).sum();
+        self.metrics.chunks_warehouse.add(hour, missing.len() as f64);
+        self.metrics.warehouse_ms.add(hour, proc_ms as f64);
+        let wh_rtt = self.jittered(self.config.warehouse_delay).saturating_mul(2);
+        let done_in = wh_rtt + SimDuration::from_millis(proc_ms);
+        let total_latency =
+            now.saturating_since(self.peers[i].pending[&query].issued_at).as_millis() as f64
+                + done_in.as_millis() as f64;
+        if (now + done_in).as_hours() >= self.config.warmup_hours {
+            self.metrics.latency_ms.record(total_latency);
+        }
+        sched.after(done_in, OlapEvent::QueryComplete { peer, query });
+    }
+
+    fn query_complete(&mut self, peer: NodeId, query: QueryId) {
+        let i = peer.index();
+        let Some(pq) = self.peers[i].pending.remove(&query) else {
+            return;
+        };
+        // All wanted chunks (peer-served and warehouse-computed) are now
+        // materialised locally.
+        for c in pq.wanted {
+            self.peers[i].cache.insert(c);
+        }
+    }
+
+    /// Algo 3 under bounded incoming lists: adoption can be refused.
+    fn update_neighbors(&mut self, peer: NodeId) {
+        let i = peer.index();
+        self.peers[i].queries_since_update = 0;
+        self.metrics.updates += 1;
+        let plan = {
+            let present = &self.present;
+            plan_asymmetric_update(
+                self.topology.out(peer).as_slice(),
+                &self.peers[i].stats,
+                &CumulativeBenefit,
+                self.config.out_degree,
+                |m| m != peer && present[m.index()],
+            )
+        };
+        for e in &plan.evict {
+            if self.topology.remove_edge(peer, *e) {
+                self.metrics.edges_changed += 1;
+            }
+        }
+        for a in &plan.add {
+            match self.topology.add_edge(peer, *a) {
+                Ok(()) => self.metrics.edges_changed += 1,
+                Err(_) => self.metrics.adds_refused += 1,
+            }
+        }
+        // Random refill for refused/unfilled slots.
+        let n = self.config.peers;
+        let mut guard = 0;
+        while self.topology.out(peer).len() < self.config.out_degree && guard < 20 * n {
+            let q = NodeId::from_index(self.rng.gen_range(0..n));
+            if q != peer && self.present[q.index()] {
+                let _ = self.topology.add_edge(peer, q);
+            }
+            guard += 1;
+        }
+    }
+}
+
+impl World for PeerOlapWorld {
+    type Event = OlapEvent;
+
+    fn handle(&mut self, now: SimTime, event: OlapEvent, sched: &mut Scheduler<'_, OlapEvent>) {
+        match event {
+            OlapEvent::IssueQuery { peer } => self.issue_query(peer, sched),
+            OlapEvent::ChunkRequest {
+                to,
+                from,
+                origin,
+                query,
+                ttl,
+                chunks,
+            } => self.chunk_request(to, from, origin, query, ttl, chunks, sched),
+            OlapEvent::ChunkReply {
+                to,
+                from,
+                query,
+                chunks,
+            } => self.chunk_reply(to, from, query, chunks, now),
+            OlapEvent::P2pPhaseEnd { peer, query } => self.p2p_phase_end(peer, query, sched),
+            OlapEvent::QueryComplete { peer, query } => self.query_complete(peer, query),
+            OlapEvent::PeerToggle { peer } => {
+                let i = peer.index();
+                if self.present[i] {
+                    // Departure: tear down every link touching the peer
+                    // and drop in-flight queries.
+                    self.present[i] = false;
+                    self.metrics.departures += 1;
+                    self.topology.isolate(peer);
+                    self.peers[i].pending.clear();
+                    let d = self.exp_duration(self.config.mean_absence);
+                    sched.after(d, OlapEvent::PeerToggle { peer });
+                } else {
+                    // Return: rejoin with random outgoing links (cache
+                    // and statistics survive the absence).
+                    self.present[i] = true;
+                    let n = self.config.peers;
+                    let mut guard = 0;
+                    while self.topology.out(peer).len() < self.config.out_degree
+                        && guard < 20 * n
+                    {
+                        let q = NodeId::from_index(self.rng.gen_range(0..n));
+                        if q != peer && self.present[q.index()] {
+                            let _ = self.topology.add_edge(peer, q);
+                        }
+                        guard += 1;
+                    }
+                    let mean = self
+                        .config
+                        .mean_session
+                        .expect("toggle events only exist with churn enabled");
+                    let d = self.exp_duration(mean);
+                    sched.after(d, OlapEvent::PeerToggle { peer });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_respects_in_capacity_at_bootstrap() {
+        let w = PeerOlapWorld::new(PeerOlapConfig::default_scenario(OlapMode::Static));
+        assert!(w.topology().check_consistency().is_empty());
+        for p in 0..w.config().peers {
+            let n = NodeId::from_index(p);
+            assert!(w.topology().inc(n).len() <= w.config().in_capacity);
+            assert_eq!(w.topology().out(n).len(), w.config().out_degree);
+        }
+    }
+
+    #[test]
+    fn initial_clustering_near_chance() {
+        let w = PeerOlapWorld::new(PeerOlapConfig::default_scenario(OlapMode::Dynamic));
+        assert!(w.same_group_edge_fraction() < 0.4);
+    }
+}

@@ -1,0 +1,225 @@
+//! The simulation driver loop.
+//!
+//! A simulation is a [`World`] (all mutable state plus an event handler)
+//! attached to an [`EventQueue`]. The driver pops events in timestamp order
+//! and dispatches them to the world, which may schedule follow-ups through
+//! the [`Scheduler`] façade. This is the textbook event-scheduling world
+//! view; it keeps the hot loop free of dynamic dispatch and allocation.
+
+use crate::event::{EventQueue, Scheduler};
+use crate::time::SimTime;
+
+/// Simulation state + event semantics.
+pub trait World {
+    /// The event payload enum for this simulation.
+    type Event;
+
+    /// Handle one event at virtual time `now`, scheduling any follow-up
+    /// events through `sched`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<'_, Self::Event>);
+}
+
+/// Why a [`Simulation::run`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained before the horizon.
+    Exhausted,
+    /// The next pending event lies at or beyond the horizon (it remains
+    /// queued; the run can be resumed with a later horizon).
+    ReachedHorizon,
+    /// The configured event budget was hit (runaway-loop protection).
+    EventBudgetExhausted,
+}
+
+/// A world bound to an event queue, plus bookkeeping.
+pub struct Simulation<W: World> {
+    world: W,
+    queue: EventQueue<W::Event>,
+    processed: u64,
+    event_budget: u64,
+}
+
+impl<W: World> Simulation<W> {
+    /// Create a simulation over `world` with an empty queue.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            queue: EventQueue::new(),
+            processed: 0,
+            event_budget: u64::MAX,
+        }
+    }
+
+    /// Cap the total number of processed events; [`RunOutcome::EventBudgetExhausted`]
+    /// is returned when the cap is hit. Useful in tests to bound runaway
+    /// feedback loops (e.g. reconfiguration storms).
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// Access the world immutably (for inspection between runs).
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Access the world mutably (e.g. to flush metrics at the end).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consume the simulation, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Total events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Seed the queue before (or between) runs.
+    pub fn schedule_at(&mut self, at: SimTime, event: W::Event) {
+        self.queue.schedule_at(at, event);
+    }
+
+    /// Run until the queue drains, the horizon is reached, or the event
+    /// budget is exhausted. Events timestamped exactly at `horizon` are
+    /// *not* processed (half-open interval `[now, horizon)`), which makes
+    /// `run(h1); run(h2)` equivalent to `run(h2)` for `h1 <= h2`.
+    pub fn run(&mut self, horizon: SimTime) -> RunOutcome {
+        loop {
+            match self.queue.peek_time() {
+                None => return RunOutcome::Exhausted,
+                Some(t) if t >= horizon => return RunOutcome::ReachedHorizon,
+                Some(_) => {}
+            }
+            if self.processed >= self.event_budget {
+                return RunOutcome::EventBudgetExhausted;
+            }
+            let (now, event) = self.queue.pop().expect("peeked event vanished");
+            self.processed += 1;
+            let mut sched = Scheduler::new(&mut self.queue);
+            self.world.handle(now, event, &mut sched);
+        }
+    }
+
+    /// Process exactly one event if any is pending before `horizon`.
+    /// Returns the timestamp of the processed event.
+    pub fn step(&mut self, horizon: SimTime) -> Option<SimTime> {
+        match self.queue.peek_time() {
+            Some(t) if t < horizon => {
+                let (now, event) = self.queue.pop().expect("peeked event vanished");
+                self.processed += 1;
+                let mut sched = Scheduler::new(&mut self.queue);
+                self.world.handle(now, event, &mut sched);
+                Some(now)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// A world that counts down: each event schedules the next one 10 ms
+    /// later until the counter hits zero.
+    struct Countdown {
+        remaining: u32,
+        fired_at: Vec<SimTime>,
+    }
+
+    impl World for Countdown {
+        type Event = ();
+        fn handle(&mut self, now: SimTime, _: (), sched: &mut Scheduler<'_, ()>) {
+            self.fired_at.push(now);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                sched.after(SimDuration::from_millis(10), ());
+            }
+        }
+    }
+
+    #[test]
+    fn runs_to_exhaustion() {
+        let mut sim = Simulation::new(Countdown {
+            remaining: 5,
+            fired_at: vec![],
+        });
+        sim.schedule_at(SimTime::ZERO, ());
+        let outcome = sim.run(SimTime::MAX);
+        assert_eq!(outcome, RunOutcome::Exhausted);
+        assert_eq!(sim.world().fired_at.len(), 6);
+        assert_eq!(sim.processed(), 6);
+        assert_eq!(*sim.world().fired_at.last().unwrap(), SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn horizon_is_half_open_and_resumable() {
+        let mut sim = Simulation::new(Countdown {
+            remaining: 10,
+            fired_at: vec![],
+        });
+        sim.schedule_at(SimTime::ZERO, ());
+        let outcome = sim.run(SimTime::from_millis(30));
+        assert_eq!(outcome, RunOutcome::ReachedHorizon);
+        // events at 0,10,20 processed; 30 pending
+        assert_eq!(sim.world().fired_at.len(), 3);
+        assert_eq!(sim.pending(), 1);
+        let outcome = sim.run(SimTime::MAX);
+        assert_eq!(outcome, RunOutcome::Exhausted);
+        assert_eq!(sim.world().fired_at.len(), 11);
+    }
+
+    #[test]
+    fn event_budget_stops_runaway() {
+        struct Forever;
+        impl World for Forever {
+            type Event = ();
+            fn handle(&mut self, _: SimTime, _: (), sched: &mut Scheduler<'_, ()>) {
+                sched.after(SimDuration::from_millis(1), ());
+            }
+        }
+        let mut sim = Simulation::new(Forever).with_event_budget(1_000);
+        sim.schedule_at(SimTime::ZERO, ());
+        assert_eq!(sim.run(SimTime::MAX), RunOutcome::EventBudgetExhausted);
+        assert_eq!(sim.processed(), 1_000);
+    }
+
+    #[test]
+    fn step_processes_single_event() {
+        let mut sim = Simulation::new(Countdown {
+            remaining: 2,
+            fired_at: vec![],
+        });
+        sim.schedule_at(SimTime::from_millis(5), ());
+        assert_eq!(sim.step(SimTime::MAX), Some(SimTime::from_millis(5)));
+        assert_eq!(sim.world().fired_at.len(), 1);
+        // respects horizon
+        assert_eq!(sim.step(SimTime::from_millis(10)), None);
+        assert_eq!(sim.step(SimTime::MAX), Some(SimTime::from_millis(15)));
+    }
+
+    #[test]
+    fn empty_queue_run_is_exhausted_immediately() {
+        let mut sim = Simulation::new(Countdown {
+            remaining: 0,
+            fired_at: vec![],
+        });
+        assert_eq!(sim.run(SimTime::MAX), RunOutcome::Exhausted);
+        assert_eq!(sim.processed(), 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Future-event list with deterministic tie-breaking.
+//!
+//! A classic discrete-event simulator keeps pending events in a priority
+//! queue ordered by timestamp. `std::collections::BinaryHeap` is *not*
+//! stable for equal keys, which would make runs seed-reproducible but not
+//! code-motion-reproducible; we therefore order by `(time, insertion seq)`
+//! so that events scheduled for the same instant fire in FIFO order.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled entry. Ordered so the *earliest* (time, seq) pops first from
+/// a max-heap, i.e. the comparison is reversed.
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: smaller (time, seq) is "greater" for BinaryHeap.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The future-event list.
+///
+/// Generic over the event payload `E` so each simulation defines its own
+/// event enum; the kernel never inspects payloads.
+///
+/// ```
+/// use ddr_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_at(SimTime::from_millis(20), "later");
+/// q.schedule_at(SimTime::from_millis(10), "sooner");
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(10), "sooner")));
+/// assert_eq!(q.now(), SimTime::from_millis(10));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue positioned at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// An empty queue with pre-reserved capacity (the Gnutella runs keep
+    /// tens of thousands of in-flight events).
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current virtual time: the timestamp of the most recently popped
+    /// event (0 before the first pop).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past (before the last popped timestamp):
+    /// causality violations are programming errors and must fail loudly.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "attempted to schedule an event in the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Schedule `event` at `now + delay`.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.time >= self.now, "heap returned an event out of order");
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// Timestamp of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Total number of events ever scheduled (the tie-break counter).
+    pub fn scheduled_count(&self) -> u64 {
+        self.seq
+    }
+
+    /// A [`Scheduler`] façade over this queue, for priming worlds before a
+    /// run (the same façade the driver hands to [`crate::World::handle`]).
+    pub fn scheduler(&mut self) -> Scheduler<'_, E> {
+        Scheduler::new(self)
+    }
+}
+
+/// A scheduling façade handed to [`crate::World::handle`] so world code can
+/// enqueue follow-up events but cannot pop or rewind the clock.
+pub struct Scheduler<'a, E> {
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<'a, E> Scheduler<'a, E> {
+    pub(crate) fn new(queue: &'a mut EventQueue<E>) -> Self {
+        Scheduler { queue }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Schedule at an absolute instant (must not be in the past).
+    #[inline]
+    pub fn at(&mut self, at: SimTime, event: E) {
+        self.queue.schedule_at(at, event);
+    }
+
+    /// Schedule after a relative delay.
+    #[inline]
+    pub fn after(&mut self, delay: SimDuration, event: E) {
+        self.queue.schedule_in(delay, event);
+    }
+
+    /// Number of pending events (diagnostics).
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(30), "c");
+        q.schedule_at(SimTime::from_millis(10), "a");
+        q.schedule_at(SimTime::from_millis(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(SimTime::from_millis(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_millis(7));
+        assert_eq!(q.now(), SimTime::from_millis(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), ());
+        q.pop();
+        q.schedule_at(SimTime::from_millis(5), ());
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), 0);
+        q.pop();
+        q.schedule_in(SimDuration::from_millis(5), 1);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_millis(15));
+        assert_eq!(e, 1);
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(42), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(42)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(10), 10u64);
+        q.schedule_at(SimTime::from_millis(30), 30);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t.as_millis(), 10);
+        // Schedule between now and the remaining event.
+        q.schedule_at(SimTime::from_millis(20), 20);
+        let seq: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(seq, vec![20, 30]);
+    }
+}

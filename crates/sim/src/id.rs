@@ -1,0 +1,104 @@
+//! Entity identifiers shared by every layer of the simulation.
+//!
+//! `NodeId` is deliberately defined in the kernel crate: the network model,
+//! the overlay structures and the framework all address the same entities,
+//! and putting the id type at the bottom of the dependency graph avoids
+//! conversion layers.
+
+use std::fmt;
+
+/// Identifier of a repository/peer/proxy in the simulated network.
+///
+/// A dense `u32` index: every builder assigns ids `0..n`, which lets hot
+/// per-node state live in flat `Vec`s instead of hash maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index into per-node vectors.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a dense index.
+    #[inline]
+    pub const fn from_index(i: usize) -> Self {
+        NodeId(i as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of a content item (a song in the music-sharing case study, a
+/// page in the web-cache case study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ItemId(pub u32);
+
+impl ItemId {
+    /// The id as a `usize` index into catalog vectors.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a dense index.
+    #[inline]
+    pub const fn from_index(i: usize) -> Self {
+        ItemId(i as u32)
+    }
+}
+
+impl fmt::Display for ItemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// Identifier of a query instance, unique within a run. Used for duplicate
+/// suppression ("each node keeps a list of recent messages", paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub u64);
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n, NodeId(42));
+        let i = ItemId::from_index(7);
+        assert_eq!(i.index(), 7);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(ItemId(9).to_string(), "i9");
+        assert_eq!(QueryId(11).to_string(), "q11");
+    }
+
+    #[test]
+    fn ordering_follows_numeric() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(ItemId(0) < ItemId(1));
+    }
+}

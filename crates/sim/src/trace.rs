@@ -1,0 +1,179 @@
+//! Lightweight observability for simulations: named counters and an
+//! optional bounded trace of recent events.
+//!
+//! The experiment harness reports aggregate metrics through `ddr-stats`;
+//! these utilities serve debugging and white-box tests (e.g. asserting a
+//! reconfiguration fired exactly once).
+
+use crate::hash::FastHashMap;
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// A set of named monotone counters.
+#[derive(Debug, Default, Clone)]
+pub struct Counters {
+    values: FastHashMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// Empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to counter `name` (creating it at zero).
+    #[inline]
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.values.entry(name).or_insert(0) += n;
+    }
+
+    /// Increment counter `name` by one.
+    #[inline]
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of all counters, sorted by name for stable output.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<_> = self.values.iter().map(|(&k, &n)| (k, n)).collect();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
+    }
+
+    /// Reset every counter to zero, keeping the names.
+    pub fn reset(&mut self) {
+        for v in self.values.values_mut() {
+            *v = 0;
+        }
+    }
+}
+
+/// A bounded ring buffer of `(time, message)` trace records.
+///
+/// Disabled (capacity 0) by default so production runs pay nothing; tests
+/// enable it to assert on fine-grained protocol behaviour.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    records: VecDeque<(SimTime, String)>,
+    capacity: usize,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::disabled()
+    }
+}
+
+impl Trace {
+    /// A trace that drops everything.
+    pub fn disabled() -> Self {
+        Trace {
+            records: VecDeque::new(),
+            capacity: 0,
+        }
+    }
+
+    /// A trace keeping the most recent `capacity` records.
+    pub fn bounded(capacity: usize) -> Self {
+        Trace {
+            records: VecDeque::with_capacity(capacity.min(1 << 16)),
+            capacity,
+        }
+    }
+
+    /// Whether records are being kept.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Record a message if tracing is enabled. Accepts a closure so callers
+    /// never pay for formatting when disabled.
+    #[inline]
+    pub fn record_with<F: FnOnce() -> String>(&mut self, at: SimTime, f: F) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back((at, f()));
+    }
+
+    /// All retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = (SimTime, &str)> {
+        self.records.iter().map(|(t, s)| (*t, s.as_str()))
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = Counters::new();
+        c.incr("hits");
+        c.incr("hits");
+        c.add("messages", 10);
+        assert_eq!(c.get("hits"), 2);
+        assert_eq!(c.get("messages"), 10);
+        assert_eq!(c.get("absent"), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let mut c = Counters::new();
+        c.incr("zeta");
+        c.incr("alpha");
+        let snap = c.snapshot();
+        assert_eq!(snap, vec![("alpha", 1), ("zeta", 1)]);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_names() {
+        let mut c = Counters::new();
+        c.add("x", 5);
+        c.reset();
+        assert_eq!(c.get("x"), 0);
+        assert_eq!(c.snapshot(), vec![("x", 0)]);
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        let mut called = false;
+        t.record_with(SimTime::ZERO, || {
+            called = true;
+            "boom".into()
+        });
+        assert!(!called, "formatter must not run when disabled");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn bounded_trace_evicts_oldest() {
+        let mut t = Trace::bounded(2);
+        t.record_with(SimTime::from_millis(1), || "a".into());
+        t.record_with(SimTime::from_millis(2), || "b".into());
+        t.record_with(SimTime::from_millis(3), || "c".into());
+        let msgs: Vec<_> = t.records().map(|(_, s)| s.to_string()).collect();
+        assert_eq!(msgs, vec!["b", "c"]);
+        assert_eq!(t.len(), 2);
+    }
+}

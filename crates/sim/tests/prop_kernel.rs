@@ -1,0 +1,82 @@
+//! Property-based tests for the simulation kernel invariants.
+
+use ddr_sim::{EventQueue, RngFactory, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, regardless of the
+    /// insertion order, and FIFO among equal timestamps.
+    #[test]
+    fn heap_pops_sorted_stable(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_millis(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt, "time went backwards");
+                if t == lt {
+                    prop_assert!(idx > lidx, "FIFO violated for equal timestamps");
+                }
+            }
+            prop_assert_eq!(SimTime::from_millis(times[idx]), t);
+            last = Some((t, idx));
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// Interleaved schedule/pop sequences never violate causality: after a
+    /// pop at time t, everything remaining pops at >= t.
+    #[test]
+    fn interleaving_preserves_causality(
+        ops in proptest::collection::vec((0u64..500, any::<bool>()), 1..100)
+    ) {
+        let mut q = EventQueue::new();
+        for (delay, do_pop) in ops {
+            // schedule relative to current clock so it's never in the past
+            let at = q.now() + ddr_sim::SimDuration::from_millis(delay);
+            q.schedule_at(at, ());
+            if do_pop {
+                let before = q.now();
+                let (t, _) = q.pop().unwrap();
+                prop_assert!(t >= before);
+            }
+        }
+        let mut last = q.now();
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// RNG streams are pure functions of (root, label, index).
+    #[test]
+    fn rng_streams_deterministic(root in any::<u64>(), idx in any::<u64>()) {
+        let f1 = RngFactory::new(root);
+        let f2 = RngFactory::new(root);
+        prop_assert_eq!(f1.sub_seed("lbl", idx), f2.sub_seed("lbl", idx));
+        // and sensitive to each component
+        prop_assert_ne!(f1.sub_seed("lbl", idx), f1.sub_seed("lbl2", idx));
+        prop_assert_ne!(f1.sub_seed("lbl", idx), f1.sub_seed("lbl", idx.wrapping_add(1)));
+    }
+
+    /// Counters are a commutative monoid: order of adds doesn't matter.
+    #[test]
+    fn counters_commute(mut adds in proptest::collection::vec((0usize..3, 1u64..100), 1..50)) {
+        use ddr_sim::Counters;
+        const NAMES: [&str; 3] = ["a", "b", "c"];
+        let mut c1 = Counters::new();
+        for &(i, n) in &adds {
+            c1.add(NAMES[i], n);
+        }
+        adds.reverse();
+        let mut c2 = Counters::new();
+        for &(i, n) in &adds {
+            c2.add(NAMES[i], n);
+        }
+        for name in NAMES {
+            prop_assert_eq!(c1.get(name), c2.get(name));
+        }
+    }
+}

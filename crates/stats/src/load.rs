@@ -1,0 +1,109 @@
+//! Load-distribution metrics: who does the serving?
+//!
+//! The paper motivates dynamic reconfiguration partly by imbalance
+//! concerns (§2: static configurations make "peers with slow links …
+//! the bottleneck" and let relations become "unbalanced, if a peer only
+//! requires, but refuses to provide any content"). These helpers quantify
+//! imbalance over a per-node load vector: the Gini coefficient and the
+//! share carried by the busiest k % of nodes.
+
+/// Gini coefficient of a non-negative load distribution: 0 = perfectly
+/// even, → 1 = all load on one node. Empty and all-zero inputs give 0.
+///
+/// ```
+/// assert_eq!(ddr_stats::gini(&[5.0, 5.0, 5.0]), 0.0);
+/// assert!(ddr_stats::gini(&[0.0, 0.0, 30.0]) > 0.6);
+/// ```
+pub fn gini(loads: &[f64]) -> f64 {
+    let n = loads.len();
+    if n == 0 {
+        return 0.0;
+    }
+    debug_assert!(loads.iter().all(|&x| x >= 0.0), "negative load");
+    let total: f64 = loads.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut sorted = loads.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("loads must not be NaN"));
+    // Gini = (2 Σ_i i·x_i) / (n Σ x) − (n+1)/n, with 1-based ranks.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n as f64 * total) - (n as f64 + 1.0) / n as f64
+}
+
+/// Fraction of total load carried by the busiest `top_fraction` of nodes
+/// (e.g. `0.1` → the top-10 % share). Returns 0 for empty input.
+pub fn top_share(loads: &[f64], top_fraction: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&top_fraction));
+    if loads.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = loads.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut sorted = loads.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("loads must not be NaN"));
+    let k = ((loads.len() as f64 * top_fraction).ceil() as usize).clamp(1, loads.len());
+    sorted[..k].iter().sum::<f64>() / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gini_of_even_distribution_is_zero() {
+        assert!(gini(&[5.0, 5.0, 5.0, 5.0]).abs() < 1e-12);
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn gini_of_concentrated_distribution_near_one() {
+        let mut loads = vec![0.0; 100];
+        loads[0] = 1_000.0;
+        let g = gini(&loads);
+        assert!(g > 0.95, "got {g}");
+    }
+
+    #[test]
+    fn gini_known_value() {
+        // {1, 3}: Gini = (2·(1·1 + 2·3))/(2·4) − 3/2 = 14/8 − 1.5 = 0.25
+        assert!((gini(&[1.0, 3.0]) - 0.25).abs() < 1e-12);
+        // order must not matter
+        assert!((gini(&[3.0, 1.0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_monotone_under_concentration() {
+        let even = gini(&[4.0, 4.0, 4.0, 4.0]);
+        let mild = gini(&[2.0, 3.0, 5.0, 6.0]);
+        let harsh = gini(&[0.0, 1.0, 1.0, 14.0]);
+        assert!(even < mild && mild < harsh);
+    }
+
+    #[test]
+    fn top_share_basics() {
+        let loads = [10.0, 5.0, 3.0, 2.0];
+        // top 25 % = busiest node = 10/20
+        assert!((top_share(&loads, 0.25) - 0.5).abs() < 1e-12);
+        // top 100 % = everything
+        assert!((top_share(&loads, 1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(top_share(&[], 0.5), 0.0);
+        assert_eq!(top_share(&[0.0, 0.0], 0.5), 0.0);
+    }
+
+    #[test]
+    fn top_share_always_at_least_proportional() {
+        // The busiest k % always carry ≥ k % of the load.
+        let loads: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        for f in [0.1, 0.2, 0.5] {
+            assert!(top_share(&loads, f) >= f - 1e-12);
+        }
+    }
+}

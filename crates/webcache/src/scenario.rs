@@ -1,0 +1,181 @@
+//! Running a web-cache scenario end to end.
+
+use crate::config::WebCacheConfig;
+use crate::world::{CacheEvent, WebCacheWorld};
+use ddr_sim::{EventQueue, Simulation, SimTime};
+
+/// Report of one web-cache run.
+#[derive(Debug, Clone)]
+pub struct WebCacheReport {
+    /// Mode label.
+    pub label: &'static str,
+    /// Collected metrics.
+    pub metrics: crate::world::CacheMetrics,
+    /// Measurement window (hours, warm-up excluded).
+    pub from_hour: u64,
+    /// Horizon hour (exclusive).
+    pub to_hour: u64,
+    /// Fraction of outgoing edges connecting same-group proxies at the end
+    /// of the run.
+    pub same_group_fraction: f64,
+}
+
+impl WebCacheReport {
+    fn window(&self, s: &ddr_stats::BucketSeries) -> f64 {
+        s.window_sum(self.from_hour as usize, self.to_hour as usize)
+    }
+
+    /// Requests in the measurement window.
+    pub fn requests(&self) -> f64 {
+        self.window(&self.metrics.requests)
+    }
+
+    /// Local hit ratio.
+    pub fn local_hit_ratio(&self) -> f64 {
+        self.window(&self.metrics.local_hits) / self.requests().max(1.0)
+    }
+
+    /// Neighbor (sibling) hit ratio — the quantity cooperation improves.
+    pub fn neighbor_hit_ratio(&self) -> f64 {
+        self.window(&self.metrics.neighbor_hits) / self.requests().max(1.0)
+    }
+
+    /// Origin-fetch ratio (lower is better).
+    pub fn origin_ratio(&self) -> f64 {
+        self.window(&self.metrics.origin_fetches) / self.requests().max(1.0)
+    }
+
+    /// Mean request latency in ms.
+    pub fn mean_latency_ms(&self) -> f64 {
+        self.metrics.latency_ms.mean()
+    }
+}
+
+/// Run one scenario; pure function of the config (which embeds the seed).
+pub fn run_webcache(config: WebCacheConfig) -> WebCacheReport {
+    let label = config.mode.label();
+    let from_hour = config.warmup_hours;
+    let to_hour = config.sim_hours;
+    let horizon = SimTime::from_hours(config.sim_hours);
+
+    let mut world = WebCacheWorld::new(config);
+    let mut queue: EventQueue<CacheEvent> = EventQueue::new();
+    world.prime(&mut queue);
+    let mut sim = Simulation::new(world);
+    while let Some((t, ev)) = queue.pop() {
+        sim.schedule_at(t, ev);
+    }
+    sim.run(horizon);
+    let world = sim.into_world();
+    WebCacheReport {
+        label,
+        same_group_fraction: world.same_group_edge_fraction(),
+        metrics: world.metrics.clone(),
+        from_hour,
+        to_hour,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheMode, WebCacheConfig};
+
+    fn small(mode: CacheMode) -> WebCacheConfig {
+        let mut c = WebCacheConfig::default_scenario(mode);
+        c.proxies = 32;
+        c.groups = 4;
+        c.pages_per_group = 4_000;
+        c.global_pages = 4_000;
+        c.cache_capacity = 500;
+        c.sim_hours = 6;
+        c.warmup_hours = 1;
+        c.mean_request_interval = ddr_sim::SimDuration::from_millis(1_000);
+        c.seed = 11;
+        c
+    }
+
+    #[test]
+    fn run_accounts_every_request() {
+        let r = run_webcache(small(CacheMode::Static));
+        let total = r.window(&r.metrics.local_hits)
+            + r.window(&r.metrics.neighbor_hits)
+            + r.window(&r.metrics.origin_fetches);
+        assert_eq!(total, r.requests(), "hit/miss accounting leak");
+        assert!(r.requests() > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_webcache(small(CacheMode::Dynamic));
+        let b = run_webcache(small(CacheMode::Dynamic));
+        assert_eq!(a.neighbor_hit_ratio(), b.neighbor_hit_ratio());
+        assert_eq!(a.mean_latency_ms(), b.mean_latency_ms());
+        assert_eq!(a.metrics.updates, b.metrics.updates);
+    }
+
+    #[test]
+    fn dynamic_explores_and_updates() {
+        let r = run_webcache(small(CacheMode::Dynamic));
+        assert!(r.metrics.explorations > 0, "no exploration fired");
+        assert!(r.metrics.updates > 0, "no neighbor update fired");
+        assert!(r.metrics.edges_changed > 0, "updates never changed an edge");
+    }
+
+    #[test]
+    fn static_never_updates() {
+        let r = run_webcache(small(CacheMode::Static));
+        assert_eq!(r.metrics.updates, 0);
+        assert_eq!(r.metrics.explorations, 0);
+    }
+
+    #[test]
+    fn dynamic_beats_static_on_neighbor_hits_and_latency() {
+        let s = run_webcache(small(CacheMode::Static));
+        let d = run_webcache(small(CacheMode::Dynamic));
+        assert!(
+            d.neighbor_hit_ratio() > s.neighbor_hit_ratio(),
+            "dynamic {} <= static {}",
+            d.neighbor_hit_ratio(),
+            s.neighbor_hit_ratio()
+        );
+        assert!(
+            d.mean_latency_ms() < s.mean_latency_ms(),
+            "dynamic latency {} >= static {}",
+            d.mean_latency_ms(),
+            s.mean_latency_ms()
+        );
+    }
+
+    #[test]
+    fn dynamic_clusters_same_group_proxies() {
+        let s = run_webcache(small(CacheMode::Static));
+        let d = run_webcache(small(CacheMode::Dynamic));
+        assert!(
+            d.same_group_fraction > s.same_group_fraction + 0.1,
+            "no clustering: dynamic {} vs static {}",
+            d.same_group_fraction,
+            s.same_group_fraction
+        );
+    }
+
+    #[test]
+    fn topology_stays_consistent_and_bounded() {
+        let c = small(CacheMode::Dynamic);
+        let out_degree = c.out_degree;
+        let proxies = c.proxies;
+        let mut world = crate::world::WebCacheWorld::new(c);
+        let mut queue = ddr_sim::EventQueue::new();
+        world.prime(&mut queue);
+        let mut sim = ddr_sim::Simulation::new(world);
+        while let Some((t, ev)) = queue.pop() {
+            sim.schedule_at(t, ev);
+        }
+        sim.run(ddr_sim::SimTime::from_hours(2));
+        let world = sim.world();
+        assert!(world.topology().check_consistency().is_empty());
+        for p in 0..proxies {
+            assert!(world.topology().out(ddr_sim::NodeId::from_index(p)).len() <= out_degree);
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! The cooperative web-cache simulation world.
+//!
+//! Request flow (1-hop Squid-style search, paper §3.2: "most Squid
+//! implementations define the number of hops to be 1, i.e. only the
+//! immediate neighbors are searched before the request is sent to the web
+//! server"):
+//!
+//! 1. local LRU hit → served immediately;
+//! 2. otherwise the proxy queries its outgoing neighbors (one message
+//!    each); the nearest positive sibling serves the page at
+//!    `2 × sibling_delay`;
+//! 3. otherwise the origin server serves at `2 × origin_delay`.
+//!
+//! The page enters the local cache when the fetch completes. Dynamic mode
+//! additionally runs exploration probes (Algo 2) and asymmetric neighbor
+//! updates (Algo 3); static mode keeps its initial random neighbors
+//! forever.
+
+use crate::config::{CacheMode, WebCacheConfig};
+use crate::digest::BloomFilter;
+use crate::lru::LruCache;
+use crate::traffic::{PageSpace, RequestStream};
+use ddr_core::stats_store::ReplyObservation;
+use ddr_core::{plan_asymmetric_update, CumulativeBenefit, ExplorationPlanner, StatsStore};
+use ddr_overlay::{RelationKind, Topology};
+use ddr_sim::{ItemId, NodeId, RngFactory, Scheduler, SimDuration, SimTime, World};
+use ddr_stats::{BucketSeries, RunningStats};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Events of the web-cache simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheEvent {
+    /// A user request arrives at `proxy`.
+    Request { proxy: NodeId },
+    /// A page fetch (sibling or origin) completes at `proxy`.
+    FetchComplete { proxy: NodeId, page: ItemId },
+    /// An exploration probe reply from `from` reaches `to`.
+    ProbeReply { to: NodeId, from: NodeId },
+    /// `proxy` republishes its cache digest (digest mode only).
+    DigestRefresh { proxy: NodeId },
+    /// `proxy` flips between up and down (churn mode only).
+    ProxyToggle { proxy: NodeId },
+}
+
+/// Per-proxy mutable state.
+struct ProxyState {
+    cache: LruCache,
+    stream: RequestStream,
+    stats: StatsStore,
+    explorer: ExplorationPlanner,
+    recent_misses: VecDeque<ItemId>,
+    requests_since_update: u32,
+}
+
+/// Aggregated web-cache metrics.
+#[derive(Debug, Clone, Default)]
+pub struct CacheMetrics {
+    /// Requests per hour.
+    pub requests: BucketSeries,
+    /// Served from the local cache.
+    pub local_hits: BucketSeries,
+    /// Served by a sibling proxy.
+    pub neighbor_hits: BucketSeries,
+    /// Fetched from the origin server.
+    pub origin_fetches: BucketSeries,
+    /// Sibling query + probe messages per hour.
+    pub messages: BucketSeries,
+    /// Request latency in ms (post-warm-up; local hits count as 1 ms).
+    pub latency_ms: RunningStats,
+    /// Neighbor updates executed.
+    pub updates: u64,
+    /// Neighbor-list edges changed by updates.
+    pub edges_changed: u64,
+    /// Exploration rounds fired.
+    pub explorations: u64,
+    /// Sibling queries avoided because a digest said "not cached".
+    pub digest_filtered: u64,
+    /// Digest said "cached" but the sibling did not have the page
+    /// (Bloom false positives plus evictions since publication).
+    pub digest_false_positives: u64,
+    /// Digest said "not cached" but the sibling actually had the page
+    /// (cached since publication): a missed sibling hit.
+    pub digest_stale_misses: u64,
+    /// Proxy restarts (churn mode only).
+    pub restarts: u64,
+    /// Requests lost because the proxy was down.
+    pub requests_lost: u64,
+}
+
+/// The complete world.
+pub struct WebCacheWorld {
+    config: WebCacheConfig,
+    space: PageSpace,
+    topology: Topology,
+    proxies: Vec<ProxyState>,
+    /// Published cache digests (digest mode only; `None` until first
+    /// publication).
+    digests: Vec<Option<BloomFilter>>,
+    /// Whether each proxy is currently up (always true without churn).
+    up: Vec<bool>,
+    rng: SmallRng,
+    /// Metrics, public for reports and tests.
+    pub metrics: CacheMetrics,
+}
+
+impl WebCacheWorld {
+    /// Build the initial world: random outgoing neighbors for every proxy
+    /// (both modes start identically).
+    pub fn new(config: WebCacheConfig) -> Self {
+        config.validate().expect("invalid web-cache config");
+        let rngs = RngFactory::new(config.seed);
+        let space = PageSpace::new(&config);
+        let mut topology = Topology::new(
+            config.proxies,
+            RelationKind::PureAsymmetric,
+            config.out_degree,
+            0,
+        );
+        let mut rng = rngs.stream("webcache.world", 0);
+
+        // Initial random outgoing lists.
+        for p in 0..config.proxies {
+            let me = NodeId::from_index(p);
+            while topology.out(me).len() < config.out_degree {
+                let q = NodeId::from_index(rng.gen_range(0..config.proxies));
+                if q != me {
+                    let _ = topology.add_edge(me, q);
+                }
+            }
+        }
+
+        let proxies = (0..config.proxies)
+            .map(|p| ProxyState {
+                cache: LruCache::new(config.cache_capacity),
+                stream: RequestStream::new(&config, &rngs, p),
+                stats: StatsStore::new(),
+                explorer: ExplorationPlanner::new(config.exploration),
+                recent_misses: VecDeque::with_capacity(config.miss_history),
+                requests_since_update: 0,
+            })
+            .collect();
+
+        let digests = vec![None; config.proxies];
+        let up = vec![true; config.proxies];
+        WebCacheWorld {
+            config,
+            space,
+            topology,
+            proxies,
+            digests,
+            up,
+            rng,
+            metrics: CacheMetrics::default(),
+        }
+    }
+
+    /// Whether `proxy` is currently up.
+    pub fn is_up(&self, proxy: NodeId) -> bool {
+        self.up[proxy.index()]
+    }
+
+    /// Sample an exponential duration with the given mean.
+    fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        let u: f64 = 1.0 - self.rng.gen::<f64>();
+        SimDuration::from_millis(
+            ((-(mean.as_millis() as f64)) * u.ln()).max(1.0) as u64,
+        )
+    }
+
+    /// Publish `proxy`'s digest from its current cache contents.
+    fn publish_digest(&mut self, proxy: NodeId) {
+        let cache = &self.proxies[proxy.index()].cache;
+        let expected = self.config.cache_capacity.max(1);
+        let digest =
+            BloomFilter::from_items(cache.iter(), expected, self.config.digest_bits_per_item);
+        self.digests[proxy.index()] = Some(digest);
+    }
+
+    /// Seed the first request of every proxy (and the digest-publication
+    /// chains when digests are enabled).
+    pub fn prime(&mut self, queue: &mut ddr_sim::EventQueue<CacheEvent>) {
+        for p in 0..self.proxies.len() {
+            let d = self.proxies[p].stream.next_interval();
+            queue.schedule_in(
+                d,
+                CacheEvent::Request {
+                    proxy: NodeId::from_index(p),
+                },
+            );
+            if self.config.use_digests {
+                queue.schedule_in(
+                    self.config.digest_refresh,
+                    CacheEvent::DigestRefresh {
+                        proxy: NodeId::from_index(p),
+                    },
+                );
+            }
+            if let Some(mean_up) = self.config.mean_uptime {
+                let d = self.exp_duration(mean_up);
+                queue.schedule_in(
+                    d,
+                    CacheEvent::ProxyToggle {
+                        proxy: NodeId::from_index(p),
+                    },
+                );
+            }
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &WebCacheConfig {
+        &self.config
+    }
+
+    /// The overlay, for invariant checks.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// A proxy's interest group (tests use it to measure clustering).
+    pub fn group_of_proxy(&self, proxy: NodeId) -> u32 {
+        self.proxies[proxy.index()].stream.group()
+    }
+
+    /// Fraction of outgoing edges that connect same-group proxies — the
+    /// clustering measure dynamic mode is expected to raise.
+    pub fn same_group_edge_fraction(&self) -> f64 {
+        let mut total = 0usize;
+        let mut same = 0usize;
+        for p in 0..self.proxies.len() {
+            let me = NodeId::from_index(p);
+            let g = self.group_of_proxy(me);
+            for q in self.topology.out(me).iter() {
+                total += 1;
+                if self.group_of_proxy(q) == g {
+                    same += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            same as f64 / total as f64
+        }
+    }
+
+    fn jittered(&mut self, base: SimDuration) -> SimDuration {
+        let f: f64 = self.rng.gen_range(0.8..1.2);
+        SimDuration::from_millis(((base.as_millis() as f64) * f).round().max(1.0) as u64)
+    }
+
+    fn record_latency(&mut self, now: SimTime, ms: f64) {
+        if now.as_hours() >= self.config.warmup_hours {
+            self.metrics.latency_ms.record(ms);
+        }
+    }
+
+    fn handle_request(&mut self, proxy: NodeId, sched: &mut Scheduler<'_, CacheEvent>) {
+        let i = proxy.index();
+        let now = sched.now();
+        let hour = now.as_hours() as usize;
+
+        // Schedule the next request first (the stream never stops).
+        let next = self.proxies[i].stream.next_interval();
+        sched.after(next, CacheEvent::Request { proxy });
+
+        if !self.up[i] {
+            self.metrics.requests_lost += 1;
+            return; // the proxy is down: its users get nothing
+        }
+        self.metrics.requests.incr(hour);
+
+        let page = {
+            let space = &self.space;
+            self.proxies[i].stream.next_page(space)
+        };
+
+        if self.proxies[i].cache.touch(page) {
+            self.metrics.local_hits.incr(hour);
+            self.record_latency(now, 1.0);
+        } else {
+            // Local miss: remember it, query the siblings.
+            if self.proxies[i].recent_misses.len() == self.config.miss_history {
+                self.proxies[i].recent_misses.pop_front();
+            }
+            self.proxies[i].recent_misses.push_back(page);
+
+            let neighbors: Vec<NodeId> = self.topology.out(proxy).iter().collect();
+            let queried: Vec<NodeId> = if self.config.use_digests {
+                // Query only digest-positive siblings (no digest yet =
+                // positive: better to over-query than go dark at startup).
+                let (positive, negative): (Vec<NodeId>, Vec<NodeId>) =
+                    neighbors.iter().partition(|&&q| {
+                        self.digests[q.index()]
+                            .as_ref()
+                            .is_none_or(|d| d.contains(page))
+                    });
+                self.metrics.digest_filtered += negative.len() as u64;
+                for &q in &negative {
+                    if self.proxies[q.index()].cache.peek(page) {
+                        self.metrics.digest_stale_misses += 1;
+                    }
+                }
+                for &q in &positive {
+                    if !self.proxies[q.index()].cache.peek(page) {
+                        self.metrics.digest_false_positives += 1;
+                    }
+                }
+                positive
+            } else {
+                neighbors
+            };
+            self.metrics.messages.add(hour, queried.len() as f64);
+            let holder = queried.iter().copied().find(|&q| {
+                self.up[q.index()] && self.proxies[q.index()].cache.peek(page)
+            });
+            match holder {
+                Some(q) => {
+                    let rtt = self.jittered(self.config.sibling_delay).saturating_mul(2);
+                    let ms = rtt.as_millis() as f64;
+                    self.metrics.neighbor_hits.incr(hour);
+                    self.record_latency(now, ms);
+                    if self.config.mode == CacheMode::Dynamic {
+                        // Benefit: pages served per second of latency
+                        // (latency-normalised score, cumulative ranking).
+                        self.proxies[i].stats.record_reply(ReplyObservation {
+                            from: q,
+                            bandwidth: None,
+                            score: 1.0 / (ms / 1_000.0).max(1e-3),
+                            latency_ms: ms,
+                            at: now,
+                        });
+                    }
+                    sched.after(rtt, CacheEvent::FetchComplete { proxy, page });
+                }
+                None => {
+                    let rtt = self.jittered(self.config.origin_delay).saturating_mul(2);
+                    self.metrics.origin_fetches.incr(hour);
+                    self.record_latency(now, rtt.as_millis() as f64);
+                    sched.after(rtt, CacheEvent::FetchComplete { proxy, page });
+                }
+            }
+        }
+
+        if self.config.mode == CacheMode::Dynamic {
+            self.proxies[i].explorer.on_request();
+            if self.proxies[i].explorer.should_fire(now) {
+                self.explore(proxy, sched);
+            }
+            self.proxies[i].requests_since_update += 1;
+            if self.proxies[i].requests_since_update >= self.config.update_threshold {
+                self.update_neighbors(proxy);
+            }
+        }
+    }
+
+    /// Algo 2: probe random non-neighbor proxies; replies return
+    /// summarized information (overlap with our recent misses).
+    fn explore(&mut self, proxy: NodeId, sched: &mut Scheduler<'_, CacheEvent>) {
+        self.metrics.explorations += 1;
+        let hour = sched.now().as_hours() as usize;
+        let n = self.config.proxies;
+        for _ in 0..self.config.probe_fanout {
+            let q = NodeId::from_index(self.rng.gen_range(0..n));
+            if q == proxy || self.topology.out(proxy).contains(q) {
+                continue;
+            }
+            self.metrics.messages.incr(hour);
+            let rtt = self.jittered(self.config.sibling_delay).saturating_mul(2);
+            sched.after(rtt, CacheEvent::ProbeReply { to: proxy, from: q });
+        }
+    }
+
+    /// A probe reply: score the probed proxy by how many of our recent
+    /// misses it could have served ("summarized information", Algo 2).
+    fn probe_reply(&mut self, to: NodeId, from: NodeId, now: SimTime) {
+        if !self.up[from.index()] || !self.up[to.index()] {
+            return; // either end is down: the probe went unanswered
+        }
+        let i = to.index();
+        let overlap = self.proxies[i]
+            .recent_misses
+            .iter()
+            .filter(|&&page| self.proxies[from.index()].cache.peek(page))
+            .count();
+        if overlap == 0 {
+            return; // nothing learned worth recording
+        }
+        let ms = (self.config.sibling_delay.as_millis() * 2) as f64;
+        // Same units as the serve score: pages-per-second-of-latency, with
+        // the overlap fraction standing in for observed serves.
+        let frac = overlap as f64 / self.config.miss_history.max(1) as f64;
+        self.proxies[i].stats.record_reply(ReplyObservation {
+            from,
+            bandwidth: None,
+            score: frac * self.config.update_threshold as f64 / (ms / 1_000.0).max(1e-3),
+            latency_ms: ms,
+            at: now,
+        });
+    }
+
+    /// Algo 3 (pure asymmetric): rewrite the outgoing list from the
+    /// statistics — no agreement protocol needed.
+    fn update_neighbors(&mut self, proxy: NodeId) {
+        let i = proxy.index();
+        self.proxies[i].requests_since_update = 0;
+        self.metrics.updates += 1;
+        let plan = {
+            let up = &self.up;
+            plan_asymmetric_update(
+                self.topology.out(proxy).as_slice(),
+                &self.proxies[i].stats,
+                &CumulativeBenefit,
+                self.config.out_degree,
+                |m| m != proxy && up[m.index()],
+            )
+        };
+        for e in &plan.evict {
+            self.topology.remove_edge(proxy, *e);
+            self.metrics.edges_changed += 1;
+        }
+        for a in &plan.add {
+            if self.topology.add_edge(proxy, *a).is_ok() {
+                self.metrics.edges_changed += 1;
+            }
+        }
+        // Top up with random proxies if the plan under-filled (early runs
+        // with sparse statistics).
+        let n = self.config.proxies;
+        let mut guard = 0;
+        while self.topology.out(proxy).len() < self.config.out_degree && guard < 10 * n {
+            let q = NodeId::from_index(self.rng.gen_range(0..n));
+            if q != proxy {
+                let _ = self.topology.add_edge(proxy, q);
+            }
+            guard += 1;
+        }
+    }
+}
+
+impl World for WebCacheWorld {
+    type Event = CacheEvent;
+
+    fn handle(&mut self, now: SimTime, event: CacheEvent, sched: &mut Scheduler<'_, CacheEvent>) {
+        match event {
+            CacheEvent::Request { proxy } => self.handle_request(proxy, sched),
+            CacheEvent::FetchComplete { proxy, page } => {
+                self.proxies[proxy.index()].cache.insert(page);
+            }
+            CacheEvent::ProbeReply { to, from } => self.probe_reply(to, from, now),
+            CacheEvent::DigestRefresh { proxy } => {
+                if self.up[proxy.index()] {
+                    self.publish_digest(proxy);
+                }
+                sched.after(self.config.digest_refresh, CacheEvent::DigestRefresh { proxy });
+            }
+            CacheEvent::ProxyToggle { proxy } => {
+                let i = proxy.index();
+                if self.up[i] {
+                    // Going down.
+                    self.up[i] = false;
+                    let d = self.exp_duration(self.config.mean_downtime);
+                    sched.after(d, CacheEvent::ProxyToggle { proxy });
+                } else {
+                    // Restart: cold cache, no statistics (a fresh Squid
+                    // process remembers nothing).
+                    self.up[i] = true;
+                    self.metrics.restarts += 1;
+                    let cap = self.config.cache_capacity;
+                    self.proxies[i].cache = LruCache::new(cap);
+                    self.proxies[i].stats = StatsStore::new();
+                    self.proxies[i].recent_misses.clear();
+                    let mean_up = self
+                        .config
+                        .mean_uptime
+                        .expect("toggle events only exist with churn enabled");
+                    let d = self.exp_duration(mean_up);
+                    sched.after(d, CacheEvent::ProxyToggle { proxy });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_starts_with_full_out_degree() {
+        let w = WebCacheWorld::new(WebCacheConfig::default_scenario(CacheMode::Static));
+        for p in 0..w.config().proxies {
+            assert_eq!(w.topology().out(NodeId::from_index(p)).len(), 3);
+        }
+        assert!(w.topology().check_consistency().is_empty());
+    }
+
+    #[test]
+    fn initial_same_group_fraction_is_near_chance() {
+        let w = WebCacheWorld::new(WebCacheConfig::default_scenario(CacheMode::Dynamic));
+        let f = w.same_group_edge_fraction();
+        // chance level: 7 same-group peers of 63 ≈ 0.111
+        assert!(f < 0.3, "suspiciously clustered initial overlay: {f}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Proxy churn: restarts with cold caches and lost statistics — the
+//! ad-hoc, highly dynamic participation of paper §2 applied to the
+//! asymmetric case study.
+
+use ddr_sim::SimDuration;
+use ddr_webcache::{run_webcache, CacheMode, WebCacheConfig};
+
+fn base(mode: CacheMode, churn: bool) -> WebCacheConfig {
+    let mut c = WebCacheConfig::default_scenario(mode);
+    c.proxies = 32;
+    c.groups = 4;
+    c.pages_per_group = 4_000;
+    c.global_pages = 4_000;
+    c.cache_capacity = 500;
+    c.sim_hours = 6;
+    c.warmup_hours = 1;
+    c.mean_request_interval = SimDuration::from_millis(1_000);
+    if churn {
+        c.mean_uptime = Some(SimDuration::from_mins(45));
+        c.mean_downtime = SimDuration::from_mins(5);
+    }
+    c.seed = 91;
+    c
+}
+
+#[test]
+fn churn_runs_and_accounts_restarts() {
+    let r = run_webcache(base(CacheMode::Dynamic, true));
+    assert!(r.metrics.restarts > 0, "no restarts under churn");
+    assert!(r.metrics.requests_lost > 0, "downtime never lost a request");
+    // accounting still balances on the served requests
+    let served = r.requests();
+    let breakdown = r.local_hit_ratio() + r.neighbor_hit_ratio() + r.origin_ratio();
+    assert!(served > 0.0);
+    assert!((breakdown - 1.0).abs() < 1e-9, "hit/miss accounting leak: {breakdown}");
+}
+
+#[test]
+fn churn_degrades_but_does_not_break_cooperation() {
+    let calm = run_webcache(base(CacheMode::Dynamic, false));
+    let churned = run_webcache(base(CacheMode::Dynamic, true));
+    // cold caches cost hits...
+    assert!(
+        churned.local_hit_ratio() < calm.local_hit_ratio(),
+        "cold restarts should cost local hits: {} vs {}",
+        churned.local_hit_ratio(),
+        calm.local_hit_ratio()
+    );
+    // ...but cooperation keeps functioning
+    assert!(churned.neighbor_hit_ratio() > 0.02);
+}
+
+#[test]
+fn dynamic_still_beats_static_under_churn() {
+    let s = run_webcache(base(CacheMode::Static, true));
+    let d = run_webcache(base(CacheMode::Dynamic, true));
+    assert!(
+        d.neighbor_hit_ratio() > s.neighbor_hit_ratio(),
+        "churn broke the dynamic advantage: {} vs {}",
+        d.neighbor_hit_ratio(),
+        s.neighbor_hit_ratio()
+    );
+    assert!(d.mean_latency_ms() < s.mean_latency_ms());
+}
+
+#[test]
+fn churn_is_deterministic() {
+    let a = run_webcache(base(CacheMode::Dynamic, true));
+    let b = run_webcache(base(CacheMode::Dynamic, true));
+    assert_eq!(a.metrics.restarts, b.metrics.restarts);
+    assert_eq!(a.requests(), b.requests());
+    assert_eq!(a.neighbor_hit_ratio(), b.neighbor_hit_ratio());
+}

@@ -1,0 +1,93 @@
+//! Integration tests for digest-guided sibling queries.
+
+use ddr_sim::SimDuration;
+use ddr_webcache::{run_webcache, CacheMode, WebCacheConfig};
+
+fn base(mode: CacheMode, use_digests: bool) -> WebCacheConfig {
+    let mut c = WebCacheConfig::default_scenario(mode);
+    c.proxies = 32;
+    c.groups = 4;
+    c.pages_per_group = 4_000;
+    c.global_pages = 4_000;
+    c.cache_capacity = 500;
+    c.sim_hours = 6;
+    c.warmup_hours = 1;
+    c.mean_request_interval = SimDuration::from_millis(1_000);
+    c.use_digests = use_digests;
+    c.seed = 21;
+    c
+}
+
+#[test]
+fn digests_cut_query_messages() {
+    let plain = run_webcache(base(CacheMode::Static, false));
+    let digested = run_webcache(base(CacheMode::Static, true));
+    // Most local misses are misses at the siblings too, so digests filter
+    // the bulk of sibling queries.
+    assert!(
+        digested.metrics.messages.total() < plain.metrics.messages.total() * 0.6,
+        "digests barely filtered: {} vs {}",
+        digested.metrics.messages.total(),
+        plain.metrics.messages.total()
+    );
+    assert!(digested.metrics.digest_filtered > 0);
+}
+
+#[test]
+fn digests_preserve_most_sibling_hits() {
+    let plain = run_webcache(base(CacheMode::Static, false));
+    let digested = run_webcache(base(CacheMode::Static, true));
+    // Staleness loses a few sibling hits (pages cached since the last
+    // publication), but the vast majority survive.
+    assert!(
+        digested.neighbor_hit_ratio() > plain.neighbor_hit_ratio() * 0.75,
+        "digests destroyed sibling hits: {} vs {}",
+        digested.neighbor_hit_ratio(),
+        plain.neighbor_hit_ratio()
+    );
+}
+
+#[test]
+fn digest_error_accounting_is_sane() {
+    let r = run_webcache(base(CacheMode::Dynamic, true));
+    let m = &r.metrics;
+    // False positives happen (Bloom + staleness) but stay a small share
+    // of the filtered volume; stale misses exist but are rarer than
+    // successful filtering.
+    assert!(m.digest_false_positives > 0, "suspiciously perfect digests");
+    assert!(
+        m.digest_stale_misses < m.digest_filtered / 10,
+        "stale misses {} vs filtered {}",
+        m.digest_stale_misses,
+        m.digest_filtered
+    );
+}
+
+#[test]
+fn stale_digests_hurt() {
+    let mut fresh = base(CacheMode::Static, true);
+    fresh.digest_refresh = SimDuration::from_mins(5);
+    let mut stale = base(CacheMode::Static, true);
+    stale.digest_refresh = SimDuration::from_hours(3);
+    let fresh_r = run_webcache(fresh);
+    let stale_r = run_webcache(stale);
+    assert!(
+        stale_r.metrics.digest_stale_misses > fresh_r.metrics.digest_stale_misses,
+        "staleness had no effect: {} vs {}",
+        stale_r.metrics.digest_stale_misses,
+        fresh_r.metrics.digest_stale_misses
+    );
+}
+
+#[test]
+fn digests_compose_with_dynamic_mode() {
+    let s = run_webcache(base(CacheMode::Static, true));
+    let d = run_webcache(base(CacheMode::Dynamic, true));
+    assert!(
+        d.neighbor_hit_ratio() > s.neighbor_hit_ratio(),
+        "dynamic + digests lost its edge: {} vs {}",
+        d.neighbor_hit_ratio(),
+        s.neighbor_hit_ratio()
+    );
+    assert!(d.same_group_fraction > s.same_group_fraction);
+}

@@ -1,0 +1,130 @@
+//! User churn: alternating online/offline periods, both exponentially
+//! distributed with mean 3 hours (paper §4.2), so on average half the
+//! population (≈ 1 000 of 2 000 users) is online at any instant.
+
+use crate::config::WorkloadConfig;
+use crate::dist::Exponential;
+use ddr_sim::{RngFactory, SimDuration};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The churn process for one user: an alternating renewal process.
+#[derive(Debug)]
+pub struct ChurnProcess {
+    online_dist: Exponential,
+    offline_dist: Exponential,
+    rng: SmallRng,
+    online: bool,
+}
+
+impl ChurnProcess {
+    /// Create the process for `user`, drawing its initial state with equal
+    /// probability (the stationary distribution when both means are equal;
+    /// for unequal means the stationary online probability is
+    /// `mean_online / (mean_online + mean_offline)`, which is what we use).
+    pub fn new(config: &WorkloadConfig, rngs: &RngFactory, user: u64) -> Self {
+        let mut rng = rngs.stream("churn", user);
+        let on = config.mean_online.as_millis() as f64;
+        let off = config.mean_offline.as_millis() as f64;
+        let p_online = on / (on + off);
+        let online = rng.gen::<f64>() < p_online;
+        ChurnProcess {
+            online_dist: Exponential::from_mean(on),
+            offline_dist: Exponential::from_mean(off),
+            rng,
+            online,
+        }
+    }
+
+    /// Whether the user is currently online.
+    pub fn online(&self) -> bool {
+        self.online
+    }
+
+    /// Duration until the next state toggle, and flip the state. The
+    /// exponential's memorylessness makes the initial residual time
+    /// identically distributed to a full period, so no special-casing of
+    /// the first interval is needed for stationarity.
+    pub fn next_toggle(&mut self) -> SimDuration {
+        let ms = if self.online {
+            self.online_dist.sample(&mut self.rng)
+        } else {
+            self.offline_dist.sample(&mut self.rng)
+        };
+        self.online = !self.online;
+        SimDuration::from_millis(ms.max(1.0) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WorkloadConfig {
+        WorkloadConfig::paper()
+    }
+
+    #[test]
+    fn initial_state_is_roughly_half_online() {
+        let rngs = RngFactory::new(1);
+        let online = (0..4_000)
+            .filter(|&u| ChurnProcess::new(&cfg(), &rngs, u).online())
+            .count();
+        assert!((1_850..=2_150).contains(&online), "online {online}/4000");
+    }
+
+    #[test]
+    fn toggle_flips_state() {
+        let rngs = RngFactory::new(2);
+        let mut p = ChurnProcess::new(&cfg(), &rngs, 0);
+        let before = p.online();
+        let d = p.next_toggle();
+        assert_ne!(before, p.online());
+        assert!(d >= SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn mean_session_length_close_to_3h() {
+        let rngs = RngFactory::new(3);
+        let mut p = ChurnProcess::new(&cfg(), &rngs, 5);
+        // Force into online state for measuring online periods.
+        if !p.online() {
+            p.next_toggle();
+        }
+        let n = 20_000;
+        let mut sum_ms = 0u64;
+        for _ in 0..n {
+            // online -> offline toggle samples an online duration
+            sum_ms += p.next_toggle().as_millis();
+            // skip the offline period
+            p.next_toggle();
+        }
+        let mean_h = sum_ms as f64 / n as f64 / 3_600_000.0;
+        assert!((2.9..3.1).contains(&mean_h), "mean online {mean_h} h");
+    }
+
+    #[test]
+    fn asymmetric_means_shift_stationary_probability() {
+        let config = WorkloadConfig {
+            mean_online: SimDuration::from_hours(1),
+            mean_offline: SimDuration::from_hours(3),
+            ..cfg()
+        };
+        let rngs = RngFactory::new(4);
+        let online = (0..8_000)
+            .filter(|&u| ChurnProcess::new(&config, &rngs, u).online())
+            .count();
+        // expected 25 %
+        assert!((1_800..=2_200).contains(&online), "online {online}/8000");
+    }
+
+    #[test]
+    fn processes_are_deterministic_per_user() {
+        let rngs = RngFactory::new(5);
+        let mut a = ChurnProcess::new(&cfg(), &rngs, 9);
+        let mut b = ChurnProcess::new(&cfg(), &rngs, 9);
+        for _ in 0..100 {
+            assert_eq!(a.next_toggle(), b.next_toggle());
+        }
+    }
+}

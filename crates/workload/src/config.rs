@@ -1,0 +1,185 @@
+//! Workload configuration with the paper's defaults (§4.2) and knobs for
+//! sensitivity experiments.
+
+use ddr_sim::SimDuration;
+
+/// All workload parameters for one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of users (paper: 2 000).
+    pub users: usize,
+    /// Distinct songs in the search space (paper: 200 000).
+    pub songs: u32,
+    /// Music categories/genres (paper: 50).
+    pub categories: u16,
+    /// Zipf exponent for both song popularity and user-to-category
+    /// assignment (paper: 0.9).
+    pub theta: f64,
+    /// Mean library size (paper: Gaussian mean 200).
+    pub library_mean: f64,
+    /// Library size standard deviation (paper: 50).
+    pub library_std: f64,
+    /// Fraction of a library (and of queries) devoted to the favourite
+    /// category (paper: 50 %).
+    pub favorite_fraction: f64,
+    /// Number of secondary categories per user (paper: 5, at 10 % each).
+    pub secondary_categories: usize,
+    /// Mean online-session length (paper: exponential, 3 h).
+    pub mean_online: SimDuration,
+    /// Mean offline period (paper: exponential, 3 h).
+    pub mean_offline: SimDuration,
+    /// Mean time between queries while online. The paper states users
+    /// query "with the same frequency" but omits the rate; this default is
+    /// calibrated so static-Gnutella hits/messages land in the paper's
+    /// reported per-hour ranges (see EXPERIMENTS.md "Calibration").
+    pub mean_query_interval: SimDuration,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig::paper()
+    }
+}
+
+impl WorkloadConfig {
+    /// The paper's settings.
+    pub fn paper() -> Self {
+        WorkloadConfig {
+            users: 2_000,
+            songs: 200_000,
+            categories: 50,
+            theta: 0.9,
+            library_mean: 200.0,
+            library_std: 50.0,
+            favorite_fraction: 0.5,
+            secondary_categories: 5,
+            mean_online: SimDuration::from_hours(3),
+            mean_offline: SimDuration::from_hours(3),
+            mean_query_interval: SimDuration::from_mins(6),
+        }
+    }
+
+    /// A proportionally scaled-down configuration for tests and benches:
+    /// `scale` divides users and songs, keeping densities (library size,
+    /// categories, rates) identical so protocol behaviour is preserved.
+    ///
+    /// # Panics
+    /// Panics unless `scale` divides the user and song counts and leaves
+    /// songs divisible by categories.
+    pub fn paper_scaled(scale: u32) -> Self {
+        let base = WorkloadConfig::paper();
+        assert!(scale >= 1);
+        assert_eq!(base.users % scale as usize, 0);
+        assert_eq!(base.songs % scale, 0);
+        let songs = base.songs / scale;
+        assert_eq!(songs % base.categories as u32, 0, "scale breaks category division");
+        WorkloadConfig {
+            users: base.users / scale as usize,
+            songs,
+            ..base
+        }
+    }
+
+    /// Validate internal consistency; returns a description of the first
+    /// violated constraint. Called by scenario builders before running.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.users == 0 {
+            return Err("users must be positive".into());
+        }
+        if self.songs == 0 || self.categories == 0 {
+            return Err("songs and categories must be positive".into());
+        }
+        if !self.songs.is_multiple_of(self.categories as u32) {
+            return Err(format!(
+                "songs ({}) must divide evenly into categories ({})",
+                self.songs, self.categories
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.favorite_fraction) {
+            return Err(format!("favorite_fraction {} out of [0,1]", self.favorite_fraction));
+        }
+        if self.secondary_categories + 1 > self.categories as usize {
+            return Err(format!(
+                "need {} categories but have {}",
+                self.secondary_categories + 1,
+                self.categories
+            ));
+        }
+        if self.library_mean <= 0.0 {
+            return Err("library_mean must be positive".into());
+        }
+        let per_cat = (self.songs / self.categories as u32) as f64;
+        // The favourite share of the largest plausible library must fit in
+        // one category (sampling is without replacement).
+        let max_lib = self.library_mean + 4.0 * self.library_std;
+        if max_lib * self.favorite_fraction > per_cat {
+            return Err(format!(
+                "libraries too large for category size ({} > {per_cat})",
+                max_lib * self.favorite_fraction
+            ));
+        }
+        if self.mean_query_interval == SimDuration::ZERO {
+            return Err("mean_query_interval must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_4_2() {
+        let c = WorkloadConfig::paper();
+        assert_eq!(c.users, 2_000);
+        assert_eq!(c.songs, 200_000);
+        assert_eq!(c.categories, 50);
+        assert_eq!(c.theta, 0.9);
+        assert_eq!(c.library_mean, 200.0);
+        assert_eq!(c.library_std, 50.0);
+        assert_eq!(c.favorite_fraction, 0.5);
+        assert_eq!(c.secondary_categories, 5);
+        assert_eq!(c.mean_online, SimDuration::from_hours(3));
+        assert_eq!(c.mean_offline, SimDuration::from_hours(3));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn scaled_config_preserves_densities() {
+        let c = WorkloadConfig::paper_scaled(10);
+        assert_eq!(c.users, 200);
+        assert_eq!(c.songs, 20_000);
+        assert_eq!(c.categories, 50);
+        assert_eq!(c.library_mean, 200.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_bad_division() {
+        let c = WorkloadConfig {
+            songs: 100_001,
+            ..WorkloadConfig::paper()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_too_few_categories() {
+        let c = WorkloadConfig {
+            categories: 5,
+            songs: 200_000,
+            ..WorkloadConfig::paper()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_oversized_libraries() {
+        let c = WorkloadConfig {
+            library_mean: 10_000.0,
+            ..WorkloadConfig::paper()
+        };
+        assert!(c.validate().is_err());
+    }
+}

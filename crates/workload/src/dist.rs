@@ -1,0 +1,315 @@
+//! Distribution samplers used by the synthetic workload.
+//!
+//! All samplers take `&mut impl Rng` so callers control stream identity
+//! (see `ddr_sim::RngFactory`); none keep mutable state of their own, so a
+//! single instance can be shared across threads in parameter sweeps.
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `0..n` with exponent θ:
+/// `P(rank = k) ∝ 1 / (k+1)^θ`.
+///
+/// Sampling is inverse-CDF via binary search on a precomputed table —
+/// O(n) construction, O(log n) per sample, exact (no rejection).
+///
+/// ```
+/// use ddr_workload::Zipf;
+/// use ddr_sim::RngFactory;
+///
+/// let z = Zipf::new(1_000, 0.9);
+/// assert!(z.pmf(0) > z.pmf(100), "head ranks carry more mass");
+/// let mut rng = RngFactory::new(1).stream("demo", 0);
+/// let rank = z.sample(&mut rng);
+/// assert!(rank < 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// cdf[k] = P(rank <= k); cdf[n-1] == 1.0 (up to fp rounding, forced).
+    cdf: Vec<f64>,
+    theta: f64,
+}
+
+impl Zipf {
+    /// Build a Zipf(θ) sampler over `n` ranks.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or θ is negative/non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf over an empty domain");
+        assert!(theta.is_finite() && theta >= 0.0, "invalid theta: {theta}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Defend the binary search against fp rounding at the top end.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf, theta }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the domain is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The exponent θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Draw a rank in `0..n`; rank 0 is the most popular.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // First index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u)
+    }
+
+    /// Draw `k` *distinct* ranks (popularity-weighted sampling without
+    /// replacement, by rejection). `k` must not exceed the domain size.
+    ///
+    /// Rejection is efficient here because the workload draws ≪ n ranks
+    /// per category (≈ 100 of 4 000); a safety valve falls back to filling
+    /// with the lowest unused ranks if rejection stalls (possible only for
+    /// extreme θ where the head dominates).
+    pub fn sample_distinct<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<usize> {
+        assert!(k <= self.len(), "cannot draw {k} distinct of {}", self.len());
+        let mut chosen = ddr_sim::hash::fast_set();
+        let mut out = Vec::with_capacity(k);
+        let mut stall = 0usize;
+        let stall_limit = 50 * k.max(8);
+        while out.len() < k {
+            let r = self.sample(rng);
+            if chosen.insert(r) {
+                out.push(r);
+                stall = 0;
+            } else {
+                stall += 1;
+                if stall > stall_limit {
+                    // Fill deterministically with the most popular unused
+                    // ranks; hit only under degenerate θ.
+                    for r in 0..self.len() {
+                        if out.len() == k {
+                            break;
+                        }
+                        if chosen.insert(r) {
+                            out.push(r);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Gaussian(μ, σ) truncated to `[lo, hi]` by clamping (the workload uses
+/// it for library sizes, where the tails are irrelevant).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedGaussian {
+    pub mean: f64,
+    pub std: f64,
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl TruncatedGaussian {
+    /// Construct; panics if the interval is empty or σ < 0.
+    pub fn new(mean: f64, std: f64, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+        assert!(std >= 0.0, "negative std");
+        TruncatedGaussian { mean, std, lo, hi }
+    }
+
+    /// One sample (Box–Muller + clamp).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let z = standard_normal(rng);
+        (self.mean + z * self.std).clamp(self.lo, self.hi)
+    }
+
+    /// One sample rounded to the nearest non-negative integer.
+    pub fn sample_count<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.sample(rng).round().max(0.0) as usize
+    }
+}
+
+/// One standard-normal sample via Box–Muller (cosine branch). A sibling of
+/// `ddr_net::latency::standard_normal`, duplicated rather than shared so the
+/// workload and network crates stay independent in the dependency graph.
+#[inline]
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Exponential distribution with the given mean (inverse-CDF sampling).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Construct from the mean (must be positive and finite).
+    pub fn from_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "invalid mean: {mean}");
+        Exponential { mean }
+    }
+
+    /// The configured mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// One sample (non-negative).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u in (0, 1]: avoids ln(0).
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -self.mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_cdf_monotone_and_normalised() {
+        let z = Zipf::new(1_000, 0.9);
+        let mut prev = 0.0;
+        for k in 0..z.len() {
+            let c = prev + z.pmf(k);
+            assert!(z.pmf(k) > 0.0);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!((prev - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_head_dominates() {
+        let z = Zipf::new(4_000, 0.9);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(100));
+        // rank-0 mass for n=4000, θ=0.9 is a few permil, far above uniform
+        assert!(z.pmf(0) > 10.0 / 4_000.0);
+    }
+
+    #[test]
+    fn zipf_sampling_matches_pmf_roughly() {
+        let z = Zipf::new(100, 0.9);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 200_000;
+        let mut counts = vec![0u32; 100];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let f0 = counts[0] as f64 / n as f64;
+        assert!((f0 - z.pmf(0)).abs() < 0.01, "rank0 {f0} vs {}", z.pmf(0));
+        // Monotonic-ish on the head
+        assert!(counts[0] > counts[10]);
+        assert!(counts[1] > counts[50]);
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_distinct_has_no_duplicates_and_right_size() {
+        let z = Zipf::new(4_000, 0.9);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let picks = z.sample_distinct(&mut rng, 100);
+        assert_eq!(picks.len(), 100);
+        let set: std::collections::HashSet<_> = picks.iter().collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn zipf_distinct_full_domain() {
+        let z = Zipf::new(16, 1.2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut picks = z.sample_distinct(&mut rng, 16);
+        picks.sort_unstable();
+        assert_eq!(picks, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn zipf_empty_panics() {
+        let _ = Zipf::new(0, 0.9);
+    }
+
+    #[test]
+    fn gaussian_respects_bounds_and_mean() {
+        let g = TruncatedGaussian::new(200.0, 50.0, 1.0, 400.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = g.sample(&mut rng);
+            assert!((1.0..=400.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((195.0..205.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn gaussian_count_is_nonnegative_integerised() {
+        let g = TruncatedGaussian::new(2.0, 5.0, -10.0, 10.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            let _c: usize = g.sample_count(&mut rng); // must not panic/underflow
+        }
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let e = Exponential::from_mean(3.0 * 3_600.0);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let n = 100_000;
+        let mean = (0..n).map(|_| e.sample(&mut rng)).sum::<f64>() / n as f64;
+        let rel = (mean - e.mean()).abs() / e.mean();
+        assert!(rel < 0.02, "relative error {rel}");
+    }
+
+    #[test]
+    fn exponential_nonnegative() {
+        let e = Exponential::from_mean(1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(e.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid mean")]
+    fn exponential_rejects_zero_mean() {
+        let _ = Exponential::from_mean(0.0);
+    }
+}

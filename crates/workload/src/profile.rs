@@ -1,0 +1,286 @@
+//! Per-user profiles: favourite/secondary categories and music libraries
+//! (paper §4.2).
+//!
+//! "Each user has a favorite category (e.g., rock), and 50% of his songs
+//! belong to this category. The other 50% of the songs are selected from 5
+//! other random categories (with a 10% contribution from each category).
+//! The selection of the individual songs is based on the popularity of the
+//! song inside its category. … The assignment of users into categories is
+//! also performed according to Zipf's law with parameter θ = 0.9."
+
+use crate::catalog::{Catalog, CategoryId};
+use crate::config::WorkloadConfig;
+use crate::dist::TruncatedGaussian;
+use ddr_sim::{FastHashSet, ItemId, NodeId, RngFactory};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One user's static profile: preferences plus library contents.
+#[derive(Debug, Clone)]
+pub struct UserProfile {
+    /// The user's id.
+    pub node: NodeId,
+    /// Favourite category (50 % of library and queries).
+    pub favorite: CategoryId,
+    /// The other categories this user draws from (10 % each).
+    pub secondary: Vec<CategoryId>,
+    /// Library contents, sorted by id for binary-search membership tests.
+    library: Vec<ItemId>,
+}
+
+impl UserProfile {
+    /// Number of songs in the library.
+    pub fn library_size(&self) -> usize {
+        self.library.len()
+    }
+
+    /// Whether the user stores `item` locally.
+    #[inline]
+    pub fn has(&self, item: ItemId) -> bool {
+        self.library.binary_search(&item).is_ok()
+    }
+
+    /// Library contents (sorted by id).
+    pub fn library(&self) -> &[ItemId] {
+        &self.library
+    }
+
+    /// Category sampled according to this user's preference mix: the
+    /// favourite with probability `favorite_fraction`, otherwise uniform
+    /// over the secondary categories ("the category in which a query falls
+    /// matches the distribution of the user's preferences").
+    pub fn sample_preferred_category<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        favorite_fraction: f64,
+    ) -> CategoryId {
+        if self.secondary.is_empty() || rng.gen::<f64>() < favorite_fraction {
+            self.favorite
+        } else {
+            self.secondary[rng.gen_range(0..self.secondary.len())]
+        }
+    }
+}
+
+/// Generate all user profiles for a run. Deterministic in `(config, rngs)`;
+/// each user has an independent RNG stream so profiles are insensitive to
+/// generation order.
+pub fn generate_profiles(config: &WorkloadConfig, catalog: &Catalog, rngs: &RngFactory) -> Vec<UserProfile> {
+    config.validate().expect("invalid workload config");
+    let lib_dist = TruncatedGaussian::new(
+        config.library_mean,
+        config.library_std,
+        // At least one song per drawn category so every slice is non-empty.
+        (config.secondary_categories + 1) as f64,
+        // Cap so the favourite share always fits within one category.
+        (catalog.per_category() as f64 / config.favorite_fraction.max(0.05)).min(config.library_mean + 4.0 * config.library_std),
+    );
+
+    (0..config.users)
+        .map(|i| {
+            let mut rng = rngs.stream("profile", i as u64);
+            let favorite = catalog.sample_category(&mut rng);
+
+            // 5 other *random* categories, distinct from the favourite and
+            // from each other (uniform choice: the paper says "random", not
+            // popularity-weighted).
+            let mut pool: Vec<u16> = (0..catalog.categories()).filter(|&c| c != favorite.0).collect();
+            pool.shuffle(&mut rng);
+            let secondary: Vec<CategoryId> = pool
+                .into_iter()
+                .take(config.secondary_categories)
+                .map(CategoryId)
+                .collect();
+
+            let total = lib_dist.sample_count(&mut rng).max(config.secondary_categories + 1);
+            let favorite_count =
+                ((total as f64 * config.favorite_fraction).round() as usize).min(total);
+            let per_secondary = if secondary.is_empty() {
+                0
+            } else {
+                (total - favorite_count) / secondary.len()
+            };
+
+            let mut library: Vec<ItemId> = Vec::with_capacity(total);
+            library.extend(catalog.sample_distinct_songs(&mut rng, favorite, favorite_count));
+            for &cat in &secondary {
+                library.extend(catalog.sample_distinct_songs(&mut rng, cat, per_secondary));
+            }
+            library.sort_unstable();
+            debug_assert!(no_duplicates(&library));
+
+            UserProfile {
+                node: NodeId::from_index(i),
+                favorite,
+                secondary,
+                library,
+            }
+        })
+        .collect()
+}
+
+fn no_duplicates(sorted: &[ItemId]) -> bool {
+    sorted.windows(2).all(|w| w[0] != w[1])
+}
+
+/// Build the inverted index `item → holders` used by oracle-style checks
+/// (e.g. "was this query satisfiable at all?") and by the local-indices
+/// search policy.
+pub fn invert_libraries(profiles: &[UserProfile]) -> ddr_sim::FastHashMap<ItemId, Vec<NodeId>> {
+    let mut idx: ddr_sim::FastHashMap<ItemId, Vec<NodeId>> = ddr_sim::hash::fast_map();
+    for p in profiles {
+        for &item in p.library() {
+            idx.entry(item).or_default().push(p.node);
+        }
+    }
+    idx
+}
+
+/// Distinct items across all libraries (diagnostics: the paper's network
+/// holds ≈ 400 000 song *copies* of 200 000 distinct songs).
+pub fn distinct_items(profiles: &[UserProfile]) -> usize {
+    let mut set: FastHashSet<ItemId> = ddr_sim::hash::fast_set();
+    for p in profiles {
+        set.extend(p.library().iter().copied());
+    }
+    set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_setup() -> (WorkloadConfig, Catalog) {
+        let cfg = WorkloadConfig {
+            users: 100,
+            songs: 10_000,
+            categories: 50,
+            ..WorkloadConfig::paper()
+        };
+        let cat = Catalog::new(cfg.songs, cfg.categories, cfg.theta);
+        (cfg, cat)
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let (cfg, cat) = small_setup();
+        let rngs = RngFactory::new(77);
+        let a = generate_profiles(&cfg, &cat, &rngs);
+        let b = generate_profiles(&cfg, &cat, &rngs);
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.favorite, pb.favorite);
+            assert_eq!(pa.library(), pb.library());
+        }
+    }
+
+    #[test]
+    fn library_composition_follows_fractions() {
+        let (cfg, cat) = small_setup();
+        let rngs = RngFactory::new(1);
+        let profiles = generate_profiles(&cfg, &cat, &rngs);
+        for p in &profiles {
+            let fav_count = p
+                .library()
+                .iter()
+                .filter(|&&i| cat.category_of(i) == p.favorite)
+                .count();
+            let frac = fav_count as f64 / p.library_size() as f64;
+            // 50 % ± rounding slack (integer division of the remainder)
+            assert!(
+                (0.40..=0.62).contains(&frac),
+                "favourite fraction {frac} for {}",
+                p.node
+            );
+            // all non-favourite songs belong to the declared secondaries
+            for &i in p.library() {
+                let c = cat.category_of(i);
+                assert!(c == p.favorite || p.secondary.contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn library_sizes_cluster_around_mean() {
+        let (cfg, cat) = small_setup();
+        let rngs = RngFactory::new(2);
+        let profiles = generate_profiles(&cfg, &cat, &rngs);
+        let mean =
+            profiles.iter().map(|p| p.library_size()).sum::<usize>() as f64 / profiles.len() as f64;
+        assert!((170.0..230.0).contains(&mean), "mean library size {mean}");
+    }
+
+    #[test]
+    fn secondary_categories_distinct_and_exclude_favorite() {
+        let (cfg, cat) = small_setup();
+        let rngs = RngFactory::new(3);
+        for p in generate_profiles(&cfg, &cat, &rngs) {
+            assert_eq!(p.secondary.len(), cfg.secondary_categories);
+            let set: std::collections::HashSet<_> = p.secondary.iter().collect();
+            assert_eq!(set.len(), p.secondary.len());
+            assert!(!p.secondary.contains(&p.favorite));
+        }
+    }
+
+    #[test]
+    fn membership_test_agrees_with_library() {
+        let (cfg, cat) = small_setup();
+        let rngs = RngFactory::new(4);
+        let profiles = generate_profiles(&cfg, &cat, &rngs);
+        let p = &profiles[0];
+        for &item in p.library().iter().take(20) {
+            assert!(p.has(item));
+        }
+        // An item from a category the user doesn't draw from is absent.
+        let foreign = (0..cfg.categories)
+            .map(CategoryId)
+            .find(|c| *c != p.favorite && !p.secondary.contains(c))
+            .unwrap();
+        assert!(!p.has(cat.item_at(foreign, 0)));
+    }
+
+    #[test]
+    fn preferred_category_mix_matches_fractions() {
+        let (cfg, cat) = small_setup();
+        let rngs = RngFactory::new(5);
+        let profiles = generate_profiles(&cfg, &cat, &rngs);
+        let p = &profiles[0];
+        let mut rng = rngs.stream("test", 0);
+        let n = 20_000;
+        let fav = (0..n)
+            .filter(|_| p.sample_preferred_category(&mut rng, 0.5) == p.favorite)
+            .count();
+        let frac = fav as f64 / n as f64;
+        assert!((0.47..0.53).contains(&frac), "favourite query share {frac}");
+    }
+
+    #[test]
+    fn inverted_index_consistent() {
+        let (cfg, cat) = small_setup();
+        let rngs = RngFactory::new(6);
+        let profiles = generate_profiles(&cfg, &cat, &rngs);
+        let idx = invert_libraries(&profiles);
+        let total: usize = idx.values().map(|v| v.len()).sum();
+        assert_eq!(total, profiles.iter().map(|p| p.library_size()).sum::<usize>());
+        assert_eq!(idx.len(), distinct_items(&profiles));
+        // Spot check membership agreement.
+        for p in profiles.iter().take(5) {
+            for &item in p.library().iter().take(5) {
+                assert!(idx[&item].contains(&p.node));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_scale_totals_match_abstract_numbers() {
+        // Full-scale generation: ~400k copies of 200k distinct songs.
+        let cfg = WorkloadConfig::paper();
+        let cat = Catalog::paper();
+        let rngs = RngFactory::new(7);
+        let profiles = generate_profiles(&cfg, &cat, &rngs);
+        let copies: usize = profiles.iter().map(|p| p.library_size()).sum();
+        assert!(
+            (380_000..=420_000).contains(&copies),
+            "total copies {copies} should be ≈ 400 000"
+        );
+    }
+}

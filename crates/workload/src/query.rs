@@ -1,0 +1,158 @@
+//! Query generation (paper §4.2): while online, each user issues queries
+//! with exponentially-distributed inter-arrival times; the queried category
+//! follows the user's preference mix and the song follows within-category
+//! popularity. Each query requests exactly one song.
+
+use crate::catalog::Catalog;
+use crate::config::WorkloadConfig;
+use crate::dist::Exponential;
+use crate::profile::UserProfile;
+use ddr_sim::{ItemId, RngFactory, SimDuration};
+use rand::rngs::SmallRng;
+
+/// Per-user query stream.
+#[derive(Debug)]
+pub struct QueryGenerator {
+    interval: Exponential,
+    favorite_fraction: f64,
+    /// Skip songs already in the local library (a user searches the network
+    /// for content they do *not* have; local hits would trivially satisfy
+    /// Algo 1's "satisfied locally" branch and never enter the network).
+    skip_local: bool,
+    rng: SmallRng,
+}
+
+impl QueryGenerator {
+    /// Create the stream for `user`.
+    pub fn new(config: &WorkloadConfig, rngs: &RngFactory, user: u64) -> Self {
+        QueryGenerator {
+            interval: Exponential::from_mean(config.mean_query_interval.as_millis() as f64),
+            favorite_fraction: config.favorite_fraction,
+            skip_local: true,
+            rng: rngs.stream("query", user),
+        }
+    }
+
+    /// Allow queries for locally-stored songs (used by tests that exercise
+    /// the local-satisfaction branch of the search algorithm).
+    pub fn allow_local(mut self) -> Self {
+        self.skip_local = false;
+        self
+    }
+
+    /// Time until this user's next query.
+    pub fn next_interval(&mut self) -> SimDuration {
+        SimDuration::from_millis(self.interval.sample(&mut self.rng).max(1.0) as u64)
+    }
+
+    /// Draw the next query target for `profile`.
+    pub fn next_target(&mut self, catalog: &Catalog, profile: &UserProfile) -> ItemId {
+        // Resampling bound: libraries hold ≈ 100 of 4 000 songs per drawn
+        // category, so a local hit happens ≲ 15 % of the time (popular
+        // songs overlap more); 64 attempts make a forever-loop practically
+        // and, via the fallback, formally impossible.
+        for _ in 0..64 {
+            let cat = profile.sample_preferred_category(&mut self.rng, self.favorite_fraction);
+            let item = catalog.sample_song(&mut self.rng, cat);
+            if !(self.skip_local && profile.has(item)) {
+                return item;
+            }
+        }
+        // Fallback: least popular song of the favourite category — all but
+        // guaranteed absent from the library.
+        catalog.item_at(profile.favorite, catalog.per_category() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::generate_profiles;
+
+    fn setup() -> (WorkloadConfig, Catalog, Vec<UserProfile>, RngFactory) {
+        let cfg = WorkloadConfig {
+            users: 50,
+            songs: 10_000,
+            categories: 50,
+            ..WorkloadConfig::paper()
+        };
+        let cat = Catalog::new(cfg.songs, cfg.categories, cfg.theta);
+        let rngs = RngFactory::new(42);
+        let profiles = generate_profiles(&cfg, &cat, &rngs);
+        (cfg, cat, profiles, rngs)
+    }
+
+    #[test]
+    fn intervals_have_configured_mean() {
+        let (cfg, _, _, rngs) = setup();
+        let mut q = QueryGenerator::new(&cfg, &rngs, 0);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| q.next_interval().as_millis()).sum();
+        let mean = sum as f64 / n as f64;
+        let expected = cfg.mean_query_interval.as_millis() as f64;
+        assert!(
+            (mean - expected).abs() / expected < 0.03,
+            "mean {mean} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn targets_avoid_local_library() {
+        let (cfg, cat, profiles, rngs) = setup();
+        let p = &profiles[3];
+        let mut q = QueryGenerator::new(&cfg, &rngs, 3);
+        for _ in 0..2_000 {
+            let t = q.next_target(&cat, p);
+            assert!(!p.has(t), "queried a locally stored song {t}");
+        }
+    }
+
+    #[test]
+    fn targets_follow_preference_mix() {
+        // Paper-density catalog (4 000 songs/category): libraries then hold
+        // only ~2.5 % of a category, so skip-local barely biases the mix.
+        let cfg = WorkloadConfig {
+            users: 20,
+            ..WorkloadConfig::paper()
+        };
+        let cat = Catalog::new(cfg.songs, cfg.categories, cfg.theta);
+        let rngs = RngFactory::new(42);
+        let profiles = generate_profiles(&cfg, &cat, &rngs);
+        let p = &profiles[0];
+        let mut q = QueryGenerator::new(&cfg, &rngs, 0);
+        let n = 10_000;
+        let mut fav = 0;
+        for _ in 0..n {
+            let t = q.next_target(&cat, p);
+            let c = cat.category_of(t);
+            assert!(c == p.favorite || p.secondary.contains(&c));
+            if c == p.favorite {
+                fav += 1;
+            }
+        }
+        let frac = fav as f64 / n as f64;
+        // Nominal 50 %; skip-local resampling shifts it slightly because
+        // the favourite category holds more of the library.
+        assert!((0.42..0.58).contains(&frac), "favourite share {frac}");
+    }
+
+    #[test]
+    fn allow_local_can_return_owned_songs() {
+        let (cfg, cat, profiles, rngs) = setup();
+        let p = &profiles[1];
+        let mut q = QueryGenerator::new(&cfg, &rngs, 1).allow_local();
+        let hit_local = (0..5_000).any(|_| p.has(q.next_target(&cat, p)));
+        assert!(hit_local, "never drew a local song with skip_local off");
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let (cfg, cat, profiles, rngs) = setup();
+        let mut a = QueryGenerator::new(&cfg, &rngs, 7);
+        let mut b = QueryGenerator::new(&cfg, &rngs, 7);
+        for _ in 0..200 {
+            assert_eq!(a.next_interval(), b.next_interval());
+            assert_eq!(a.next_target(&cat, &profiles[7]), b.next_target(&cat, &profiles[7]));
+        }
+    }
+}

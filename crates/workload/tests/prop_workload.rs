@@ -1,0 +1,74 @@
+//! Property-based tests for workload generation invariants.
+
+use ddr_sim::RngFactory;
+use ddr_workload::{generate_profiles, Catalog, WorkloadConfig, Zipf};
+use proptest::prelude::*;
+
+proptest! {
+    /// Zipf PMFs are positive, non-increasing in rank, and sum to 1.
+    #[test]
+    fn zipf_pmf_well_formed(n in 1usize..2_000, theta in 0.0f64..2.0) {
+        let z = Zipf::new(n, theta);
+        let mut total = 0.0;
+        let mut prev = f64::INFINITY;
+        for k in 0..n {
+            let p = z.pmf(k);
+            prop_assert!(p > 0.0);
+            prop_assert!(p <= prev + 1e-12, "pmf increased at rank {k}");
+            prev = p;
+            total += p;
+        }
+        prop_assert!((total - 1.0).abs() < 1e-6, "pmf sums to {total}");
+    }
+
+    /// Samples always land in the domain; distinct sampling returns the
+    /// requested count without duplicates.
+    #[test]
+    fn zipf_sampling_in_domain(
+        n in 1usize..500,
+        theta in 0.0f64..1.5,
+        seed in any::<u64>(),
+        k_frac in 0.0f64..1.0,
+    ) {
+        let z = Zipf::new(n, theta);
+        let mut rng = RngFactory::new(seed).stream("zipf", 0);
+        for _ in 0..100 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+        let k = ((n as f64 * k_frac) as usize).min(n);
+        let picks = z.sample_distinct(&mut rng, k);
+        prop_assert_eq!(picks.len(), k);
+        let set: std::collections::HashSet<_> = picks.iter().collect();
+        prop_assert_eq!(set.len(), k);
+    }
+
+    /// Generated profiles always satisfy the structural invariants for
+    /// any valid scaled configuration.
+    #[test]
+    fn profiles_structurally_valid(seed in any::<u64>(), users in 1usize..40) {
+        let cfg = WorkloadConfig {
+            users,
+            songs: 50_000,
+            categories: 50,
+            ..WorkloadConfig::paper()
+        };
+        prop_assume!(cfg.validate().is_ok());
+        let catalog = Catalog::new(cfg.songs, cfg.categories, cfg.theta);
+        let rngs = RngFactory::new(seed);
+        let profiles = generate_profiles(&cfg, &catalog, &rngs);
+        prop_assert_eq!(profiles.len(), users);
+        for p in &profiles {
+            // library sorted, unique, non-empty
+            prop_assert!(p.library_size() > 0);
+            prop_assert!(p.library().windows(2).all(|w| w[0] < w[1]));
+            // secondaries distinct and exclude the favourite
+            prop_assert_eq!(p.secondary.len(), cfg.secondary_categories);
+            prop_assert!(!p.secondary.contains(&p.favorite));
+            // every song belongs to a declared category
+            for &item in p.library() {
+                let c = catalog.category_of(item);
+                prop_assert!(c == p.favorite || p.secondary.contains(&c));
+            }
+        }
+    }
+}

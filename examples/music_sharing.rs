@@ -1,0 +1,62 @@
+//! The paper's §4 scenario in full detail: inspect the synthetic world
+//! (catalog, libraries, churn), then run both modes across hop limits and
+//! print a Figure-3(a)-style table.
+//!
+//! ```text
+//! cargo run --release --example music_sharing
+//! ```
+
+use ddr_repro::gnutella::{run_scenario, Mode, ScenarioConfig};
+use ddr_repro::sim::RngFactory;
+use ddr_repro::stats::Table;
+use ddr_repro::workload::{generate_profiles, Catalog, WorkloadConfig};
+
+fn main() {
+    // --- 1. The synthetic dataset (paper §4.2), scaled 1/8 ----------------
+    let workload = WorkloadConfig::paper_scaled(8);
+    let catalog = Catalog::new(workload.songs, workload.categories, workload.theta);
+    let rngs = RngFactory::new(7);
+    let profiles = generate_profiles(&workload, &catalog, &rngs);
+
+    let copies: usize = profiles.iter().map(|p| p.library_size()).sum();
+    let mean_lib = copies as f64 / profiles.len() as f64;
+    println!("synthetic dataset:");
+    println!("  users            {}", profiles.len());
+    println!("  distinct songs   {} in {} categories", catalog.songs(), catalog.categories());
+    println!("  song copies      {copies} (mean library {mean_lib:.0})");
+    let p0 = &profiles[0];
+    println!(
+        "  e.g. user 0: favourite category {}, secondaries {:?}, {} songs",
+        p0.favorite.0,
+        p0.secondary.iter().map(|c| c.0).collect::<Vec<_>>(),
+        p0.library_size()
+    );
+    println!();
+
+    // --- 2. Sweep the terminating condition (paper Fig 3a) ----------------
+    let mut table = Table::new(
+        "hop-limit sweep (12 simulated hours, 250 users)",
+        &["hops", "mode", "hits", "messages", "first-result ms", "results"],
+    );
+    for hops in 1..=4u8 {
+        for mode in [Mode::Static, Mode::Dynamic] {
+            let mut cfg = ScenarioConfig::scaled(mode, hops, 8, 12);
+            cfg.seed = 7;
+            let r = run_scenario(cfg);
+            table.row(vec![
+                format!("{hops}"),
+                r.label.to_string(),
+                format!("{:.0}", r.total_hits()),
+                format!("{:.0}", r.total_messages()),
+                format!("{:.0}", r.mean_first_delay_ms()),
+                format!("{:.0}", r.total_results()),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "Shape to observe: static delay climbs steeply with the hop limit while \n\
+         dynamic stays flat — after reconfiguration, results come from 1-hop \n\
+         neighbors (paper Figure 3a)."
+    );
+}

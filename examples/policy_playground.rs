@@ -1,0 +1,102 @@
+//! Policy playground: exercise the framework's pluggable pieces directly —
+//! forward-selection policies, benefit functions, iterative deepening and
+//! the invitation protocol — on a hand-built overlay, without running a
+//! full scenario.
+//!
+//! ```text
+//! cargo run --release --example policy_playground
+//! ```
+
+use ddr_repro::core::stats_store::ReplyObservation;
+use ddr_repro::core::{
+    CumulativeBenefit, ForwardSelection, InvitationContext, InvitationDecision,
+    InvitationPolicy, IterativeDeepening, LocalIndex, StatsStore,
+};
+use ddr_repro::net::BandwidthClass;
+use ddr_repro::overlay::{RelationKind, Topology};
+use ddr_repro::sim::{ItemId, NodeId, RngFactory, SimDuration, SimTime};
+
+fn main() {
+    // A node with 4 neighbors and some accumulated statistics.
+    let neighbors = [NodeId(1), NodeId(2), NodeId(3), NodeId(4)];
+    let mut stats = StatsStore::new();
+    for (node, bw, score) in [
+        (NodeId(1), BandwidthClass::Lan, 3.0),
+        (NodeId(2), BandwidthClass::Modem56K, 0.4),
+        (NodeId(3), BandwidthClass::Cable, 1.5),
+        // node 4 never answered anything
+    ] {
+        stats.record_reply(ReplyObservation {
+            from: node,
+            bandwidth: Some(bw),
+            score,
+            latency_ms: 150.0,
+            at: SimTime::from_secs(10),
+        });
+    }
+
+    // --- forward selection -------------------------------------------------
+    let rngs = RngFactory::new(99);
+    let mut rng = rngs.stream("demo", 0);
+    println!("forward-target selection over neighbors {{1,2,3,4}}:");
+    for policy in [
+        ForwardSelection::All,
+        ForwardSelection::RandomK(2),
+        ForwardSelection::TopKBenefit(2),
+    ] {
+        let picked = policy.select(&neighbors, None, &stats, &CumulativeBenefit, &mut rng);
+        println!("  {:<16} -> {:?}", policy.label(), picked);
+    }
+
+    // --- iterative deepening -----------------------------------------------
+    let deepening = IterativeDeepening::new(vec![1, 2, 4], SimDuration::from_secs(2));
+    println!(
+        "\niterative deepening: {} waves at depths {:?} ({} between waves)",
+        deepening.waves(),
+        deepening.depths,
+        SimDuration::from_secs(2)
+    );
+
+    // --- invitation protocol -----------------------------------------------
+    println!("\ninvitation decisions (capacity 4, list full):");
+    for policy in [
+        InvitationPolicy::AlwaysAccept,
+        InvitationPolicy::BenefitGated,
+        InvitationPolicy::SummaryGated { min_similarity: 0.5 },
+    ] {
+        let d = policy.decide(
+            NodeId(9),
+            &neighbors,
+            &stats,
+            &CumulativeBenefit,
+            4,
+            &InvitationContext::none(),
+        );
+        match d {
+            InvitationDecision::Accept { evict } => {
+                println!("  {policy:?}: accept, evicting {evict:?}")
+            }
+            InvitationDecision::Reject => println!("  {policy:?}: reject (unknown inviter)"),
+        }
+    }
+
+    // --- local indices -----------------------------------------------------
+    let mut topo = Topology::new(4, RelationKind::Asymmetric, 2, 4);
+    topo.add_edge(NodeId(0), NodeId(1)).unwrap();
+    topo.add_edge(NodeId(1), NodeId(2)).unwrap();
+    topo.add_edge(NodeId(2), NodeId(3)).unwrap();
+    let contents = [
+        vec![],
+        vec![ItemId(10)],
+        vec![ItemId(20), ItemId(21)],
+        vec![ItemId(30)],
+    ];
+    let index = LocalIndex::build(NodeId(0), &topo, 2, |n| contents[n.index()].iter());
+    println!(
+        "\nlocal index at n0 (radius 2): {} items over {} nodes; holders of i20: {:?}",
+        index.len(),
+        index.indexed_nodes(),
+        index.holders(ItemId(20))
+    );
+    println!("item i30 is 3 hops away, outside the index: {:?}", index.holders(ItemId(30)));
+}

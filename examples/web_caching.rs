@@ -1,0 +1,45 @@
+//! Case study 2: cooperative web-proxy caching under *pure asymmetric*
+//! neighbor relations (paper §1/§3.1), demonstrating the framework's
+//! separate exploration step (Algo 2) and unilateral neighbor updates
+//! (Algo 3).
+//!
+//! ```text
+//! cargo run --release --example web_caching
+//! ```
+
+use ddr_repro::stats::Table;
+use ddr_repro::webcache::{run_webcache, CacheMode, WebCacheConfig};
+
+fn main() {
+    let mut table = Table::new(
+        "cooperative proxy caching: 64 proxies, 8 interest groups, 12 h",
+        &[
+            "mode",
+            "local hit %",
+            "sibling hit %",
+            "origin fetch %",
+            "mean latency ms",
+            "same-group links %",
+        ],
+    );
+    for mode in [CacheMode::Static, CacheMode::Dynamic] {
+        let cfg = WebCacheConfig::default_scenario(mode);
+        let r = run_webcache(cfg);
+        table.row(vec![
+            r.label.to_string(),
+            format!("{:.1}", 100.0 * r.local_hit_ratio()),
+            format!("{:.1}", 100.0 * r.neighbor_hit_ratio()),
+            format!("{:.1}", 100.0 * r.origin_ratio()),
+            format!("{:.0}", r.mean_latency_ms()),
+            format!("{:.1}", 100.0 * r.same_group_fraction),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Dynamic proxies probe strangers (exploration), score them by how many \n\
+         recent misses they could have served, and unilaterally rewrite their \n\
+         sibling lists (asymmetric update): same-interest proxies cluster, the \n\
+         sibling hit ratio rises, and mean latency drops because fewer requests \n\
+         pay the origin-server round trip."
+    );
+}
