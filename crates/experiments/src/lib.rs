@@ -19,10 +19,11 @@
 //! each run is single-threaded and deterministic, so parallelism never
 //! affects results — only wall-clock time.
 
-use crossbeam::channel;
 use ddr_gnutella::{run_scenario, Mode, RunReport, ScenarioConfig};
 use ddr_stats::Table;
 use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::Mutex;
 
 /// Command-line options shared by all experiment binaries.
 #[derive(Debug, Clone)]
@@ -125,21 +126,20 @@ pub fn run_all(configs: Vec<ScenarioConfig>, workers: usize) -> Vec<RunReport> {
     if workers == 1 {
         return configs.into_iter().map(run_scenario).collect();
     }
-    let (task_tx, task_rx) = channel::unbounded::<(usize, ScenarioConfig)>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, RunReport)>();
-    for pair in configs.into_iter().enumerate() {
-        task_tx.send(pair).expect("queue task");
-    }
-    drop(task_tx);
+    // Shared FIFO work queue + result channel (std only; crossbeam is not
+    // available in the offline build environment).
+    let queue: Mutex<std::collections::VecDeque<(usize, ScenarioConfig)>> =
+        Mutex::new(configs.into_iter().enumerate().collect());
+    let (res_tx, res_rx) = mpsc::channel::<(usize, RunReport)>();
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            let task_rx = task_rx.clone();
+            let queue = &queue;
             let res_tx = res_tx.clone();
-            scope.spawn(move || {
-                while let Ok((idx, cfg)) = task_rx.recv() {
-                    let report = run_scenario(cfg);
-                    res_tx.send((idx, report)).expect("send result");
-                }
+            scope.spawn(move || loop {
+                let task = queue.lock().expect("queue poisoned").pop_front();
+                let Some((idx, cfg)) = task else { break };
+                let report = run_scenario(cfg);
+                res_tx.send((idx, report)).expect("send result");
             });
         }
         drop(res_tx);

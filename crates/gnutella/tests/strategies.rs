@@ -21,10 +21,15 @@ fn with_strategy(mode: Mode, strategy: SearchStrategy) -> RunReport {
 #[test]
 fn iterative_deepening_cuts_messages_at_small_hit_cost() {
     let bfs = with_strategy(Mode::Static, SearchStrategy::Bfs);
+    // Depth policy [2, 4]: at this scaled density a depth-1 wave almost
+    // never satisfies (direct neighbours only), so including it is pure
+    // overhead and the message saving degenerates to seed noise. Starting
+    // at depth 2 the saving is robust across seeds (see EXPERIMENTS.md,
+    // "Assertion recalibration").
     let id = with_strategy(
         Mode::Static,
         SearchStrategy::IterativeDeepening {
-            depths: vec![1, 2, 4],
+            depths: vec![2, 4],
         },
     );
     // Queries satisfied at shallow depths never pay the deep flood.

@@ -1,0 +1,130 @@
+//! Determinism regression for the PR-1 framework-runtime refactor.
+//!
+//! These hourly hits/messages series were captured on the pre-refactor
+//! code paths (each world carrying its own online set, reconfiguration
+//! counters, and bespoke metrics structs) for one fixed small
+//! `(config, seed)` per case study and per mode. The refactor onto
+//! `ddr_core::runtime::{Membership, NodeRuntime, SimObserver}` must be
+//! behaviour-preserving, so every series must stay **bit-identical**.
+//!
+//! If you change simulation semantics deliberately, re-derive the
+//! constants (see the commands in the test bodies) and explain the change
+//! in EXPERIMENTS.md.
+
+use ddr_repro::gnutella::{run_scenario, Mode, ScenarioConfig};
+use ddr_repro::peerolap::{run_peerolap, OlapMode, PeerOlapConfig};
+use ddr_repro::sim::SimDuration;
+use ddr_repro::webcache::{run_webcache, CacheMode, WebCacheConfig};
+
+// ---- captured on the pre-refactor code path (seed commit + vendored RNG) ----
+
+const GNUTELLA_STATIC_HITS: &[f64] = &[132.0, 129.0, 165.0, 151.0, 152.0];
+const GNUTELLA_STATIC_MESSAGES: &[f64] = &[6620.0, 7080.0, 8535.0, 9028.0, 8346.0];
+const GNUTELLA_DYNAMIC_HITS: &[f64] = &[127.0, 142.0, 176.0, 192.0, 187.0];
+const GNUTELLA_DYNAMIC_MESSAGES: &[f64] = &[4990.0, 5876.0, 6954.0, 7306.0, 6458.0];
+const WEBCACHE_STATIC_HITS: &[f64] = &[13716.0, 13877.0, 13799.0, 13823.0, 13737.0];
+const WEBCACHE_STATIC_MESSAGES: &[f64] = &[187533.0, 187704.0, 188364.0, 188961.0, 187683.0];
+const WEBCACHE_DYNAMIC_HITS: &[f64] = &[21148.0, 21000.0, 21133.0, 21051.0, 20791.0];
+const WEBCACHE_DYNAMIC_MESSAGES: &[f64] = &[193571.0, 193759.0, 194427.0, 195020.0, 193702.0];
+const PEEROLAP_STATIC_HITS: &[f64] = &[105335.0, 105260.0, 104845.0, 104504.0];
+const PEEROLAP_STATIC_MESSAGES: &[f64] = &[275671.0, 274773.0, 274336.0, 275059.0];
+const PEEROLAP_DYNAMIC_HITS: &[f64] = &[104969.0, 105605.0, 105839.0, 104688.0];
+const PEEROLAP_DYNAMIC_MESSAGES: &[f64] = &[266083.0, 265498.0, 264218.0, 265372.0];
+
+fn assert_series(name: &str, got: &[f64], want: &[f64]) {
+    assert_eq!(
+        got, want,
+        "{name} diverged from the pre-refactor snapshot\n got: {got:?}\nwant: {want:?}"
+    );
+}
+
+fn gnutella_cfg(mode: Mode) -> ScenarioConfig {
+    let mut c = ScenarioConfig::scaled(mode, 2, 20, 6);
+    c.seed = 3;
+    c
+}
+
+#[test]
+fn gnutella_series_match_pre_refactor_snapshot() {
+    for (mode, hits, messages) in [
+        (Mode::Static, GNUTELLA_STATIC_HITS, GNUTELLA_STATIC_MESSAGES),
+        (Mode::Dynamic, GNUTELLA_DYNAMIC_HITS, GNUTELLA_DYNAMIC_MESSAGES),
+    ] {
+        let r = run_scenario(gnutella_cfg(mode));
+        assert_series(&format!("gnutella/{} hits", r.label), &r.hits_series(), hits);
+        assert_series(
+            &format!("gnutella/{} messages", r.label),
+            &r.messages_series(),
+            messages,
+        );
+    }
+}
+
+fn webcache_cfg(mode: CacheMode) -> WebCacheConfig {
+    let mut c = WebCacheConfig::default_scenario(mode);
+    c.proxies = 32;
+    c.groups = 4;
+    c.pages_per_group = 4_000;
+    c.global_pages = 4_000;
+    c.cache_capacity = 500;
+    c.sim_hours = 6;
+    c.warmup_hours = 1;
+    c.mean_request_interval = SimDuration::from_millis(1_000);
+    c.seed = 11;
+    c
+}
+
+#[test]
+fn webcache_series_match_pre_refactor_snapshot() {
+    for (mode, hits, messages) in [
+        (CacheMode::Static, WEBCACHE_STATIC_HITS, WEBCACHE_STATIC_MESSAGES),
+        (CacheMode::Dynamic, WEBCACHE_DYNAMIC_HITS, WEBCACHE_DYNAMIC_MESSAGES),
+    ] {
+        let r = run_webcache(webcache_cfg(mode));
+        let (f, t) = (r.from_hour as usize, r.to_hour as usize);
+        assert_series(
+            &format!("webcache/{} neighbor_hits", r.label),
+            &r.metrics.neighbor_hits.window(f, t),
+            hits,
+        );
+        assert_series(
+            &format!("webcache/{} messages", r.label),
+            &r.metrics.messages.window(f, t),
+            messages,
+        );
+    }
+}
+
+fn peerolap_cfg(mode: OlapMode) -> PeerOlapConfig {
+    let mut c = PeerOlapConfig::default_scenario(mode);
+    c.peers = 24;
+    c.groups = 4;
+    c.chunks_per_region = 2_048;
+    c.cache_capacity = 512;
+    c.sim_hours = 5;
+    c.warmup_hours = 1;
+    c.mean_query_interval = SimDuration::from_millis(2_000);
+    c.seed = 4;
+    c
+}
+
+#[test]
+fn peerolap_series_match_pre_refactor_snapshot() {
+    for (mode, hits, messages) in [
+        (OlapMode::Static, PEEROLAP_STATIC_HITS, PEEROLAP_STATIC_MESSAGES),
+        (OlapMode::Dynamic, PEEROLAP_DYNAMIC_HITS, PEEROLAP_DYNAMIC_MESSAGES),
+    ] {
+        let r = run_peerolap(peerolap_cfg(mode));
+        let (f, t) = (r.from_hour as usize, r.to_hour as usize);
+        assert_series(
+            &format!("peerolap/{} chunks_peer", r.label),
+            &r.metrics.chunks_peer.window(f, t),
+            hits,
+        );
+        assert_series(
+            &format!("peerolap/{} messages", r.label),
+            &r.metrics.messages.window(f, t),
+            messages,
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! In-tree stand-in for `criterion` (the build environment is offline).
+//! Provides the group/bench/iter API surface the workspace's benches use,
+//! with simple wall-clock timing: each benchmark runs a short warm-up, then
+//! `sample_size` timed samples, and prints mean / min per-iteration time.
+//! No statistical analysis, plots, or baselines — just numbers on stderr.
+
+use std::time::{Duration, Instant};
+
+/// The benchmark manager handed to `criterion_group!` targets.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_bench("", id, sample_size, None, f);
+    }
+}
+
+/// Throughput annotation for per-element/byte rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            &self.name,
+            &id.into_benchmark_id(),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Benchmark a closure parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(
+            &self.name,
+            &id.into_benchmark_id(),
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (no-op; kept for API fidelity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Render the id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.text
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f` once per sample after one warm-up call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench<F>(group: &str, id: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if b.samples.is_empty() {
+        eprintln!("bench {label}: no samples (closure never called iter)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = *b.samples.iter().min().unwrap();
+    let mut line = format!(
+        "bench {label}: mean {:>12?}  min {:>12?}  ({} samples)",
+        mean,
+        min,
+        b.samples.len()
+    );
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if mean.as_nanos() > 0 {
+            let rate = count as f64 / mean.as_secs_f64();
+            line.push_str(&format!("  {rate:.0} {unit}/s"));
+        }
+    }
+    eprintln!("{line}");
+}
+
+/// Define a benchmark group function runnable by `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        let mut calls = 0u32;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        g.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).into_benchmark_id(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).into_benchmark_id(), "7");
+    }
+}

@@ -1,0 +1,100 @@
+//! Collection strategies: `vec` and `btree_set` with size ranges.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    elem: S,
+    size: Range<usize>,
+}
+
+/// `vec(element_strategy, len_range)`.
+pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with a target size drawn from `size`.
+pub struct BTreeSetStrategy<S> {
+    elem: S,
+    size: Range<usize>,
+}
+
+/// `btree_set(element_strategy, len_range)`. If the element domain is too
+/// small to reach the drawn target size, the set saturates at whatever
+/// distinct values were found (bounded retries).
+pub fn btree_set<S>(elem: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { elem, size }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut SmallRng) -> BTreeSet<S::Value> {
+        let target = rng.gen_range(self.size.clone());
+        let mut set = BTreeSet::new();
+        let mut attempts = 0;
+        while set.len() < target && attempts < target * 10 + 16 {
+            set.insert(self.elem.sample(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_len_in_range() {
+        let s = vec(0u32..10, 2..5);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn btree_set_distinct_and_bounded() {
+        let s = btree_set(0u32..20, 0..6);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let set = s.sample(&mut rng);
+            assert!(set.len() < 6);
+            assert!(set.iter().all(|&x| x < 20));
+        }
+    }
+
+    #[test]
+    fn btree_set_saturates_small_domain() {
+        // Domain of 2 values but target up to 9: must terminate.
+        let s = btree_set(0u32..2, 8..9);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let set = s.sample(&mut rng);
+        assert!(set.len() <= 2);
+    }
+}

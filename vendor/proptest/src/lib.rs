@@ -1,0 +1,170 @@
+//! In-tree stand-in for `proptest` (the build environment is offline).
+//!
+//! Provides the subset this workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map` / `boxed`, ranges, tuples,
+//! [`strategy::Just`], `prop_oneof!`, `any::<T>()`,
+//! [`collection::vec`] / [`collection::btree_set`], and the `proptest!`
+//! test macro with `prop_assert*` / `prop_assume!`.
+//!
+//! Differences from real proptest: no shrinking (a failing case panics with
+//! the sampled inputs unshrunk) and a fixed per-test deterministic seed
+//! derived from the test's module path + name, so failures reproduce
+//! exactly across runs.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a `proptest!` test file needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+pub use strategy::{any, Strategy};
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Sample one arbitrary value.
+    fn arbitrary(rng: &mut rand::rngs::SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut rand::rngs::SmallRng) -> Self {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut rand::rngs::SmallRng) -> Self {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut rand::rngs::SmallRng) -> Self {
+        use rand::Rng;
+        // Finite, sign-symmetric, wide dynamic range.
+        let mag: f64 = rng.gen::<f64>() * 1e9;
+        if rng.gen::<bool>() {
+            mag
+        } else {
+            -mag
+        }
+    }
+}
+
+/// The property-test harness macro. Each `fn name(pat in strategy, ...)`
+/// becomes a `#[test]` running [`test_runner::CASES`] sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        $vis fn $name() {
+            let mut __proptest_rng = $crate::test_runner::rng_for(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut __proptest_case = 0u32;
+            while __proptest_case < $crate::test_runner::CASES {
+                __proptest_case += 1;
+                $(let $pat = $crate::strategy::Strategy::sample(&$strat, &mut __proptest_rng);)+
+                $body
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// One-of strategy combinator: uniformly picks among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip cases whose sampled inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in 0.0f64..1.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..1.5).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_any(pair in (0u32..5, any::<bool>())) {
+            prop_assert!(pair.0 < 5);
+            let _: bool = pair.1;
+        }
+
+        #[test]
+        fn assume_skips(n in 0u64..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_covers_variants(v in prop_oneof![Just(1u8), Just(2u8), (3u8..5)]) {
+            prop_assert!((1..5).contains(&v));
+        }
+
+        #[test]
+        fn prop_map_applies(s in (0u32..10).prop_map(|x| x * 2)) {
+            prop_assert_eq!(s % 2, 0);
+            prop_assert!(s < 20);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! In-tree, JSON-only stand-in for `serde`. The build environment has no
+//! network access, so the real `serde` cannot be fetched. This stub keeps
+//! the workspace's `#[derive(Serialize, Deserialize)]` + `serde_json`
+//! call sites compiling with a minimal trait pair:
+//!
+//! - [`Serialize`] writes compact JSON straight into a `String`;
+//! - [`Deserialize`] reads back from the parsed [`json::Value`] tree.
+//!
+//! Matches `serde_json` conventions where they are observable here:
+//! non-finite floats serialise as `null`, structs as objects keyed by
+//! field name, `Option::None` as `null`.
+
+pub mod json;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::{JsonError, Value};
+
+/// Types that can write themselves as compact JSON.
+pub trait Serialize {
+    /// Append this value's JSON encoding to `out`.
+    fn write_json(&self, out: &mut String);
+}
+
+/// Types reconstructible from a parsed JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Build `Self` from `value`, or report a shape mismatch.
+    fn from_json_value(value: &Value) -> Result<Self, JsonError>;
+}
+
+// ---------------------------------------------------------------- numbers
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+                let n = value.as_f64().ok_or_else(|| JsonError::shape("number", value))?;
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+impl_ser_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // `{:?}` keeps a decimal point / exponent so the value reparses
+            // as a float (matches serde_json's shortest-roundtrip intent).
+            out.push_str(&format!("{self:?}"));
+        } else {
+            out.push_str("null"); // serde_json convention for non-finite
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        match value {
+            Value::Null => Ok(f64::NAN), // inverse of the non-finite encoding
+            _ => value.as_f64().ok_or_else(|| JsonError::shape("number", value)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn write_json(&self, out: &mut String) {
+        (*self as f64).write_json(out);
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        f64::from_json_value(value).map(|x| x as f32)
+    }
+}
+
+// ----------------------------------------------------------- bool/strings
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(JsonError::shape("bool", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        json::escape_into(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        self.as_str().write_json(out);
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(JsonError::shape("string", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- generic
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        match value {
+            Value::Arr(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(JsonError::shape("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(value: &Value) -> Result<Self, JsonError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.write_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(to_json(&42u64), "42");
+        assert_eq!(to_json(&-3i32), "-3");
+        assert_eq!(to_json(&true), "true");
+        assert_eq!(to_json(&1.5f64), "1.5");
+        assert_eq!(to_json(&f64::INFINITY), "null");
+        assert_eq!(to_json(&"a\"b"), "\"a\\\"b\"");
+        assert_eq!(to_json(&vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(to_json(&Option::<u32>::None), "null");
+    }
+
+    #[test]
+    fn deserialize_primitives() {
+        let v = json::parse("[1,2.5,true,\"hi\",null]").unwrap();
+        let items = match &v {
+            Value::Arr(a) => a,
+            _ => panic!(),
+        };
+        assert_eq!(u64::from_json_value(&items[0]).unwrap(), 1);
+        assert_eq!(f64::from_json_value(&items[1]).unwrap(), 2.5);
+        assert!(bool::from_json_value(&items[2]).unwrap());
+        assert_eq!(String::from_json_value(&items[3]).unwrap(), "hi");
+        assert_eq!(Option::<u64>::from_json_value(&items[4]).unwrap(), None);
+        assert!(u64::from_json_value(&items[3]).is_err());
+    }
+}

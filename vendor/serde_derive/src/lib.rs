@@ -1,0 +1,143 @@
+//! Derive macros for the in-tree `serde` stub. Supports plain structs with
+//! named fields — exactly the shapes this workspace serialises. The parser
+//! works directly on `proc_macro::TokenStream` (no `syn`/`quote`, which are
+//! unavailable offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Parse `struct Name { #[attr] pub field: Type, ... }` out of the derive
+/// input token stream.
+fn parse_struct(input: TokenStream) -> StructShape {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    let name = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the bracket group of the attribute.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => break n.to_string(),
+                    other => panic!("expected struct name, got {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                panic!("the vendored serde_derive only supports structs with named fields (got enum)")
+            }
+            Some(_) => {}
+            None => panic!("unexpected end of derive input"),
+        }
+    };
+    // Find the brace group holding the fields (skipping generics, which the
+    // workspace's serialised types do not use).
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("tuple/unit structs are not supported by the vendored serde_derive")
+            }
+            Some(_) => {}
+            None => panic!("struct body not found"),
+        }
+    };
+    let mut fields = Vec::new();
+    let mut toks = body.stream().into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        let field = loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break Some(id.to_string()),
+                Some(other) => panic!("unexpected token in struct body: {other}"),
+                None => break None,
+            }
+        };
+        let Some(field) = field else { break };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field `{field}`, got {other:?}"),
+        }
+        // Skip the type, tracking angle-bracket depth so commas inside
+        // generics don't terminate the field early.
+        let mut depth = 0i32;
+        for tok in toks.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(field);
+    }
+    StructShape { name, fields }
+}
+
+/// Derive the stub `serde::Serialize` (compact-JSON writer).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let mut body = String::from("out.push('{');\n");
+    for (i, field) in shape.fields.iter().enumerate() {
+        if i > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!(
+            "out.push_str(\"\\\"{field}\\\":\");\n\
+             ::serde::Serialize::write_json(&self.{field}, out);\n"
+        ));
+    }
+    body.push_str("out.push('}');");
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn write_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n\
+         }}",
+        name = shape.name
+    );
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derive the stub `serde::Deserialize` (from the stub JSON `Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let mut inits = String::new();
+    for field in &shape.fields {
+        inits.push_str(&format!(
+            "{field}: ::serde::Deserialize::from_json_value(\
+                 ::serde::json::field(value, \"{field}\")?)?,\n"
+        ));
+    }
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json_value(value: &::serde::json::Value) \
+                 -> ::std::result::Result<Self, ::serde::json::JsonError> {{\n\
+                 Ok({name} {{\n{inits}\n}})\n\
+             }}\n\
+         }}",
+        name = shape.name
+    );
+    code.parse().expect("generated Deserialize impl must parse")
+}

@@ -1,0 +1,102 @@
+//! In-tree stand-in for `serde_json`, layered over the vendored `serde`
+//! stub: `to_string` / `to_string_pretty` / `from_str` with the same
+//! signatures the workspace uses.
+
+pub use serde::json::{JsonError as Error, Value};
+
+/// Serialise `value` as compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_json(&mut out);
+    Ok(out)
+}
+
+/// Serialise `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    let doc = serde::json::parse(&compact)?;
+    let mut out = String::new();
+    pretty(&doc, 0, &mut out);
+    Ok(out)
+}
+
+/// Parse JSON text into any stub-`Deserialize` type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let doc = serde::json::parse(s)?;
+    T::from_json_value(&doc)
+}
+
+fn pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => {
+            if *n == n.trunc() && n.is_finite() && n.abs() < 1e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n:?}"));
+            }
+        }
+        Value::Str(s) => serde::json::escape_into(s, out),
+        Value::Arr(items) if items.is_empty() => out.push_str("[]"),
+        Value::Arr(items) => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                pretty(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Obj(members) if members.is_empty() => out.push_str("{}"),
+        Value::Obj(members) => {
+            out.push_str("{\n");
+            for (i, (k, item)) in members.iter().enumerate() {
+                out.push_str(&pad_in);
+                serde::json::escape_into(k, out);
+                out.push_str(": ");
+                pretty(item, indent + 1, out);
+                if i + 1 < members.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_roundtrip() {
+        let v = vec![1.5f64, 2.0, 3.25];
+        let json = to_string(&v).unwrap();
+        let back: Vec<f64> = from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn pretty_is_reparseable() {
+        let v = vec![vec!["a".to_string()], vec![]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Vec<Vec<String>> = from_str(&pretty).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn from_str_rejects_garbage() {
+        assert!(from_str::<Vec<f64>>("nope").is_err());
+        assert!(from_str::<Vec<f64>>("{\"a\":1}").is_err());
+    }
+}
