@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full workspace test suite.
+# Run from the repository root before pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> CI green"

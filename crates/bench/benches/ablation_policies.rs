@@ -57,7 +57,9 @@ fn invitation_policy(c: &mut Criterion) {
         ("benefit_gated", InvitationPolicy::BenefitGated),
         (
             "summary_gated",
-            InvitationPolicy::SummaryGated { min_similarity: 0.3 },
+            InvitationPolicy::SummaryGated {
+                min_similarity: 0.3,
+            },
         ),
         (
             "trial_20min",

@@ -62,7 +62,8 @@ fn delays(c: &mut Criterion) {
                 } else {
                     BandwidthClass::Lan
                 };
-                acc = acc.wrapping_add(model.sample(&mut rng, a, BandwidthClass::Cable).as_millis());
+                acc =
+                    acc.wrapping_add(model.sample(&mut rng, a, BandwidthClass::Cable).as_millis());
             }
             black_box(acc)
         })

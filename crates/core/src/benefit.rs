@@ -37,9 +37,7 @@ impl ResultScore {
     pub fn score(self, bandwidth: BandwidthClass, results: usize) -> f64 {
         debug_assert!(results >= 1, "scored a result of a zero-result query");
         match self {
-            ResultScore::BandwidthOverResults => {
-                bandwidth.benefit_weight() / results.max(1) as f64
-            }
+            ResultScore::BandwidthOverResults => bandwidth.benefit_weight() / results.max(1) as f64,
             ResultScore::Unit => 1.0,
             ResultScore::BandwidthOnly => bandwidth.benefit_weight(),
             ResultScore::RawBandwidthOverResults => {

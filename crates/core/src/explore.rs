@@ -72,9 +72,7 @@ impl ExplorationPlanner {
     /// the trigger state.
     pub fn should_fire(&mut self, now: SimTime) -> bool {
         let fire = match self.trigger {
-            ExplorationTrigger::Periodic(period) => {
-                now.saturating_since(self.last_fired) >= period
-            }
+            ExplorationTrigger::Periodic(period) => now.saturating_since(self.last_fired) >= period,
             ExplorationTrigger::EveryNRequests(n) => self.requests_since >= n,
             ExplorationTrigger::OnNeighborLoss => self.pending_loss,
         };
@@ -117,9 +115,8 @@ mod tests {
 
     #[test]
     fn periodic_fires_after_period() {
-        let mut p = ExplorationPlanner::new(ExplorationTrigger::Periodic(
-            SimDuration::from_secs(10),
-        ));
+        let mut p =
+            ExplorationPlanner::new(ExplorationTrigger::Periodic(SimDuration::from_secs(10)));
         assert!(!p.should_fire(SimTime::from_secs(5)));
         assert!(p.should_fire(SimTime::from_secs(10)));
         // reset: needs another full period

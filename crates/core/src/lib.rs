@@ -14,6 +14,7 @@
 //! | Per-node statistics "for both the neighboring and the non-neighboring nodes that were encountered" | [`stats_store`] |
 //! | "each node keeps a list of recent messages" (duplicate suppression) | [`dup_cache`] |
 //! | §2 orthogonal techniques (Yang & Garcia-Molina): iterative deepening, directed BFT, local indices | [`search`], [`local_index`] |
+//! | Framework runtime: node plumbing shared by every simulator (membership, per-node bundle, reconfig clock, observer sink) | [`runtime`] |
 //!
 //! The components are **pure decision logic** — they never touch the event
 //! queue. A simulator (see `ddr-gnutella`, `ddr-webcache`) owns message
@@ -28,16 +29,20 @@ pub mod dup_cache;
 pub mod explore;
 pub mod local_index;
 pub mod query;
+pub mod runtime;
 pub mod search;
 pub mod stats_store;
 pub mod summary;
 pub mod update;
 
-pub use benefit::{BenefitFunction, CountBenefit, CumulativeBenefit, LatencyAwareBenefit, ResultScore};
+pub use benefit::{
+    BenefitFunction, CountBenefit, CumulativeBenefit, LatencyAwareBenefit, ResultScore,
+};
 pub use dup_cache::DupCache;
 pub use explore::{ExplorationPlanner, ExplorationTrigger};
 pub use local_index::LocalIndex;
 pub use query::{QueryDescriptor, SearchOutcome};
+pub use runtime::{Membership, NodeRuntime, NullObserver, ReconfigClock, SimObserver};
 pub use search::{ForwardSelection, IterativeDeepening, TerminationPolicy};
 pub use stats_store::{NodeStats, StatsStore};
 pub use summary::CategorySummary;

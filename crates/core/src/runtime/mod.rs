@@ -1,0 +1,30 @@
+//! # Framework runtime — the node plumbing every case study shares
+//!
+//! The paper presents search, exploration and neighbour update as
+//! *reusable* modules, but a simulator also needs a lot of per-node
+//! plumbing that is equally generic and was, before this layer existed,
+//! re-implemented by hand in each case-study world:
+//!
+//! | Concern | Type | Replaces |
+//! |---|---|---|
+//! | Who is online right now (O(1) set + dense sampling slice, churn toggles) | [`Membership`] | Gnutella's `OnlineSet`, the webcache/peerolap `up`/`present` vectors |
+//! | Per-node framework bundle (stats, exploration, dup-cache, reconfig clock) | [`NodeRuntime`] | ad-hoc `{stats, seen, requests_since_*}` fields on `PeerState` / `ProxyState` / `OlapPeer` |
+//! | Threshold-K reconfiguration clock with invitation damping | [`ReconfigClock`] | bare `u32` counters compared against config in three places |
+//! | Uniform observability sink for framework events | [`SimObserver`] | three bespoke metrics structs duplicating queries/hits/messages/updates |
+//!
+//! The worlds keep their domain state (caches, pending queries, workload
+//! generators) and compose it with a [`NodeRuntime`]; framework-level
+//! events are reported through [`SimObserver`], whose canonical
+//! implementation is the shared [`ddr_stats::RuntimeMetrics`] recorder.
+//! [`NullObserver`] is the zero-cost sink for benches and tests that do
+//! not care about metrics.
+
+pub mod membership;
+pub mod node;
+pub mod observer;
+pub mod reconfig;
+
+pub use membership::Membership;
+pub use node::NodeRuntime;
+pub use observer::{NullObserver, SimObserver};
+pub use reconfig::ReconfigClock;

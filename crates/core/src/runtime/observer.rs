@@ -1,0 +1,204 @@
+//! Unified observability sink for framework events.
+//!
+//! Every world emits the same framework-level event stream — a query was
+//! issued, a remote hit happened, messages went on the wire, an
+//! exploration wave fired, a reconfiguration executed and changed some
+//! edges, a first result arrived after some latency. [`SimObserver`] is
+//! the sink trait for that stream; the canonical implementation is the
+//! shared [`ddr_stats::RuntimeMetrics`] recorder, so the three
+//! case-study metrics structs become thin typed views (domain counters)
+//! over one common core instead of re-declaring it.
+//!
+//! [`NullObserver`] is the zero-cost sink (every method is an inlined
+//! no-op) for benches and tests that do not collect metrics, and
+//! [`ddr_sim::Counters`] gets an impl so white-box tests can forward the
+//! same stream into named trace counters.
+
+use ddr_sim::Counters;
+use ddr_stats::RuntimeMetrics;
+
+/// Sink for the framework-level event stream. All methods default to
+/// no-ops so observers implement only what they care about.
+///
+/// `hour` is the reporting bucket (simulated hour in the experiments),
+/// matching the paper's per-hour figures.
+pub trait SimObserver {
+    /// A query / request was issued in `hour`.
+    fn on_query(&mut self, hour: usize) {
+        let _ = hour;
+    }
+
+    /// A query was satisfied remotely in `hour`.
+    fn on_hit(&mut self, hour: usize) {
+        let _ = hour;
+    }
+
+    /// `n` protocol messages were sent in `hour`.
+    fn on_messages(&mut self, hour: usize, n: f64) {
+        let _ = (hour, n);
+    }
+
+    /// A first result arrived `ms` milliseconds after its query.
+    fn on_latency_ms(&mut self, ms: f64) {
+        let _ = ms;
+    }
+
+    /// An exploration wave fired.
+    fn on_exploration(&mut self) {}
+
+    /// A reconfiguration (neighbour-list update) executed.
+    fn on_update(&mut self) {}
+
+    /// A reconfiguration changed `n` neighbour edges.
+    fn on_edges_changed(&mut self, n: u64) {
+        let _ = n;
+    }
+}
+
+/// The zero-cost observer: every hook is an empty default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {}
+
+/// The canonical sink: record into the shared metrics recorder.
+impl SimObserver for RuntimeMetrics {
+    fn on_query(&mut self, hour: usize) {
+        self.record_query(hour);
+    }
+
+    fn on_hit(&mut self, hour: usize) {
+        self.record_hit(hour);
+    }
+
+    fn on_messages(&mut self, hour: usize, n: f64) {
+        self.record_messages(hour, n);
+    }
+
+    fn on_latency_ms(&mut self, ms: f64) {
+        self.record_latency_ms(ms);
+    }
+
+    fn on_exploration(&mut self) {
+        self.record_exploration();
+    }
+
+    fn on_update(&mut self) {
+        self.record_update();
+    }
+
+    fn on_edges_changed(&mut self, n: u64) {
+        self.record_edges_changed(n);
+    }
+}
+
+/// Trace forwarding: fold the event stream into named counters for
+/// white-box assertions ("exactly one reconfiguration fired").
+impl SimObserver for Counters {
+    fn on_query(&mut self, _hour: usize) {
+        self.incr("queries");
+    }
+
+    fn on_hit(&mut self, _hour: usize) {
+        self.incr("hits");
+    }
+
+    fn on_messages(&mut self, _hour: usize, n: f64) {
+        self.add("messages", n as u64);
+    }
+
+    fn on_exploration(&mut self) {
+        self.incr("explorations");
+    }
+
+    fn on_update(&mut self) {
+        self.incr("updates");
+    }
+
+    fn on_edges_changed(&mut self, n: u64) {
+        self.add("edges_changed", n);
+    }
+}
+
+/// Fan-out to two observers (e.g. metrics + trace counters).
+impl<A: SimObserver, B: SimObserver> SimObserver for (A, B) {
+    fn on_query(&mut self, hour: usize) {
+        self.0.on_query(hour);
+        self.1.on_query(hour);
+    }
+
+    fn on_hit(&mut self, hour: usize) {
+        self.0.on_hit(hour);
+        self.1.on_hit(hour);
+    }
+
+    fn on_messages(&mut self, hour: usize, n: f64) {
+        self.0.on_messages(hour, n);
+        self.1.on_messages(hour, n);
+    }
+
+    fn on_latency_ms(&mut self, ms: f64) {
+        self.0.on_latency_ms(ms);
+        self.1.on_latency_ms(ms);
+    }
+
+    fn on_exploration(&mut self) {
+        self.0.on_exploration();
+        self.1.on_exploration();
+    }
+
+    fn on_update(&mut self) {
+        self.0.on_update();
+        self.1.on_update();
+    }
+
+    fn on_edges_changed(&mut self, n: u64) {
+        self.0.on_edges_changed(n);
+        self.1.on_edges_changed(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_metrics_is_the_canonical_sink() {
+        let mut m = RuntimeMetrics::new();
+        let obs: &mut dyn SimObserver = &mut m;
+        obs.on_query(0);
+        obs.on_hit(0);
+        obs.on_messages(0, 4.0);
+        obs.on_latency_ms(80.0);
+        obs.on_exploration();
+        obs.on_update();
+        obs.on_edges_changed(2);
+        assert_eq!(m.queries.total(), 1.0);
+        assert_eq!(m.hits.total(), 1.0);
+        assert_eq!(m.messages.total(), 4.0);
+        assert_eq!(m.latency_ms.count(), 1);
+        assert_eq!(m.explorations, 1);
+        assert_eq!(m.updates, 1);
+        assert_eq!(m.edges_changed, 2);
+    }
+
+    #[test]
+    fn null_observer_accepts_everything() {
+        let mut o = NullObserver;
+        o.on_query(3);
+        o.on_messages(3, 9.0);
+        o.on_update();
+    }
+
+    #[test]
+    fn counters_forwarding_and_pair_fanout() {
+        let mut pair = (RuntimeMetrics::new(), Counters::new());
+        pair.on_query(1);
+        pair.on_messages(1, 3.0);
+        pair.on_update();
+        assert_eq!(pair.0.queries.total(), 1.0);
+        assert_eq!(pair.1.get("queries"), 1);
+        assert_eq!(pair.1.get("messages"), 3);
+        assert_eq!(pair.1.get("updates"), 1);
+    }
+}

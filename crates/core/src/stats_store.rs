@@ -120,7 +120,10 @@ impl StatsStore {
     /// Record exploration-derived knowledge (statistics and summarized
     /// information, Algo 2) without counting a result.
     pub fn record_exploration(&mut self, node: NodeId, bandwidth: BandwidthClass, at: SimTime) {
-        let e = self.entries.entry(node).or_insert_with(|| NodeStats::new(at));
+        let e = self
+            .entries
+            .entry(node)
+            .or_insert_with(|| NodeStats::new(at));
         e.bandwidth = Some(bandwidth);
         e.last_update = at;
     }
@@ -151,7 +154,11 @@ impl StatsStore {
             .filter(|(&n, _)| filter(n))
             .map(|(&n, s)| (n, score(s)))
             .collect();
-        v.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        v.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         v
     }
 

@@ -160,7 +160,11 @@ mod tests {
     #[test]
     fn dominant_category() {
         assert_eq!(summary(&[1, 5, 3]).dominant_category(), Some(1));
-        assert_eq!(summary(&[4, 4, 0]).dominant_category(), Some(0), "ties to lowest");
+        assert_eq!(
+            summary(&[4, 4, 0]).dominant_category(),
+            Some(0),
+            "ties to lowest"
+        );
         assert_eq!(CategorySummary::empty(3).dominant_category(), None);
     }
 

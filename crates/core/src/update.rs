@@ -131,8 +131,16 @@ where
     candidates.truncate(capacity);
 
     let selected: Vec<NodeId> = candidates.into_iter().map(|(n, _)| n).collect();
-    let add: Vec<NodeId> = selected.iter().copied().filter(|&n| !is_current(n)).collect();
-    let keep: Vec<NodeId> = selected.iter().copied().filter(|&n| is_current(n)).collect();
+    let add: Vec<NodeId> = selected
+        .iter()
+        .copied()
+        .filter(|&n| !is_current(n))
+        .collect();
+    let keep: Vec<NodeId> = selected
+        .iter()
+        .copied()
+        .filter(|&n| is_current(n))
+        .collect();
     let evict: Vec<NodeId> = current
         .iter()
         .copied()
@@ -224,7 +232,10 @@ impl InvitationPolicy {
         capacity: usize,
         ctx: &InvitationContext<'_>,
     ) -> InvitationDecision {
-        debug_assert!(!neighbors.contains(&inviter), "invited by an existing neighbor");
+        debug_assert!(
+            !neighbors.contains(&inviter),
+            "invited by an existing neighbor"
+        );
         if neighbors.len() < capacity {
             return InvitationDecision::Accept { evict: None };
         }
@@ -248,8 +259,14 @@ impl InvitationPolicy {
                 }
             }
             InvitationPolicy::BenefitGated => {
-                let inviter_benefit = stats.get(inviter).map(|s| benefit.benefit(s)).unwrap_or(0.0);
-                let weakest_benefit = stats.get(weakest).map(|s| benefit.benefit(s)).unwrap_or(0.0);
+                let inviter_benefit = stats
+                    .get(inviter)
+                    .map(|s| benefit.benefit(s))
+                    .unwrap_or(0.0);
+                let weakest_benefit = stats
+                    .get(weakest)
+                    .map(|s| benefit.benefit(s))
+                    .unwrap_or(0.0);
                 if inviter_benefit > weakest_benefit {
                     InvitationDecision::Accept {
                         evict: Some(weakest),
@@ -318,7 +335,10 @@ mod tests {
         let s = store(&[(9, 0.0)]); // known but zero-benefit stranger
         let current = [NodeId(1)];
         let plan = plan_asymmetric_update(&current, &s, &CumulativeBenefit, 1, |_| true);
-        assert!(plan.is_noop(), "stranger displaced an equal incumbent: {plan:?}");
+        assert!(
+            plan.is_noop(),
+            "stranger displaced an equal incumbent: {plan:?}"
+        );
         assert_eq!(plan.keep, vec![NodeId(1)]);
     }
 
@@ -327,8 +347,7 @@ mod tests {
         let s = store(&[(1, 10.0)]);
         let current = [NodeId(1)];
         let offline = NodeId(1);
-        let plan =
-            plan_asymmetric_update(&current, &s, &CumulativeBenefit, 2, |n| n != offline);
+        let plan = plan_asymmetric_update(&current, &s, &CumulativeBenefit, 2, |n| n != offline);
         assert_eq!(plan.evict, vec![NodeId(1)]);
         assert!(plan.keep.is_empty());
     }
@@ -481,7 +500,10 @@ mod tests {
             inviter_summary: Some(&theirs),
             own_summary: Some(&mine),
         };
-        let d = InvitationPolicy::SummaryGated { min_similarity: 0.8 }.decide(
+        let d = InvitationPolicy::SummaryGated {
+            min_similarity: 0.8,
+        }
+        .decide(
             NodeId(9),
             &[NodeId(1), NodeId(2)],
             &s,
@@ -505,14 +527,23 @@ mod tests {
         let b_items = [ddr_sim::ItemId(1)];
         let mine = CategorySummary::build(&a_items, 3, |i| i.0 as usize);
         let theirs = CategorySummary::build(&b_items, 3, |i| i.0 as usize);
-        let policy = InvitationPolicy::SummaryGated { min_similarity: 0.5 };
+        let policy = InvitationPolicy::SummaryGated {
+            min_similarity: 0.5,
+        };
         // dissimilar
         let ctx = InvitationContext {
             inviter_summary: Some(&theirs),
             own_summary: Some(&mine),
         };
         assert_eq!(
-            policy.decide(NodeId(9), &[NodeId(1), NodeId(2)], &s, &CumulativeBenefit, 2, &ctx),
+            policy.decide(
+                NodeId(9),
+                &[NodeId(1), NodeId(2)],
+                &s,
+                &CumulativeBenefit,
+                2,
+                &ctx
+            ),
             InvitationDecision::Reject
         );
         // missing summaries → similarity 0 → reject when full

@@ -93,7 +93,9 @@ fn main() {
         ("benefit-gated (ii/stats)", InvitationPolicy::BenefitGated),
         (
             "summary-gated (ii/b)",
-            InvitationPolicy::SummaryGated { min_similarity: 0.3 },
+            InvitationPolicy::SummaryGated {
+                min_similarity: 0.3,
+            },
         ),
         (
             "trial 20min (ii/a)",

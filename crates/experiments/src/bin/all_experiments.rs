@@ -7,8 +7,8 @@
 
 use ddr_experiments::{banner, default_workers, run_all, ExpOptions};
 use ddr_gnutella::Mode;
-use ddr_stats::Table;
 use ddr_peerolap::{run_peerolap, OlapMode, PeerOlapConfig};
+use ddr_stats::Table;
 use ddr_webcache::{run_webcache, CacheMode, WebCacheConfig};
 
 fn main() {
@@ -18,7 +18,10 @@ fn main() {
     // ---- Figures 1 & 2: hourly series at hops 2 and 4 --------------------
     for hops in [2u8, 4] {
         let reports = run_all(
-            vec![opts.scenario(Mode::Static, hops), opts.scenario(Mode::Dynamic, hops)],
+            vec![
+                opts.scenario(Mode::Static, hops),
+                opts.scenario(Mode::Dynamic, hops),
+            ],
             default_workers(),
         );
         let (s, d) = (&reports[0], &reports[1]);
@@ -44,7 +47,13 @@ fn main() {
     let reports = run_all(configs, default_workers());
     let mut t = Table::new(
         "Fig 3(a): first-result delay (ms) / total results",
-        &["Hops", "static delay", "static results", "dynamic delay", "dynamic results"],
+        &[
+            "Hops",
+            "static delay",
+            "static results",
+            "dynamic delay",
+            "dynamic results",
+        ],
     );
     for (i, &h) in hops.iter().enumerate() {
         let s = &reports[2 * i];
@@ -84,7 +93,13 @@ fn main() {
     // ---- Web-cache case study ----------------------------------------------
     let mut t = Table::new(
         "Web-cache case study (pure asymmetric)",
-        &["Mode", "sibling hit %", "origin %", "latency ms", "same-group %"],
+        &[
+            "Mode",
+            "sibling hit %",
+            "origin %",
+            "latency ms",
+            "same-group %",
+        ],
     );
     for mode in [CacheMode::Static, CacheMode::Dynamic] {
         let mut cfg = WebCacheConfig::default_scenario(mode);
@@ -105,7 +120,13 @@ fn main() {
     // ---- PeerOlap case study -------------------------------------------------
     let mut t = Table::new(
         "PeerOlap case study (bounded-incoming asymmetric)",
-        &["Mode", "peer chunk %", "warehouse %", "latency ms", "same-group %"],
+        &[
+            "Mode",
+            "peer chunk %",
+            "warehouse %",
+            "latency ms",
+            "same-group %",
+        ],
     );
     for mode in [OlapMode::Static, OlapMode::Dynamic] {
         let mut cfg = PeerOlapConfig::default_scenario(mode);

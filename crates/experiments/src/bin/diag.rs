@@ -7,7 +7,10 @@ use ddr_gnutella::scenario::run_scenario_with_world;
 use ddr_gnutella::Mode;
 
 fn hops_from_env() -> u8 {
-    std::env::var("DIAG_HOPS").ok().and_then(|v| v.parse().ok()).unwrap_or(2)
+    std::env::var("DIAG_HOPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
 }
 
 fn main() {
@@ -24,7 +27,7 @@ fn main() {
             report.total_messages(),
             report.mean_first_delay_ms(),
             report.metrics.first_result_hops.mean(),
-            report.metrics.reconfigurations,
+            report.metrics.runtime.updates,
             report.metrics.invitations_sent,
             report.metrics.invitations_accepted,
         );

@@ -19,7 +19,13 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
-            "--hours" => hours = args.next().expect("--hours value").parse().expect("bad hours"),
+            "--hours" => {
+                hours = args
+                    .next()
+                    .expect("--hours value")
+                    .parse()
+                    .expect("bad hours")
+            }
             "--help" | "-h" => {
                 eprintln!("options: --hours H");
                 std::process::exit(0);
@@ -51,7 +57,7 @@ fn main() {
             format!("{:.1}", 100.0 * r.origin_ratio()),
             format!("{:.0}", r.mean_latency_ms()),
             format!("{:.1}", 100.0 * r.same_group_fraction),
-            format!("{:.0}", r.metrics.messages.total()),
+            format!("{:.0}", r.metrics.runtime.messages.total()),
         ]);
     }
     println!("{}", t.render());

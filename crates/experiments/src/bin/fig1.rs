@@ -13,7 +13,10 @@ use ddr_gnutella::Mode;
 fn main() {
     let opts = ExpOptions::from_args();
     banner("fig1", &opts);
-    let configs = vec![opts.scenario(Mode::Static, 2), opts.scenario(Mode::Dynamic, 2)];
+    let configs = vec![
+        opts.scenario(Mode::Static, 2),
+        opts.scenario(Mode::Dynamic, 2),
+    ];
     let reports = run_all(configs, default_workers());
     let (stat, dynm) = (&reports[0], &reports[1]);
 

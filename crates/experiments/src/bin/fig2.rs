@@ -10,7 +10,10 @@ use ddr_gnutella::Mode;
 fn main() {
     let opts = ExpOptions::from_args();
     banner("fig2", &opts);
-    let configs = vec![opts.scenario(Mode::Static, 4), opts.scenario(Mode::Dynamic, 4)];
+    let configs = vec![
+        opts.scenario(Mode::Static, 4),
+        opts.scenario(Mode::Dynamic, 4),
+    ];
     let reports = run_all(configs, default_workers());
     let (stat, dynm) = (&reports[0], &reports[1]);
 

@@ -50,6 +50,9 @@ fn main() {
         })
         .map(|(i, &k)| (k, reports[i + 1].total_hits()))
         .unwrap();
-    println!("best threshold: K={} with {:.0} hits (static: {:.0})", best.0, best.1, static_hits);
+    println!(
+        "best threshold: K={} with {:.0} hits (static: {:.0})",
+        best.0, best.1, static_hits
+    );
     opts.write_csv("fig3b_threshold_sweep", &t);
 }

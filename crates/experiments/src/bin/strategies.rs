@@ -25,8 +25,14 @@ fn main() {
                 depths: vec![1, 2, 4],
             },
         ),
-        ("local-indices r=1", SearchStrategy::LocalIndices { radius: 1 }),
-        ("local-indices r=2", SearchStrategy::LocalIndices { radius: 2 }),
+        (
+            "local-indices r=1",
+            SearchStrategy::LocalIndices { radius: 1 },
+        ),
+        (
+            "local-indices r=2",
+            SearchStrategy::LocalIndices { radius: 2 },
+        ),
         (
             "directed-bft k=3",
             SearchStrategy::Bfs, // forward-selection variant, set below

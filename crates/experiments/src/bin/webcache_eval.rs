@@ -16,8 +16,21 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
-            "--hours" => hours = args.next().expect("--hours value").parse().expect("bad hours"),
-            "--seed" => seed = Some(args.next().expect("--seed value").parse().expect("bad seed")),
+            "--hours" => {
+                hours = args
+                    .next()
+                    .expect("--hours value")
+                    .parse()
+                    .expect("bad hours")
+            }
+            "--seed" => {
+                seed = Some(
+                    args.next()
+                        .expect("--seed value")
+                        .parse()
+                        .expect("bad seed"),
+                )
+            }
             "--help" | "-h" => {
                 eprintln!("options: --hours H --seed S");
                 std::process::exit(0);
@@ -53,7 +66,7 @@ fn main() {
             format!("{:.1}", 100.0 * r.origin_ratio()),
             format!("{:.0}", r.mean_latency_ms()),
             format!("{:.1}", 100.0 * r.same_group_fraction),
-            format!("{}", r.metrics.updates),
+            format!("{}", r.metrics.runtime.updates),
         ]);
     }
     println!("{}", table.render());

@@ -174,7 +174,11 @@ pub fn hourly_figure_table(
 ) -> Table {
     let mut t = Table::new(
         title,
-        &["Hour", &format!("Gnutella {metric}"), &format!("Dynamic_Gnutella {metric}")],
+        &[
+            "Hour",
+            &format!("Gnutella {metric}"),
+            &format!("Dynamic_Gnutella {metric}"),
+        ],
     );
     let s = pick_series(stat, metric);
     let d = pick_series(dyn_, metric);

@@ -39,7 +39,11 @@ pub enum GnutellaEvent {
     EvictArrive { to: NodeId, from: NodeId },
     /// Iterative deepening: the collection window of `wave` for `query`
     /// at the initiating `node` has elapsed — finalise or relaunch deeper.
-    WaveCheck { node: NodeId, query: QueryId, wave: u8 },
+    WaveCheck {
+        node: NodeId,
+        query: QueryId,
+        wave: u8,
+    },
     /// Local indices: periodic rebuild of `node`'s radius-r index.
     /// `session` guards against stale events from earlier sessions.
     IndexRefresh { node: NodeId, session: u32 },

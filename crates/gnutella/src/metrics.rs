@@ -1,6 +1,13 @@
 //! Run metrics matching the paper's reported quantities.
+//!
+//! The framework-level counters (queries, hits, messages, first-result
+//! latency, reconfiguration updates) live in the shared
+//! [`RuntimeMetrics`] recorder from `ddr-stats` — the same recorder the
+//! webcache and OLAP case studies embed — so cross-study comparisons
+//! read the same fields. This struct adds only the music-domain
+//! measurements on top.
 
-use ddr_stats::{BucketSeries, Histogram, RunningStats};
+use ddr_stats::{BucketSeries, Histogram, RunningStats, RuntimeMetrics};
 use serde::Serialize;
 
 /// Everything measured during a run. All series are bucketed by simulated
@@ -9,22 +16,17 @@ use serde::Serialize;
 /// behaviour too.
 #[derive(Debug, Clone, Serialize)]
 pub struct Metrics {
-    /// Queries issued per hour.
-    pub queries_issued: BucketSeries,
-    /// Queries satisfied (≥ 1 result) per hour, bucketed by the hour the
-    /// first result arrived (Figs 1a, 2a).
-    pub hits: BucketSeries,
-    /// Query messages propagated per hour (Figs 1b, 2b) — query
-    /// transmissions only, per the paper ("messages (i.e., queries)").
-    pub messages: BucketSeries,
+    /// Shared framework recorder: `queries` (issued per hour), `hits`
+    /// (queries satisfied per hour, bucketed by first-result arrival —
+    /// Figs 1a, 2a), `messages` (query transmissions per hour — Figs 1b,
+    /// 2b; "messages (i.e., queries)"), `latency_ms` (first-result delay,
+    /// post-warm-up — Fig 3a), `updates` (reconfigurations executed) and
+    /// `edges_changed` (overlay links rewired by the update protocol).
+    pub runtime: RuntimeMetrics,
     /// All results obtained per hour (the totals annotated in Fig 3a).
     pub results: BucketSeries,
-    /// First-result delay in ms (Fig 3a), post-warm-up only.
-    pub first_delay_ms: RunningStats,
     /// First-result delay histogram (50 ms buckets to 5 s).
     pub first_delay_hist: Histogram,
-    /// Reconfigurations executed (dynamic mode).
-    pub reconfigurations: u64,
     /// Invitations sent / accepted.
     pub invitations_sent: u64,
     /// Invitations that resulted in a new link.
@@ -57,13 +59,9 @@ pub struct Metrics {
 impl Default for Metrics {
     fn default() -> Self {
         Metrics {
-            queries_issued: BucketSeries::new(),
-            hits: BucketSeries::new(),
-            messages: BucketSeries::new(),
+            runtime: RuntimeMetrics::new(),
             results: BucketSeries::new(),
-            first_delay_ms: RunningStats::new(),
             first_delay_hist: Histogram::new(50.0, 100),
-            reconfigurations: 0,
             invitations_sent: 0,
             invitations_accepted: 0,
             evictions: 0,
@@ -106,6 +104,7 @@ impl RunReport {
     /// Hits per hour over the measurement window.
     pub fn hits_series(&self) -> Vec<f64> {
         self.metrics
+            .runtime
             .hits
             .window(self.from_hour as usize, self.to_hour as usize)
     }
@@ -113,6 +112,7 @@ impl RunReport {
     /// Messages per hour over the measurement window.
     pub fn messages_series(&self) -> Vec<f64> {
         self.metrics
+            .runtime
             .messages
             .window(self.from_hour as usize, self.to_hour as usize)
     }
@@ -120,6 +120,7 @@ impl RunReport {
     /// Total hits over the window (Fig 3b's y-axis).
     pub fn total_hits(&self) -> f64 {
         self.metrics
+            .runtime
             .hits
             .window_sum(self.from_hour as usize, self.to_hour as usize)
     }
@@ -134,6 +135,7 @@ impl RunReport {
     /// Total messages over the window.
     pub fn total_messages(&self) -> f64 {
         self.metrics
+            .runtime
             .messages
             .window_sum(self.from_hour as usize, self.to_hour as usize)
     }
@@ -141,6 +143,7 @@ impl RunReport {
     /// Mean hits per measured hour.
     pub fn mean_hits_per_hour(&self) -> f64 {
         self.metrics
+            .runtime
             .hits
             .window_mean(self.from_hour as usize, self.to_hour as usize)
     }
@@ -148,20 +151,22 @@ impl RunReport {
     /// Mean messages per measured hour.
     pub fn mean_messages_per_hour(&self) -> f64 {
         self.metrics
+            .runtime
             .messages
             .window_mean(self.from_hour as usize, self.to_hour as usize)
     }
 
     /// Mean first-result delay in ms (Fig 3a's y-axis).
     pub fn mean_first_delay_ms(&self) -> f64 {
-        self.metrics.first_delay_ms.mean()
+        self.metrics.runtime.latency_ms.mean()
     }
 
     /// Hit ratio over the window.
     pub fn hit_ratio(&self) -> f64 {
         let q = self
             .metrics
-            .queries_issued
+            .runtime
+            .queries
             .window_sum(self.from_hour as usize, self.to_hour as usize);
         if q == 0.0 {
             0.0
@@ -178,11 +183,11 @@ mod tests {
     #[test]
     fn report_windows_exclude_warmup() {
         let mut m = Metrics::new();
-        m.hits.add(0, 100.0); // warm-up hour
-        m.hits.add(2, 10.0);
-        m.hits.add(3, 20.0);
-        m.queries_issued.add(2, 40.0);
-        m.queries_issued.add(3, 20.0);
+        m.runtime.hits.add(0, 100.0); // warm-up hour
+        m.runtime.hits.add(2, 10.0);
+        m.runtime.hits.add(3, 20.0);
+        m.runtime.queries.add(2, 40.0);
+        m.runtime.queries.add(3, 20.0);
         let r = RunReport {
             metrics: m,
             from_hour: 2,

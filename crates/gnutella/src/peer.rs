@@ -1,6 +1,8 @@
-//! Per-peer mutable state.
+//! Per-peer mutable state: the framework-side [`NodeRuntime`] composed
+//! with the music-domain state (sessions, in-flight queries, workload
+//! generators).
 
-use ddr_core::{DupCache, StatsStore};
+use ddr_core::runtime::NodeRuntime;
 use ddr_sim::{FastHashMap, ItemId, NodeId, QueryId, SimTime};
 use ddr_workload::{ChurnProcess, QueryGenerator};
 
@@ -48,13 +50,11 @@ pub struct PeerState {
     /// Monotone session counter; bumped at each login so stale
     /// `IssueQuery` events from earlier sessions are ignored.
     pub session: u32,
-    /// Statistics about other nodes (survives offline periods — user
-    /// preferences are static, so old knowledge stays valuable).
-    pub stats: StatsStore,
-    /// Recent-message list for duplicate suppression.
-    pub seen: DupCache,
-    /// Requests issued since the last reconfiguration.
-    pub requests_since_reconfig: u32,
+    /// Framework runtime: statistics about other nodes (survive offline
+    /// periods — user preferences are static, so old knowledge stays
+    /// valuable), the duplicate cache, and the threshold-K
+    /// reconfiguration clock.
+    pub rt: NodeRuntime,
     /// Invitations sent whose outcome has not yet arrived. Each reserves
     /// one neighbor slot so random refills don't race the acceptance.
     pub pending_invites: u32,
@@ -72,9 +72,8 @@ impl PeerState {
     pub fn begin_session(&mut self) {
         self.online = true;
         self.session = self.session.wrapping_add(1);
-        self.seen.clear();
+        self.rt.begin_session();
         self.pending.clear();
-        self.requests_since_reconfig = 0;
         self.pending_invites = 0;
     }
 
@@ -98,9 +97,7 @@ mod tests {
         PeerState {
             online: false,
             session: 0,
-            stats: StatsStore::new(),
-            seen: DupCache::new(16),
-            requests_since_reconfig: 0,
+            rt: NodeRuntime::new(10).with_dup_cache(16),
             pending_invites: 0,
             pending: ddr_sim::hash::fast_map(),
             churn: ChurnProcess::new(&cfg, &rngs, 0),
@@ -111,15 +108,27 @@ mod tests {
     #[test]
     fn session_lifecycle() {
         let mut p = peer();
-        p.seen.first_sighting(QueryId(1));
-        p.pending.insert(QueryId(1), PendingQuery::new(ItemId(0), SimTime::ZERO));
+        p.rt.seen().first_sighting(QueryId(1));
+        p.pending
+            .insert(QueryId(1), PendingQuery::new(ItemId(0), SimTime::ZERO));
         p.begin_session();
         assert!(p.online);
         assert_eq!(p.session, 1);
         assert!(p.pending.is_empty());
-        assert!(p.seen.first_sighting(QueryId(1)), "dup cache must clear");
+        assert!(
+            p.rt.seen().first_sighting(QueryId(1)),
+            "dup cache must clear"
+        );
         p.end_session();
         assert!(!p.online);
+    }
+
+    #[test]
+    fn session_start_restarts_reconfig_clock() {
+        let mut p = peer();
+        p.rt.clock.tick();
+        p.begin_session();
+        assert_eq!(p.rt.clock.count(), 0);
     }
 
     #[test]

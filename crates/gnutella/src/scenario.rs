@@ -4,7 +4,7 @@
 use crate::config::ScenarioConfig;
 use crate::metrics::RunReport;
 use crate::world::GnutellaWorld;
-use ddr_sim::{EventQueue, RunOutcome, Simulation, SimTime, World};
+use ddr_sim::{EventQueue, RunOutcome, SimTime, Simulation, World};
 
 /// Run one scenario to its horizon and return the report. A pure function
 /// of the configuration (which embeds the seed): calling it twice yields
@@ -70,16 +70,22 @@ mod tests {
         let report = run_scenario(small(Mode::Static, 2));
         assert!(report.total_messages() > 0.0, "no messages propagated");
         assert!(report.total_hits() > 0.0, "no query was ever satisfied");
-        assert!(report.metrics.logins + report.metrics.logoffs > 0, "no churn");
+        assert!(
+            report.metrics.logins + report.metrics.logoffs > 0,
+            "no churn"
+        );
         // static mode never reconfigures
-        assert_eq!(report.metrics.reconfigurations, 0);
+        assert_eq!(report.metrics.runtime.updates, 0);
         assert_eq!(report.metrics.invitations_sent, 0);
     }
 
     #[test]
     fn dynamic_run_reconfigures() {
         let report = run_scenario(small(Mode::Dynamic, 2));
-        assert!(report.metrics.reconfigurations > 0, "dynamic never reconfigured");
+        assert!(
+            report.metrics.runtime.updates > 0,
+            "dynamic never reconfigured"
+        );
         assert!(report.total_hits() > 0.0);
     }
 
@@ -89,7 +95,7 @@ mod tests {
         let b = run_scenario(small(Mode::Dynamic, 2));
         assert_eq!(a.total_hits(), b.total_hits());
         assert_eq!(a.total_messages(), b.total_messages());
-        assert_eq!(a.metrics.reconfigurations, b.metrics.reconfigurations);
+        assert_eq!(a.metrics.runtime.updates, b.metrics.runtime.updates);
         assert_eq!(a.mean_first_delay_ms(), b.mean_first_delay_ms());
     }
 
@@ -141,10 +147,17 @@ mod tests {
         // With hops=1 each query sends at most `degree` messages.
         let queries: f64 = report
             .metrics
-            .queries_issued
+            .runtime
+            .queries
             .window_sum(0, report.to_hour as usize);
-        assert!(report.metrics.messages.window_sum(0, report.to_hour as usize)
-            <= queries * 4.0 + 1.0);
+        assert!(
+            report
+                .metrics
+                .runtime
+                .messages
+                .window_sum(0, report.to_hour as usize)
+                <= queries * 4.0 + 1.0
+        );
     }
 
     #[test]

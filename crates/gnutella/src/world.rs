@@ -21,81 +21,23 @@
 //! Static mode strips all of the above except `Process_Query`, replacing
 //! lost neighbors with random online nodes — vanilla Gnutella.
 
+use crate::config::SearchStrategy;
 use crate::config::{Mode, ScenarioConfig};
 use crate::events::GnutellaEvent;
 use crate::metrics::Metrics;
 use crate::peer::{PeerState, PendingQuery};
 use ddr_core::benefit::BenefitFunction;
-use crate::config::SearchStrategy;
+use ddr_core::runtime::{Membership, NodeRuntime, SimObserver};
 use ddr_core::{
-    plan_asymmetric_update, CategorySummary, DupCache, InvitationContext, InvitationDecision,
-    LocalIndex, QueryDescriptor, StatsStore,
+    plan_asymmetric_update, CategorySummary, InvitationContext, InvitationDecision, LocalIndex,
+    QueryDescriptor,
 };
-use ddr_sim::ItemId;
 use ddr_net::NetworkModel;
 use ddr_overlay::Topology;
+use ddr_sim::ItemId;
 use ddr_sim::{NodeId, QueryId, RngFactory, Scheduler, SimTime, Trace, World};
 use ddr_workload::{generate_profiles, Catalog, ChurnProcess, QueryGenerator, UserProfile};
 use rand::rngs::SmallRng;
-
-/// O(1) membership/add/remove set of online nodes that also exposes a
-/// dense slice for random sampling (needed by the random-join logic).
-#[derive(Debug, Clone)]
-pub struct OnlineSet {
-    list: Vec<NodeId>,
-    /// pos[node] = index in `list` + 1; 0 = absent.
-    pos: Vec<u32>,
-}
-
-impl OnlineSet {
-    fn new(n: usize) -> Self {
-        OnlineSet {
-            list: Vec::with_capacity(n),
-            pos: vec![0; n],
-        }
-    }
-
-    fn add(&mut self, node: NodeId) {
-        if self.pos[node.index()] == 0 {
-            self.list.push(node);
-            self.pos[node.index()] = self.list.len() as u32;
-        }
-    }
-
-    fn remove(&mut self, node: NodeId) {
-        let p = self.pos[node.index()];
-        if p == 0 {
-            return;
-        }
-        let idx = (p - 1) as usize;
-        let last = *self.list.last().expect("non-empty when pos set");
-        self.list.swap_remove(idx);
-        self.pos[node.index()] = 0;
-        if last != node {
-            self.pos[last.index()] = p;
-        }
-    }
-
-    /// Whether `node` is online.
-    pub fn contains(&self, node: NodeId) -> bool {
-        self.pos[node.index()] != 0
-    }
-
-    /// Number of online nodes.
-    pub fn len(&self) -> usize {
-        self.list.len()
-    }
-
-    /// Whether nobody is online.
-    pub fn is_empty(&self) -> bool {
-        self.list.is_empty()
-    }
-
-    /// Dense slice of online nodes (arbitrary but deterministic order).
-    pub fn as_slice(&self) -> &[NodeId] {
-        &self.list
-    }
-}
 
 /// The complete simulation state.
 pub struct GnutellaWorld {
@@ -114,7 +56,7 @@ pub struct GnutellaWorld {
     free_rider: Vec<bool>,
     /// Results served per node (load-balance analysis).
     served: Vec<u64>,
-    online: OnlineSet,
+    online: Membership,
     benefit: Box<dyn BenefitFunction>,
     rng: SmallRng,
     next_query: u64,
@@ -140,7 +82,7 @@ impl GnutellaWorld {
         let profiles = generate_profiles(&config.workload, &catalog, &rngs);
         let net = NetworkModel::paper(config.workload.users, &rngs);
         let mut topology = Topology::symmetric(config.workload.users, config.degree);
-        let mut online = OnlineSet::new(config.workload.users);
+        let mut online = Membership::new(config.workload.users);
 
         let peers: Vec<PeerState> = (0..config.workload.users)
             .map(|i| {
@@ -149,9 +91,8 @@ impl GnutellaWorld {
                 PeerState {
                     online: false,
                     session: 0,
-                    stats: StatsStore::new(),
-                    seen: DupCache::new(config.dup_cache_capacity),
-                    requests_since_reconfig: 0,
+                    rt: NodeRuntime::new(config.reconfig_threshold)
+                        .with_dup_cache(config.dup_cache_capacity),
                     pending_invites: 0,
                     pending: ddr_sim::hash::fast_map(),
                     churn,
@@ -215,7 +156,7 @@ impl GnutellaWorld {
                 initial.push(n);
             }
         }
-        online = std::mem::replace(&mut world.online, OnlineSet::new(0));
+        online = std::mem::replace(&mut world.online, Membership::new(0));
         topology = std::mem::replace(&mut world.topology, Topology::symmetric(0, 0));
         topology.populate_random_symmetric(&initial, world.config.degree, &mut world.rng);
         world.online = online;
@@ -289,7 +230,7 @@ impl GnutellaWorld {
     }
 
     /// The online set.
-    pub fn online(&self) -> &OnlineSet {
+    pub fn online(&self) -> &Membership {
         &self.online
     }
 
@@ -355,7 +296,10 @@ impl GnutellaWorld {
         if online.is_empty() {
             return 0.0;
         }
-        online.iter().map(|&i| self.peers[i].stats.len()).sum::<usize>() as f64
+        online
+            .iter()
+            .map(|&i| self.peers[i].rt.stats.len())
+            .sum::<usize>() as f64
             / online.len() as f64
     }
 
@@ -374,8 +318,8 @@ impl GnutellaWorld {
     ) {
         let d = self.net.one_way_delay(&mut self.rng, from, to);
         self.metrics
-            .messages
-            .incr(sched.now().as_hours() as usize);
+            .runtime
+            .on_messages(sched.now().as_hours() as usize, 1.0);
         sched.after(d, GnutellaEvent::QueryArrive { to, from, desc });
     }
 
@@ -399,7 +343,7 @@ impl GnutellaWorld {
         let targets = self.config.forward.select(
             self.topology.out(node).as_slice(),
             None,
-            &self.peers[node.index()].stats,
+            &self.peers[node.index()].rt.stats,
             self.benefit.as_ref(),
             &mut self.rng,
         );
@@ -411,17 +355,19 @@ impl GnutellaWorld {
     fn login(&mut self, node: NodeId, sched: &mut Scheduler<'_, GnutellaEvent>) {
         let i = node.index();
         if !self.config.persist_stats {
-            self.peers[i].stats = StatsStore::new();
+            self.peers[i].rt.reset_stats();
         }
         self.peers[i].begin_session();
         self.online.add(node);
         self.metrics.logins += 1;
-        self.trace.record_with(sched.now(), || format!("{node} login"));
+        self.trace
+            .record_with(sched.now(), || format!("{node} login"));
         if self.is_dynamic() && self.config.benefit_join_on_login {
             // Re-cluster from remembered statistics: invite the most
             // beneficial known online nodes for every slot they can fill.
             let online = &self.online;
             let invites: Vec<NodeId> = self.peers[i]
+                .rt
                 .stats
                 .ranked_by(
                     |s| self.benefit.benefit(s),
@@ -477,7 +423,8 @@ impl GnutellaWorld {
         self.peers[i].end_session();
         self.online.remove(node);
         self.metrics.logoffs += 1;
-        self.trace.record_with(sched.now(), || format!("{node} logoff"));
+        self.trace
+            .record_with(sched.now(), || format!("{node} logoff"));
         let former = self.topology.isolate(node);
         // "Neighbor log-offs trigger the update process" (dynamic); static
         // nodes replace lost neighbors randomly.
@@ -520,9 +467,11 @@ impl GnutellaWorld {
         };
         let qid = QueryId(self.next_query);
         self.next_query += 1;
-        self.peers[i].seen.first_sighting(qid);
-        self.peers[i].pending.insert(qid, PendingQuery::new(item, now));
-        self.metrics.queries_issued.incr(now.as_hours() as usize);
+        self.peers[i].rt.seen().first_sighting(qid);
+        self.peers[i]
+            .pending
+            .insert(qid, PendingQuery::new(item, now));
+        self.metrics.runtime.on_query(now.as_hours() as usize);
 
         match self.config.strategy.clone() {
             SearchStrategy::Bfs => {
@@ -549,7 +498,9 @@ impl GnutellaWorld {
                     // message, one reply — no flood.
                     self.metrics.index_answers += 1;
                     self.served[holder.index()] += 1;
-                    self.metrics.messages.incr(now.as_hours() as usize);
+                    self.metrics
+                        .runtime
+                        .on_messages(now.as_hours() as usize, 1.0);
                     let there = self.net.one_way_delay(&mut self.rng, node, holder);
                     let back = self.net.one_way_delay(&mut self.rng, holder, node);
                     let bw = self.net.class(holder);
@@ -576,11 +527,11 @@ impl GnutellaWorld {
             }
         }
 
-        // Reconfiguration clock ticks in requests (paper §4.3).
-        self.peers[i].requests_since_reconfig += 1;
-        if self.is_dynamic()
-            && self.peers[i].requests_since_reconfig >= self.config.reconfig_threshold
-        {
+        // Reconfiguration clock ticks in requests (paper §4.3). The clock
+        // always ticks — static mode simply never acts on a due clock —
+        // so both modes follow identical event schedules.
+        let clock_due = self.peers[i].rt.clock.tick();
+        if self.is_dynamic() && clock_due {
             self.reconfigure(node, sched);
         }
 
@@ -599,7 +550,7 @@ impl GnutellaWorld {
         if !self.peers[i].online {
             return; // the node logged off while the message was in flight
         }
-        if !self.peers[i].seen.first_sighting(desc.id) {
+        if !self.peers[i].rt.seen().first_sighting(desc.id) {
             self.metrics.duplicates_dropped += 1;
             return; // "if the same message has been received before, discard"
         }
@@ -651,7 +602,7 @@ impl GnutellaWorld {
         let targets = self.config.forward.select(
             self.topology.out(to).as_slice(),
             Some(from),
-            &self.peers[i].stats,
+            &self.peers[i].rt.stats,
             self.benefit.as_ref(),
             &mut self.rng,
         );
@@ -675,7 +626,7 @@ impl GnutellaWorld {
                 }
             }
             if was_first {
-                self.metrics.hits.incr(now.as_hours() as usize);
+                self.metrics.runtime.on_hit(now.as_hours() as usize);
             }
         }
     }
@@ -694,7 +645,7 @@ impl GnutellaWorld {
         self.metrics.results.add(hour as usize, results as f64);
         if hour >= self.config.warmup_hours {
             let delay = first_at.saturating_since(pq.issued_at).as_millis() as f64;
-            self.metrics.first_delay_ms.record(delay);
+            self.metrics.runtime.on_latency_ms(delay);
             self.metrics.first_delay_hist.record(delay);
         }
         // "Obtain results and update statistics" — each result scores
@@ -705,13 +656,16 @@ impl GnutellaWorld {
                 let bandwidth = self.net.class(responder);
                 let score = self.config.result_score.score(bandwidth, results);
                 let latency_ms = at.saturating_since(pq.issued_at).as_millis() as f64;
-                self.peers[i].stats.record_reply(ddr_core::stats_store::ReplyObservation {
-                    from: responder,
-                    bandwidth: Some(bandwidth),
-                    score,
-                    latency_ms,
-                    at,
-                });
+                self.peers[i]
+                    .rt
+                    .stats
+                    .record_reply(ddr_core::stats_store::ReplyObservation {
+                        from: responder,
+                        bandwidth: Some(bandwidth),
+                        score,
+                        latency_ms,
+                        at,
+                    });
             }
         }
     }
@@ -720,8 +674,8 @@ impl GnutellaWorld {
     /// evict dropped neighbors, invite newcomers, reset the counter.
     fn reconfigure(&mut self, node: NodeId, sched: &mut Scheduler<'_, GnutellaEvent>) {
         let i = node.index();
-        self.peers[i].requests_since_reconfig = 0;
-        self.metrics.reconfigurations += 1;
+        self.peers[i].rt.clock.reset();
+        self.metrics.runtime.on_update();
         self.trace
             .record_with(sched.now(), || format!("{node} reconfigure"));
 
@@ -730,7 +684,7 @@ impl GnutellaWorld {
             let eligible = |m: NodeId| m != node && online.contains(m);
             plan_asymmetric_update(
                 self.topology.out(node).as_slice(),
-                &self.peers[i].stats,
+                &self.peers[i].rt.stats,
                 self.benefit.as_ref(),
                 self.config.degree,
                 eligible,
@@ -738,7 +692,7 @@ impl GnutellaWorld {
             .limit_swaps(
                 self.config.max_swaps_per_reconfig,
                 self.config.degree,
-                &self.peers[i].stats,
+                &self.peers[i].rt.stats,
                 self.benefit.as_ref(),
                 eligible,
             )
@@ -746,6 +700,7 @@ impl GnutellaWorld {
         for e in plan.evict {
             if self.topology.unlink_symmetric(node, e) {
                 self.metrics.evictions += 1;
+                self.metrics.runtime.on_edges_changed(1);
                 let d = self.net.one_way_delay(&mut self.rng, node, e);
                 sched.after(d, GnutellaEvent::EvictArrive { to: e, from: node });
             }
@@ -808,7 +763,7 @@ impl GnutellaWorld {
         let decision = self.config.invitation.decide(
             from,
             self.topology.out(to).as_slice(),
-            &self.peers[m].stats,
+            &self.peers[m].rt.stats,
             self.benefit.as_ref(),
             self.config.degree,
             &ctx,
@@ -818,13 +773,17 @@ impl GnutellaWorld {
                 if let Some(w) = evict {
                     if self.topology.unlink_symmetric(to, w) {
                         self.metrics.evictions += 1;
+                        self.metrics.runtime.on_edges_changed(1);
                         let d = self.net.one_way_delay(&mut self.rng, to, w);
                         sched.after(d, GnutellaEvent::EvictArrive { to: w, from: to });
                     }
                 }
                 if self.topology.link_symmetric(to, from).is_ok() {
                     self.metrics.invitations_accepted += 1;
-                    self.peers[m].requests_since_reconfig = 0;
+                    self.metrics.runtime.on_edges_changed(1);
+                    // §4.3 damping: the neighbour list just changed, so
+                    // restart the update clock.
+                    self.peers[m].rt.note_invitation_accepted();
                     self.trace.record_with(sched.now(), || {
                         format!("{to} accepted invitation from {from}")
                     });
@@ -855,7 +814,7 @@ impl GnutellaWorld {
         if !self.peers[w].online {
             return;
         }
-        self.peers[w].stats.reset_node(from);
+        self.peers[w].rt.stats.reset_node(from);
     }
 }
 
@@ -895,7 +854,7 @@ impl GnutellaWorld {
         let item = pq.item;
         let qid2 = QueryId(self.next_query);
         self.next_query += 1;
-        self.peers[i].seen.first_sighting(qid2);
+        self.peers[i].rt.seen().first_sighting(qid2);
         self.peers[i].pending.insert(qid2, pq);
         self.metrics.extra_waves += 1;
         self.flood_from_origin(node, qid2, item, depths[next_wave], sched);
@@ -926,6 +885,7 @@ impl GnutellaWorld {
             return; // already unlinked by other means
         }
         let earned = self.peers[i]
+            .rt
             .stats
             .get(peer)
             .map(|s| self.benefit.benefit(s))
@@ -933,12 +893,19 @@ impl GnutellaWorld {
         if earned <= 0.0 {
             if self.topology.unlink_symmetric(node, peer) {
                 self.metrics.evictions += 1;
+                self.metrics.runtime.on_edges_changed(1);
                 self.metrics.trials_failed += 1;
                 self.trace.record_with(sched.now(), || {
                     format!("{node} ended trial with {peer} (no benefit)")
                 });
                 let d = self.net.one_way_delay(&mut self.rng, node, peer);
-                sched.after(d, GnutellaEvent::EvictArrive { to: peer, from: node });
+                sched.after(
+                    d,
+                    GnutellaEvent::EvictArrive {
+                        to: peer,
+                        from: node,
+                    },
+                );
             }
         } else {
             self.metrics.trials_confirmed += 1;
@@ -1031,48 +998,6 @@ impl World for GnutellaWorld {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn online_set_add_remove_contains() {
-        let mut s = OnlineSet::new(5);
-        s.add(NodeId(1));
-        s.add(NodeId(3));
-        assert!(s.contains(NodeId(1)));
-        assert!(!s.contains(NodeId(0)));
-        assert_eq!(s.len(), 2);
-        s.remove(NodeId(1));
-        assert!(!s.contains(NodeId(1)));
-        assert!(s.contains(NodeId(3)));
-        assert_eq!(s.as_slice(), &[NodeId(3)]);
-    }
-
-    #[test]
-    fn online_set_swap_remove_keeps_positions() {
-        let mut s = OnlineSet::new(5);
-        for i in 0..5 {
-            s.add(NodeId(i));
-        }
-        s.remove(NodeId(0)); // last element swaps into slot 0
-        for i in 1..5 {
-            assert!(s.contains(NodeId(i)), "lost node {i}");
-        }
-        s.remove(NodeId(4));
-        assert_eq!(s.len(), 3);
-        assert!(!s.contains(NodeId(4)));
-    }
-
-    #[test]
-    fn online_set_idempotent_ops() {
-        let mut s = OnlineSet::new(3);
-        s.add(NodeId(2));
-        s.add(NodeId(2));
-        assert_eq!(s.len(), 1);
-        s.remove(NodeId(2));
-        s.remove(NodeId(2));
-        assert_eq!(s.len(), 0);
-        assert!(s.is_empty());
-    }
-}
+// The online-set unit tests moved to `ddr-core` with the type itself
+// (`ddr_core::runtime::membership`), plus a proptest model test in
+// `crates/core/tests/membership_model.rs`.

@@ -2,7 +2,7 @@
 //! protocol's key events without affecting the simulation.
 
 use ddr_gnutella::{GnutellaWorld, Mode, ScenarioConfig};
-use ddr_sim::{EventQueue, Simulation, SimTime};
+use ddr_sim::{EventQueue, SimTime, Simulation};
 
 fn run_with_trace(capacity: usize) -> GnutellaWorld {
     let mut cfg = ScenarioConfig::scaled(Mode::Dynamic, 2, 20, 4);
@@ -24,11 +24,7 @@ fn run_with_trace(capacity: usize) -> GnutellaWorld {
 #[test]
 fn trace_captures_protocol_events() {
     let world = run_with_trace(50_000);
-    let records: Vec<String> = world
-        .trace
-        .records()
-        .map(|(_, m)| m.to_string())
-        .collect();
+    let records: Vec<String> = world.trace.records().map(|(_, m)| m.to_string()).collect();
     assert!(!records.is_empty(), "no trace records captured");
     assert!(records.iter().any(|m| m.contains("login")));
     assert!(records.iter().any(|m| m.contains("reconfigure")));
@@ -48,10 +44,13 @@ fn disabled_trace_records_nothing_and_changes_nothing() {
     assert!(silent.trace.is_empty());
     // tracing must not perturb the simulation
     assert_eq!(
-        traced.metrics.reconfigurations,
-        silent.metrics.reconfigurations
+        traced.metrics.runtime.updates,
+        silent.metrics.runtime.updates
     );
-    assert_eq!(traced.metrics.hits.total(), silent.metrics.hits.total());
+    assert_eq!(
+        traced.metrics.runtime.hits.total(),
+        silent.metrics.runtime.hits.total()
+    );
 }
 
 #[test]

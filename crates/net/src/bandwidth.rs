@@ -18,8 +18,11 @@ pub enum BandwidthClass {
 
 impl BandwidthClass {
     /// All classes, slowest first.
-    pub const ALL: [BandwidthClass; 3] =
-        [BandwidthClass::Modem56K, BandwidthClass::Cable, BandwidthClass::Lan];
+    pub const ALL: [BandwidthClass; 3] = [
+        BandwidthClass::Modem56K,
+        BandwidthClass::Cable,
+        BandwidthClass::Lan,
+    ];
 
     /// Nominal link rate in kbit/s. Used by the paper's benefit function
     /// `B / R` (B = "the bandwidth of the answering link") and by the

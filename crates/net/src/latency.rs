@@ -130,15 +130,18 @@ mod tests {
     fn pair_governed_by_slower() {
         let m = DelayModel::paper();
         assert_eq!(
-            m.pair_params(BandwidthClass::Lan, BandwidthClass::Modem56K).mean_ms,
+            m.pair_params(BandwidthClass::Lan, BandwidthClass::Modem56K)
+                .mean_ms,
             300.0
         );
         assert_eq!(
-            m.pair_params(BandwidthClass::Lan, BandwidthClass::Cable).mean_ms,
+            m.pair_params(BandwidthClass::Lan, BandwidthClass::Cable)
+                .mean_ms,
             150.0
         );
         assert_eq!(
-            m.pair_params(BandwidthClass::Lan, BandwidthClass::Lan).mean_ms,
+            m.pair_params(BandwidthClass::Lan, BandwidthClass::Lan)
+                .mean_ms,
             70.0
         );
     }
@@ -210,7 +213,8 @@ mod tests {
     fn mean_accessor_matches_params() {
         let m = DelayModel::paper();
         assert_eq!(
-            m.mean(BandwidthClass::Modem56K, BandwidthClass::Lan).as_millis(),
+            m.mean(BandwidthClass::Modem56K, BandwidthClass::Lan)
+                .as_millis(),
             300
         );
     }

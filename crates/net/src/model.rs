@@ -136,7 +136,10 @@ mod tests {
             vec![BandwidthClass::Modem56K, BandwidthClass::Lan],
             DelayModel::paper(),
         );
-        assert_eq!(net.mean_delay(NodeId(0), NodeId(1)), net.mean_delay(NodeId(1), NodeId(0)));
+        assert_eq!(
+            net.mean_delay(NodeId(0), NodeId(1)),
+            net.mean_delay(NodeId(1), NodeId(0))
+        );
         assert_eq!(net.mean_delay(NodeId(0), NodeId(1)).as_millis(), 300);
     }
 
@@ -145,7 +148,9 @@ mod tests {
         let net = NetworkModel::homogeneous(4, BandwidthClass::Cable);
         let mut rng = SmallRng::seed_from_u64(3);
         for _ in 0..5_000 {
-            let d = net.one_way_delay(&mut rng, NodeId(0), NodeId(3)).as_millis();
+            let d = net
+                .one_way_delay(&mut rng, NodeId(0), NodeId(3))
+                .as_millis();
             assert!((90..=210).contains(&d));
         }
     }

@@ -104,7 +104,11 @@ mod tests {
         // 4 MiB over ideal 56K ≈ 600 s; over LAN ≈ 3.4 s.
         let m = TransferModel::ideal();
         let modem = m
-            .transfer_time(TYPICAL_SONG_BYTES, BandwidthClass::Modem56K, BandwidthClass::Lan)
+            .transfer_time(
+                TYPICAL_SONG_BYTES,
+                BandwidthClass::Modem56K,
+                BandwidthClass::Lan,
+            )
             .as_secs_f64();
         let lan = m
             .transfer_time(TYPICAL_SONG_BYTES, BandwidthClass::Lan, BandwidthClass::Lan)

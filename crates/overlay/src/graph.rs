@@ -126,7 +126,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         t.populate_random_symmetric(&members, 4, &mut rng);
         for h in 1..=4 {
-            let bound = flood_upper_bound(4, h) ;
+            let bound = flood_upper_bound(4, h);
             for &n in members.iter().take(20) {
                 assert!(
                     reachable_within(&t, n, h) <= bound.max(4),

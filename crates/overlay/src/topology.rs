@@ -69,7 +69,12 @@ impl Topology {
     /// only for small values of N" — the quadratic link count is the
     /// caller's responsibility.
     pub fn all_to_all(n: usize) -> Self {
-        let mut t = Topology::new(n, RelationKind::AllToAll, n.saturating_sub(1), n.saturating_sub(1));
+        let mut t = Topology::new(
+            n,
+            RelationKind::AllToAll,
+            n.saturating_sub(1),
+            n.saturating_sub(1),
+        );
         for a in 0..n {
             for b in 0..n {
                 if a != b {
@@ -147,10 +152,22 @@ impl Topology {
         {
             return Err(AddError::Full);
         }
-        self.nodes[a.index()].out.add(b).expect("precondition checked");
-        self.nodes[a.index()].inc.add(b).expect("precondition checked");
-        self.nodes[b.index()].out.add(a).expect("precondition checked");
-        self.nodes[b.index()].inc.add(a).expect("precondition checked");
+        self.nodes[a.index()]
+            .out
+            .add(b)
+            .expect("precondition checked");
+        self.nodes[a.index()]
+            .inc
+            .add(b)
+            .expect("precondition checked");
+        self.nodes[b.index()]
+            .out
+            .add(a)
+            .expect("precondition checked");
+        self.nodes[b.index()]
+            .inc
+            .add(a)
+            .expect("precondition checked");
         Ok(())
     }
 
@@ -198,17 +215,26 @@ impl Topology {
             let v = NodeId::from_index(i);
             for u in links.out.iter() {
                 if !self.nodes[u.index()].inc.contains(v) {
-                    errors.push(ConsistencyError { source: v, target: u });
+                    errors.push(ConsistencyError {
+                        source: v,
+                        target: u,
+                    });
                 }
             }
             if self.relation.is_symmetric() {
                 for u in links.out.iter() {
                     if !links.inc.contains(u) {
-                        errors.push(ConsistencyError { source: v, target: u });
+                        errors.push(ConsistencyError {
+                            source: v,
+                            target: u,
+                        });
                     }
                 }
                 if links.out.len() != links.inc.len() {
-                    errors.push(ConsistencyError { source: v, target: v });
+                    errors.push(ConsistencyError {
+                        source: v,
+                        target: v,
+                    });
                 }
             }
         }
@@ -350,7 +376,10 @@ mod tests {
     fn duplicate_symmetric_link_rejected() {
         let mut t = Topology::symmetric(4, 4);
         t.link_symmetric(NodeId(0), NodeId(1)).unwrap();
-        assert_eq!(t.link_symmetric(NodeId(0), NodeId(1)), Err(AddError::Duplicate));
+        assert_eq!(
+            t.link_symmetric(NodeId(0), NodeId(1)),
+            Err(AddError::Duplicate)
+        );
     }
 
     #[test]
@@ -376,7 +405,13 @@ mod tests {
         // Sabotage: remove the incoming half directly.
         t.nodes[1].inc.remove(NodeId(0));
         let errs = t.check_consistency();
-        assert_eq!(errs, vec![ConsistencyError { source: NodeId(0), target: NodeId(1) }]);
+        assert_eq!(
+            errs,
+            vec![ConsistencyError {
+                source: NodeId(0),
+                target: NodeId(1)
+            }]
+        );
     }
 
     #[test]
@@ -386,8 +421,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(9);
         t.populate_random_symmetric(&members, 4, &mut rng);
         assert!(t.check_consistency().is_empty());
-        let mean_degree: f64 =
-            members.iter().map(|&n| t.degree(n)).sum::<usize>() as f64 / 100.0;
+        let mean_degree: f64 = members.iter().map(|&n| t.degree(n)).sum::<usize>() as f64 / 100.0;
         assert!(mean_degree > 3.0, "mean degree {mean_degree}");
         assert!(members.iter().all(|&n| t.degree(n) <= 4));
     }
@@ -415,7 +449,10 @@ mod tests {
         assert_eq!(linked, 2);
         assert_eq!(t.degree(NodeId(0)), 2);
         // target already met → no-op
-        assert_eq!(t.join_random_symmetric(NodeId(0), &online, 2, 4, &mut rng), 0);
+        assert_eq!(
+            t.join_random_symmetric(NodeId(0), &online, 2, 4, &mut rng),
+            0
+        );
     }
 
     #[test]

@@ -157,7 +157,11 @@ mod tests {
     #[test]
     fn chunks_stay_in_their_region() {
         let (_, s, rngs) = setup();
-        let mut q = OlapQueryStream::new(&PeerOlapConfig::default_scenario(OlapMode::Static), &rngs, 5);
+        let mut q = OlapQueryStream::new(
+            &PeerOlapConfig::default_scenario(OlapMode::Static),
+            &rngs,
+            5,
+        );
         for _ in 0..2_000 {
             let shape = q.next_query(&s);
             assert!(!shape.chunks.is_empty());

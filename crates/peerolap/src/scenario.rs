@@ -2,7 +2,7 @@
 
 use crate::config::PeerOlapConfig;
 use crate::world::{OlapEvent, PeerOlapWorld};
-use ddr_sim::{EventQueue, Simulation, SimTime};
+use ddr_sim::{EventQueue, SimTime, Simulation};
 
 /// Report of one run.
 #[derive(Debug, Clone)]
@@ -27,13 +27,13 @@ impl PeerOlapReport {
     /// Total chunks requested in the window (all sources).
     pub fn total_chunks(&self) -> f64 {
         self.window(&self.metrics.chunks_local)
-            + self.window(&self.metrics.chunks_peer)
+            + self.window(&self.metrics.runtime.hits)
             + self.window(&self.metrics.chunks_warehouse)
     }
 
     /// Share of chunks served by peers — the cooperation dividend.
     pub fn peer_share(&self) -> f64 {
-        self.window(&self.metrics.chunks_peer) / self.total_chunks().max(1.0)
+        self.window(&self.metrics.runtime.hits) / self.total_chunks().max(1.0)
     }
 
     /// Share of chunks the warehouse had to compute (lower is better).
@@ -48,7 +48,7 @@ impl PeerOlapReport {
 
     /// Mean end-to-end query latency in ms.
     pub fn mean_latency_ms(&self) -> f64 {
-        self.metrics.latency_ms.mean()
+        self.metrics.runtime.latency_ms.mean()
     }
 }
 
@@ -102,7 +102,7 @@ mod tests {
         assert!(r.total_chunks() > 0.0);
         let shares = r.peer_share() + r.warehouse_share();
         assert!((0.0..=1.0).contains(&shares));
-        assert!(r.metrics.queries.total() > 0.0);
+        assert!(r.metrics.runtime.queries.total() > 0.0);
         assert!(r.mean_latency_ms() > 0.0);
     }
 
@@ -113,7 +113,7 @@ mod tests {
         assert_eq!(a.total_chunks(), b.total_chunks());
         assert_eq!(a.peer_share(), b.peer_share());
         assert_eq!(a.mean_latency_ms(), b.mean_latency_ms());
-        assert_eq!(a.metrics.updates, b.metrics.updates);
+        assert_eq!(a.metrics.runtime.updates, b.metrics.runtime.updates);
         assert_eq!(a.metrics.adds_refused, b.metrics.adds_refused);
     }
 
@@ -186,7 +186,7 @@ mod tests {
     #[test]
     fn static_never_updates() {
         let r = run_peerolap(small(OlapMode::Static));
-        assert_eq!(r.metrics.updates, 0);
-        assert_eq!(r.metrics.edges_changed, 0);
+        assert_eq!(r.metrics.runtime.updates, 0);
+        assert_eq!(r.metrics.runtime.edges_changed, 0);
     }
 }

@@ -19,11 +19,14 @@
 
 use crate::config::{OlapMode, PeerOlapConfig};
 use crate::cube::{chunk_processing_ms, CubeSpace, OlapQueryStream};
+use ddr_core::runtime::{Membership, NodeRuntime, SimObserver};
 use ddr_core::stats_store::ReplyObservation;
-use ddr_core::{plan_asymmetric_update, CumulativeBenefit, DupCache, StatsStore};
+use ddr_core::{plan_asymmetric_update, CumulativeBenefit};
 use ddr_overlay::{RelationKind, Topology};
-use ddr_sim::{FastHashMap, ItemId, NodeId, QueryId, RngFactory, Scheduler, SimDuration, SimTime, World};
-use ddr_stats::{BucketSeries, RunningStats};
+use ddr_sim::{
+    FastHashMap, ItemId, NodeId, QueryId, RngFactory, Scheduler, SimDuration, SimTime, World,
+};
+use ddr_stats::{BucketSeries, RuntimeMetrics};
 use ddr_webcache::LruCache;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -70,40 +73,38 @@ struct PendingOlap {
     last_reply_at: SimTime,
 }
 
-/// Per-peer state.
+/// Per-peer state: the framework-side [`NodeRuntime`] (peer statistics,
+/// duplicate cache, request-count reconfiguration clock) composed with
+/// the OLAP-domain cache, query stream and in-flight bookkeeping.
 struct OlapPeer {
     cache: LruCache,
     stream: OlapQueryStream,
-    stats: StatsStore,
-    seen: DupCache,
+    rt: NodeRuntime,
     pending: FastHashMap<QueryId, PendingOlap>,
-    queries_since_update: u32,
 }
 
-/// Aggregated metrics.
+/// Aggregated metrics: the shared framework recorder plus OLAP-domain
+/// measurements.
+///
+/// The framework quantities live in [`RuntimeMetrics`] — `queries`
+/// (issued per hour), `hits` (chunks served by peers per hour, the
+/// PeerOlap hit analogue), `messages` (chunk requests per hour),
+/// `latency_ms` (end-to-end query latency, post-warm-up), `updates`
+/// and `edges_changed` — so cross-study comparisons read the same
+/// fields as the Gnutella and web-cache recorders.
 #[derive(Debug, Clone, Default)]
 pub struct OlapMetrics {
-    /// Queries issued per hour.
-    pub queries: BucketSeries,
+    /// Shared framework recorder (see the struct docs for the mapping).
+    pub runtime: RuntimeMetrics,
     /// Chunks served from the local cache per hour.
     pub chunks_local: BucketSeries,
-    /// Chunks served by peers per hour.
-    pub chunks_peer: BucketSeries,
     /// Chunks computed by the warehouse per hour.
     pub chunks_warehouse: BucketSeries,
-    /// Chunk-request messages per hour.
-    pub messages: BucketSeries,
-    /// End-to-end query latency in ms (post-warm-up).
-    pub latency_ms: RunningStats,
     /// Warehouse processing time consumed, in ms, per hour.
     pub warehouse_ms: BucketSeries,
-    /// Neighbor updates executed.
-    pub updates: u64,
     /// Outgoing-edge adoptions refused because the target's incoming
     /// list was full (the bounded-asymmetric contention signal).
     pub adds_refused: u64,
-    /// Edges changed by updates.
-    pub edges_changed: u64,
     /// Peer departures (churn mode only).
     pub departures: u64,
 }
@@ -114,8 +115,8 @@ pub struct PeerOlapWorld {
     space: CubeSpace,
     topology: Topology,
     peers: Vec<OlapPeer>,
-    /// Whether each peer is currently present (always true without churn).
-    present: Vec<bool>,
+    /// Which peers are currently present (all of them without churn).
+    present: Membership,
     rng: SmallRng,
     next_query: u64,
     /// Metrics, public for reports and tests.
@@ -151,14 +152,12 @@ impl PeerOlapWorld {
             .map(|p| OlapPeer {
                 cache: LruCache::new(config.cache_capacity),
                 stream: OlapQueryStream::new(&config, &rngs, p),
-                stats: StatsStore::new(),
-                seen: DupCache::new(1_024),
+                rt: NodeRuntime::new(config.update_threshold).with_dup_cache(1_024),
                 pending: ddr_sim::hash::fast_map(),
-                queries_since_update: 0,
             })
             .collect();
 
-        let present = vec![true; config.peers];
+        let present = Membership::all_online(config.peers);
         PeerOlapWorld {
             config,
             space,
@@ -173,7 +172,7 @@ impl PeerOlapWorld {
 
     /// Whether `peer` is currently present.
     pub fn is_present(&self, peer: NodeId) -> bool {
-        self.present[peer.index()]
+        self.present.contains(peer)
     }
 
     fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
@@ -252,10 +251,10 @@ impl PeerOlapWorld {
         let d = self.peers[i].stream.next_interval();
         sched.after(d, OlapEvent::IssueQuery { peer });
 
-        if !self.present[i] {
+        if !self.present.contains(peer) {
             return; // absent peers issue nothing
         }
-        self.metrics.queries.incr(hour);
+        self.metrics.runtime.on_query(hour);
 
         let shape = {
             let space = &self.space;
@@ -279,13 +278,13 @@ impl PeerOlapWorld {
         if wanted.is_empty() {
             // Fully cached: done instantly.
             if now.as_hours() >= self.config.warmup_hours {
-                self.metrics.latency_ms.record(1.0);
+                self.metrics.runtime.on_latency_ms(1.0);
             }
             self.after_query(peer, sched);
             return;
         }
 
-        self.peers[i].seen.first_sighting(qid);
+        self.peers[i].rt.seen().first_sighting(qid);
         self.peers[i].pending.insert(
             qid,
             PendingOlap {
@@ -297,7 +296,7 @@ impl PeerOlapWorld {
         );
         let targets: Vec<NodeId> = self.topology.out(peer).iter().collect();
         for t in targets {
-            self.metrics.messages.incr(hour);
+            self.metrics.runtime.on_messages(hour, 1.0);
             let d = self.jittered(self.config.peer_delay);
             sched.after(
                 d,
@@ -324,8 +323,7 @@ impl PeerOlapWorld {
             return;
         }
         let i = peer.index();
-        self.peers[i].queries_since_update += 1;
-        if self.peers[i].queries_since_update >= self.config.update_threshold {
+        if self.peers[i].rt.clock.tick() {
             self.update_neighbors(peer);
         }
     }
@@ -342,10 +340,10 @@ impl PeerOlapWorld {
         sched: &mut Scheduler<'_, OlapEvent>,
     ) {
         let i = to.index();
-        if !self.present[i] {
+        if !self.present.contains(to) {
             return; // the peer left while the request was in flight
         }
-        if !self.peers[i].seen.first_sighting(query) {
+        if !self.peers[i].rt.seen().first_sighting(query) {
             return; // already served this query via another path
         }
         let (have, missing): (Vec<ItemId>, Vec<ItemId>) = chunks
@@ -373,7 +371,7 @@ impl PeerOlapWorld {
                 .collect();
             let hour = sched.now().as_hours() as usize;
             for t in targets {
-                self.metrics.messages.incr(hour);
+                self.metrics.runtime.on_messages(hour, 1.0);
                 let d = self.jittered(self.config.peer_delay);
                 sched.after(
                     d,
@@ -416,11 +414,14 @@ impl PeerOlapWorld {
         }
         pq.last_reply_at = now;
         let latency_ms = now.saturating_since(pq.issued_at).as_millis() as f64;
-        self.metrics.chunks_peer.add(now.as_hours() as usize, fresh as f64);
+        self.metrics
+            .runtime
+            .hits
+            .add(now.as_hours() as usize, fresh as f64);
         if self.config.mode == OlapMode::Dynamic {
             // Benefit = warehouse processing time saved (§3.4: "in
             // PeerOlap the dominating cost is the query processing time").
-            self.peers[i].stats.record_reply(ReplyObservation {
+            self.peers[i].rt.stats.record_reply(ReplyObservation {
                 from,
                 bandwidth: None,
                 score: saved_ms as f64,
@@ -430,7 +431,12 @@ impl PeerOlapWorld {
         }
     }
 
-    fn p2p_phase_end(&mut self, peer: NodeId, query: QueryId, sched: &mut Scheduler<'_, OlapEvent>) {
+    fn p2p_phase_end(
+        &mut self,
+        peer: NodeId,
+        query: QueryId,
+        sched: &mut Scheduler<'_, OlapEvent>,
+    ) {
         let i = peer.index();
         let Some(pq) = self.peers[i].pending.get(&query) else {
             return;
@@ -448,8 +454,8 @@ impl PeerOlapWorld {
             let done_at = pq.last_reply_at;
             if done_at.as_hours() >= self.config.warmup_hours {
                 self.metrics
-                    .latency_ms
-                    .record(done_at.saturating_since(pq.issued_at).as_millis() as f64);
+                    .runtime
+                    .on_latency_ms(done_at.saturating_since(pq.issued_at).as_millis() as f64);
             }
             sched.at(now, OlapEvent::QueryComplete { peer, query });
             return;
@@ -457,15 +463,18 @@ impl PeerOlapWorld {
         // Warehouse fallback: round trip plus sequential chunk processing.
         let hour = now.as_hours() as usize;
         let proc_ms: u64 = missing.iter().map(|&c| chunk_processing_ms(c)).sum();
-        self.metrics.chunks_warehouse.add(hour, missing.len() as f64);
+        self.metrics
+            .chunks_warehouse
+            .add(hour, missing.len() as f64);
         self.metrics.warehouse_ms.add(hour, proc_ms as f64);
         let wh_rtt = self.jittered(self.config.warehouse_delay).saturating_mul(2);
         let done_in = wh_rtt + SimDuration::from_millis(proc_ms);
-        let total_latency =
-            now.saturating_since(self.peers[i].pending[&query].issued_at).as_millis() as f64
-                + done_in.as_millis() as f64;
+        let total_latency = now
+            .saturating_since(self.peers[i].pending[&query].issued_at)
+            .as_millis() as f64
+            + done_in.as_millis() as f64;
         if (now + done_in).as_hours() >= self.config.warmup_hours {
-            self.metrics.latency_ms.record(total_latency);
+            self.metrics.runtime.on_latency_ms(total_latency);
         }
         sched.after(done_in, OlapEvent::QueryComplete { peer, query });
     }
@@ -485,26 +494,26 @@ impl PeerOlapWorld {
     /// Algo 3 under bounded incoming lists: adoption can be refused.
     fn update_neighbors(&mut self, peer: NodeId) {
         let i = peer.index();
-        self.peers[i].queries_since_update = 0;
-        self.metrics.updates += 1;
+        self.peers[i].rt.clock.reset();
+        self.metrics.runtime.on_update();
         let plan = {
             let present = &self.present;
             plan_asymmetric_update(
                 self.topology.out(peer).as_slice(),
-                &self.peers[i].stats,
+                &self.peers[i].rt.stats,
                 &CumulativeBenefit,
                 self.config.out_degree,
-                |m| m != peer && present[m.index()],
+                |m| m != peer && present.contains(m),
             )
         };
         for e in &plan.evict {
             if self.topology.remove_edge(peer, *e) {
-                self.metrics.edges_changed += 1;
+                self.metrics.runtime.on_edges_changed(1);
             }
         }
         for a in &plan.add {
             match self.topology.add_edge(peer, *a) {
-                Ok(()) => self.metrics.edges_changed += 1,
+                Ok(()) => self.metrics.runtime.on_edges_changed(1),
                 Err(_) => self.metrics.adds_refused += 1,
             }
         }
@@ -513,7 +522,7 @@ impl PeerOlapWorld {
         let mut guard = 0;
         while self.topology.out(peer).len() < self.config.out_degree && guard < 20 * n {
             let q = NodeId::from_index(self.rng.gen_range(0..n));
-            if q != peer && self.present[q.index()] {
+            if q != peer && self.present.contains(q) {
                 let _ = self.topology.add_edge(peer, q);
             }
             guard += 1;
@@ -545,10 +554,10 @@ impl World for PeerOlapWorld {
             OlapEvent::QueryComplete { peer, query } => self.query_complete(peer, query),
             OlapEvent::PeerToggle { peer } => {
                 let i = peer.index();
-                if self.present[i] {
+                if self.present.contains(peer) {
                     // Departure: tear down every link touching the peer
                     // and drop in-flight queries.
-                    self.present[i] = false;
+                    self.present.set(peer, false);
                     self.metrics.departures += 1;
                     self.topology.isolate(peer);
                     self.peers[i].pending.clear();
@@ -557,14 +566,12 @@ impl World for PeerOlapWorld {
                 } else {
                     // Return: rejoin with random outgoing links (cache
                     // and statistics survive the absence).
-                    self.present[i] = true;
+                    self.present.set(peer, true);
                     let n = self.config.peers;
                     let mut guard = 0;
-                    while self.topology.out(peer).len() < self.config.out_degree
-                        && guard < 20 * n
-                    {
+                    while self.topology.out(peer).len() < self.config.out_degree && guard < 20 * n {
                         let q = NodeId::from_index(self.rng.gen_range(0..n));
-                        if q != peer && self.present[q.index()] {
+                        if q != peer && self.present.contains(q) {
                             let _ = self.topology.add_edge(peer, q);
                         }
                         guard += 1;

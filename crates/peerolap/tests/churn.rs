@@ -60,8 +60,16 @@ fn invariants_hold_under_churn() {
         let n = NodeId::from_index(p);
         assert!(world.topology().inc(n).len() <= in_capacity);
         if !world.is_present(n) {
-            assert_eq!(world.topology().out(n).len(), 0, "absent peer {n} still linked out");
-            assert_eq!(world.topology().inc(n).len(), 0, "absent peer {n} still linked in");
+            assert_eq!(
+                world.topology().out(n).len(),
+                0,
+                "absent peer {n} still linked out"
+            );
+            assert_eq!(
+                world.topology().inc(n).len(),
+                0,
+                "absent peer {n} still linked in"
+            );
         }
     }
 }

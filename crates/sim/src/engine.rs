@@ -116,7 +116,15 @@ impl<W: World> Simulation<W> {
 
     /// Process exactly one event if any is pending before `horizon`.
     /// Returns the timestamp of the processed event.
+    ///
+    /// Honors the event budget just like [`run`](Self::run): once
+    /// `processed` reaches the cap, `step` refuses (returns `None`)
+    /// instead of processing further events, so single-stepping cannot
+    /// sneak past the runaway-loop protection.
     pub fn step(&mut self, horizon: SimTime) -> Option<SimTime> {
+        if self.processed >= self.event_budget {
+            return None;
+        }
         match self.queue.peek_time() {
             Some(t) if t < horizon => {
                 let (now, event) = self.queue.pop().expect("peeked event vanished");
@@ -164,7 +172,10 @@ mod tests {
         assert_eq!(outcome, RunOutcome::Exhausted);
         assert_eq!(sim.world().fired_at.len(), 6);
         assert_eq!(sim.processed(), 6);
-        assert_eq!(*sim.world().fired_at.last().unwrap(), SimTime::from_millis(50));
+        assert_eq!(
+            *sim.world().fired_at.last().unwrap(),
+            SimTime::from_millis(50)
+        );
     }
 
     #[test]
@@ -211,6 +222,26 @@ mod tests {
         // respects horizon
         assert_eq!(sim.step(SimTime::from_millis(10)), None);
         assert_eq!(sim.step(SimTime::MAX), Some(SimTime::from_millis(15)));
+    }
+
+    #[test]
+    fn step_respects_event_budget() {
+        let mut sim = Simulation::new(Countdown {
+            remaining: 10,
+            fired_at: vec![],
+        })
+        .with_event_budget(2);
+        sim.schedule_at(SimTime::ZERO, ());
+        assert_eq!(sim.step(SimTime::MAX), Some(SimTime::ZERO));
+        assert_eq!(sim.step(SimTime::MAX), Some(SimTime::from_millis(10)));
+        // Budget hit: the queue still has a pending event, but step must
+        // refuse rather than exceed the cap.
+        assert_eq!(sim.processed(), 2);
+        assert_eq!(sim.pending(), 1);
+        assert_eq!(sim.step(SimTime::MAX), None);
+        assert_eq!(sim.processed(), 2, "step processed past the event budget");
+        // run() agrees that the budget is exhausted.
+        assert_eq!(sim.run(SimTime::MAX), RunOutcome::EventBudgetExhausted);
     }
 
     #[test]

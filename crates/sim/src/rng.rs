@@ -96,8 +96,16 @@ mod tests {
     #[test]
     fn same_pair_same_stream() {
         let f = RngFactory::new(42);
-        let a: Vec<u64> = f.stream("churn", 7).sample_iter(rand::distributions::Standard).take(16).collect();
-        let b: Vec<u64> = f.stream("churn", 7).sample_iter(rand::distributions::Standard).take(16).collect();
+        let a: Vec<u64> = f
+            .stream("churn", 7)
+            .sample_iter(rand::distributions::Standard)
+            .take(16)
+            .collect();
+        let b: Vec<u64> = f
+            .stream("churn", 7)
+            .sample_iter(rand::distributions::Standard)
+            .take(16)
+            .collect();
         assert_eq!(a, b);
     }
 

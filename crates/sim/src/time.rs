@@ -243,7 +243,9 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_millis(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_millis(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_millis(7)),
             Some(SimTime::from_millis(7))
@@ -254,6 +256,9 @@ mod tests {
     fn saturating_mul_saturates() {
         let d = SimDuration::from_millis(u64::MAX / 2 + 1);
         assert_eq!(d.saturating_mul(3).as_millis(), u64::MAX);
-        assert_eq!(SimDuration::from_millis(3).saturating_mul(4).as_millis(), 12);
+        assert_eq!(
+            SimDuration::from_millis(3).saturating_mul(4).as_millis(),
+            12
+        );
     }
 }

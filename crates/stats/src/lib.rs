@@ -16,10 +16,12 @@
 
 pub mod histogram;
 pub mod load;
+pub mod recorder;
 pub mod series;
 pub mod table;
 
 pub use histogram::{Histogram, RunningStats};
 pub use load::{gini, top_share};
+pub use recorder::RuntimeMetrics;
 pub use series::BucketSeries;
 pub use table::Table;

@@ -155,7 +155,9 @@ mod tests {
 
     #[test]
     fn default_is_valid() {
-        assert!(WebCacheConfig::default_scenario(CacheMode::Dynamic).validate().is_ok());
+        assert!(WebCacheConfig::default_scenario(CacheMode::Dynamic)
+            .validate()
+            .is_ok());
         assert_eq!(
             WebCacheConfig::default_scenario(CacheMode::Static).total_pages(),
             8 * 20_000 + 20_000

@@ -42,7 +42,9 @@ impl BloomFilter {
         assert!(expected_items > 0 && bits_per_item > 0);
         let bits = (expected_items * bits_per_item).next_power_of_two().max(64);
         // Optimal k = ln(2) · bits/item, at least 1.
-        let hashes = ((bits_per_item as f64) * std::f64::consts::LN_2).round().max(1.0) as u32;
+        let hashes = ((bits_per_item as f64) * std::f64::consts::LN_2)
+            .round()
+            .max(1.0) as u32;
         BloomFilter {
             bits: vec![0; bits / 64],
             mask: bits as u64 - 1,

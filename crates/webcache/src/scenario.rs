@@ -2,7 +2,7 @@
 
 use crate::config::WebCacheConfig;
 use crate::world::{CacheEvent, WebCacheWorld};
-use ddr_sim::{EventQueue, Simulation, SimTime};
+use ddr_sim::{EventQueue, SimTime, Simulation};
 
 /// Report of one web-cache run.
 #[derive(Debug, Clone)]
@@ -27,7 +27,7 @@ impl WebCacheReport {
 
     /// Requests in the measurement window.
     pub fn requests(&self) -> f64 {
-        self.window(&self.metrics.requests)
+        self.window(&self.metrics.runtime.queries)
     }
 
     /// Local hit ratio.
@@ -37,7 +37,7 @@ impl WebCacheReport {
 
     /// Neighbor (sibling) hit ratio — the quantity cooperation improves.
     pub fn neighbor_hit_ratio(&self) -> f64 {
-        self.window(&self.metrics.neighbor_hits) / self.requests().max(1.0)
+        self.window(&self.metrics.runtime.hits) / self.requests().max(1.0)
     }
 
     /// Origin-fetch ratio (lower is better).
@@ -47,7 +47,7 @@ impl WebCacheReport {
 
     /// Mean request latency in ms.
     pub fn mean_latency_ms(&self) -> f64 {
-        self.metrics.latency_ms.mean()
+        self.metrics.runtime.latency_ms.mean()
     }
 }
 
@@ -99,7 +99,7 @@ mod tests {
     fn run_accounts_every_request() {
         let r = run_webcache(small(CacheMode::Static));
         let total = r.window(&r.metrics.local_hits)
-            + r.window(&r.metrics.neighbor_hits)
+            + r.window(&r.metrics.runtime.hits)
             + r.window(&r.metrics.origin_fetches);
         assert_eq!(total, r.requests(), "hit/miss accounting leak");
         assert!(r.requests() > 0.0);
@@ -111,22 +111,25 @@ mod tests {
         let b = run_webcache(small(CacheMode::Dynamic));
         assert_eq!(a.neighbor_hit_ratio(), b.neighbor_hit_ratio());
         assert_eq!(a.mean_latency_ms(), b.mean_latency_ms());
-        assert_eq!(a.metrics.updates, b.metrics.updates);
+        assert_eq!(a.metrics.runtime.updates, b.metrics.runtime.updates);
     }
 
     #[test]
     fn dynamic_explores_and_updates() {
         let r = run_webcache(small(CacheMode::Dynamic));
-        assert!(r.metrics.explorations > 0, "no exploration fired");
-        assert!(r.metrics.updates > 0, "no neighbor update fired");
-        assert!(r.metrics.edges_changed > 0, "updates never changed an edge");
+        assert!(r.metrics.runtime.explorations > 0, "no exploration fired");
+        assert!(r.metrics.runtime.updates > 0, "no neighbor update fired");
+        assert!(
+            r.metrics.runtime.edges_changed > 0,
+            "updates never changed an edge"
+        );
     }
 
     #[test]
     fn static_never_updates() {
         let r = run_webcache(small(CacheMode::Static));
-        assert_eq!(r.metrics.updates, 0);
-        assert_eq!(r.metrics.explorations, 0);
+        assert_eq!(r.metrics.runtime.updates, 0);
+        assert_eq!(r.metrics.runtime.explorations, 0);
     }
 
     #[test]

@@ -20,11 +20,12 @@ use crate::config::{CacheMode, WebCacheConfig};
 use crate::digest::BloomFilter;
 use crate::lru::LruCache;
 use crate::traffic::{PageSpace, RequestStream};
+use ddr_core::runtime::{Membership, NodeRuntime, SimObserver};
 use ddr_core::stats_store::ReplyObservation;
-use ddr_core::{plan_asymmetric_update, CumulativeBenefit, ExplorationPlanner, StatsStore};
+use ddr_core::{plan_asymmetric_update, CumulativeBenefit};
 use ddr_overlay::{RelationKind, Topology};
 use ddr_sim::{ItemId, NodeId, RngFactory, Scheduler, SimDuration, SimTime, World};
-use ddr_stats::{BucketSeries, RunningStats};
+use ddr_stats::{BucketSeries, RuntimeMetrics};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::collections::VecDeque;
@@ -44,37 +45,30 @@ pub enum CacheEvent {
     ProxyToggle { proxy: NodeId },
 }
 
-/// Per-proxy mutable state.
+/// Per-proxy mutable state: the framework-side [`NodeRuntime`]
+/// (statistics, exploration planner, update clock) composed with the
+/// cache-domain state.
 struct ProxyState {
     cache: LruCache,
     stream: RequestStream,
-    stats: StatsStore,
-    explorer: ExplorationPlanner,
+    rt: NodeRuntime,
     recent_misses: VecDeque<ItemId>,
-    requests_since_update: u32,
 }
 
-/// Aggregated web-cache metrics.
+/// Aggregated web-cache metrics: the shared framework recorder plus the
+/// cache-domain counters.
 #[derive(Debug, Clone, Default)]
 pub struct CacheMetrics {
-    /// Requests per hour.
-    pub requests: BucketSeries,
+    /// Shared framework recorder: `queries` (requests per hour), `hits`
+    /// (served by a sibling proxy per hour), `messages` (sibling query +
+    /// probe messages per hour), `latency_ms` (request latency,
+    /// post-warm-up; local hits count as 1 ms), `updates` (neighbor
+    /// updates executed), `edges_changed` and `explorations`.
+    pub runtime: RuntimeMetrics,
     /// Served from the local cache.
     pub local_hits: BucketSeries,
-    /// Served by a sibling proxy.
-    pub neighbor_hits: BucketSeries,
     /// Fetched from the origin server.
     pub origin_fetches: BucketSeries,
-    /// Sibling query + probe messages per hour.
-    pub messages: BucketSeries,
-    /// Request latency in ms (post-warm-up; local hits count as 1 ms).
-    pub latency_ms: RunningStats,
-    /// Neighbor updates executed.
-    pub updates: u64,
-    /// Neighbor-list edges changed by updates.
-    pub edges_changed: u64,
-    /// Exploration rounds fired.
-    pub explorations: u64,
     /// Sibling queries avoided because a digest said "not cached".
     pub digest_filtered: u64,
     /// Digest said "cached" but the sibling did not have the page
@@ -98,8 +92,8 @@ pub struct WebCacheWorld {
     /// Published cache digests (digest mode only; `None` until first
     /// publication).
     digests: Vec<Option<BloomFilter>>,
-    /// Whether each proxy is currently up (always true without churn).
-    up: Vec<bool>,
+    /// Which proxies are currently up (all, without churn).
+    up: Membership,
     rng: SmallRng,
     /// Metrics, public for reports and tests.
     pub metrics: CacheMetrics,
@@ -135,15 +129,13 @@ impl WebCacheWorld {
             .map(|p| ProxyState {
                 cache: LruCache::new(config.cache_capacity),
                 stream: RequestStream::new(&config, &rngs, p),
-                stats: StatsStore::new(),
-                explorer: ExplorationPlanner::new(config.exploration),
+                rt: NodeRuntime::new(config.update_threshold).with_explorer(config.exploration),
                 recent_misses: VecDeque::with_capacity(config.miss_history),
-                requests_since_update: 0,
             })
             .collect();
 
         let digests = vec![None; config.proxies];
-        let up = vec![true; config.proxies];
+        let up = Membership::all_online(config.proxies);
         WebCacheWorld {
             config,
             space,
@@ -158,15 +150,13 @@ impl WebCacheWorld {
 
     /// Whether `proxy` is currently up.
     pub fn is_up(&self, proxy: NodeId) -> bool {
-        self.up[proxy.index()]
+        self.up.contains(proxy)
     }
 
     /// Sample an exponential duration with the given mean.
     fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
         let u: f64 = 1.0 - self.rng.gen::<f64>();
-        SimDuration::from_millis(
-            ((-(mean.as_millis() as f64)) * u.ln()).max(1.0) as u64,
-        )
+        SimDuration::from_millis(((-(mean.as_millis() as f64)) * u.ln()).max(1.0) as u64)
     }
 
     /// Publish `proxy`'s digest from its current cache contents.
@@ -253,7 +243,7 @@ impl WebCacheWorld {
 
     fn record_latency(&mut self, now: SimTime, ms: f64) {
         if now.as_hours() >= self.config.warmup_hours {
-            self.metrics.latency_ms.record(ms);
+            self.metrics.runtime.on_latency_ms(ms);
         }
     }
 
@@ -266,11 +256,11 @@ impl WebCacheWorld {
         let next = self.proxies[i].stream.next_interval();
         sched.after(next, CacheEvent::Request { proxy });
 
-        if !self.up[i] {
+        if !self.up.contains(proxy) {
             self.metrics.requests_lost += 1;
             return; // the proxy is down: its users get nothing
         }
-        self.metrics.requests.incr(hour);
+        self.metrics.runtime.on_query(hour);
 
         let page = {
             let space = &self.space;
@@ -312,20 +302,21 @@ impl WebCacheWorld {
             } else {
                 neighbors
             };
-            self.metrics.messages.add(hour, queried.len() as f64);
-            let holder = queried.iter().copied().find(|&q| {
-                self.up[q.index()] && self.proxies[q.index()].cache.peek(page)
-            });
+            self.metrics.runtime.on_messages(hour, queried.len() as f64);
+            let holder = queried
+                .iter()
+                .copied()
+                .find(|&q| self.up.contains(q) && self.proxies[q.index()].cache.peek(page));
             match holder {
                 Some(q) => {
                     let rtt = self.jittered(self.config.sibling_delay).saturating_mul(2);
                     let ms = rtt.as_millis() as f64;
-                    self.metrics.neighbor_hits.incr(hour);
+                    self.metrics.runtime.on_hit(hour);
                     self.record_latency(now, ms);
                     if self.config.mode == CacheMode::Dynamic {
                         // Benefit: pages served per second of latency
                         // (latency-normalised score, cumulative ranking).
-                        self.proxies[i].stats.record_reply(ReplyObservation {
+                        self.proxies[i].rt.stats.record_reply(ReplyObservation {
                             from: q,
                             bandwidth: None,
                             score: 1.0 / (ms / 1_000.0).max(1e-3),
@@ -345,12 +336,11 @@ impl WebCacheWorld {
         }
 
         if self.config.mode == CacheMode::Dynamic {
-            self.proxies[i].explorer.on_request();
-            if self.proxies[i].explorer.should_fire(now) {
+            self.proxies[i].rt.explorer().on_request();
+            if self.proxies[i].rt.explorer().should_fire(now) {
                 self.explore(proxy, sched);
             }
-            self.proxies[i].requests_since_update += 1;
-            if self.proxies[i].requests_since_update >= self.config.update_threshold {
+            if self.proxies[i].rt.clock.tick() {
                 self.update_neighbors(proxy);
             }
         }
@@ -359,7 +349,7 @@ impl WebCacheWorld {
     /// Algo 2: probe random non-neighbor proxies; replies return
     /// summarized information (overlap with our recent misses).
     fn explore(&mut self, proxy: NodeId, sched: &mut Scheduler<'_, CacheEvent>) {
-        self.metrics.explorations += 1;
+        self.metrics.runtime.on_exploration();
         let hour = sched.now().as_hours() as usize;
         let n = self.config.proxies;
         for _ in 0..self.config.probe_fanout {
@@ -367,7 +357,7 @@ impl WebCacheWorld {
             if q == proxy || self.topology.out(proxy).contains(q) {
                 continue;
             }
-            self.metrics.messages.incr(hour);
+            self.metrics.runtime.on_messages(hour, 1.0);
             let rtt = self.jittered(self.config.sibling_delay).saturating_mul(2);
             sched.after(rtt, CacheEvent::ProbeReply { to: proxy, from: q });
         }
@@ -376,7 +366,7 @@ impl WebCacheWorld {
     /// A probe reply: score the probed proxy by how many of our recent
     /// misses it could have served ("summarized information", Algo 2).
     fn probe_reply(&mut self, to: NodeId, from: NodeId, now: SimTime) {
-        if !self.up[from.index()] || !self.up[to.index()] {
+        if !self.up.contains(from) || !self.up.contains(to) {
             return; // either end is down: the probe went unanswered
         }
         let i = to.index();
@@ -392,7 +382,7 @@ impl WebCacheWorld {
         // Same units as the serve score: pages-per-second-of-latency, with
         // the overlap fraction standing in for observed serves.
         let frac = overlap as f64 / self.config.miss_history.max(1) as f64;
-        self.proxies[i].stats.record_reply(ReplyObservation {
+        self.proxies[i].rt.stats.record_reply(ReplyObservation {
             from,
             bandwidth: None,
             score: frac * self.config.update_threshold as f64 / (ms / 1_000.0).max(1e-3),
@@ -405,25 +395,25 @@ impl WebCacheWorld {
     /// statistics — no agreement protocol needed.
     fn update_neighbors(&mut self, proxy: NodeId) {
         let i = proxy.index();
-        self.proxies[i].requests_since_update = 0;
-        self.metrics.updates += 1;
+        self.proxies[i].rt.clock.reset();
+        self.metrics.runtime.on_update();
         let plan = {
             let up = &self.up;
             plan_asymmetric_update(
                 self.topology.out(proxy).as_slice(),
-                &self.proxies[i].stats,
+                &self.proxies[i].rt.stats,
                 &CumulativeBenefit,
                 self.config.out_degree,
-                |m| m != proxy && up[m.index()],
+                |m| m != proxy && up.contains(m),
             )
         };
         for e in &plan.evict {
             self.topology.remove_edge(proxy, *e);
-            self.metrics.edges_changed += 1;
+            self.metrics.runtime.on_edges_changed(1);
         }
         for a in &plan.add {
             if self.topology.add_edge(proxy, *a).is_ok() {
-                self.metrics.edges_changed += 1;
+                self.metrics.runtime.on_edges_changed(1);
             }
         }
         // Top up with random proxies if the plan under-filled (early runs
@@ -451,26 +441,29 @@ impl World for WebCacheWorld {
             }
             CacheEvent::ProbeReply { to, from } => self.probe_reply(to, from, now),
             CacheEvent::DigestRefresh { proxy } => {
-                if self.up[proxy.index()] {
+                if self.up.contains(proxy) {
                     self.publish_digest(proxy);
                 }
-                sched.after(self.config.digest_refresh, CacheEvent::DigestRefresh { proxy });
+                sched.after(
+                    self.config.digest_refresh,
+                    CacheEvent::DigestRefresh { proxy },
+                );
             }
             CacheEvent::ProxyToggle { proxy } => {
                 let i = proxy.index();
-                if self.up[i] {
+                if self.up.contains(proxy) {
                     // Going down.
-                    self.up[i] = false;
+                    self.up.set(proxy, false);
                     let d = self.exp_duration(self.config.mean_downtime);
                     sched.after(d, CacheEvent::ProxyToggle { proxy });
                 } else {
                     // Restart: cold cache, no statistics (a fresh Squid
                     // process remembers nothing).
-                    self.up[i] = true;
+                    self.up.set(proxy, true);
                     self.metrics.restarts += 1;
                     let cap = self.config.cache_capacity;
                     self.proxies[i].cache = LruCache::new(cap);
-                    self.proxies[i].stats = StatsStore::new();
+                    self.proxies[i].rt.reset_stats();
                     self.proxies[i].recent_misses.clear();
                     let mean_up = self
                         .config

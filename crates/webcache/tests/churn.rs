@@ -32,7 +32,10 @@ fn churn_runs_and_accounts_restarts() {
     let served = r.requests();
     let breakdown = r.local_hit_ratio() + r.neighbor_hit_ratio() + r.origin_ratio();
     assert!(served > 0.0);
-    assert!((breakdown - 1.0).abs() < 1e-9, "hit/miss accounting leak: {breakdown}");
+    assert!(
+        (breakdown - 1.0).abs() < 1e-9,
+        "hit/miss accounting leak: {breakdown}"
+    );
 }
 
 #[test]

@@ -25,10 +25,10 @@ fn digests_cut_query_messages() {
     // Most local misses are misses at the siblings too, so digests filter
     // the bulk of sibling queries.
     assert!(
-        digested.metrics.messages.total() < plain.metrics.messages.total() * 0.6,
+        digested.metrics.runtime.messages.total() < plain.metrics.runtime.messages.total() * 0.6,
         "digests barely filtered: {} vs {}",
-        digested.metrics.messages.total(),
-        plain.metrics.messages.total()
+        digested.metrics.runtime.messages.total(),
+        plain.metrics.runtime.messages.total()
     );
     assert!(digested.metrics.digest_filtered > 0);
 }

@@ -42,8 +42,10 @@ fn starved_exploration_degrades_adaptation() {
 #[test]
 fn periodic_trigger_works_too() {
     let periodic = run_webcache(cfg(ExplorationTrigger::Periodic(SimDuration::from_mins(2))));
-    let starved = run_webcache(cfg(ExplorationTrigger::Periodic(SimDuration::from_hours(50))));
-    assert!(periodic.metrics.explorations > starved.metrics.explorations);
+    let starved = run_webcache(cfg(ExplorationTrigger::Periodic(SimDuration::from_hours(
+        50,
+    ))));
+    assert!(periodic.metrics.runtime.explorations > starved.metrics.runtime.explorations);
     assert!(periodic.same_group_fraction > starved.same_group_fraction);
 }
 
@@ -52,7 +54,7 @@ fn more_exploration_costs_more_messages() {
     let frantic = run_webcache(cfg(ExplorationTrigger::EveryNRequests(5)));
     let calm = run_webcache(cfg(ExplorationTrigger::EveryNRequests(500)));
     assert!(
-        frantic.metrics.messages.total() > calm.metrics.messages.total(),
+        frantic.metrics.runtime.messages.total() > calm.metrics.runtime.messages.total(),
         "probe volume did not scale with trigger frequency"
     );
 }

@@ -72,7 +72,11 @@ impl WorkloadConfig {
         assert_eq!(base.users % scale as usize, 0);
         assert_eq!(base.songs % scale, 0);
         let songs = base.songs / scale;
-        assert_eq!(songs % base.categories as u32, 0, "scale breaks category division");
+        assert_eq!(
+            songs % base.categories as u32,
+            0,
+            "scale breaks category division"
+        );
         WorkloadConfig {
             users: base.users / scale as usize,
             songs,
@@ -96,7 +100,10 @@ impl WorkloadConfig {
             ));
         }
         if !(0.0..=1.0).contains(&self.favorite_fraction) {
-            return Err(format!("favorite_fraction {} out of [0,1]", self.favorite_fraction));
+            return Err(format!(
+                "favorite_fraction {} out of [0,1]",
+                self.favorite_fraction
+            ));
         }
         if self.secondary_categories + 1 > self.categories as usize {
             return Err(format!(

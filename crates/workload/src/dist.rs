@@ -91,7 +91,11 @@ impl Zipf {
     /// with the lowest unused ranks if rejection stalls (possible only for
     /// extreme θ where the head dominates).
     pub fn sample_distinct<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<usize> {
-        assert!(k <= self.len(), "cannot draw {k} distinct of {}", self.len());
+        assert!(
+            k <= self.len(),
+            "cannot draw {k} distinct of {}",
+            self.len()
+        );
         let mut chosen = ddr_sim::hash::fast_set();
         let mut out = Vec::with_capacity(k);
         let mut stall = 0usize;

@@ -65,7 +65,11 @@ impl UserProfile {
 /// Generate all user profiles for a run. Deterministic in `(config, rngs)`;
 /// each user has an independent RNG stream so profiles are insensitive to
 /// generation order.
-pub fn generate_profiles(config: &WorkloadConfig, catalog: &Catalog, rngs: &RngFactory) -> Vec<UserProfile> {
+pub fn generate_profiles(
+    config: &WorkloadConfig,
+    catalog: &Catalog,
+    rngs: &RngFactory,
+) -> Vec<UserProfile> {
     config.validate().expect("invalid workload config");
     let lib_dist = TruncatedGaussian::new(
         config.library_mean,
@@ -73,7 +77,8 @@ pub fn generate_profiles(config: &WorkloadConfig, catalog: &Catalog, rngs: &RngF
         // At least one song per drawn category so every slice is non-empty.
         (config.secondary_categories + 1) as f64,
         // Cap so the favourite share always fits within one category.
-        (catalog.per_category() as f64 / config.favorite_fraction.max(0.05)).min(config.library_mean + 4.0 * config.library_std),
+        (catalog.per_category() as f64 / config.favorite_fraction.max(0.05))
+            .min(config.library_mean + 4.0 * config.library_std),
     );
 
     (0..config.users)
@@ -84,7 +89,9 @@ pub fn generate_profiles(config: &WorkloadConfig, catalog: &Catalog, rngs: &RngF
             // 5 other *random* categories, distinct from the favourite and
             // from each other (uniform choice: the paper says "random", not
             // popularity-weighted).
-            let mut pool: Vec<u16> = (0..catalog.categories()).filter(|&c| c != favorite.0).collect();
+            let mut pool: Vec<u16> = (0..catalog.categories())
+                .filter(|&c| c != favorite.0)
+                .collect();
             pool.shuffle(&mut rng);
             let secondary: Vec<CategoryId> = pool
                 .into_iter()
@@ -92,7 +99,9 @@ pub fn generate_profiles(config: &WorkloadConfig, catalog: &Catalog, rngs: &RngF
                 .map(CategoryId)
                 .collect();
 
-            let total = lib_dist.sample_count(&mut rng).max(config.secondary_categories + 1);
+            let total = lib_dist
+                .sample_count(&mut rng)
+                .max(config.secondary_categories + 1);
             let favorite_count =
                 ((total as f64 * config.favorite_fraction).round() as usize).min(total);
             let per_secondary = if secondary.is_empty() {
@@ -260,7 +269,10 @@ mod tests {
         let profiles = generate_profiles(&cfg, &cat, &rngs);
         let idx = invert_libraries(&profiles);
         let total: usize = idx.values().map(|v| v.len()).sum();
-        assert_eq!(total, profiles.iter().map(|p| p.library_size()).sum::<usize>());
+        assert_eq!(
+            total,
+            profiles.iter().map(|p| p.library_size()).sum::<usize>()
+        );
         assert_eq!(idx.len(), distinct_items(&profiles));
         // Spot check membership agreement.
         for p in profiles.iter().take(5) {

@@ -152,7 +152,10 @@ mod tests {
         let mut b = QueryGenerator::new(&cfg, &rngs, 7);
         for _ in 0..200 {
             assert_eq!(a.next_interval(), b.next_interval());
-            assert_eq!(a.next_target(&cat, &profiles[7]), b.next_target(&cat, &profiles[7]));
+            assert_eq!(
+                a.next_target(&cat, &profiles[7]),
+                b.next_target(&cat, &profiles[7])
+            );
         }
     }
 }

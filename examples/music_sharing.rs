@@ -22,7 +22,11 @@ fn main() {
     let mean_lib = copies as f64 / profiles.len() as f64;
     println!("synthetic dataset:");
     println!("  users            {}", profiles.len());
-    println!("  distinct songs   {} in {} categories", catalog.songs(), catalog.categories());
+    println!(
+        "  distinct songs   {} in {} categories",
+        catalog.songs(),
+        catalog.categories()
+    );
     println!("  song copies      {copies} (mean library {mean_lib:.0})");
     let p0 = &profiles[0];
     println!(
@@ -36,7 +40,14 @@ fn main() {
     // --- 2. Sweep the terminating condition (paper Fig 3a) ----------------
     let mut table = Table::new(
         "hop-limit sweep (12 simulated hours, 250 users)",
-        &["hops", "mode", "hits", "messages", "first-result ms", "results"],
+        &[
+            "hops",
+            "mode",
+            "hits",
+            "messages",
+            "first-result ms",
+            "results",
+        ],
     );
     for hops in 1..=4u8 {
         for mode in [Mode::Static, Mode::Dynamic] {

@@ -9,8 +9,8 @@
 
 use ddr_repro::core::stats_store::ReplyObservation;
 use ddr_repro::core::{
-    CumulativeBenefit, ForwardSelection, InvitationContext, InvitationDecision,
-    InvitationPolicy, IterativeDeepening, LocalIndex, StatsStore,
+    CumulativeBenefit, ForwardSelection, InvitationContext, InvitationDecision, InvitationPolicy,
+    IterativeDeepening, LocalIndex, StatsStore,
 };
 use ddr_repro::net::BandwidthClass;
 use ddr_repro::overlay::{RelationKind, Topology};
@@ -62,7 +62,9 @@ fn main() {
     for policy in [
         InvitationPolicy::AlwaysAccept,
         InvitationPolicy::BenefitGated,
-        InvitationPolicy::SummaryGated { min_similarity: 0.5 },
+        InvitationPolicy::SummaryGated {
+            min_similarity: 0.5,
+        },
     ] {
         let d = policy.decide(
             NodeId(9),
@@ -98,5 +100,8 @@ fn main() {
         index.indexed_nodes(),
         index.holders(ItemId(20))
     );
-    println!("item i30 is 3 hops away, outside the index: {:?}", index.holders(ItemId(30)));
+    println!(
+        "item i30 is 3 hops away, outside the index: {:?}",
+        index.holders(ItemId(30))
+    );
 }

@@ -27,7 +27,10 @@ fn main() {
     let dynamic = run_scenario(scenario(Mode::Dynamic));
 
     println!();
-    println!("                      {:>12}  {:>16}", baseline.label, dynamic.label);
+    println!(
+        "                      {:>12}  {:>16}",
+        baseline.label, dynamic.label
+    );
     println!(
         "queries satisfied     {:>12.0}  {:>16.0}   ({:+.1}%)",
         baseline.total_hits(),
@@ -47,7 +50,7 @@ fn main() {
     );
     println!(
         "reconfigurations      {:>12}  {:>16}",
-        baseline.metrics.reconfigurations, dynamic.metrics.reconfigurations,
+        baseline.metrics.runtime.updates, dynamic.metrics.runtime.updates,
     );
     println!();
     println!(

@@ -21,11 +21,14 @@
 //! * [`workload`] — Zipf catalogs, user libraries, churn, query streams
 //! * [`overlay`] — neighbor lists, consistency invariant, topologies
 //! * [`core`] — **the framework**: search / exploration / neighbor-update
-//!   policies and benefit functions (paper §3, Algos 1–4)
+//!   policies and benefit functions (paper §3, Algos 1–4), plus the
+//!   shared framework runtime (`runtime`: membership set, per-node
+//!   bundle, reconfiguration clock, observer sink)
 //! * [`gnutella`] — case study 1: static vs dynamic Gnutella (paper §4)
 //! * [`webcache`] — case study 2: cooperative proxy caching (asymmetric)
 //! * [`peerolap`] — case study 3: distributed OLAP-result caching
-//! * [`stats`] — series/histograms/tables used by the harness
+//! * [`stats`] — series/histograms/tables used by the harness, and the
+//!   shared `RuntimeMetrics` recorder all case studies embed
 
 pub use ddr_core as core;
 pub use ddr_gnutella as gnutella;

@@ -22,7 +22,7 @@ fn gnutella_runs_are_bit_reproducible() {
         assert_eq!(a.total_results(), b.total_results());
         assert_eq!(a.mean_first_delay_ms(), b.mean_first_delay_ms());
         assert_eq!(a.metrics.logins, b.metrics.logins);
-        assert_eq!(a.metrics.reconfigurations, b.metrics.reconfigurations);
+        assert_eq!(a.metrics.runtime.updates, b.metrics.runtime.updates);
         assert_eq!(a.metrics.duplicates_dropped, b.metrics.duplicates_dropped);
         assert_eq!(a.hits_series(), b.hits_series());
         assert_eq!(a.messages_series(), b.messages_series());
@@ -63,14 +63,21 @@ fn invariants_hold_across_seeds() {
             );
             // 3. Offline nodes hold no links.
             if !world.online().contains(n) {
-                assert_eq!(world.topology().degree(n), 0, "seed {seed}: offline {n} linked");
+                assert_eq!(
+                    world.topology().degree(n),
+                    0,
+                    "seed {seed}: offline {n} linked"
+                );
             }
         }
         // 4. Accounting sanity: hits ≤ queries issued; results ≥ hits.
-        let queries = report.metrics.queries_issued.total();
-        assert!(report.metrics.hits.total() <= queries, "seed {seed}: more hits than queries");
+        let queries = report.metrics.runtime.queries.total();
         assert!(
-            report.metrics.results.total() >= report.metrics.hits.total(),
+            report.metrics.runtime.hits.total() <= queries,
+            "seed {seed}: more hits than queries"
+        );
+        assert!(
+            report.metrics.results.total() >= report.metrics.runtime.hits.total(),
             "seed {seed}: fewer results than hits"
         );
         // 5. Invitations accepted never exceed invitations sent.

@@ -32,8 +32,15 @@ struct MiniWorld {
 
 #[derive(Clone, Copy)]
 enum Ev {
-    Query { to: NodeId, from: NodeId, desc: QueryDescriptor },
-    Reply { to: NodeId, from: NodeId },
+    Query {
+        to: NodeId,
+        from: NodeId,
+        desc: QueryDescriptor,
+    },
+    Reply {
+        to: NodeId,
+        from: NodeId,
+    },
 }
 
 impl MiniWorld {
@@ -41,7 +48,13 @@ impl MiniWorld {
         item.0 == node.0 * 10
     }
 
-    fn forward(&mut self, from_node: NodeId, exclude: Option<NodeId>, desc: QueryDescriptor, sched: &mut Scheduler<'_, Ev>) {
+    fn forward(
+        &mut self,
+        from_node: NodeId,
+        exclude: Option<NodeId>,
+        desc: QueryDescriptor,
+        sched: &mut Scheduler<'_, Ev>,
+    ) {
         let targets = ForwardSelection::All.select(
             self.topology.out(from_node).as_slice(),
             exclude,
@@ -52,7 +65,14 @@ impl MiniWorld {
         for t in targets {
             let d = self.net.one_way_delay(&mut self.rng, from_node, t);
             self.messages += 1;
-            sched.after(d, Ev::Query { to: t, from: from_node, desc });
+            sched.after(
+                d,
+                Ev::Query {
+                    to: t,
+                    from: from_node,
+                    desc,
+                },
+            );
         }
     }
 }
@@ -67,7 +87,13 @@ impl World for MiniWorld {
                 }
                 if MiniWorld::holds(to, desc.item) {
                     let d = self.net.one_way_delay(&mut self.rng, to, desc.origin);
-                    sched.after(d, Ev::Reply { to: desc.origin, from: to });
+                    sched.after(
+                        d,
+                        Ev::Reply {
+                            to: desc.origin,
+                            from: to,
+                        },
+                    );
                     return;
                 }
                 if desc.ttl > 1 {
@@ -136,7 +162,11 @@ fn flood_search_finds_reachable_items() {
     }
     sim.run(SimTime::from_secs(30));
     let world = sim.world();
-    assert_eq!(world.answers[0], vec![NodeId(5)], "item 50 must be found once");
+    assert_eq!(
+        world.answers[0],
+        vec![NodeId(5)],
+        "item 50 must be found once"
+    );
     assert!(world.messages > 0);
 }
 
@@ -199,13 +229,9 @@ fn stats_feed_asymmetric_update() {
     assert_eq!(world.answers[0], vec![NodeId(7)]);
 
     let current: Vec<NodeId> = world.topology.out(NodeId(0)).iter().collect();
-    let plan = plan_asymmetric_update(
-        &current,
-        &world.stats[0],
-        &CumulativeBenefit,
-        DEGREE,
-        |n| n != NodeId(0),
-    );
+    let plan = plan_asymmetric_update(&current, &world.stats[0], &CumulativeBenefit, DEGREE, |n| {
+        n != NodeId(0)
+    });
     assert!(
         plan.add.contains(&NodeId(7)),
         "the only node with benefit must be adopted: {plan:?}"

@@ -17,7 +17,12 @@ fn cfg(mode: Mode, hops: u8, seed: u64) -> ScenarioConfig {
 fn fig1_shape_hops2() {
     let s = run_scenario(cfg(Mode::Static, 2, 5));
     let d = run_scenario(cfg(Mode::Dynamic, 2, 5));
-    assert!(d.total_hits() > s.total_hits(), "hits: {} <= {}", d.total_hits(), s.total_hits());
+    assert!(
+        d.total_hits() > s.total_hits(),
+        "hits: {} <= {}",
+        d.total_hits(),
+        s.total_hits()
+    );
     assert!(
         d.total_messages() < s.total_messages(),
         "messages: {} >= {}",

@@ -48,10 +48,18 @@ fn gnutella_cfg(mode: Mode) -> ScenarioConfig {
 fn gnutella_series_match_pre_refactor_snapshot() {
     for (mode, hits, messages) in [
         (Mode::Static, GNUTELLA_STATIC_HITS, GNUTELLA_STATIC_MESSAGES),
-        (Mode::Dynamic, GNUTELLA_DYNAMIC_HITS, GNUTELLA_DYNAMIC_MESSAGES),
+        (
+            Mode::Dynamic,
+            GNUTELLA_DYNAMIC_HITS,
+            GNUTELLA_DYNAMIC_MESSAGES,
+        ),
     ] {
         let r = run_scenario(gnutella_cfg(mode));
-        assert_series(&format!("gnutella/{} hits", r.label), &r.hits_series(), hits);
+        assert_series(
+            &format!("gnutella/{} hits", r.label),
+            &r.hits_series(),
+            hits,
+        );
         assert_series(
             &format!("gnutella/{} messages", r.label),
             &r.messages_series(),
@@ -77,19 +85,27 @@ fn webcache_cfg(mode: CacheMode) -> WebCacheConfig {
 #[test]
 fn webcache_series_match_pre_refactor_snapshot() {
     for (mode, hits, messages) in [
-        (CacheMode::Static, WEBCACHE_STATIC_HITS, WEBCACHE_STATIC_MESSAGES),
-        (CacheMode::Dynamic, WEBCACHE_DYNAMIC_HITS, WEBCACHE_DYNAMIC_MESSAGES),
+        (
+            CacheMode::Static,
+            WEBCACHE_STATIC_HITS,
+            WEBCACHE_STATIC_MESSAGES,
+        ),
+        (
+            CacheMode::Dynamic,
+            WEBCACHE_DYNAMIC_HITS,
+            WEBCACHE_DYNAMIC_MESSAGES,
+        ),
     ] {
         let r = run_webcache(webcache_cfg(mode));
         let (f, t) = (r.from_hour as usize, r.to_hour as usize);
         assert_series(
             &format!("webcache/{} neighbor_hits", r.label),
-            &r.metrics.neighbor_hits.window(f, t),
+            &r.metrics.runtime.hits.window(f, t),
             hits,
         );
         assert_series(
             &format!("webcache/{} messages", r.label),
-            &r.metrics.messages.window(f, t),
+            &r.metrics.runtime.messages.window(f, t),
             messages,
         );
     }
@@ -111,19 +127,27 @@ fn peerolap_cfg(mode: OlapMode) -> PeerOlapConfig {
 #[test]
 fn peerolap_series_match_pre_refactor_snapshot() {
     for (mode, hits, messages) in [
-        (OlapMode::Static, PEEROLAP_STATIC_HITS, PEEROLAP_STATIC_MESSAGES),
-        (OlapMode::Dynamic, PEEROLAP_DYNAMIC_HITS, PEEROLAP_DYNAMIC_MESSAGES),
+        (
+            OlapMode::Static,
+            PEEROLAP_STATIC_HITS,
+            PEEROLAP_STATIC_MESSAGES,
+        ),
+        (
+            OlapMode::Dynamic,
+            PEEROLAP_DYNAMIC_HITS,
+            PEEROLAP_DYNAMIC_MESSAGES,
+        ),
     ] {
         let r = run_peerolap(peerolap_cfg(mode));
         let (f, t) = (r.from_hour as usize, r.to_hour as usize);
         assert_series(
             &format!("peerolap/{} chunks_peer", r.label),
-            &r.metrics.chunks_peer.window(f, t),
+            &r.metrics.runtime.hits.window(f, t),
             hits,
         );
         assert_series(
             &format!("peerolap/{} messages", r.label),
-            &r.metrics.messages.window(f, t),
+            &r.metrics.runtime.messages.window(f, t),
             messages,
         );
     }

@@ -18,7 +18,9 @@ pub mod test_runner;
 /// Everything a `proptest!` test file needs in scope.
 pub mod prelude {
     pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 pub use strategy::{any, Strategy};
@@ -157,7 +159,7 @@ mod tests {
 
     proptest! {
         #[test]
-        fn oneof_covers_variants(v in prop_oneof![Just(1u8), Just(2u8), (3u8..5)]) {
+        fn oneof_covers_variants(v in prop_oneof![Just(1u8), Just(2u8), 3u8..5]) {
             prop_assert!((1..5).contains(&v));
         }
 

@@ -304,11 +304,10 @@ mod tests {
     #[test]
     fn parses_nested_document() {
         let v = parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": null, "d": "x\ny"}}"#).unwrap();
-        assert_eq!(v.get("a").unwrap(), &Value::Arr(vec![
-            Value::Num(1.0),
-            Value::Num(2.5),
-            Value::Num(-300.0)
-        ]));
+        assert_eq!(
+            v.get("a").unwrap(),
+            &Value::Arr(vec![Value::Num(1.0), Value::Num(2.5), Value::Num(-300.0)])
+        );
         assert_eq!(v.get("b").unwrap().get("c"), Some(&Value::Null));
         assert_eq!(
             v.get("b").unwrap().get("d"),

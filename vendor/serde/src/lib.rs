@@ -65,7 +65,9 @@ impl Deserialize for f64 {
     fn from_json_value(value: &Value) -> Result<Self, JsonError> {
         match value {
             Value::Null => Ok(f64::NAN), // inverse of the non-finite encoding
-            _ => value.as_f64().ok_or_else(|| JsonError::shape("number", value)),
+            _ => value
+                .as_f64()
+                .ok_or_else(|| JsonError::shape("number", value)),
         }
     }
 }

@@ -28,14 +28,14 @@ fn parse_struct(input: TokenStream) -> StructShape {
                     }
                 }
             }
-            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
-                match iter.next() {
-                    Some(TokenTree::Ident(n)) => break n.to_string(),
-                    other => panic!("expected struct name, got {other:?}"),
-                }
-            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match iter.next() {
+                Some(TokenTree::Ident(n)) => break n.to_string(),
+                other => panic!("expected struct name, got {other:?}"),
+            },
             Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
-                panic!("the vendored serde_derive only supports structs with named fields (got enum)")
+                panic!(
+                    "the vendored serde_derive only supports structs with named fields (got enum)"
+                )
             }
             Some(_) => {}
             None => panic!("unexpected end of derive input"),
