@@ -13,4 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> cargo bench --workspace --no-run"
+cargo bench --workspace --no-run
+
+echo "==> perfbench --smoke (kernel throughput harness, determinism cross-check)"
+cargo run -q --release -p ddr-experiments --bin perfbench -- --smoke
+
 echo "==> CI green"

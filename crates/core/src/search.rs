@@ -33,10 +33,28 @@ pub enum ForwardSelection {
     TopKBenefit(usize),
 }
 
+/// Normalise a benefit value into a key safe for [`f64::total_cmp`]
+/// ranking: `NaN` maps to `-∞` so a poisoned statistic deterministically
+/// ranks *last* instead of destabilising the sort, and `-0.0` folds onto
+/// `+0.0` (via `x + 0.0`) so the zero produced by "no statistics yet"
+/// compares equal to a computed zero.
+#[inline]
+pub fn benefit_sort_key(x: f64) -> f64 {
+    if x.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        x + 0.0
+    }
+}
+
 impl ForwardSelection {
     /// Select forward targets among `neighbors`, never including
     /// `exclude` (the node the query just arrived from — echoing a query
     /// straight back is always wasted).
+    ///
+    /// Allocates a fresh `Vec`; the event-loop hot path uses
+    /// [`select_into`](Self::select_into) with a reused scratch buffer
+    /// instead.
     pub fn select<R: Rng + ?Sized>(
         &self,
         neighbors: &[NodeId],
@@ -45,30 +63,43 @@ impl ForwardSelection {
         benefit: &dyn BenefitFunction,
         rng: &mut R,
     ) -> Vec<NodeId> {
-        let mut candidates: Vec<NodeId> = neighbors
-            .iter()
-            .copied()
-            .filter(|&n| Some(n) != exclude)
-            .collect();
+        let mut out = Vec::with_capacity(neighbors.len());
+        self.select_into(neighbors, exclude, stats, benefit, rng, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`select`](Self::select): clears `out`
+    /// and fills it with the chosen targets. Identical selection and
+    /// ordering semantics.
+    pub fn select_into<R: Rng + ?Sized>(
+        &self,
+        neighbors: &[NodeId],
+        exclude: Option<NodeId>,
+        stats: &StatsStore,
+        benefit: &dyn BenefitFunction,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        out.extend(neighbors.iter().copied().filter(|&n| Some(n) != exclude));
         match *self {
-            ForwardSelection::All => candidates,
+            ForwardSelection::All => {}
             ForwardSelection::RandomK(k) => {
-                candidates.shuffle(rng);
-                candidates.truncate(k);
-                candidates
+                out.shuffle(rng);
+                out.truncate(k);
             }
             ForwardSelection::TopKBenefit(k) => {
-                // Deterministic ordering: benefit desc, id asc. Nodes with
-                // no statistics score 0.
-                candidates.sort_unstable_by(|&a, &b| {
+                // Deterministic ordering: benefit desc (NaN-safe via
+                // total_cmp on normalised keys), id asc. Nodes with no
+                // statistics score 0.
+                out.sort_unstable_by(|&a, &b| {
                     let ba = stats.get(a).map(|s| benefit.benefit(s)).unwrap_or(0.0);
                     let bb = stats.get(b).map(|s| benefit.benefit(s)).unwrap_or(0.0);
-                    bb.partial_cmp(&ba)
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                    benefit_sort_key(bb)
+                        .total_cmp(&benefit_sort_key(ba))
                         .then(a.cmp(&b))
                 });
-                candidates.truncate(k);
-                candidates
+                out.truncate(k);
             }
         }
     }

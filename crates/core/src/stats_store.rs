@@ -155,8 +155,10 @@ impl StatsStore {
             .map(|(&n, s)| (n, score(s)))
             .collect();
         v.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            // NaN-safe descending (NaN ranks last); see
+            // `crate::search::benefit_sort_key`.
+            crate::search::benefit_sort_key(b.1)
+                .total_cmp(&crate::search::benefit_sort_key(a.1))
                 .then(a.0.cmp(&b.0))
         });
         v

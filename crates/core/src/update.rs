@@ -13,6 +13,7 @@
 //!   The invitee's side of the protocol is [`InvitationPolicy::decide`].
 
 use crate::benefit::BenefitFunction;
+use crate::search::benefit_sort_key;
 use crate::stats_store::StatsStore;
 use crate::summary::CategorySummary;
 use ddr_sim::NodeId;
@@ -67,8 +68,10 @@ impl UpdatePlan {
         alive_evicts.sort_unstable_by(|&a, &b| {
             let ba = stats.get(a).map(|s| benefit.benefit(s)).unwrap_or(0.0);
             let bb = stats.get(b).map(|s| benefit.benefit(s)).unwrap_or(0.0);
-            ba.partial_cmp(&bb)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            // NaN-safe ascending: a NaN benefit ranks as -∞, i.e. the
+            // poisoned incumbent is evicted first.
+            benefit_sort_key(ba)
+                .total_cmp(&benefit_sort_key(bb))
                 .then(b.cmp(&a))
         });
         let (evicted, kept_after_all): (Vec<NodeId>, Vec<NodeId>) = {
@@ -120,10 +123,11 @@ where
             candidates.push((n, 0.0));
         }
     }
-    // benefit desc, incumbents first on ties, then id for determinism
+    // benefit desc (NaN-safe: NaN ranks last), incumbents first on ties,
+    // then id for determinism
     candidates.sort_unstable_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        benefit_sort_key(b.1)
+            .total_cmp(&benefit_sort_key(a.1))
             .then_with(|| is_current(b.0).cmp(&is_current(a.0)))
             .then(a.0.cmp(&b.0))
     });
@@ -247,8 +251,9 @@ impl InvitationPolicy {
             .min_by(|&a, &b| {
                 let ba = stats.get(a).map(|s| benefit.benefit(s)).unwrap_or(0.0);
                 let bb = stats.get(b).map(|s| benefit.benefit(s)).unwrap_or(0.0);
-                ba.partial_cmp(&bb)
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                // NaN-safe: a poisoned incumbent ranks weakest.
+                benefit_sort_key(ba)
+                    .total_cmp(&benefit_sort_key(bb))
                     .then(b.cmp(&a))
             })
             .expect("capacity > 0 implies neighbors non-empty here");

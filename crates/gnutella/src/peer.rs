@@ -41,6 +41,17 @@ impl PendingQuery {
         }
         self.responders.push((from, at));
     }
+
+    /// Reinitialise a pooled record in place, keeping the `responders`
+    /// allocation (the world recycles finalised records to keep the
+    /// query hot path allocation-free).
+    pub fn reset(&mut self, item: ItemId, issued_at: SimTime) {
+        self.item = item;
+        self.issued_at = issued_at;
+        self.wave = 0;
+        self.responders.clear();
+        self.first_at = None;
+    }
 }
 
 /// One peer's complete mutable state.

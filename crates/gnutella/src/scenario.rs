@@ -4,7 +4,7 @@
 use crate::config::ScenarioConfig;
 use crate::metrics::RunReport;
 use crate::world::GnutellaWorld;
-use ddr_sim::{EventQueue, RunOutcome, SimTime, Simulation, World};
+use ddr_sim::{event_capacity_hint, EventQueue, RunOutcome, SimTime, Simulation, World};
 
 /// Run one scenario to its horizon and return the report. A pure function
 /// of the configuration (which embeds the seed): calling it twice yields
@@ -22,17 +22,15 @@ pub fn run_scenario_with_world(config: ScenarioConfig) -> (RunReport, GnutellaWo
     let to_hour = config.sim_hours;
     let horizon = SimTime::from_hours(config.sim_hours);
 
+    let capacity = event_capacity_hint(config.workload.users, config.max_hops);
     let mut world = GnutellaWorld::new(config);
-    // Prime initial events through a queue, then transplant into the sim.
-    let mut sim = {
-        let mut queue: EventQueue<<GnutellaWorld as World>::Event> = EventQueue::new();
-        world.prime(&mut queue);
-        let mut sim = Simulation::new(world);
-        while let Some((t, ev)) = queue.pop() {
-            sim.schedule_at(t, ev);
-        }
-        sim
-    };
+    // Prime initial events into a pre-sized queue and hand it to the
+    // driver directly (the queue preserves schedule order, so priming
+    // in place is identical to the old prime-and-transplant dance).
+    let mut queue: EventQueue<<GnutellaWorld as World>::Event> =
+        EventQueue::with_capacity(capacity);
+    world.prime(&mut queue);
+    let mut sim = Simulation::with_queue(world, queue);
 
     let outcome = sim.run(horizon);
     debug_assert!(

@@ -2,7 +2,7 @@
 
 use crate::config::PeerOlapConfig;
 use crate::world::{OlapEvent, PeerOlapWorld};
-use ddr_sim::{EventQueue, SimTime, Simulation};
+use ddr_sim::{event_capacity_hint, EventQueue, SimTime, Simulation};
 
 /// Report of one run.
 #[derive(Debug, Clone)]
@@ -59,13 +59,13 @@ pub fn run_peerolap(config: PeerOlapConfig) -> PeerOlapReport {
     let to_hour = config.sim_hours;
     let horizon = SimTime::from_hours(config.sim_hours);
 
+    let capacity = event_capacity_hint(config.peers, 1);
     let mut world = PeerOlapWorld::new(config);
-    let mut queue: EventQueue<OlapEvent> = EventQueue::new();
+    // Prime directly into a pre-sized queue; the queue preserves schedule
+    // order, so priming in place matches the old prime-and-transplant dance.
+    let mut queue: EventQueue<OlapEvent> = EventQueue::with_capacity(capacity);
     world.prime(&mut queue);
-    let mut sim = Simulation::new(world);
-    while let Some((t, ev)) = queue.pop() {
-        sim.schedule_at(t, ev);
-    }
+    let mut sim = Simulation::with_queue(world, queue);
     sim.run(horizon);
     let world = sim.into_world();
     PeerOlapReport {

@@ -17,6 +17,16 @@ pub trait World {
     /// Handle one event at virtual time `now`, scheduling any follow-up
     /// events through `sched`.
     fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<'_, Self::Event>);
+
+    /// Hint that `next` is the event the driver will dispatch right
+    /// after the one currently being handled. Worlds whose per-event
+    /// state is scattered across large arrays (hundreds of nodes, each
+    /// owning multi-KiB tables) can issue software prefetches for the
+    /// state `next` will touch, overlapping that memory latency with the
+    /// current event's work. Must not mutate anything observable — the
+    /// default does nothing, and correctness never depends on it.
+    #[inline]
+    fn prefetch(&self, _next: &Self::Event) {}
 }
 
 /// Why a [`Simulation::run`] call returned.
@@ -42,9 +52,17 @@ pub struct Simulation<W: World> {
 impl<W: World> Simulation<W> {
     /// Create a simulation over `world` with an empty queue.
     pub fn new(world: W) -> Self {
+        Self::with_queue(world, EventQueue::new())
+    }
+
+    /// Create a simulation over `world` driving a pre-built (typically
+    /// pre-primed and pre-sized) event queue. The scenario runners use
+    /// this to prime worlds through [`EventQueue::with_capacity`] and
+    /// hand the queue over without re-enqueueing every event.
+    pub fn with_queue(world: W, queue: EventQueue<W::Event>) -> Self {
         Simulation {
             world,
-            queue: EventQueue::new(),
+            queue,
             processed: 0,
             event_budget: u64::MAX,
         }
@@ -88,6 +106,11 @@ impl<W: World> Simulation<W> {
         self.queue.len()
     }
 
+    /// High-water mark of pending events (perf instrumentation).
+    pub fn peak_pending(&self) -> usize {
+        self.queue.peak_pending()
+    }
+
     /// Seed the queue before (or between) runs.
     pub fn schedule_at(&mut self, at: SimTime, event: W::Event) {
         self.queue.schedule_at(at, event);
@@ -109,6 +132,13 @@ impl<W: World> Simulation<W> {
             }
             let (now, event) = self.queue.pop().expect("peeked event vanished");
             self.processed += 1;
+            // Let the world warm caches for the *following* event while it
+            // handles this one (peeking here also warms the queue's own
+            // next-event cache, so the peek at the top of the next
+            // iteration is free).
+            if let Some(next) = self.queue.peek_event() {
+                self.world.prefetch(next);
+            }
             let mut sched = Scheduler::new(&mut self.queue);
             self.world.handle(now, event, &mut sched);
         }

@@ -1,14 +1,44 @@
 //! Future-event list with deterministic tie-breaking.
 //!
 //! A classic discrete-event simulator keeps pending events in a priority
-//! queue ordered by timestamp. `std::collections::BinaryHeap` is *not*
-//! stable for equal keys, which would make runs seed-reproducible but not
-//! code-motion-reproducible; we therefore order by `(time, insertion seq)`
-//! so that events scheduled for the same instant fire in FIFO order.
+//! queue ordered by timestamp. The kernel's contract is stronger than
+//! "ordered": events scheduled for the same instant must fire in FIFO
+//! order, so a run is reproducible under code motion, not just under a
+//! fixed seed. Every implementation here therefore orders by
+//! `(time, insertion seq)`.
+//!
+//! Two implementations share that contract:
+//!
+//! * [`EventQueue`] — the production kernel: a two-level **calendar
+//!   queue** (bucketed time wheel over near-future slots, min-heap
+//!   overflow for far-future events). Scheduling into the wheel is an
+//!   O(1) bucket append in the common monotone case, popping is an O(1)
+//!   `pop_front` plus an amortised-O(1) cursor walk, and the next-event
+//!   timestamp is cached so the driver's peek/pop pair costs one scan.
+//! * [`ReferenceEventQueue`] — the original `BinaryHeap` future-event
+//!   list, kept as the executable specification. Differential tests in
+//!   `tests/queue_differential.rs` drive both with random interleavings
+//!   and assert identical pop sequences.
 
 use crate::time::{SimDuration, SimTime};
+use std::cell::Cell;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Name of the active future-event-list implementation, surfaced by the
+/// `perfbench` binary so `BENCH_*.json` entries record which kernel
+/// produced each number.
+pub const KERNEL_NAME: &str = "calendar-queue";
+
+/// A pre-sizing hint for [`EventQueue::with_capacity`], derived from the
+/// scenario scale: each of `nodes` nodes keeps a handful of periodic
+/// events in flight (session churn, query timers) and a query in flight
+/// fans out roughly with the hop limit. The hint only affects initial
+/// allocation, never behaviour.
+pub fn event_capacity_hint(nodes: usize, max_hops: u8) -> usize {
+    let per_node = 4 + max_hops as usize;
+    (nodes.saturating_mul(per_node)).next_power_of_two().max(64)
+}
 
 /// A scheduled entry. Ordered so the *earliest* (time, seq) pops first from
 /// a max-heap, i.e. the comparison is reversed.
@@ -39,7 +69,47 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
-/// The future-event list.
+// ------------------------------------------------------------------------
+// Calendar-queue kernel
+// ------------------------------------------------------------------------
+
+/// log2 of the wheel slot width in milliseconds. One-millisecond slots
+/// exploit the clock's integer-ms resolution: every entry in a bucket
+/// carries the *same* timestamp, so the sorted insert degenerates to an
+/// O(1) `push_back` (the new entry always holds the largest seq). Wider
+/// slots were measured slower: network delays cluster at 70/150/300 ms
+/// ± 60 ms, so 64 ms slots concentrated hundreds of entries per bucket
+/// and the mid-bucket sorted inserts turned into memmoves.
+const SLOT_SHIFT: u32 = 0;
+/// Number of wheel buckets (power of two). Wheel horizon =
+/// `NBUCKETS << SLOT_SHIFT` = 2.048 s beyond the cursor — enough for
+/// every network delay and collection window; hour-scale churn timers
+/// go to the overflow heap.
+const NBUCKETS: usize = 2048;
+const SLOT_MASK: u64 = (NBUCKETS as u64) - 1;
+/// Words in the bucket-occupancy bitmap (one bit per bucket). The bitmap
+/// turns "find the next non-empty bucket" into a handful of
+/// `trailing_zeros` word scans instead of walking up to `NBUCKETS`
+/// empty `VecDeque`s (the mean gap between events is tens of slots).
+const OCC_WORDS: usize = NBUCKETS / 64;
+
+#[inline]
+fn slot_of(t: SimTime) -> u64 {
+    t.as_millis() >> SLOT_SHIFT
+}
+
+/// The production future-event list: a two-level calendar queue.
+///
+/// Level 1 is a circular array of `NBUCKETS` buckets, each a `VecDeque`
+/// kept sorted ascending by `(time, seq)`; the bucket for absolute slot
+/// `s` is `wheel[s % NBUCKETS]`, and the **single-lap invariant** says a
+/// bucket only ever holds entries of one absolute slot: those within
+/// `[cursor, cursor + NBUCKETS)`. Level 2 is a min-heap holding
+/// everything at or beyond the wheel horizon; entries migrate into the
+/// wheel as the cursor advances past their lap boundary.
+///
+/// Determinism: identical `(time, seq)` order as the reference heap —
+/// FIFO among equal timestamps — verified by differential tests.
 ///
 /// Generic over the event payload `E` so each simulation defines its own
 /// event enum; the kernel never inspects payloads.
@@ -54,9 +124,26 @@ impl<E> Ord for Scheduled<E> {
 /// assert_eq!(q.now(), SimTime::from_millis(10));
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// Circular bucket array; `wheel[s & SLOT_MASK]` holds slot `s`.
+    wheel: Vec<VecDeque<Scheduled<E>>>,
+    /// Entries currently stored in the wheel (not counting overflow).
+    wheel_len: usize,
+    /// Absolute slot index of the earliest possibly-occupied bucket.
+    /// Only ever advances; all buckets for slots `< cursor` are empty.
+    cursor: u64,
+    /// Far-future entries (absolute slot `>= cursor + NBUCKETS`).
+    overflow: BinaryHeap<Scheduled<E>>,
+    /// One bit per physical bucket: set iff the bucket is non-empty.
+    /// Lets [`Self::compute_next`] skip empty buckets a word at a time.
+    occupied: [u64; OCC_WORDS],
+    /// Cached timestamp of the earliest pending entry. `None` means
+    /// "unknown" (dirty), not "empty" — emptiness is `len() == 0`.
+    /// Interior mutability lets `peek_time(&self)` fill it so the
+    /// driver's peek/pop pair performs a single bucket scan.
+    next_at: Cell<Option<SimTime>>,
     seq: u64,
     now: SimTime,
+    peak: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -68,25 +155,315 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue positioned at t = 0.
     pub fn new() -> Self {
+        let mut wheel = Vec::with_capacity(NBUCKETS);
+        wheel.resize_with(NBUCKETS, VecDeque::new);
         EventQueue {
-            heap: BinaryHeap::new(),
+            wheel,
+            wheel_len: 0,
+            cursor: 0,
+            overflow: BinaryHeap::new(),
+            occupied: [0; OCC_WORDS],
+            next_at: Cell::new(None),
             seq: 0,
             now: SimTime::ZERO,
+            peak: 0,
         }
     }
 
-    /// An empty queue with pre-reserved capacity (the Gnutella runs keep
-    /// tens of thousands of in-flight events).
+    /// An empty queue with pre-reserved capacity (figure-scale runs keep
+    /// thousands of in-flight events; see [`event_capacity_hint`]).
+    /// Capacity is split between the overflow heap (which holds the
+    /// hour-scale timer population) and the near-future buckets.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            seq: 0,
-            now: SimTime::ZERO,
+        let mut q = Self::new();
+        q.overflow.reserve(cap / 2);
+        // Give each bucket a small head start so early same-slot bursts
+        // (scenario priming schedules every node at once) don't grow
+        // buckets one push at a time.
+        let per_bucket = (cap / NBUCKETS).clamp(0, 64);
+        if per_bucket > 0 {
+            for b in &mut q.wheel {
+                b.reserve(per_bucket);
+            }
         }
+        q
     }
 
     /// Current virtual time: the timestamp of the most recently popped
     /// event (0 before the first pop).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.wheel_len + self.overflow.len()
+    }
+
+    /// Whether the queue is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past (before the last popped timestamp):
+    /// causality violations are programming errors and must fail loudly.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "attempted to schedule an event in the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        let entry = Scheduled {
+            time: at,
+            seq,
+            event,
+        };
+        let slot = slot_of(at);
+        debug_assert!(slot >= self.cursor, "cursor passed the current time");
+        if slot - self.cursor < NBUCKETS as u64 {
+            let b = (slot & SLOT_MASK) as usize;
+            let bucket = &mut self.wheel[b];
+            // Keep the bucket sorted ascending by (time, seq). The new
+            // entry carries the largest seq so far, so among equal times
+            // it belongs after every existing entry: the insertion point
+            // is the first entry with a strictly later time. With 1 ms
+            // slots every co-bucketed entry shares one timestamp, so
+            // this is always the back — an O(1) append (the sorted
+            // branch is kept so the constants can be retuned safely).
+            match bucket.back() {
+                Some(last) if last.time > at => {
+                    let pos = bucket.partition_point(|e| e.time <= at);
+                    bucket.insert(pos, entry);
+                }
+                _ => bucket.push_back(entry),
+            }
+            self.occupied[b >> 6] |= 1 << (b & 63);
+            self.wheel_len += 1;
+        } else {
+            self.overflow.push(entry);
+        }
+        if let Some(next) = self.next_at.get() {
+            if at < next {
+                self.next_at.set(Some(at));
+            }
+        }
+        // (If the cache is dirty it stays dirty; peek recomputes.)
+        let len = self.len();
+        if len > self.peak {
+            self.peak = len;
+        }
+    }
+
+    /// High-water mark of pending events over the queue's lifetime
+    /// (perf instrumentation; see the `perfbench` binary).
+    pub fn peak_pending(&self) -> usize {
+        self.peak
+    }
+
+    /// Schedule `event` at `now + delay`.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Timestamp of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if let Some(t) = self.next_at.get() {
+            return Some(t);
+        }
+        let computed = self.compute_next();
+        if computed.is_some() {
+            self.next_at.set(computed);
+        }
+        computed
+    }
+
+    /// The earliest pending event's payload without popping it (its
+    /// timestamp is [`EventQueue::peek_time`]). Used by the driver loop
+    /// to hand the *next* event to [`crate::World::prefetch`] while the
+    /// current one is being handled. Also warms the peek cache, so a
+    /// following `peek_time` costs no scan.
+    pub fn peek_event(&self) -> Option<&E> {
+        if self.wheel_len > 0 {
+            let b = self
+                .next_occupied((self.cursor & SLOT_MASK) as usize)
+                .expect("wheel_len > 0 but occupancy bitmap empty");
+            let front = self.wheel[b]
+                .front()
+                .expect("occupancy bit set on empty bucket");
+            self.next_at.set(Some(front.time));
+            return Some(&front.event);
+        }
+        let front = self.overflow.peek()?;
+        self.next_at.set(Some(front.time));
+        Some(&front.event)
+    }
+
+    /// Scan for the earliest pending timestamp. Wheel entries always
+    /// precede overflow entries (their slots are strictly smaller, and
+    /// slot order implies time order across distinct slots), so the
+    /// first non-empty bucket at or after the cursor holds the minimum.
+    fn compute_next(&self) -> Option<SimTime> {
+        if self.wheel_len > 0 {
+            let b = self
+                .next_occupied((self.cursor & SLOT_MASK) as usize)
+                .expect("wheel_len > 0 but occupancy bitmap empty");
+            let front = self.wheel[b]
+                .front()
+                .expect("occupancy bit set on empty bucket");
+            return Some(front.time);
+        }
+        self.overflow.peek().map(|s| s.time)
+    }
+
+    /// First occupied physical bucket index in circular order starting at
+    /// `start` (inclusive). The single-lap invariant makes physical order
+    /// from the cursor equal to absolute-slot order, so this is the
+    /// bucket holding the wheel minimum.
+    fn next_occupied(&self, start: usize) -> Option<usize> {
+        let sw = start >> 6;
+        // Word containing `start`, with bits below `start` masked off.
+        let w = self.occupied[sw] & (!0u64 << (start & 63));
+        if w != 0 {
+            return Some((sw << 6) + w.trailing_zeros() as usize);
+        }
+        for i in 1..=OCC_WORDS {
+            let idx = (sw + i) & (OCC_WORDS - 1);
+            // After a full wrap, re-inspect the start word's low bits.
+            let w = if i == OCC_WORDS {
+                self.occupied[sw] & !(!0u64 << (start & 63))
+            } else {
+                self.occupied[idx]
+            };
+            if w != 0 {
+                return Some((idx << 6) + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Advance the cursor to `slot`, pulling overflow entries whose lap
+    /// has arrived into the wheel. Callers guarantee every bucket for a
+    /// slot in `[cursor, slot)` is empty, so the buckets being re-keyed
+    /// for the new window are free.
+    fn advance_cursor(&mut self, slot: u64) {
+        debug_assert!(slot >= self.cursor);
+        self.cursor = slot;
+        let horizon = self.cursor + NBUCKETS as u64;
+        while let Some(top) = self.overflow.peek() {
+            if slot_of(top.time) >= horizon {
+                break;
+            }
+            let entry = self.overflow.pop().expect("peeked entry vanished");
+            let b = (slot_of(entry.time) & SLOT_MASK) as usize;
+            let bucket = &mut self.wheel[b];
+            // Overflow drains in (time, seq) order, so appends preserve
+            // the bucket sort; the sorted-insert branch only fires when
+            // a bucket already holds later in-window entries.
+            match bucket.back() {
+                Some(last) if (last.time, last.seq) > (entry.time, entry.seq) => {
+                    let key = (entry.time, entry.seq);
+                    let pos = bucket.partition_point(|e| (e.time, e.seq) <= key);
+                    bucket.insert(pos, entry);
+                }
+                _ => bucket.push_back(entry),
+            }
+            self.occupied[b >> 6] |= 1 << (b & 63);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let t = self.peek_time()?;
+        let slot = slot_of(t);
+        if slot > self.cursor {
+            // Either a later in-window slot (all earlier buckets empty —
+            // the minimum lives at `slot`), or, when the wheel is empty,
+            // an overflow lap boundary; both advance the cursor and
+            // migrate newly in-window overflow entries.
+            debug_assert!(
+                slot - self.cursor < NBUCKETS as u64 || self.wheel_len == 0,
+                "cursor jump past a populated wheel window"
+            );
+            self.advance_cursor(slot);
+        }
+        let b = (slot & SLOT_MASK) as usize;
+        let bucket = &mut self.wheel[b];
+        let entry = bucket.pop_front().expect("cached minimum not in bucket");
+        debug_assert_eq!(entry.time, t, "bucket front disagrees with cache");
+        debug_assert!(entry.time >= self.now, "event popped out of order");
+        if bucket.is_empty() {
+            self.occupied[b >> 6] &= !(1 << (b & 63));
+        }
+        self.wheel_len -= 1;
+        self.now = entry.time;
+        self.next_at.set(None);
+        Some((entry.time, entry.event))
+    }
+
+    /// Total number of events ever scheduled (the tie-break counter).
+    pub fn scheduled_count(&self) -> u64 {
+        self.seq
+    }
+
+    /// A [`Scheduler`] façade over this queue, for priming worlds before a
+    /// run (the same façade the driver hands to [`crate::World::handle`]).
+    pub fn scheduler(&mut self) -> Scheduler<'_, E> {
+        Scheduler::new(self)
+    }
+}
+
+// ------------------------------------------------------------------------
+// Reference kernel (executable specification)
+// ------------------------------------------------------------------------
+
+/// The original binary-heap future-event list, kept as the executable
+/// specification of the kernel's ordering contract. Same API surface as
+/// [`EventQueue`]; used by differential tests and the `micro_kernel`
+/// benches, never by the simulation driver.
+pub struct ReferenceEventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: SimTime,
+    peak: usize,
+}
+
+impl<E> Default for ReferenceEventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> ReferenceEventQueue<E> {
+    /// An empty queue positioned at t = 0.
+    pub fn new() -> Self {
+        ReferenceEventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            peak: 0,
+        }
+    }
+
+    /// An empty queue with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        ReferenceEventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+            now: SimTime::ZERO,
+            peak: 0,
+        }
+    }
+
+    /// Current virtual time (timestamp of the most recent pop).
     #[inline]
     pub fn now(&self) -> SimTime {
         self.now
@@ -104,11 +481,7 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Schedule `event` at absolute time `at`.
-    ///
-    /// # Panics
-    /// Panics if `at` is in the past (before the last popped timestamp):
-    /// causality violations are programming errors and must fail loudly.
+    /// Schedule `event` at absolute time `at`; panics if `at < now()`.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
         assert!(
             at >= self.now,
@@ -122,6 +495,14 @@ impl<E> EventQueue<E> {
             seq,
             event,
         });
+        if self.heap.len() > self.peak {
+            self.peak = self.heap.len();
+        }
+    }
+
+    /// High-water mark of pending events.
+    pub fn peak_pending(&self) -> usize {
+        self.peak
     }
 
     /// Schedule `event` at `now + delay`.
@@ -142,15 +523,15 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|s| s.time)
     }
 
+    /// The earliest pending event's payload without popping it (API
+    /// parity with [`EventQueue::peek_event`]).
+    pub fn peek_event(&self) -> Option<&E> {
+        self.heap.peek().map(|s| &s.event)
+    }
+
     /// Total number of events ever scheduled (the tie-break counter).
     pub fn scheduled_count(&self) -> u64 {
         self.seq
-    }
-
-    /// A [`Scheduler`] façade over this queue, for priming worlds before a
-    /// run (the same façade the driver hands to [`crate::World::handle`]).
-    pub fn scheduler(&mut self) -> Scheduler<'_, E> {
-        Scheduler::new(self)
     }
 }
 
@@ -264,5 +645,98 @@ mod tests {
         q.schedule_at(SimTime::from_millis(20), 20);
         let seq: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(seq, vec![20, 30]);
+    }
+
+    /// Events beyond the initial wheel horizon (cursor + NBUCKETS slots)
+    /// start in the overflow heap and must migrate into the wheel — in
+    /// order, FIFO-stable — as the cursor rolls past lap boundaries.
+    #[test]
+    fn bucket_rollover_beyond_initial_horizon() {
+        let wheel_span_ms = (NBUCKETS as u64) << SLOT_SHIFT; // 32.768 s
+        let mut q = EventQueue::new();
+        // One event per "lap" across 5 laps, scheduled out of order, plus
+        // a same-timestamp burst in lap 3 to check FIFO survives
+        // migration.
+        let mut expect = Vec::new();
+        for lap in (0..5u64).rev() {
+            let t = SimTime::from_millis(lap * wheel_span_ms + 17);
+            q.schedule_at(t, (lap, 0u64));
+        }
+        for lap in 0..5u64 {
+            expect.push((lap, 0u64));
+        }
+        let burst_t = SimTime::from_millis(3 * wheel_span_ms + 17);
+        for i in 1..=10u64 {
+            q.schedule_at(burst_t, (3, i));
+        }
+        expect.splice(4..4, (1..=10u64).map(|i| (3, i)));
+        let got: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(got, expect);
+        assert_eq!(q.now(), SimTime::from_millis(4 * wheel_span_ms + 17));
+    }
+
+    /// Far-future outlier sitting in overflow while near events churn:
+    /// the overflow entry must surface exactly in order.
+    #[test]
+    fn overflow_outlier_pops_after_wheel_drains() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_hours(5), "far");
+        for i in 0..50u64 {
+            q.schedule_at(SimTime::from_millis(i * 100), "near");
+        }
+        let mut names = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            names.push(e);
+        }
+        assert_eq!(names.len(), 51);
+        assert_eq!(*names.last().unwrap(), "far");
+        assert!(names[..50].iter().all(|&n| n == "near"));
+    }
+
+    /// The len/peek/now surface must agree between the production and
+    /// reference queues under the same operation sequence.
+    #[test]
+    fn reference_queue_matches_calendar_on_smoke_sequence() {
+        let mut cal = EventQueue::new();
+        let mut refq = ReferenceEventQueue::new();
+        let times = [5u64, 5, 70_000, 3, 200, 5, 999_999, 70_000, 0];
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule_at(SimTime::from_millis(t), i);
+            refq.schedule_at(SimTime::from_millis(t), i);
+        }
+        assert_eq!(cal.len(), refq.len());
+        assert_eq!(cal.peek_time(), refq.peek_time());
+        loop {
+            let a = cal.pop();
+            let b = refq.pop();
+            assert_eq!(a, b);
+            assert_eq!(cal.now(), refq.now());
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn peak_pending_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.schedule_at(SimTime::from_millis(i), ());
+        }
+        for _ in 0..5 {
+            q.pop();
+        }
+        q.schedule_in(SimDuration::from_millis(1), ());
+        assert_eq!(q.peak_pending(), 10);
+        assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    fn capacity_hint_is_monotone_and_positive() {
+        assert!(event_capacity_hint(0, 0) >= 64);
+        let small = event_capacity_hint(100, 2);
+        let large = event_capacity_hint(2_000, 4);
+        assert!(large >= small);
+        assert!(small.is_power_of_two());
     }
 }

@@ -8,9 +8,12 @@
 //!
 //! * [`SimTime`] — a millisecond-resolution virtual clock with convenient
 //!   constructors (`SimTime::from_hours(4 * 24)` …).
-//! * [`EventQueue`] / [`Scheduler`] — a binary-heap future-event list with
-//!   **deterministic tie-breaking** (FIFO among equal timestamps), so a
-//!   simulation is a pure function of `(config, seed)`.
+//! * [`EventQueue`] / [`Scheduler`] — a calendar-queue future-event list
+//!   (bucketed time wheel + overflow heap) with **deterministic
+//!   tie-breaking** (FIFO among equal timestamps), so a simulation is a
+//!   pure function of `(config, seed)`. The original binary heap survives
+//!   as [`ReferenceEventQueue`], the executable specification used by the
+//!   differential tests.
 //! * [`Simulation`] and the [`World`] trait — a minimal driver loop.
 //! * [`rng`] — reproducible RNG plumbing: one root seed, split into
 //!   independent per-subsystem streams via SplitMix64.
@@ -37,7 +40,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{RunOutcome, Simulation, World};
-pub use event::{EventQueue, Scheduler};
+pub use event::{event_capacity_hint, EventQueue, ReferenceEventQueue, Scheduler, KERNEL_NAME};
 pub use hash::{FastHashMap, FastHashSet, FxHasher};
 pub use id::{ItemId, NodeId, QueryId};
 pub use rng::RngFactory;

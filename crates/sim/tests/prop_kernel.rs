@@ -1,7 +1,94 @@
 //! Property-based tests for the simulation kernel invariants.
 
-use ddr_sim::{EventQueue, RngFactory, SimTime};
+use ddr_sim::{EventQueue, ReferenceEventQueue, RngFactory, SimDuration, SimTime};
 use proptest::prelude::*;
+
+/// One step of the differential driver below. Delays are biased so that the
+/// generated schedules exercise every regime of the calendar queue:
+/// same-timestamp bursts (FIFO tie-break), nearby slots (wheel hits),
+/// wheel-width boundary crossings (cursor rollover), and far-future
+/// outliers that must detour through the overflow heap and later migrate
+/// back onto the wheel.
+#[derive(Debug, Clone)]
+enum QueueOp {
+    /// Schedule at `now + delay_ms`.
+    In(u64),
+    /// Schedule at an absolute offset from the current time floor (still
+    /// `>= now`, as the kernel requires).
+    At(u64),
+    /// Pop one event (no-op on empty).
+    Pop,
+}
+
+fn queue_op() -> impl Strategy<Value = QueueOp> {
+    // The vendored proptest `prop_oneof!` is unweighted; arms are
+    // duplicated instead to bias towards pops and near-term events.
+    prop_oneof![
+        // Same-timestamp bursts: many zero delays in a row.
+        Just(QueueOp::In(0)),
+        // Near-term wheel hits (within a slot or two).
+        (0u64..8).prop_map(QueueOp::In),
+        (0u64..8).prop_map(QueueOp::In),
+        // Mid-range, still inside the 2048-slot wheel span.
+        (8u64..1_500).prop_map(QueueOp::In),
+        // Boundary stress: right at / around the wheel width.
+        (1_900u64..2_300).prop_map(QueueOp::In),
+        // Far-future outliers: forced onto the overflow heap, must
+        // migrate back when the cursor advances far enough.
+        (5_000u64..200_000).prop_map(QueueOp::In),
+        (0u64..3_000).prop_map(QueueOp::At),
+        Just(QueueOp::Pop),
+        Just(QueueOp::Pop),
+        Just(QueueOp::Pop),
+    ]
+}
+
+proptest! {
+    /// Differential test: the calendar queue and the reference binary heap
+    /// are fed the identical operation sequence and must agree on every
+    /// observable — pop order (time *and* payload, which encodes insertion
+    /// order), peeked times, lengths, and the final drain.
+    #[test]
+    fn calendar_matches_reference_heap(ops in proptest::collection::vec(queue_op(), 1..400)) {
+        let mut cal: EventQueue<u32> = EventQueue::new();
+        let mut reference: ReferenceEventQueue<u32> = ReferenceEventQueue::new();
+        let mut seq: u32 = 0;
+        for op in &ops {
+            match *op {
+                QueueOp::In(ms) => {
+                    cal.schedule_in(SimDuration::from_millis(ms), seq);
+                    reference.schedule_in(SimDuration::from_millis(ms), seq);
+                    seq += 1;
+                }
+                QueueOp::At(ms) => {
+                    // Anchor at the calendar queue's clock; assert the
+                    // clocks agree first so both see the same timestamp.
+                    prop_assert_eq!(cal.now(), reference.now());
+                    let at = cal.now() + SimDuration::from_millis(ms);
+                    cal.schedule_at(at, seq);
+                    reference.schedule_at(at, seq);
+                    seq += 1;
+                }
+                QueueOp::Pop => {
+                    prop_assert_eq!(cal.peek_time(), reference.peek_time());
+                    prop_assert_eq!(cal.pop(), reference.pop());
+                }
+            }
+            prop_assert_eq!(cal.len(), reference.len());
+        }
+        // Drain both completely; every remaining event must match.
+        loop {
+            prop_assert_eq!(cal.peek_time(), reference.peek_time());
+            let (a, b) = (cal.pop(), reference.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert!(cal.is_empty() && reference.is_empty());
+        prop_assert_eq!(cal.scheduled_count(), reference.scheduled_count());
+    }
+}
 
 proptest! {
     /// Events always pop in non-decreasing time order, regardless of the

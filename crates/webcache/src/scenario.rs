@@ -2,7 +2,7 @@
 
 use crate::config::WebCacheConfig;
 use crate::world::{CacheEvent, WebCacheWorld};
-use ddr_sim::{EventQueue, SimTime, Simulation};
+use ddr_sim::{event_capacity_hint, EventQueue, SimTime, Simulation};
 
 /// Report of one web-cache run.
 #[derive(Debug, Clone)]
@@ -58,13 +58,13 @@ pub fn run_webcache(config: WebCacheConfig) -> WebCacheReport {
     let to_hour = config.sim_hours;
     let horizon = SimTime::from_hours(config.sim_hours);
 
+    let capacity = event_capacity_hint(config.proxies, 1);
     let mut world = WebCacheWorld::new(config);
-    let mut queue: EventQueue<CacheEvent> = EventQueue::new();
+    // Prime directly into a pre-sized queue; the queue preserves schedule
+    // order, so priming in place matches the old prime-and-transplant dance.
+    let mut queue: EventQueue<CacheEvent> = EventQueue::with_capacity(capacity);
     world.prime(&mut queue);
-    let mut sim = Simulation::new(world);
-    while let Some((t, ev)) = queue.pop() {
-        sim.schedule_at(t, ev);
-    }
+    let mut sim = Simulation::with_queue(world, queue);
     sim.run(horizon);
     let world = sim.into_world();
     WebCacheReport {

@@ -15,6 +15,31 @@ use ddr_sim::{FastHashSet, ItemId, NodeId, RngFactory};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+/// Cache-line blocks in the per-profile membership prefilter (see
+/// [`UserProfile::has`]): 4 × 512 bits = 2048 bits total.
+const FILTER_BLOCKS: usize = 4;
+/// Bits per block (one 64-byte cache line).
+const BLOCK_BITS: u64 = 512;
+
+/// One 64-byte-aligned filter block. The alignment guarantees a probe
+/// never straddles two cache lines: both hash bits of an item live in
+/// the same block (a *blocked* Bloom filter), so a membership test
+/// touches exactly one line of filter state.
+#[derive(Debug, Clone, Copy, Default)]
+#[repr(align(64))]
+struct FilterBlock([u64; 8]);
+
+/// Stream-free mixer for filter bit positions (splitmix64 finalizer over
+/// the item id). Must stay a pure function of the item: the filter is
+/// rebuilt from the library alone and never consumes generator state.
+#[inline]
+fn filter_mix(item: ItemId) -> u64 {
+    let mut z = (item.0 as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// One user's static profile: preferences plus library contents.
 #[derive(Debug, Clone)]
 pub struct UserProfile {
@@ -26,9 +51,42 @@ pub struct UserProfile {
     pub secondary: Vec<CategoryId>,
     /// Library contents, sorted by id for binary-search membership tests.
     library: Vec<ItemId>,
+    /// Two-hash blocked Bloom prefilter over `library`. Almost every
+    /// membership probe in a simulation is a miss (a ~200-song library
+    /// against a 200 000-song catalog), and the filter answers those
+    /// definitively without walking the binary search's cache-missy
+    /// probe sequence — touching a single cache line, since both hash
+    /// bits of an item fall in one 64-byte block. False positives (~3 %
+    /// at ~50 entries per 512-bit block) fall through to the exact
+    /// search, so `has` is bit-for-bit unchanged.
+    filter: [FilterBlock; FILTER_BLOCKS],
 }
 
 impl UserProfile {
+    /// Build a profile, deriving the prefilter from the (sorted) library.
+    fn from_parts(
+        node: NodeId,
+        favorite: CategoryId,
+        secondary: Vec<CategoryId>,
+        library: Vec<ItemId>,
+    ) -> Self {
+        let mut filter = [FilterBlock::default(); FILTER_BLOCKS];
+        for &item in &library {
+            let h = filter_mix(item);
+            let block = &mut filter[(h >> 60) as usize & (FILTER_BLOCKS - 1)];
+            let b1 = h & (BLOCK_BITS - 1);
+            let b2 = (h >> 32) & (BLOCK_BITS - 1);
+            block.0[(b1 >> 6) as usize] |= 1 << (b1 & 63);
+            block.0[(b2 >> 6) as usize] |= 1 << (b2 & 63);
+        }
+        UserProfile {
+            node,
+            favorite,
+            secondary,
+            library,
+            filter,
+        }
+    }
     /// Number of songs in the library.
     pub fn library_size(&self) -> usize {
         self.library.len()
@@ -37,7 +95,30 @@ impl UserProfile {
     /// Whether the user stores `item` locally.
     #[inline]
     pub fn has(&self, item: ItemId) -> bool {
+        // Blocked Bloom prefilter: a clear bit proves absence; only
+        // (rare) positives pay for the exact binary search.
+        let h = filter_mix(item);
+        let block = &self.filter[(h >> 60) as usize & (FILTER_BLOCKS - 1)];
+        let b1 = h & (BLOCK_BITS - 1);
+        if block.0[(b1 >> 6) as usize] & (1 << (b1 & 63)) == 0 {
+            return false;
+        }
+        let b2 = (h >> 32) & (BLOCK_BITS - 1);
+        if block.0[(b2 >> 6) as usize] & (1 << (b2 & 63)) == 0 {
+            return false;
+        }
         self.library.binary_search(&item).is_ok()
+    }
+
+    /// Address of the filter cache line a [`UserProfile::has`] probe for
+    /// `item` will touch, for software prefetching by event-loop drivers
+    /// (the line is selected by a pure hash of the item, so it is known
+    /// as soon as the query descriptor is, well before dispatch).
+    #[inline]
+    pub fn probe_addr(&self, item: ItemId) -> *const u8 {
+        let h = filter_mix(item);
+        let block = &self.filter[(h >> 60) as usize & (FILTER_BLOCKS - 1)];
+        block as *const FilterBlock as *const u8
     }
 
     /// Library contents (sorted by id).
@@ -118,12 +199,7 @@ pub fn generate_profiles(
             library.sort_unstable();
             debug_assert!(no_duplicates(&library));
 
-            UserProfile {
-                node: NodeId::from_index(i),
-                favorite,
-                secondary,
-                library,
-            }
+            UserProfile::from_parts(NodeId::from_index(i), favorite, secondary, library)
         })
         .collect()
 }
