@@ -16,6 +16,12 @@ cargo test -q --workspace
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
+echo "==> ddr list (experiment registry enumerates)"
+cargo run -q --release -p ddr-experiments --bin ddr -- list
+
+echo "==> ddr run --all --smoke (every registered experiment stays runnable)"
+cargo run -q --release -p ddr-experiments --bin ddr -- run --all --smoke > /dev/null
+
 echo "==> perfbench --smoke (kernel throughput harness, determinism cross-check)"
 cargo run -q --release -p ddr-experiments --bin perfbench -- --smoke
 

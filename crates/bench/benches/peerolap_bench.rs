@@ -2,21 +2,10 @@
 //! plus the chunk-cost function in isolation.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use ddr_peerolap::{chunk_processing_ms, run_peerolap, OlapMode, PeerOlapConfig};
+use ddr_bench::scenarios::bench_peerolap as bench_cfg;
+use ddr_peerolap::{chunk_processing_ms, run_peerolap, OlapMode};
 use ddr_sim::ItemId;
 use std::hint::black_box;
-
-fn bench_cfg(mode: OlapMode) -> PeerOlapConfig {
-    let mut c = PeerOlapConfig::default_scenario(mode);
-    c.peers = 24;
-    c.groups = 4;
-    c.chunks_per_region = 2_048;
-    c.cache_capacity = 512;
-    c.sim_hours = 3;
-    c.warmup_hours = 1;
-    c.seed = 0xBEEC;
-    c
-}
 
 fn scenario(c: &mut Criterion) {
     let s = run_peerolap(bench_cfg(OlapMode::Static));

@@ -7,4 +7,4 @@
 
 pub mod scenarios;
 
-pub use scenarios::{bench_gnutella, bench_webcache, BENCH_SEED};
+pub use scenarios::{bench_gnutella, bench_peerolap, bench_webcache, BENCH_SEED};

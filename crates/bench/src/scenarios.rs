@@ -1,6 +1,7 @@
 //! Scaled scenario builders used by all benches.
 
 use ddr_gnutella::{Mode, ScenarioConfig};
+use ddr_peerolap::{OlapMode, PeerOlapConfig};
 use ddr_webcache::{CacheMode, WebCacheConfig};
 
 /// The fixed seed all benches share: Criterion measures runtime, and the
@@ -11,6 +12,19 @@ pub const BENCH_SEED: u64 = 0xBE_EC;
 /// simulated hours, 1 warm-up hour.
 pub fn bench_gnutella(mode: Mode, hops: u8) -> ScenarioConfig {
     let mut c = ScenarioConfig::scaled(mode, hops, 20, 8);
+    c.seed = BENCH_SEED;
+    c
+}
+
+/// A PeerOlap scenario at bench scale: 24 peers, 4 groups, 3 hours.
+pub fn bench_peerolap(mode: OlapMode) -> PeerOlapConfig {
+    let mut c = PeerOlapConfig::default_scenario(mode);
+    c.peers = 24;
+    c.groups = 4;
+    c.chunks_per_region = 2_048;
+    c.cache_capacity = 512;
+    c.sim_hours = 3;
+    c.warmup_hours = 1;
     c.seed = BENCH_SEED;
     c
 }

@@ -1,0 +1,9 @@
+//! The single experiment CLI: `ddr list`, `ddr run <name>...`,
+//! `ddr run --all` — every figure, evaluation and ablation through one
+//! registry.
+
+fn main() {
+    std::process::exit(ddr_experiments::cli::ddr_main(
+        std::env::args().skip(1).collect(),
+    ));
+}

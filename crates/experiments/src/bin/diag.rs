@@ -1,35 +1,6 @@
-//! Diagnostic run: clustering strength and statistics coverage of the
-//! dynamic overlay (not a paper figure; used to verify the mechanism
-//! behind Figs 1–3 is operating).
-
-use ddr_experiments::ExpOptions;
-use ddr_gnutella::scenario::run_scenario_with_world;
-use ddr_gnutella::Mode;
-
-fn hops_from_env() -> u8 {
-    std::env::var("DIAG_HOPS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2)
-}
+//! Legacy shim: delegates to the `diag` entry in the experiment
+//! registry. Prefer `ddr run diag`.
 
 fn main() {
-    let opts = ExpOptions::from_args();
-    for mode in [Mode::Static, Mode::Dynamic] {
-        let cfg = opts.scenario(mode, hops_from_env());
-        let (report, world) = run_scenario_with_world(cfg);
-        println!(
-            "{:<16} same-category links: {:>5.1}%  stats entries/peer: {:>6.1}  hits: {:>8.0}  msgs: {:>10.0}  delay: {:>5.0}ms  first-hop-dist: {:>4.2}  reconf: {} inv_sent: {} inv_acc: {}",
-            report.label,
-            100.0 * world.same_category_link_fraction(),
-            world.mean_stats_entries(),
-            report.total_hits(),
-            report.total_messages(),
-            report.mean_first_delay_ms(),
-            report.metrics.first_result_hops.mean(),
-            report.metrics.runtime.updates,
-            report.metrics.invitations_sent,
-            report.metrics.invitations_accepted,
-        );
-    }
+    ddr_experiments::cli::run_legacy("diag");
 }

@@ -1,69 +1,6 @@
-//! Exploration-frequency sweep (paper §3.3: "The choice of events is very
-//! important since it significantly affects performance. Ideally, there
-//! should be a correlation between the exploration frequency and the
-//! frequency with which repositories change their contents").
-//!
-//! The web-cache case study is the right instrument: proxy contents churn
-//! continuously through LRU replacement, so statistics go stale at a rate
-//! set by the request stream. Sweeping the exploration trigger from
-//! frantic to glacial should show a broad optimum: probing too rarely
-//! starves the updater of candidates; probing constantly pays message
-//! overhead for information that hasn't changed.
-
-use ddr_core::ExplorationTrigger;
-use ddr_stats::Table;
-use ddr_webcache::{run_webcache, CacheMode, WebCacheConfig};
+//! Legacy shim: delegates to the `exploration_sweep` entry in the experiment
+//! registry. Prefer `ddr run exploration_sweep`.
 
 fn main() {
-    let mut hours: u64 = 12;
-    let mut args = std::env::args().skip(1);
-    while let Some(flag) = args.next() {
-        match flag.as_str() {
-            "--hours" => {
-                hours = args
-                    .next()
-                    .expect("--hours value")
-                    .parse()
-                    .expect("bad hours")
-            }
-            "--help" | "-h" => {
-                eprintln!("options: --hours H");
-                std::process::exit(0);
-            }
-            other => panic!("unknown flag {other}"),
-        }
-    }
-
-    let mut t = Table::new(
-        "Exploration frequency vs adaptation quality (dynamic web cache)",
-        &[
-            "Explore every N requests",
-            "sibling hit %",
-            "origin %",
-            "latency ms",
-            "same-group %",
-            "probe+query msgs",
-        ],
-    );
-    for n in [10u32, 25, 50, 100, 250, 1_000, 10_000] {
-        let mut cfg = WebCacheConfig::default_scenario(CacheMode::Dynamic);
-        cfg.sim_hours = hours;
-        cfg.warmup_hours = (hours / 6).max(1);
-        cfg.exploration = ExplorationTrigger::EveryNRequests(n);
-        let r = run_webcache(cfg);
-        t.row(vec![
-            format!("{n}"),
-            format!("{:.1}", 100.0 * r.neighbor_hit_ratio()),
-            format!("{:.1}", 100.0 * r.origin_ratio()),
-            format!("{:.0}", r.mean_latency_ms()),
-            format!("{:.1}", 100.0 * r.same_group_fraction),
-            format!("{:.0}", r.metrics.runtime.messages.total()),
-        ]);
-    }
-    println!("{}", t.render());
-    println!(
-        "Expected shape: quality degrades toward the bottom rows (exploration \n\
-         too rare to track cache churn), while the top rows pay extra probe \n\
-         messages for little additional benefit."
-    );
+    ddr_experiments::cli::run_legacy("exploration_sweep");
 }

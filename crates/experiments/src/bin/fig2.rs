@@ -1,58 +1,6 @@
-//! Figure 2: performance of dynamic Gnutella at hops = 4.
-//!
-//! Expected shape (paper): with the larger exploration radius (up to 160
-//! nodes per query) the dynamic approach finds beneficial neighbors much
-//! faster — more hits than static *and* roughly half the message overhead.
-
-use ddr_experiments::{banner, default_workers, hourly_figure_table, run_all, ExpOptions};
-use ddr_gnutella::Mode;
+//! Legacy shim: delegates to the `fig2` entry in the experiment
+//! registry. Prefer `ddr run fig2`.
 
 fn main() {
-    let opts = ExpOptions::from_args();
-    banner("fig2", &opts);
-    let configs = vec![
-        opts.scenario(Mode::Static, 4),
-        opts.scenario(Mode::Dynamic, 4),
-    ];
-    let reports = run_all(configs, default_workers());
-    let (stat, dynm) = (&reports[0], &reports[1]);
-
-    let fig2a = hourly_figure_table(
-        "Figure 2(a): queries satisfied per hour (hops=4)",
-        "hits",
-        stat,
-        dynm,
-        15,
-    );
-    println!("{}", fig2a.render());
-    let fig2b = hourly_figure_table(
-        "Figure 2(b): query messages per hour (hops=4)",
-        "messages",
-        stat,
-        dynm,
-        15,
-    );
-    println!("{}", fig2b.render());
-
-    println!(
-        "summary: hits/hour  static={:.0} dynamic={:.0} ({:+.1}%)",
-        stat.mean_hits_per_hour(),
-        dynm.mean_hits_per_hour(),
-        100.0 * (dynm.mean_hits_per_hour() / stat.mean_hits_per_hour() - 1.0)
-    );
-    println!(
-        "summary: msgs/hour  static={:.0} dynamic={:.0} (dynamic/static = {:.2})",
-        stat.mean_messages_per_hour(),
-        dynm.mean_messages_per_hour(),
-        dynm.mean_messages_per_hour() / stat.mean_messages_per_hour()
-    );
-
-    opts.write_csv(
-        "fig2a_hits_hops4",
-        &hourly_figure_table("fig2a", "hits", stat, dynm, 1),
-    );
-    opts.write_csv(
-        "fig2b_messages_hops4",
-        &hourly_figure_table("fig2b", "messages", stat, dynm, 1),
-    );
+    ddr_experiments::cli::run_legacy("fig2");
 }

@@ -1,72 +1,6 @@
-//! Case study 3 evaluation: PeerOlap-style distributed OLAP caching
-//! (paper §2/§5). Dynamic reconfiguration should raise the peer-served
-//! chunk share, cut warehouse load and mean query latency, and cluster
-//! same-workload peers — under *bounded* incoming lists, where adoption
-//! can be refused.
-
-use ddr_peerolap::{run_peerolap, OlapMode, PeerOlapConfig};
-use ddr_stats::Table;
+//! Legacy shim: delegates to the `peerolap_eval` entry in the experiment
+//! registry. Prefer `ddr run peerolap_eval`.
 
 fn main() {
-    let mut hours: u64 = 8;
-    let mut seed: Option<u64> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(flag) = args.next() {
-        match flag.as_str() {
-            "--hours" => {
-                hours = args
-                    .next()
-                    .expect("--hours value")
-                    .parse()
-                    .expect("bad hours")
-            }
-            "--seed" => {
-                seed = Some(
-                    args.next()
-                        .expect("--seed value")
-                        .parse()
-                        .expect("bad seed"),
-                )
-            }
-            "--help" | "-h" => {
-                eprintln!("options: --hours H --seed S");
-                std::process::exit(0);
-            }
-            other => panic!("unknown flag {other}"),
-        }
-    }
-
-    let mut table = Table::new(
-        "Distributed OLAP caching: static vs dynamic neighborhoods",
-        &[
-            "Mode",
-            "peer chunk %",
-            "warehouse chunk %",
-            "warehouse cpu s",
-            "mean latency ms",
-            "same-group %",
-            "updates",
-            "refused",
-        ],
-    );
-    for mode in [OlapMode::Static, OlapMode::Dynamic] {
-        let mut cfg = PeerOlapConfig::default_scenario(mode);
-        cfg.sim_hours = hours;
-        cfg.warmup_hours = (hours / 8).max(1);
-        if let Some(s) = seed {
-            cfg.seed = s;
-        }
-        let r = run_peerolap(cfg);
-        table.row(vec![
-            r.label.to_string(),
-            format!("{:.1}", 100.0 * r.peer_share()),
-            format!("{:.1}", 100.0 * r.warehouse_share()),
-            format!("{:.0}", r.warehouse_ms() / 1_000.0),
-            format!("{:.0}", r.mean_latency_ms()),
-            format!("{:.1}", 100.0 * r.same_group_fraction),
-            format!("{}", r.metrics.runtime.updates),
-            format!("{}", r.metrics.adds_refused),
-        ]);
-    }
-    println!("{}", table.render());
+    ddr_experiments::cli::run_legacy("peerolap_eval");
 }

@@ -1,376 +1,7 @@
-//! # perfbench — event-kernel throughput baseline
-//!
-//! Runs a fixed battery of scenarios (the fig1/fig2-scale Gnutella runs,
-//! a churn-heavy synthetic stress run, and the two secondary case
-//! studies) through exactly the same harness regardless of which event
-//! kernel `ddr-sim` currently ships, and records
-//!
-//! * events processed and wall-clock seconds,
-//! * derived events/sec,
-//! * peak pending-event count (queue high-water mark).
-//!
-//! Numbers are machine-relative: compare *ratios between entries recorded
-//! on the same machine*, never absolutes across machines (see
-//! EXPERIMENTS.md "Kernel throughput methodology"). Each invocation
-//! appends one entry to `BENCH_2.json` (`--out` to override), so a
-//! before/after pair on one machine is the calibration evidence for a
-//! kernel change.
-//!
-//! ```text
-//! perfbench [--label L] [--out FILE] [--scale N] [--reps N] [--smoke]
-//! ```
-//!
-//! Each scenario runs `--reps` times (default 3) and the **fastest**
-//! repetition is recorded. Wall-clock noise on a shared machine is
-//! one-sided — interference only ever adds time — so the minimum is the
-//! best estimator of the kernel's true cost (the same reasoning behind
-//! `hyperfine`'s `min` column). Repetitions are interleaved **round-robin
-//! across scenarios** (rep 1 of every scenario, then rep 2, …): observed
-//! interference on shared hosts persists for seconds at a time, so
-//! back-to-back repetitions of one scenario would all land in the same
-//! slow window, while round-robin spreads each scenario's samples over
-//! the whole battery duration. Determinism is asserted across
-//! repetitions: every rep must process the identical event count.
-//!
-//! `--smoke` runs a seconds-long miniature battery, round-trips the entry
-//! through the JSON codec to validate the schema, and exits *without*
-//! writing the output file — CI uses it to keep the binary and schema
-//! honest without asserting anything about timing.
-
-use ddr_gnutella::{GnutellaWorld, Mode, ScenarioConfig};
-use ddr_peerolap::{OlapMode, PeerOlapConfig, PeerOlapWorld};
-use ddr_sim::{
-    event_capacity_hint, EventQueue, SimDuration, SimTime, Simulation, World, KERNEL_NAME,
-};
-use ddr_webcache::{CacheMode, WebCacheConfig, WebCacheWorld};
-use std::time::Instant;
-
-/// One scenario's measurements.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
-struct ScenarioResult {
-    name: String,
-    sim_hours: u64,
-    nodes: usize,
-    events_processed: u64,
-    wall_seconds: f64,
-    events_per_sec: f64,
-    peak_queue_depth: usize,
-    final_pending: usize,
-}
-
-/// One perfbench invocation (a point on the perf trajectory).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
-struct BenchEntry {
-    label: String,
-    kernel: String,
-    recorded_unix: u64,
-    scale: u32,
-    scenarios: Vec<ScenarioResult>,
-}
-
-/// The whole `BENCH_2.json` file: append-only entry list.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
-struct BenchFile {
-    schema: String,
-    entries: Vec<BenchEntry>,
-}
-
-const SCHEMA: &str = "ddr-perfbench/v1";
-
-/// Generic timed run: prime `world` into a pre-sized queue, drive it to
-/// `horizon`, and collect kernel-level counters. The harness is shared by
-/// every scenario and must stay byte-identical across kernel changes so
-/// before/after entries differ only in the kernel under test.
-fn timed_run<W: PrimeInto>(
-    name: &str,
-    mut world: W,
-    nodes: usize,
-    max_hops: u8,
-    sim_hours: u64,
-) -> ScenarioResult {
-    let mut queue: EventQueue<W::Event> =
-        EventQueue::with_capacity(event_capacity_hint(nodes, max_hops));
-    world.prime_into(&mut queue);
-    let mut sim = Simulation::with_queue(world, queue);
-    let start = Instant::now();
-    sim.run(SimTime::from_hours(sim_hours));
-    let wall = start.elapsed().as_secs_f64();
-    let events = sim.processed();
-    ScenarioResult {
-        name: name.to_string(),
-        sim_hours,
-        nodes,
-        events_processed: events,
-        wall_seconds: wall,
-        events_per_sec: events as f64 / wall.max(1e-9),
-        peak_queue_depth: sim.peak_pending(),
-        final_pending: sim.pending(),
-    }
-}
-
-/// One schedulable battery member: a name plus a closure that performs a
-/// single timed repetition from a fresh world.
-struct Scenario {
-    name: &'static str,
-    run: Box<dyn FnMut() -> ScenarioResult>,
-}
-
-/// Run every scenario `reps` times in round-robin order (rep 1 of each,
-/// then rep 2 of each, …) and keep each scenario's fastest repetition.
-/// Noise on a shared machine is strictly additive, so `min` estimates
-/// true cost, and interleaving spreads each scenario's samples across
-/// the battery's whole wall-clock span instead of one contiguous (and
-/// possibly congested) window. Asserts the kernel's determinism across
-/// repetitions.
-fn run_round_robin(mut scenarios: Vec<Scenario>, reps: u32) -> Vec<ScenarioResult> {
-    assert!(reps >= 1);
-    let mut best: Vec<Option<ScenarioResult>> = (0..scenarios.len()).map(|_| None).collect();
-    for round in 0..reps {
-        for (slot, s) in scenarios.iter_mut().enumerate() {
-            let r = (s.run)();
-            match &mut best[slot] {
-                None => best[slot] = Some(r),
-                Some(b) => {
-                    assert_eq!(
-                        b.events_processed, r.events_processed,
-                        "{}: event count varied across repetitions",
-                        r.name
-                    );
-                    assert_eq!(b.peak_queue_depth, r.peak_queue_depth);
-                    if r.wall_seconds < b.wall_seconds {
-                        *b = r;
-                    }
-                }
-            }
-        }
-        eprintln!("[perfbench] round {}/{reps} done", round + 1);
-    }
-    let results: Vec<ScenarioResult> = best.into_iter().map(|b| b.expect("reps >= 1")).collect();
-    for result in &results {
-        eprintln!(
-            "  {:<22} {:>10} events  {:>8.2}s  {:>12.0} ev/s  peak {:>6}  (best of {reps})",
-            result.name,
-            result.events_processed,
-            result.wall_seconds,
-            result.events_per_sec,
-            result.peak_queue_depth
-        );
-    }
-    results
-}
-
-/// Priming differs per world type only in the method name; unify it so
-/// [`timed_run`] stays generic.
-trait PrimeInto: World + Sized {
-    fn prime_into(&mut self, queue: &mut EventQueue<Self::Event>);
-}
-
-impl PrimeInto for GnutellaWorld {
-    fn prime_into(&mut self, queue: &mut EventQueue<Self::Event>) {
-        self.prime(queue);
-    }
-}
-impl PrimeInto for WebCacheWorld {
-    fn prime_into(&mut self, queue: &mut EventQueue<Self::Event>) {
-        self.prime(queue);
-    }
-}
-impl PrimeInto for PeerOlapWorld {
-    fn prime_into(&mut self, queue: &mut EventQueue<Self::Event>) {
-        self.prime(queue);
-    }
-}
-
-fn gnutella_scenario(name: &'static str, cfg: ScenarioConfig) -> Scenario {
-    let nodes = cfg.workload.users;
-    let hops = cfg.max_hops;
-    let hours = cfg.sim_hours;
-    Scenario {
-        name,
-        run: Box::new(move || timed_run(name, GnutellaWorld::new(cfg.clone()), nodes, hops, hours)),
-    }
-}
-
-/// The fixed battery at a given scale divisor (paper scale = 1 → 2 000
-/// users; the default 4 → 500 users keeps a full battery under a couple
-/// of minutes on the seed kernel).
-fn battery(scale: u32, smoke: bool) -> Vec<Scenario> {
-    let mut out = Vec::new();
-
-    // fig1-scale: hop limit 2, both modes (the acceptance gate compares
-    // `fig1_dynamic_hops2` across entries).
-    let hours = if smoke { 3 } else { 48 };
-    for (name, mode) in [
-        ("fig1_static_hops2", Mode::Static),
-        ("fig1_dynamic_hops2", Mode::Dynamic),
-    ] {
-        let mut c = ScenarioConfig::scaled(mode, 2, scale, hours);
-        c.seed = 7;
-        out.push(gnutella_scenario(name, c));
-    }
-
-    // fig2-scale: hop limit 4 floods are message-heavy; shorter horizon.
-    let mut c = ScenarioConfig::scaled(Mode::Dynamic, 4, scale, if smoke { 2 } else { 16 });
-    c.seed = 7;
-    out.push(gnutella_scenario("fig2_dynamic_hops4", c));
-
-    // Synthetic churn stress: sessions 8× shorter than the paper's 3 h
-    // mean, so login/logoff (and the reconfiguration they trigger)
-    // dominates the event mix.
-    let mut c = ScenarioConfig::scaled(Mode::Dynamic, 3, scale, if smoke { 2 } else { 24 });
-    c.seed = 7;
-    c.workload.mean_online = SimDuration::from_millis(c.workload.mean_online.as_millis() / 8);
-    c.workload.mean_offline = SimDuration::from_millis(c.workload.mean_offline.as_millis() / 8);
-    out.push(gnutella_scenario("churn_stress_hops3", c));
-
-    // Secondary case studies at a fixed modest size (independent of
-    // --scale; they exercise different worlds, not different sizes).
-    let mut wc = WebCacheConfig::default_scenario(CacheMode::Dynamic);
-    wc.proxies = if smoke { 16 } else { 64 };
-    wc.groups = 4;
-    wc.sim_hours = if smoke { 2 } else { 16 };
-    wc.warmup_hours = 1;
-    wc.seed = 7;
-    let (n, h) = (wc.proxies, wc.sim_hours);
-    out.push(Scenario {
-        name: "webcache_dynamic",
-        run: Box::new(move || {
-            timed_run("webcache_dynamic", WebCacheWorld::new(wc.clone()), n, 1, h)
-        }),
-    });
-
-    let mut po = PeerOlapConfig::default_scenario(OlapMode::Dynamic);
-    po.peers = if smoke { 16 } else { 48 };
-    po.sim_hours = if smoke { 2 } else { 8 };
-    po.warmup_hours = 1;
-    po.seed = 7;
-    let (n, h) = (po.peers, po.sim_hours);
-    out.push(Scenario {
-        name: "peerolap_dynamic",
-        run: Box::new(move || {
-            timed_run("peerolap_dynamic", PeerOlapWorld::new(po.clone()), n, 1, h)
-        }),
-    });
-
-    out
-}
-
-fn unix_now() -> u64 {
-    std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0)
-}
-
-fn load_or_new(path: &str) -> BenchFile {
-    match std::fs::read_to_string(path) {
-        Ok(text) => {
-            let file: BenchFile = serde_json::from_str(&text)
-                .unwrap_or_else(|e| panic!("existing {path} does not parse: {e:?}"));
-            assert_eq!(file.schema, SCHEMA, "schema mismatch in {path}");
-            file
-        }
-        Err(_) => BenchFile {
-            schema: SCHEMA.to_string(),
-            entries: Vec::new(),
-        },
-    }
-}
-
-/// Validate an entry by round-tripping it through the JSON codec and
-/// checking the invariants CI cares about. Panics on violation.
-fn validate_entry(entry: &BenchEntry) {
-    let file = BenchFile {
-        schema: SCHEMA.to_string(),
-        entries: vec![entry.clone()],
-    };
-    let json = serde_json::to_string_pretty(&file).expect("serialise entry");
-    let back: BenchFile = serde_json::from_str(&json).expect("round-trip entry");
-    assert_eq!(back.schema, SCHEMA, "schema field lost in round-trip");
-    assert_eq!(back.entries.len(), 1);
-    let e = &back.entries[0];
-    assert!(!e.kernel.is_empty(), "kernel name missing");
-    assert!(!e.scenarios.is_empty(), "no scenarios recorded");
-    for s in &e.scenarios {
-        assert!(!s.name.is_empty());
-        assert!(s.events_processed > 0, "{}: no events processed", s.name);
-        assert!(s.wall_seconds >= 0.0);
-        assert!(s.events_per_sec.is_finite() && s.events_per_sec > 0.0);
-        assert!(
-            s.peak_queue_depth >= s.final_pending.min(1),
-            "{}: peak below pending",
-            s.name
-        );
-    }
-}
+//! Legacy shim: the standalone perfbench entry point (full flag set,
+//! appends to the BENCH_2.json trajectory). Prefer `ddr run perfbench`
+//! for a display-only battery.
 
 fn main() {
-    let mut label = String::from("run");
-    let mut out_path = String::from("BENCH_2.json");
-    let mut scale: u32 = 4;
-    let mut reps: u32 = 3;
-    let mut smoke = false;
-    let mut only: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(flag) = args.next() {
-        let mut value = |name: &str| {
-            args.next()
-                .unwrap_or_else(|| panic!("missing value for {name}"))
-        };
-        match flag.as_str() {
-            "--label" => label = value("--label"),
-            "--out" => out_path = value("--out"),
-            "--scale" => scale = value("--scale").parse().expect("bad --scale"),
-            "--reps" => {
-                reps = value("--reps").parse().expect("bad --reps");
-                assert!(reps >= 1, "--reps must be at least 1");
-            }
-            "--smoke" => smoke = true,
-            "--only" => only = Some(value("--only")),
-            "--help" | "-h" => {
-                eprintln!(
-                    "options: --label L  --out FILE  --scale N  --reps N  --only SUBSTR  --smoke"
-                );
-                std::process::exit(0);
-            }
-            other => panic!("unknown flag {other} (try --help)"),
-        }
-    }
-    if smoke {
-        scale = scale.max(20); // 100 users: seconds, not minutes
-        reps = 1; // smoke validates completion + schema, not timing
-    }
-
-    eprintln!(
-        "[perfbench] kernel={KERNEL_NAME} scale={scale} reps={reps} label={label} smoke={smoke}"
-    );
-    let mut members = battery(scale, smoke);
-    if let Some(pat) = &only {
-        members.retain(|s| s.name.contains(pat.as_str()));
-        assert!(!members.is_empty(), "--only {pat} matches no scenario");
-    }
-    let scenarios = run_round_robin(members, reps);
-    let entry = BenchEntry {
-        label,
-        kernel: KERNEL_NAME.to_string(),
-        recorded_unix: unix_now(),
-        scale,
-        scenarios,
-    };
-    validate_entry(&entry);
-
-    if smoke {
-        eprintln!("[perfbench] smoke OK: battery completed, JSON schema valid ({SCHEMA})");
-        return;
-    }
-    if only.is_some() {
-        eprintln!("[perfbench] --only is a probe: partial battery not recorded");
-        return;
-    }
-
-    let mut file = load_or_new(&out_path);
-    file.entries.push(entry);
-    let json = serde_json::to_string_pretty(&file).expect("serialise bench file");
-    std::fs::write(&out_path, json + "\n").expect("write bench file");
-    eprintln!("[perfbench] appended entry to {out_path}");
+    ddr_experiments::exps::perf::perfbench_main(std::env::args().skip(1).collect());
 }

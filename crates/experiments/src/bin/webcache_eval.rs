@@ -1,73 +1,6 @@
-//! Case study 2 evaluation: cooperative web caching under pure-asymmetric
-//! relations (paper §1/§3's Squid scenario; no figure in the paper — this
-//! demonstrates the framework's generality claim of §5: "we applied our
-//! framework for many existing systems, including … distributed caching").
-//!
-//! Expected shape: the dynamic variant raises the sibling hit ratio and
-//! cuts mean latency vs static random neighborhoods, because exploration +
-//! asymmetric updates cluster same-interest proxies.
-
-use ddr_stats::Table;
-use ddr_webcache::{run_webcache, CacheMode, WebCacheConfig};
+//! Legacy shim: delegates to the `webcache_eval` entry in the experiment
+//! registry. Prefer `ddr run webcache_eval`.
 
 fn main() {
-    let mut hours: u64 = 12;
-    let mut seed: Option<u64> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(flag) = args.next() {
-        match flag.as_str() {
-            "--hours" => {
-                hours = args
-                    .next()
-                    .expect("--hours value")
-                    .parse()
-                    .expect("bad hours")
-            }
-            "--seed" => {
-                seed = Some(
-                    args.next()
-                        .expect("--seed value")
-                        .parse()
-                        .expect("bad seed"),
-                )
-            }
-            "--help" | "-h" => {
-                eprintln!("options: --hours H --seed S");
-                std::process::exit(0);
-            }
-            other => panic!("unknown flag {other}"),
-        }
-    }
-
-    let mut table = Table::new(
-        "Cooperative web caching: static vs dynamic neighborhoods",
-        &[
-            "Mode",
-            "local hit %",
-            "sibling hit %",
-            "origin %",
-            "mean latency ms",
-            "same-group edges %",
-            "updates",
-        ],
-    );
-    for mode in [CacheMode::Static, CacheMode::Dynamic] {
-        let mut cfg = WebCacheConfig::default_scenario(mode);
-        cfg.sim_hours = hours;
-        cfg.warmup_hours = (hours / 6).max(1);
-        if let Some(s) = seed {
-            cfg.seed = s;
-        }
-        let r = run_webcache(cfg);
-        table.row(vec![
-            r.label.to_string(),
-            format!("{:.1}", 100.0 * r.local_hit_ratio()),
-            format!("{:.1}", 100.0 * r.neighbor_hit_ratio()),
-            format!("{:.1}", 100.0 * r.origin_ratio()),
-            format!("{:.0}", r.mean_latency_ms()),
-            format!("{:.1}", 100.0 * r.same_group_fraction),
-            format!("{}", r.metrics.runtime.updates),
-        ]);
-    }
-    println!("{}", table.render());
+    ddr_experiments::cli::run_legacy("webcache_eval");
 }

@@ -1,0 +1,144 @@
+//! Entry-point plumbing: the `ddr` multi-experiment CLI and the legacy
+//! single-experiment shims, both driving the same [`crate::registry`].
+
+use crate::emit::Emitter;
+use crate::opts::{CliError, ExpOptions, USAGE};
+use crate::registry::{find, registry};
+
+const DDR_USAGE: &str = "\
+usage:
+  ddr list                     enumerate experiments
+  ddr run <name>... [flags]    run the named experiments
+  ddr run --all [flags]        run every experiment
+
+flags (shared by every experiment):
+  --scale N    divide users & songs by N (default 1 = paper scale)
+  --hours H    simulated horizon (default 96)
+  --seed S     root seed override
+  --csv DIR    also write table CSVs into DIR
+  --json DIR   also write report JSON into DIR
+  --smoke      seconds-long CI configuration";
+
+/// The `ddr` binary, minus process concerns: parse `args` (everything
+/// after the program name) and return the exit code.
+pub fn ddr_main(args: Vec<String>) -> i32 {
+    let mut args = args.into_iter();
+    match args.next().as_deref() {
+        Some("list") => {
+            for e in registry() {
+                println!("{:<18} {}", e.name, e.description);
+            }
+            0
+        }
+        Some("run") => {
+            let rest: Vec<String> = args.collect();
+            let all = rest.iter().any(|a| a == "--all");
+            let rest: Vec<String> = rest.into_iter().filter(|a| a != "--all").collect();
+            let (opts, names) = match ExpOptions::parse(rest) {
+                Ok(parsed) => parsed,
+                Err(CliError::Help) => {
+                    eprintln!("{DDR_USAGE}");
+                    return 0;
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    eprintln!("{USAGE}");
+                    return 2;
+                }
+            };
+            let selected: Vec<_> = if all {
+                if !names.is_empty() {
+                    eprintln!("--all and explicit names are mutually exclusive");
+                    return 2;
+                }
+                registry()
+            } else {
+                if names.is_empty() {
+                    eprintln!("no experiment named; try `ddr list` or `ddr run --all`");
+                    return 2;
+                }
+                let mut sel = Vec::new();
+                for name in &names {
+                    match find(name) {
+                        Some(e) => sel.push(e),
+                        None => {
+                            eprintln!("unknown experiment {name:?}; `ddr list` shows the names");
+                            return 2;
+                        }
+                    }
+                }
+                sel
+            };
+            for e in selected {
+                crate::banner(e.name, &opts);
+                let mut em = Emitter::stdout();
+                (e.run)(&opts, &mut em);
+            }
+            0
+        }
+        Some("--help") | Some("-h") => {
+            eprintln!("{DDR_USAGE}");
+            0
+        }
+        None => {
+            eprintln!("{DDR_USAGE}");
+            2
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand {other:?}");
+            eprintln!("{DDR_USAGE}");
+            2
+        }
+    }
+}
+
+/// Legacy shim body: parse the shared flags from `std::env::args()`, look
+/// `name` up in the registry, and run it against stdout. Each historical
+/// per-figure binary is three lines calling this.
+pub fn run_legacy(name: &str) {
+    let opts = ExpOptions::from_args();
+    let exp = find(name).unwrap_or_else(|| panic!("{name} is not a registered experiment"));
+    crate::banner(name, &opts);
+    let mut em = Emitter::stdout();
+    (exp.run)(&opts, &mut em);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn list_succeeds() {
+        assert_eq!(ddr_main(argv(&["list"])), 0);
+    }
+
+    #[test]
+    fn run_without_names_fails() {
+        assert_eq!(ddr_main(argv(&["run"])), 2);
+    }
+
+    #[test]
+    fn unknown_subcommand_fails() {
+        assert_eq!(ddr_main(argv(&["frobnicate"])), 2);
+    }
+
+    #[test]
+    fn unknown_experiment_fails() {
+        assert_eq!(ddr_main(argv(&["run", "no_such_experiment"])), 2);
+    }
+
+    #[test]
+    fn bad_flag_fails_with_two() {
+        assert_eq!(ddr_main(argv(&["run", "fig1", "--bogus"])), 2);
+        assert_eq!(ddr_main(argv(&["run", "fig1", "--scale"])), 2);
+    }
+
+    #[test]
+    fn all_conflicts_with_names() {
+        assert_eq!(ddr_main(argv(&["run", "--all", "fig1"])), 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! Output emission shared by every experiment.
+//!
+//! Experiments never `println!` directly: they hand tables and notes to an
+//! [`Emitter`], which either streams them to stdout (the CLI path) or
+//! captures them in memory (the registry integration tests assert on the
+//! captured output without spawning processes).
+
+use ddr_stats::Table;
+
+enum Sink {
+    Stdout,
+    Capture(String),
+}
+
+/// Where experiment output goes, plus counters the tests assert on.
+pub struct Emitter {
+    sink: Sink,
+    tables: usize,
+    rows: usize,
+}
+
+impl Emitter {
+    /// Stream to stdout (the CLI path).
+    pub fn stdout() -> Self {
+        Emitter {
+            sink: Sink::Stdout,
+            tables: 0,
+            rows: 0,
+        }
+    }
+
+    /// Capture in memory (the test path).
+    pub fn capture() -> Self {
+        Emitter {
+            sink: Sink::Capture(String::new()),
+            tables: 0,
+            rows: 0,
+        }
+    }
+
+    /// Emit one rendered table.
+    pub fn table(&mut self, table: &Table) {
+        self.tables += 1;
+        self.rows += table.len();
+        let rendered = table.render();
+        match &mut self.sink {
+            Sink::Stdout => println!("{rendered}"),
+            Sink::Capture(buf) => {
+                buf.push_str(&rendered);
+                buf.push('\n');
+            }
+        }
+    }
+
+    /// Emit one free-form line (summaries, reading guides).
+    pub fn note(&mut self, text: &str) {
+        match &mut self.sink {
+            Sink::Stdout => println!("{text}"),
+            Sink::Capture(buf) => {
+                buf.push_str(text);
+                buf.push('\n');
+            }
+        }
+    }
+
+    /// Tables emitted so far.
+    pub fn tables_emitted(&self) -> usize {
+        self.tables
+    }
+
+    /// Table rows emitted so far (across all tables).
+    pub fn rows_emitted(&self) -> usize {
+        self.rows
+    }
+
+    /// The captured output, if capturing.
+    pub fn captured(&self) -> Option<&str> {
+        match &self.sink {
+            Sink::Stdout => None,
+            Sink::Capture(buf) => Some(buf),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_counts_tables_and_rows() {
+        let mut em = Emitter::capture();
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["3".into(), "4".into()]);
+        em.table(&t);
+        em.note("done");
+        assert_eq!(em.tables_emitted(), 1);
+        assert_eq!(em.rows_emitted(), 2);
+        let out = em.captured().unwrap();
+        assert!(out.contains('T') && out.contains("done"));
+    }
+
+    #[test]
+    fn stdout_emitter_has_no_capture() {
+        let em = Emitter::stdout();
+        assert!(em.captured().is_none());
+    }
+}

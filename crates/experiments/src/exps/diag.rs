@@ -1,0 +1,53 @@
+//! Diagnostic run: clustering strength and statistics coverage of the
+//! dynamic overlay (not a paper figure; used to verify the mechanism
+//! behind Figs 1–3 is operating). Set `DIAG_HOPS` to change the hop limit.
+
+use super::smoke_scale;
+use crate::emit::Emitter;
+use crate::opts::ExpOptions;
+use ddr_gnutella::scenario::run_scenario_with_world;
+use ddr_gnutella::Mode;
+use ddr_stats::Table;
+
+fn hops_from_env() -> u8 {
+    std::env::var("DIAG_HOPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
+pub fn run(opts: &ExpOptions, em: &mut Emitter) {
+    let opts = smoke_scale(opts.clone());
+    let mut t = Table::new(
+        "Overlay diagnostics: clustering and statistics coverage",
+        &[
+            "Mode",
+            "same-cat links %",
+            "stats/peer",
+            "hits",
+            "msgs",
+            "delay ms",
+            "first-hop dist",
+            "reconf",
+            "inv sent",
+            "inv acc",
+        ],
+    );
+    for mode in [Mode::Static, Mode::Dynamic] {
+        let cfg = opts.scenario(mode, hops_from_env());
+        let (report, world) = run_scenario_with_world(cfg);
+        t.row(vec![
+            report.label.to_string(),
+            format!("{:.1}", 100.0 * world.same_category_link_fraction()),
+            format!("{:.1}", world.mean_stats_entries()),
+            format!("{:.0}", report.total_hits()),
+            format!("{:.0}", report.total_messages()),
+            format!("{:.0}", report.mean_first_delay_ms()),
+            format!("{:.2}", report.metrics.first_result_hops.mean()),
+            format!("{}", report.metrics.runtime.updates),
+            format!("{}", report.metrics.invitations_sent),
+            format!("{}", report.metrics.invitations_accepted),
+        ]);
+    }
+    em.table(&t);
+}

@@ -1,0 +1,54 @@
+//! One module per registered experiment. Each exposes
+//! `run(&ExpOptions, &mut Emitter)` — the function the registry points
+//! at — and nothing else; entry-point plumbing lives in [`crate::cli`].
+
+pub mod ablations;
+pub mod all_experiments;
+pub mod diag;
+pub mod exploration_sweep;
+pub mod fairness;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3a;
+pub mod fig3b;
+pub mod fig3b_ablation;
+pub mod peerolap_eval;
+pub mod perf;
+pub mod strategies;
+pub mod webcache_eval;
+
+use crate::opts::ExpOptions;
+use ddr_peerolap::PeerOlapConfig;
+use ddr_webcache::WebCacheConfig;
+
+/// Smoke-mode clamp for Gnutella-based experiments: force a tiny world
+/// (at most 100 users, at most 6 hours) so `ddr run --all --smoke`
+/// finishes in seconds. No-op outside smoke mode.
+pub(crate) fn smoke_scale(mut opts: ExpOptions) -> ExpOptions {
+    if opts.smoke {
+        opts.scale = opts.scale.max(20);
+        opts.hours = opts.hours.min(6);
+    }
+    opts
+}
+
+/// Smoke-mode shrink for a web-cache world.
+pub(crate) fn shrink_webcache(cfg: &mut WebCacheConfig) {
+    cfg.proxies = 16;
+    cfg.groups = 4;
+    cfg.pages_per_group = 2_000;
+    cfg.global_pages = 2_000;
+    cfg.cache_capacity = 300;
+    cfg.sim_hours = cfg.sim_hours.min(4);
+    cfg.warmup_hours = 1;
+}
+
+/// Smoke-mode shrink for a PeerOlap world.
+pub(crate) fn shrink_peerolap(cfg: &mut PeerOlapConfig) {
+    cfg.peers = 16;
+    cfg.groups = 4;
+    cfg.chunks_per_region = 1_024;
+    cfg.cache_capacity = 256;
+    cfg.sim_hours = cfg.sim_hours.min(4);
+    cfg.warmup_hours = 1;
+}

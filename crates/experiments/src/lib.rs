@@ -1,164 +1,53 @@
 //! # ddr-experiments — regenerating the paper's tables and figures
 //!
-//! One binary per figure (`fig1`, `fig2`, `fig3a`, `fig3b`), plus the
-//! second case study (`webcache_eval`), the design-choice `ablations`, and
-//! `all_experiments` which runs everything and emits the EXPERIMENTS.md
-//! numbers.
+//! Every figure, evaluation and ablation registers as a named
+//! [`Experiment`] in the [`registry`]; the single `ddr` binary drives
+//! them (`ddr list`, `ddr run <name>...`, `ddr run --all`), and the
+//! historical one-binary-per-figure entry points remain as three-line
+//! shims over the same registry entries.
 //!
-//! Every binary accepts:
+//! Every entry point accepts the shared flag grammar (see
+//! [`ExpOptions`]):
 //!
 //! ```text
 //! --scale N    divide users & songs by N (default 1 = paper scale: 2000 users)
 //! --hours H    simulated horizon (default 96 = the paper's 4 days)
 //! --seed S     root seed (default: the scenario default)
 //! --csv DIR    also write CSV files into DIR
+//! --json DIR   also write report JSON into DIR
+//! --smoke      seconds-long CI configuration
 //! ```
 //!
 //! Runs with the same options are bit-reproducible. Independent runs in a
-//! sweep execute on worker threads (scoped threads + channel collection);
+//! sweep fan out across worker threads via the shared engine in
+//! `ddr-harness` ([`ddr_harness::run_many`] / [`ddr_harness::Sweep`]);
 //! each run is single-threaded and deterministic, so parallelism never
 //! affects results — only wall-clock time.
 
-use ddr_gnutella::{run_scenario, Mode, RunReport, ScenarioConfig};
+pub mod cli;
+pub mod emit;
+pub mod exps;
+pub mod opts;
+pub mod registry;
+
+pub use emit::Emitter;
+pub use opts::{CliError, ExpOptions, USAGE};
+pub use registry::{find, registry, Experiment};
+
+use ddr_gnutella::{GnutellaScenario, RunReport, ScenarioConfig};
 use ddr_stats::Table;
-use std::path::PathBuf;
-use std::sync::mpsc;
-use std::sync::Mutex;
 
-/// Command-line options shared by all experiment binaries.
-#[derive(Debug, Clone)]
-pub struct ExpOptions {
-    /// Scale divisor for users/songs (1 = paper scale).
-    pub scale: u32,
-    /// Simulated hours (96 = paper).
-    pub hours: u64,
-    /// Root seed override.
-    pub seed: Option<u64>,
-    /// Directory for CSV output, if requested.
-    pub csv_dir: Option<PathBuf>,
-}
-
-impl Default for ExpOptions {
-    fn default() -> Self {
-        ExpOptions {
-            scale: 1,
-            hours: 96,
-            seed: None,
-            csv_dir: None,
-        }
-    }
-}
-
-impl ExpOptions {
-    /// Parse `std::env::args()`. Unknown flags abort with a usage message.
-    pub fn from_args() -> Self {
-        let mut opts = ExpOptions::default();
-        let mut args = std::env::args().skip(1);
-        while let Some(flag) = args.next() {
-            let mut value = |name: &str| {
-                args.next()
-                    .unwrap_or_else(|| panic!("missing value for {name}"))
-            };
-            match flag.as_str() {
-                "--scale" => opts.scale = value("--scale").parse().expect("bad --scale"),
-                "--hours" => opts.hours = value("--hours").parse().expect("bad --hours"),
-                "--seed" => opts.seed = Some(value("--seed").parse().expect("bad --seed")),
-                "--csv" => opts.csv_dir = Some(PathBuf::from(value("--csv"))),
-                "--help" | "-h" => {
-                    eprintln!("options: --scale N  --hours H  --seed S  --csv DIR");
-                    std::process::exit(0);
-                }
-                other => panic!("unknown flag {other} (try --help)"),
-            }
-        }
-        opts
-    }
-
-    /// Build a scenario configuration under these options.
-    pub fn scenario(&self, mode: Mode, hops: u8) -> ScenarioConfig {
-        let mut c = if self.scale == 1 {
-            let mut c = ScenarioConfig::paper(mode, hops);
-            c.sim_hours = self.hours;
-            c.warmup_hours = c.warmup_hours.min(self.hours.saturating_sub(1)).max(1);
-            c
-        } else {
-            ScenarioConfig::scaled(mode, hops, self.scale, self.hours)
-        };
-        if let Some(seed) = self.seed {
-            c.seed = seed;
-        }
-        c
-    }
-
-    /// Write `table` as CSV into the csv dir (if configured).
-    pub fn write_csv(&self, name: &str, table: &Table) {
-        if let Some(dir) = &self.csv_dir {
-            std::fs::create_dir_all(dir).expect("create csv dir");
-            let path = dir.join(format!("{name}.csv"));
-            std::fs::write(&path, table.to_csv()).expect("write csv");
-            eprintln!("wrote {}", path.display());
-        }
-    }
-
-    /// Write any serialisable value as pretty JSON into the csv dir (if
-    /// configured) — used to archive full [`RunReport`]s next to the
-    /// table CSVs.
-    pub fn write_json<T: serde::Serialize>(&self, name: &str, value: &T) {
-        if let Some(dir) = &self.csv_dir {
-            std::fs::create_dir_all(dir).expect("create csv dir");
-            let path = dir.join(format!("{name}.json"));
-            let json = serde_json::to_string_pretty(value).expect("serialise");
-            std::fs::write(&path, json).expect("write json");
-            eprintln!("wrote {}", path.display());
-        }
-    }
-}
-
-/// Run every configuration, fanning out across up to `workers` threads,
-/// and return reports in input order. Each run is deterministic, so the
-/// output is independent of scheduling.
+/// Run every Gnutella configuration, fanning out across up to `workers`
+/// threads, and return reports in input order. A thin alias over the
+/// shared sweep engine, kept for the experiment modules and downstream
+/// callers.
 pub fn run_all(configs: Vec<ScenarioConfig>, workers: usize) -> Vec<RunReport> {
-    let n = configs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = workers.max(1).min(n);
-    if workers == 1 {
-        return configs.into_iter().map(run_scenario).collect();
-    }
-    // Shared FIFO work queue + result channel (std only; crossbeam is not
-    // available in the offline build environment).
-    let queue: Mutex<std::collections::VecDeque<(usize, ScenarioConfig)>> =
-        Mutex::new(configs.into_iter().enumerate().collect());
-    let (res_tx, res_rx) = mpsc::channel::<(usize, RunReport)>();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let queue = &queue;
-            let res_tx = res_tx.clone();
-            scope.spawn(move || loop {
-                let task = queue.lock().expect("queue poisoned").pop_front();
-                let Some((idx, cfg)) = task else { break };
-                let report = run_scenario(cfg);
-                res_tx.send((idx, report)).expect("send result");
-            });
-        }
-        drop(res_tx);
-        let mut slots: Vec<Option<RunReport>> = (0..n).map(|_| None).collect();
-        while let Ok((idx, report)) = res_rx.recv() {
-            slots[idx] = Some(report);
-        }
-        slots
-            .into_iter()
-            .map(|r| r.expect("worker died before finishing"))
-            .collect()
-    })
+    ddr_harness::run_many::<GnutellaScenario>(configs, workers)
 }
 
-/// Default worker count: one per core, capped by the task count.
+/// Default worker count: one per core (re-exported from the sweep engine).
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    ddr_harness::default_workers()
 }
 
 /// The hourly-series table for one (static, dynamic) pair — the layout of
@@ -182,7 +71,7 @@ pub fn hourly_figure_table(
     );
     let s = pick_series(stat, metric);
     let d = pick_series(dyn_, metric);
-    let base = stat.from_hour as usize;
+    let base = stat.window.from_hour as usize;
     for (i, (sv, dv)) in s.iter().zip(&d).enumerate() {
         if i % every == 0 {
             t.row(vec![
@@ -203,13 +92,14 @@ fn pick_series(r: &RunReport, metric: &str) -> Vec<f64> {
     }
 }
 
-/// Banner line printed by each binary so logs identify the run.
+/// Banner line printed by each entry point so logs identify the run.
 pub fn banner(name: &str, opts: &ExpOptions) {
     eprintln!(
-        "[{name}] scale={} hours={} seed={:?} workers={}",
+        "[{name}] scale={} hours={} seed={:?} smoke={} workers={}",
         opts.scale,
         opts.hours,
         opts.seed,
+        opts.smoke,
         default_workers()
     );
 }
@@ -217,6 +107,7 @@ pub fn banner(name: &str, opts: &ExpOptions) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ddr_gnutella::Mode;
 
     fn tiny(mode: Mode) -> ScenarioConfig {
         let mut c = ScenarioConfig::scaled(mode, 2, 20, 6);
@@ -250,7 +141,7 @@ mod tests {
             scale: 10,
             hours: 12,
             seed: Some(99),
-            csv_dir: None,
+            ..ExpOptions::default()
         };
         let c = opts.scenario(Mode::Dynamic, 3);
         assert_eq!(c.workload.users, 200);
@@ -264,7 +155,10 @@ mod tests {
         let configs = vec![tiny(Mode::Static), tiny(Mode::Dynamic)];
         let r = run_all(configs, 2);
         let t = hourly_figure_table("Fig X", "hits", &r[0], &r[1], 1);
-        assert_eq!(t.len(), (r[0].to_hour - r[0].from_hour) as usize);
+        assert_eq!(
+            t.len(),
+            (r[0].window.to_hour - r[0].window.from_hour) as usize
+        );
         assert!(t.render().contains("Dynamic_Gnutella"));
     }
 }

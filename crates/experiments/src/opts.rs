@@ -1,0 +1,300 @@
+//! Centralized command-line parsing for every experiment entry point.
+//!
+//! One flag grammar serves the `ddr` CLI and all legacy per-figure shims:
+//!
+//! ```text
+//! --scale N    divide users & songs by N (default 1 = paper scale)
+//! --hours H    simulated horizon (default 96 = the paper's 4 days)
+//! --seed S     root seed (default: the scenario default)
+//! --csv DIR    also write table CSVs into DIR
+//! --json DIR   also write report JSON into DIR (defaults to the CSV dir)
+//! --smoke      shrink every world to a seconds-long CI configuration
+//! ```
+//!
+//! Parsing is a pure function ([`ExpOptions::parse`]) returning
+//! [`CliError`] on bad input; only the process-facing wrapper
+//! [`ExpOptions::from_args`] prints usage and exits — with status 2 on
+//! errors, never a panic.
+
+use ddr_gnutella::{Mode, ScenarioConfig};
+use ddr_stats::Table;
+use std::path::PathBuf;
+
+/// Why parsing failed (or stopped) — surfaced verbatim in usage output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// A value-taking flag appeared last: `--scale` with nothing after it.
+    MissingValue(String),
+    /// A value did not parse: flag name + offending text.
+    BadValue(String, String),
+    /// A flag nobody recognises.
+    UnknownFlag(String),
+    /// `--help`/`-h`: not an error, but parsing stops.
+    Help,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::MissingValue(flag) => write!(f, "missing value for {flag}"),
+            CliError::BadValue(flag, v) => write!(f, "bad value for {flag}: {v:?}"),
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag {flag}"),
+            CliError::Help => write!(f, "help requested"),
+        }
+    }
+}
+
+/// The flag summary printed on `--help` and on parse errors.
+pub const USAGE: &str =
+    "options: --scale N  --hours H  --seed S  --csv DIR  --json DIR  --smoke  (-h for help)";
+
+/// Command-line options shared by all experiment entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpOptions {
+    /// Scale divisor for users/songs (1 = paper scale).
+    pub scale: u32,
+    /// Simulated hours (96 = paper).
+    pub hours: u64,
+    /// Root seed override.
+    pub seed: Option<u64>,
+    /// Directory for CSV output, if requested.
+    pub csv_dir: Option<PathBuf>,
+    /// Directory for JSON output; falls back to [`csv_dir`](Self::csv_dir).
+    pub json_dir: Option<PathBuf>,
+    /// CI smoke mode: shrink every world so the run takes seconds.
+    pub smoke: bool,
+    /// Whether `--scale` was given explicitly (experiments with their own
+    /// unattended defaults only retune when it was not).
+    pub scale_explicit: bool,
+    /// Whether `--hours` was given explicitly.
+    pub hours_explicit: bool,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            scale: 1,
+            hours: 96,
+            seed: None,
+            csv_dir: None,
+            json_dir: None,
+            smoke: false,
+            scale_explicit: false,
+            hours_explicit: false,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Parse a flag stream. Returns the options plus any positional
+    /// (non-flag) tokens in input order — the `ddr` CLI reads experiment
+    /// names from them; legacy shims reject them.
+    pub fn parse<I>(args: I) -> Result<(Self, Vec<String>), CliError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut opts = ExpOptions::default();
+        let mut positional = Vec::new();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let mut value = |flag: &str| -> Result<String, CliError> {
+                args.next()
+                    .ok_or_else(|| CliError::MissingValue(flag.into()))
+            };
+            match arg.as_str() {
+                "--scale" => {
+                    let v = value("--scale")?;
+                    opts.scale = v
+                        .parse()
+                        .map_err(|_| CliError::BadValue("--scale".into(), v))?;
+                    opts.scale_explicit = true;
+                }
+                "--hours" => {
+                    let v = value("--hours")?;
+                    opts.hours = v
+                        .parse()
+                        .map_err(|_| CliError::BadValue("--hours".into(), v))?;
+                    opts.hours_explicit = true;
+                }
+                "--seed" => {
+                    let v = value("--seed")?;
+                    opts.seed = Some(
+                        v.parse()
+                            .map_err(|_| CliError::BadValue("--seed".into(), v))?,
+                    );
+                }
+                "--csv" => opts.csv_dir = Some(PathBuf::from(value("--csv")?)),
+                "--json" => opts.json_dir = Some(PathBuf::from(value("--json")?)),
+                "--smoke" => opts.smoke = true,
+                "--help" | "-h" => return Err(CliError::Help),
+                flag if flag.starts_with('-') => return Err(CliError::UnknownFlag(flag.into())),
+                _ => positional.push(arg),
+            }
+        }
+        Ok((opts, positional))
+    }
+
+    /// Parse `std::env::args()` for a legacy single-experiment shim:
+    /// `--help` prints usage and exits 0; any error (including stray
+    /// positional arguments) prints the error plus usage to stderr and
+    /// exits 2. Never panics.
+    pub fn from_args() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok((opts, positional)) if positional.is_empty() => opts,
+            Ok((_, positional)) => {
+                eprintln!("unexpected argument {:?}", positional[0]);
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+            Err(CliError::Help) => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Apply an experiment's unattended default tuning: when the user gave
+    /// neither `--scale` nor `--hours`, substitute the experiment's own
+    /// fast defaults (the long-running suites run at scale 4 / 48 h unless
+    /// asked for paper scale explicitly).
+    pub fn tuned(mut self, scale: u32, hours: u64) -> Self {
+        if !self.scale_explicit && !self.hours_explicit {
+            self.scale = scale;
+            self.hours = hours;
+        }
+        self
+    }
+
+    /// Build a Gnutella scenario configuration under these options.
+    pub fn scenario(&self, mode: Mode, hops: u8) -> ScenarioConfig {
+        let mut c = if self.scale == 1 {
+            let mut c = ScenarioConfig::paper(mode, hops);
+            c.sim_hours = self.hours;
+            c.warmup_hours = c.warmup_hours.min(self.hours.saturating_sub(1)).max(1);
+            c
+        } else {
+            ScenarioConfig::scaled(mode, hops, self.scale, self.hours)
+        };
+        if let Some(seed) = self.seed {
+            c.seed = seed;
+        }
+        c
+    }
+
+    /// Write `table` as CSV into the csv dir (if configured).
+    pub fn write_csv(&self, name: &str, table: &Table) {
+        if let Some(dir) = &self.csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = dir.join(format!("{name}.csv"));
+            std::fs::write(&path, table.to_csv()).expect("write csv");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+
+    /// Write any serialisable value as pretty JSON into the json dir
+    /// (falling back to the csv dir) — used to archive full run reports
+    /// next to the table CSVs.
+    pub fn write_json<T: serde::Serialize>(&self, name: &str, value: &T) {
+        if let Some(dir) = self.json_dir.as_ref().or(self.csv_dir.as_ref()) {
+            std::fs::create_dir_all(dir).expect("create json dir");
+            let path = dir.join(format!("{name}.json"));
+            let json = serde_json::to_string_pretty(value).expect("serialise");
+            std::fs::write(&path, json).expect("write json");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<(ExpOptions, Vec<String>), CliError> {
+        ExpOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_hold_with_no_args() {
+        let (o, pos) = parse(&[]).unwrap();
+        assert_eq!(o.scale, 1);
+        assert_eq!(o.hours, 96);
+        assert!(o.seed.is_none() && o.csv_dir.is_none() && o.json_dir.is_none());
+        assert!(!o.smoke && !o.scale_explicit && !o.hours_explicit);
+        assert!(pos.is_empty());
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let (o, pos) = parse(&[
+            "--scale", "10", "--hours", "12", "--seed", "7", "--csv", "out", "--json", "jdir",
+            "--smoke",
+        ])
+        .unwrap();
+        assert_eq!(o.scale, 10);
+        assert_eq!(o.hours, 12);
+        assert_eq!(o.seed, Some(7));
+        assert_eq!(o.csv_dir.as_deref(), Some(std::path::Path::new("out")));
+        assert_eq!(o.json_dir.as_deref(), Some(std::path::Path::new("jdir")));
+        assert!(o.smoke && o.scale_explicit && o.hours_explicit);
+        assert!(pos.is_empty());
+    }
+
+    #[test]
+    fn missing_value_is_an_error_not_a_panic() {
+        assert_eq!(
+            parse(&["--scale"]),
+            Err(CliError::MissingValue("--scale".into()))
+        );
+        assert_eq!(
+            parse(&["--hours", "6", "--seed"]),
+            Err(CliError::MissingValue("--seed".into()))
+        );
+    }
+
+    #[test]
+    fn bad_value_names_the_flag() {
+        assert_eq!(
+            parse(&["--hours", "six"]),
+            Err(CliError::BadValue("--hours".into(), "six".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        assert_eq!(
+            parse(&["--frobnicate"]),
+            Err(CliError::UnknownFlag("--frobnicate".into()))
+        );
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(parse(&["--help"]), Err(CliError::Help));
+        assert_eq!(parse(&["-h"]), Err(CliError::Help));
+    }
+
+    #[test]
+    fn positionals_pass_through_in_order() {
+        let (o, pos) = parse(&["fig1", "--scale", "4", "fig2"]).unwrap();
+        assert_eq!(pos, vec!["fig1".to_string(), "fig2".to_string()]);
+        assert_eq!(o.scale, 4);
+    }
+
+    #[test]
+    fn tuned_yields_to_explicit_flags() {
+        let (o, _) = parse(&[]).unwrap();
+        let o = o.tuned(4, 48);
+        assert_eq!((o.scale, o.hours), (4, 48));
+        let (o, _) = parse(&["--scale", "2"]).unwrap();
+        let o = o.tuned(4, 48);
+        assert_eq!((o.scale, o.hours), (2, 96), "explicit scale blocks retune");
+        let (o, _) = parse(&["--hours", "10"]).unwrap();
+        let o = o.tuned(4, 48);
+        assert_eq!((o.scale, o.hours), (1, 10), "explicit hours blocks retune");
+    }
+}

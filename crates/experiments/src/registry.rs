@@ -1,0 +1,124 @@
+//! The experiment registry: every figure, evaluation and ablation is a
+//! named [`Experiment`] the `ddr` CLI (and the tests) can enumerate and
+//! run. Legacy per-figure binaries are thin shims over the same entries.
+
+use crate::emit::Emitter;
+use crate::opts::ExpOptions;
+
+/// One registered experiment: a name, a one-line description, and the
+/// function that runs it against shared options and an output emitter.
+#[derive(Clone, Copy)]
+pub struct Experiment {
+    /// Registry key (also the legacy binary name).
+    pub name: &'static str,
+    /// One-line description shown by `ddr list`.
+    pub description: &'static str,
+    /// Entry point.
+    pub run: fn(&ExpOptions, &mut Emitter),
+}
+
+/// Every experiment, in presentation order (paper figures first, then
+/// case-study evaluations, ablations and diagnostics, then the umbrella
+/// run and the kernel benchmark).
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            name: "fig1",
+            description: "Figure 1: hits & messages per hour, static vs dynamic, hops=2",
+            run: crate::exps::fig1::run,
+        },
+        Experiment {
+            name: "fig2",
+            description: "Figure 2: hits & messages per hour, static vs dynamic, hops=4",
+            run: crate::exps::fig2::run,
+        },
+        Experiment {
+            name: "fig3a",
+            description: "Figure 3(a): first-result delay and total results vs hop limit",
+            run: crate::exps::fig3a::run,
+        },
+        Experiment {
+            name: "fig3b",
+            description: "Figure 3(b): total hits vs reconfiguration threshold K",
+            run: crate::exps::fig3b::run,
+        },
+        Experiment {
+            name: "fig3b_ablation",
+            description: "Fig 3(b) mechanism ablation: adaptation channels vs K-sensitivity",
+            run: crate::exps::fig3b_ablation::run,
+        },
+        Experiment {
+            name: "webcache_eval",
+            description: "Case study 2: cooperative web caching, static vs dynamic",
+            run: crate::exps::webcache_eval::run,
+        },
+        Experiment {
+            name: "peerolap_eval",
+            description: "Case study 3: PeerOlap distributed OLAP caching, static vs dynamic",
+            run: crate::exps::peerolap_eval::run,
+        },
+        Experiment {
+            name: "ablations",
+            description: "Design-choice ablations over the framework knobs (7 suites)",
+            run: crate::exps::ablations::run,
+        },
+        Experiment {
+            name: "strategies",
+            description: "Search-cost techniques: BFS vs iterative deepening vs local indices",
+            run: crate::exps::strategies::run,
+        },
+        Experiment {
+            name: "diag",
+            description: "Overlay diagnostics: clustering strength, statistics coverage",
+            run: crate::exps::diag::run,
+        },
+        Experiment {
+            name: "fairness",
+            description: "Serving-load distribution and free-rider isolation",
+            run: crate::exps::fairness::run,
+        },
+        Experiment {
+            name: "exploration_sweep",
+            description: "Exploration-frequency sweep on the web-cache case study",
+            run: crate::exps::exploration_sweep::run,
+        },
+        Experiment {
+            name: "all_experiments",
+            description: "Every paper experiment plus both case studies (EXPERIMENTS.md source)",
+            run: crate::exps::all_experiments::run,
+        },
+        Experiment {
+            name: "perfbench",
+            description: "Event-kernel throughput battery (display only; binary records)",
+            run: crate::exps::perf::run,
+        },
+    ]
+}
+
+/// Look up one experiment by name.
+pub fn find(name: &str) -> Option<Experiment> {
+    registry().into_iter().find(|e| e.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let names: Vec<&str> = registry().iter().map(|e| e.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate experiment name");
+        assert!(names.iter().all(|n| !n.is_empty()));
+        assert!(registry().iter().all(|e| !e.description.is_empty()));
+    }
+
+    #[test]
+    fn find_resolves_known_and_rejects_unknown() {
+        assert!(find("fig1").is_some());
+        assert!(find("perfbench").is_some());
+        assert!(find("no_such_experiment").is_none());
+    }
+}

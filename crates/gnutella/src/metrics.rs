@@ -7,7 +7,7 @@
 //! read the same fields. This struct adds only the music-domain
 //! measurements on top.
 
-use ddr_stats::{BucketSeries, Histogram, RunningStats, RuntimeMetrics};
+use ddr_stats::{BucketSeries, Histogram, MeasurementWindow, RunningStats, RuntimeMetrics};
 use serde::Serialize;
 
 /// Everything measured during a run. All series are bucketed by simulated
@@ -92,10 +92,8 @@ impl Metrics {
 pub struct RunReport {
     /// Collected metrics.
     pub metrics: Metrics,
-    /// First measured hour (inclusive) — the warm-up boundary.
-    pub from_hour: u64,
-    /// Horizon hour (exclusive).
-    pub to_hour: u64,
+    /// Measurement window `[warm-up, horizon)`.
+    pub window: MeasurementWindow,
     /// Mode label ("Gnutella" / "Dynamic_Gnutella").
     pub label: &'static str,
 }
@@ -103,57 +101,37 @@ pub struct RunReport {
 impl RunReport {
     /// Hits per hour over the measurement window.
     pub fn hits_series(&self) -> Vec<f64> {
-        self.metrics
-            .runtime
-            .hits
-            .window(self.from_hour as usize, self.to_hour as usize)
+        self.window.series(&self.metrics.runtime.hits)
     }
 
     /// Messages per hour over the measurement window.
     pub fn messages_series(&self) -> Vec<f64> {
-        self.metrics
-            .runtime
-            .messages
-            .window(self.from_hour as usize, self.to_hour as usize)
+        self.window.series(&self.metrics.runtime.messages)
     }
 
     /// Total hits over the window (Fig 3b's y-axis).
     pub fn total_hits(&self) -> f64 {
-        self.metrics
-            .runtime
-            .hits
-            .window_sum(self.from_hour as usize, self.to_hour as usize)
+        self.window.sum(&self.metrics.runtime.hits)
     }
 
     /// Total results over the window (Fig 3a's column annotations).
     pub fn total_results(&self) -> f64 {
-        self.metrics
-            .results
-            .window_sum(self.from_hour as usize, self.to_hour as usize)
+        self.window.sum(&self.metrics.results)
     }
 
     /// Total messages over the window.
     pub fn total_messages(&self) -> f64 {
-        self.metrics
-            .runtime
-            .messages
-            .window_sum(self.from_hour as usize, self.to_hour as usize)
+        self.window.sum(&self.metrics.runtime.messages)
     }
 
     /// Mean hits per measured hour.
     pub fn mean_hits_per_hour(&self) -> f64 {
-        self.metrics
-            .runtime
-            .hits
-            .window_mean(self.from_hour as usize, self.to_hour as usize)
+        self.window.mean_per_hour(&self.metrics.runtime.hits)
     }
 
     /// Mean messages per measured hour.
     pub fn mean_messages_per_hour(&self) -> f64 {
-        self.metrics
-            .runtime
-            .messages
-            .window_mean(self.from_hour as usize, self.to_hour as usize)
+        self.window.mean_per_hour(&self.metrics.runtime.messages)
     }
 
     /// Mean first-result delay in ms (Fig 3a's y-axis).
@@ -163,16 +141,8 @@ impl RunReport {
 
     /// Hit ratio over the window.
     pub fn hit_ratio(&self) -> f64 {
-        let q = self
-            .metrics
-            .runtime
-            .queries
-            .window_sum(self.from_hour as usize, self.to_hour as usize);
-        if q == 0.0 {
-            0.0
-        } else {
-            self.total_hits() / q
-        }
+        self.window
+            .ratio(&self.metrics.runtime.hits, &self.metrics.runtime.queries)
     }
 }
 
@@ -190,8 +160,7 @@ mod tests {
         m.runtime.queries.add(3, 20.0);
         let r = RunReport {
             metrics: m,
-            from_hour: 2,
-            to_hour: 4,
+            window: MeasurementWindow::new(2, 4),
             label: "Gnutella",
         };
         assert_eq!(r.total_hits(), 30.0);
@@ -204,8 +173,7 @@ mod tests {
     fn empty_report_is_safe() {
         let r = RunReport {
             metrics: Metrics::new(),
-            from_hour: 0,
-            to_hour: 1,
+            window: MeasurementWindow::new(0, 1),
             label: "Gnutella",
         };
         assert_eq!(r.total_hits(), 0.0);

@@ -1,52 +1,68 @@
-//! Running a complete scenario: world construction, event priming, the
-//! run loop, and report extraction.
+//! The case study as a [`ddr_harness::Scenario`]: world construction,
+//! event priming and report extraction are declared here; the prime →
+//! run → extract loop itself lives once in `ddr-harness`.
 
 use crate::config::ScenarioConfig;
 use crate::metrics::RunReport;
 use crate::world::GnutellaWorld;
-use ddr_sim::{event_capacity_hint, EventQueue, RunOutcome, SimTime, Simulation, World};
+use ddr_harness::Scenario;
+use ddr_sim::{event_capacity_hint, EventQueue, RunOutcome, World};
+use ddr_stats::MeasurementWindow;
+
+/// Case study 1 (static vs dynamic Gnutella, paper §4) as a harness
+/// scenario.
+pub struct GnutellaScenario;
+
+impl Scenario for GnutellaScenario {
+    type Config = ScenarioConfig;
+    type World = GnutellaWorld;
+    type Report = RunReport;
+
+    const NAME: &'static str = "gnutella";
+
+    fn build(config: ScenarioConfig) -> GnutellaWorld {
+        GnutellaWorld::new(config)
+    }
+
+    fn capacity_hint(config: &ScenarioConfig) -> usize {
+        event_capacity_hint(config.workload.users, config.max_hops)
+    }
+
+    fn window(config: &ScenarioConfig) -> MeasurementWindow {
+        MeasurementWindow::new(config.warmup_hours, config.sim_hours)
+    }
+
+    fn prime(world: &mut GnutellaWorld, queue: &mut EventQueue<<GnutellaWorld as World>::Event>) {
+        world.prime(queue);
+    }
+
+    fn extract_report(world: &GnutellaWorld, window: MeasurementWindow) -> RunReport {
+        RunReport {
+            metrics: world.metrics.clone(),
+            window,
+            label: world.config().mode.label(),
+        }
+    }
+
+    fn check_outcome(outcome: RunOutcome) {
+        debug_assert!(
+            matches!(outcome, RunOutcome::ReachedHorizon),
+            "a churn-driven simulation never drains: {outcome:?}"
+        );
+    }
+}
 
 /// Run one scenario to its horizon and return the report. A pure function
 /// of the configuration (which embeds the seed): calling it twice yields
 /// identical reports.
 pub fn run_scenario(config: ScenarioConfig) -> RunReport {
-    let (report, _world) = run_scenario_with_world(config);
-    report
+    ddr_harness::run::<GnutellaScenario>(config)
 }
 
 /// Like [`run_scenario`] but also hands back the final world, for tests
 /// that assert on end-state invariants (topology consistency, peer state).
 pub fn run_scenario_with_world(config: ScenarioConfig) -> (RunReport, GnutellaWorld) {
-    let label = config.mode.label();
-    let from_hour = config.warmup_hours;
-    let to_hour = config.sim_hours;
-    let horizon = SimTime::from_hours(config.sim_hours);
-
-    let capacity = event_capacity_hint(config.workload.users, config.max_hops);
-    let mut world = GnutellaWorld::new(config);
-    // Prime initial events into a pre-sized queue and hand it to the
-    // driver directly (the queue preserves schedule order, so priming
-    // in place is identical to the old prime-and-transplant dance).
-    let mut queue: EventQueue<<GnutellaWorld as World>::Event> =
-        EventQueue::with_capacity(capacity);
-    world.prime(&mut queue);
-    let mut sim = Simulation::with_queue(world, queue);
-
-    let outcome = sim.run(horizon);
-    debug_assert!(
-        matches!(outcome, RunOutcome::ReachedHorizon),
-        "a churn-driven simulation never drains: {outcome:?}"
-    );
-    let world = sim.into_world();
-    (
-        RunReport {
-            metrics: world.metrics.clone(),
-            from_hour,
-            to_hour,
-            label,
-        },
-        world,
-    )
+    ddr_harness::run_with_world::<GnutellaScenario>(config)
 }
 
 #[cfg(test)]
@@ -147,13 +163,13 @@ mod tests {
             .metrics
             .runtime
             .queries
-            .window_sum(0, report.to_hour as usize);
+            .window_sum(0, report.window.to_hour as usize);
         assert!(
             report
                 .metrics
                 .runtime
                 .messages
-                .window_sum(0, report.to_hour as usize)
+                .window_sum(0, report.window.to_hour as usize)
                 <= queries * 4.0 + 1.0
         );
     }

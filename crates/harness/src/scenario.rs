@@ -1,0 +1,269 @@
+//! The [`Scenario`] trait and the generic prime → run → extract driver.
+
+use ddr_sim::{EventQueue, RunOutcome, SimTime, Simulation, World};
+use ddr_stats::MeasurementWindow;
+use std::time::Instant;
+
+/// One framework instantiation, described declaratively so the shared
+/// driver ([`run`], [`run_with_world`], [`run_timed`]) can execute it.
+///
+/// Implementations are zero-sized marker types (`GnutellaScenario`,
+/// `WebCacheScenario`, `PeerOlapScenario`, …): all state lives in
+/// `Config` and `World`. The driver owns the loop that used to be
+/// copy-pasted per case study:
+///
+/// 1. read the measurement [`window`](Scenario::window) and
+///    [`capacity_hint`](Scenario::capacity_hint) from the config;
+/// 2. [`build`](Scenario::build) the world and
+///    [`prime`](Scenario::prime) its initial events into a pre-sized
+///    queue (priming in place — the queue preserves schedule order);
+/// 3. run to the horizon (`window.to_hour`), then
+///    [`check_outcome`](Scenario::check_outcome);
+/// 4. [`extract_report`](Scenario::extract_report) from the final world.
+///
+/// Determinism contract: `run` is a pure function of `Config` (which
+/// embeds the seed) — calling it twice, or on different worker threads,
+/// yields identical reports. The sweep engine relies on this.
+pub trait Scenario {
+    /// Full configuration of one run, seed included.
+    type Config: Clone;
+    /// The simulation world driven by the event kernel.
+    type World: World;
+    /// The domain report extracted after the run.
+    type Report;
+
+    /// Short identifier (used in logs and perf entries).
+    const NAME: &'static str;
+
+    /// Construct the world from a configuration.
+    fn build(config: Self::Config) -> Self::World;
+
+    /// Expected peak pending-event count (pre-sizes the calendar queue).
+    fn capacity_hint(config: &Self::Config) -> usize;
+
+    /// The measurement window `[warmup, horizon)`; the driver runs the
+    /// simulation to `window.to_hour`.
+    fn window(config: &Self::Config) -> MeasurementWindow;
+
+    /// Schedule the world's initial events.
+    fn prime(world: &mut Self::World, queue: &mut EventQueue<<Self::World as World>::Event>);
+
+    /// Build the domain report from the final world state.
+    fn extract_report(world: &Self::World, window: MeasurementWindow) -> Self::Report;
+
+    /// Inspect how the run ended. The default accepts any outcome;
+    /// scenarios whose event stream must outlive the horizon (churn-driven
+    /// worlds) override this with a debug assertion.
+    fn check_outcome(outcome: RunOutcome) {
+        let _ = outcome;
+    }
+}
+
+/// Run one scenario to its horizon and return the report. A pure function
+/// of the configuration (which embeds the seed).
+pub fn run<S: Scenario>(config: S::Config) -> S::Report {
+    run_with_world::<S>(config).0
+}
+
+/// Like [`run`] but also hands back the final world, for tests and
+/// diagnostics that assert on end-state invariants (topology consistency,
+/// per-node state).
+pub fn run_with_world<S: Scenario>(config: S::Config) -> (S::Report, S::World) {
+    let window = S::window(&config);
+    let capacity = S::capacity_hint(&config);
+    let horizon = SimTime::from_hours(window.to_hour);
+
+    let mut world = S::build(config);
+    let mut queue: EventQueue<<S::World as World>::Event> = EventQueue::with_capacity(capacity);
+    S::prime(&mut world, &mut queue);
+    let mut sim = Simulation::with_queue(world, queue);
+
+    let outcome = sim.run(horizon);
+    S::check_outcome(outcome);
+    let world = sim.into_world();
+    let report = S::extract_report(&world, window);
+    (report, world)
+}
+
+/// Kernel-level counters of one timed run (the perfbench measurement).
+///
+/// The timing harness is deliberately identical to [`run_with_world`]
+/// minus report extraction, so before/after perf entries differ only in
+/// the kernel or world under test — never in the driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedRun {
+    /// Events dispatched to the world.
+    pub events_processed: u64,
+    /// Wall-clock seconds spent inside the event loop.
+    pub wall_seconds: f64,
+    /// Queue high-water mark.
+    pub peak_pending: usize,
+    /// Events still pending at the horizon.
+    pub final_pending: usize,
+}
+
+impl TimedRun {
+    /// Derived throughput.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events_processed as f64 / self.wall_seconds.max(1e-9)
+    }
+}
+
+/// Time one scenario run (prime excluded, event loop only) and return the
+/// kernel counters. Deterministic in everything except `wall_seconds`.
+pub fn run_timed<S: Scenario>(config: S::Config) -> TimedRun {
+    let window = S::window(&config);
+    let capacity = S::capacity_hint(&config);
+    let horizon = SimTime::from_hours(window.to_hour);
+
+    let mut world = S::build(config);
+    let mut queue: EventQueue<<S::World as World>::Event> = EventQueue::with_capacity(capacity);
+    S::prime(&mut world, &mut queue);
+    let mut sim = Simulation::with_queue(world, queue);
+
+    let start = Instant::now();
+    sim.run(horizon);
+    let wall_seconds = start.elapsed().as_secs_f64();
+    TimedRun {
+        events_processed: sim.processed(),
+        wall_seconds,
+        peak_pending: sim.peak_pending(),
+        final_pending: sim.pending(),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod toy {
+    //! A minimal in-crate scenario used by harness unit tests (the real
+    //! case studies live downstream and would be a dependency cycle).
+
+    use super::*;
+    use ddr_sim::{Scheduler, SimDuration};
+
+    /// Config: fire one event per `step_ms` until the horizon; the seed
+    /// perturbs a running checksum so different seeds yield different
+    /// reports.
+    #[derive(Debug, Clone)]
+    pub struct TickConfig {
+        pub seed: u64,
+        pub step_ms: u64,
+        pub hours: u64,
+        pub warmup_hours: u64,
+    }
+
+    pub struct TickWorld {
+        config: TickConfig,
+        pub fired: u64,
+        pub checksum: u64,
+    }
+
+    impl World for TickWorld {
+        type Event = ();
+        fn handle(&mut self, _now: SimTime, _ev: (), sched: &mut Scheduler<'_, ()>) {
+            self.fired += 1;
+            self.checksum = self
+                .checksum
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(self.config.seed)
+                .wrapping_add(1);
+            sched.after(SimDuration::from_millis(self.config.step_ms), ());
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct TickReport {
+        pub fired: u64,
+        pub checksum: u64,
+        pub window: MeasurementWindow,
+    }
+
+    pub struct TickScenario;
+
+    impl Scenario for TickScenario {
+        type Config = TickConfig;
+        type World = TickWorld;
+        type Report = TickReport;
+        const NAME: &'static str = "tick";
+
+        fn build(config: TickConfig) -> TickWorld {
+            TickWorld {
+                config,
+                fired: 0,
+                checksum: 0,
+            }
+        }
+        fn capacity_hint(_config: &TickConfig) -> usize {
+            16
+        }
+        fn window(config: &TickConfig) -> MeasurementWindow {
+            MeasurementWindow::new(config.warmup_hours, config.hours)
+        }
+        fn prime(world: &mut TickWorld, queue: &mut EventQueue<()>) {
+            queue.schedule_at(SimTime::ZERO, ());
+            let _ = world;
+        }
+        fn extract_report(world: &TickWorld, window: MeasurementWindow) -> TickReport {
+            TickReport {
+                fired: world.fired,
+                checksum: world.checksum,
+                window,
+            }
+        }
+        fn check_outcome(outcome: RunOutcome) {
+            debug_assert_eq!(outcome, RunOutcome::ReachedHorizon);
+        }
+    }
+
+    pub fn cfg(seed: u64) -> TickConfig {
+        TickConfig {
+            seed,
+            step_ms: 500,
+            hours: 1,
+            warmup_hours: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::toy::*;
+    use super::*;
+
+    #[test]
+    fn run_reaches_horizon_and_reports() {
+        let report = run::<TickScenario>(cfg(7));
+        // one event per 500 ms for 1 simulated hour, half-open horizon
+        assert_eq!(report.fired, 7_200);
+        assert_eq!(report.window, MeasurementWindow::new(0, 1));
+    }
+
+    #[test]
+    fn run_is_pure_in_config() {
+        let a = run::<TickScenario>(cfg(42));
+        let b = run::<TickScenario>(cfg(42));
+        assert_eq!(a, b);
+        let c = run::<TickScenario>(cfg(43));
+        assert_ne!(a.checksum, c.checksum);
+    }
+
+    #[test]
+    fn run_with_world_exposes_final_state() {
+        let (report, world) = run_with_world::<TickScenario>(cfg(1));
+        assert_eq!(report.fired, world.fired);
+        assert_eq!(report.checksum, world.checksum);
+    }
+
+    #[test]
+    fn timed_run_matches_untimed_counters() {
+        let timed = run_timed::<TickScenario>(cfg(7));
+        let report = run::<TickScenario>(cfg(7));
+        assert_eq!(timed.events_processed, report.fired);
+        assert_eq!(
+            timed.final_pending, 1,
+            "self-rescheduling world keeps one pending"
+        );
+        assert!(timed.peak_pending >= 1);
+        assert!(timed.wall_seconds >= 0.0);
+        assert!(timed.events_per_sec() > 0.0);
+    }
+}

@@ -1,49 +1,54 @@
-//! Running a PeerOlap scenario end to end.
+//! The PeerOlap case study as a [`ddr_harness::Scenario`]: world
+//! construction, priming and report extraction are declared here; the
+//! prime → run → extract loop itself lives once in `ddr-harness`.
 
 use crate::config::PeerOlapConfig;
-use crate::world::{OlapEvent, PeerOlapWorld};
-use ddr_sim::{event_capacity_hint, EventQueue, SimTime, Simulation};
+use crate::world::PeerOlapWorld;
+use ddr_harness::Scenario;
+use ddr_sim::{event_capacity_hint, EventQueue, World};
+use ddr_stats::{safe_ratio, MeasurementWindow};
 
-/// Report of one run.
+/// Report of one run: a thin domain view over the collected metrics and
+/// the measurement window.
 #[derive(Debug, Clone)]
 pub struct PeerOlapReport {
     /// Mode label.
     pub label: &'static str,
     /// Collected metrics.
     pub metrics: crate::world::OlapMetrics,
-    /// Measurement window.
-    pub from_hour: u64,
-    /// Horizon (exclusive).
-    pub to_hour: u64,
+    /// Measurement window (hours, warm-up excluded).
+    pub window: MeasurementWindow,
     /// Same-group edge fraction at the end of the run.
     pub same_group_fraction: f64,
 }
 
 impl PeerOlapReport {
-    fn window(&self, s: &ddr_stats::BucketSeries) -> f64 {
-        s.window_sum(self.from_hour as usize, self.to_hour as usize)
-    }
-
     /// Total chunks requested in the window (all sources).
     pub fn total_chunks(&self) -> f64 {
-        self.window(&self.metrics.chunks_local)
-            + self.window(&self.metrics.runtime.hits)
-            + self.window(&self.metrics.chunks_warehouse)
+        self.window.sum(&self.metrics.chunks_local)
+            + self.window.sum(&self.metrics.runtime.hits)
+            + self.window.sum(&self.metrics.chunks_warehouse)
     }
 
     /// Share of chunks served by peers — the cooperation dividend.
     pub fn peer_share(&self) -> f64 {
-        self.window(&self.metrics.runtime.hits) / self.total_chunks().max(1.0)
+        safe_ratio(
+            self.window.sum(&self.metrics.runtime.hits),
+            self.total_chunks(),
+        )
     }
 
     /// Share of chunks the warehouse had to compute (lower is better).
     pub fn warehouse_share(&self) -> f64 {
-        self.window(&self.metrics.chunks_warehouse) / self.total_chunks().max(1.0)
+        safe_ratio(
+            self.window.sum(&self.metrics.chunks_warehouse),
+            self.total_chunks(),
+        )
     }
 
     /// Warehouse processing milliseconds consumed in the window.
     pub fn warehouse_ms(&self) -> f64 {
-        self.window(&self.metrics.warehouse_ms)
+        self.window.sum(&self.metrics.warehouse_ms)
     }
 
     /// Mean end-to-end query latency in ms.
@@ -52,29 +57,46 @@ impl PeerOlapReport {
     }
 }
 
-/// Run one scenario; deterministic in `(config, seed)`.
-pub fn run_peerolap(config: PeerOlapConfig) -> PeerOlapReport {
-    let label = config.mode.label();
-    let from_hour = config.warmup_hours;
-    let to_hour = config.sim_hours;
-    let horizon = SimTime::from_hours(config.sim_hours);
+/// Case study 3 (PeerOlap, bounded-incoming asymmetric relations) as a
+/// harness scenario.
+pub struct PeerOlapScenario;
 
-    let capacity = event_capacity_hint(config.peers, 1);
-    let mut world = PeerOlapWorld::new(config);
-    // Prime directly into a pre-sized queue; the queue preserves schedule
-    // order, so priming in place matches the old prime-and-transplant dance.
-    let mut queue: EventQueue<OlapEvent> = EventQueue::with_capacity(capacity);
-    world.prime(&mut queue);
-    let mut sim = Simulation::with_queue(world, queue);
-    sim.run(horizon);
-    let world = sim.into_world();
-    PeerOlapReport {
-        label,
-        same_group_fraction: world.same_group_edge_fraction(),
-        metrics: world.metrics.clone(),
-        from_hour,
-        to_hour,
+impl Scenario for PeerOlapScenario {
+    type Config = PeerOlapConfig;
+    type World = PeerOlapWorld;
+    type Report = PeerOlapReport;
+
+    const NAME: &'static str = "peerolap";
+
+    fn build(config: PeerOlapConfig) -> PeerOlapWorld {
+        PeerOlapWorld::new(config)
     }
+
+    fn capacity_hint(config: &PeerOlapConfig) -> usize {
+        event_capacity_hint(config.peers, 1)
+    }
+
+    fn window(config: &PeerOlapConfig) -> MeasurementWindow {
+        MeasurementWindow::new(config.warmup_hours, config.sim_hours)
+    }
+
+    fn prime(world: &mut PeerOlapWorld, queue: &mut EventQueue<<PeerOlapWorld as World>::Event>) {
+        world.prime(queue);
+    }
+
+    fn extract_report(world: &PeerOlapWorld, window: MeasurementWindow) -> PeerOlapReport {
+        PeerOlapReport {
+            label: world.config().mode.label(),
+            same_group_fraction: world.same_group_edge_fraction(),
+            metrics: world.metrics.clone(),
+            window,
+        }
+    }
+}
+
+/// Run one scenario; pure function of the config (which embeds the seed).
+pub fn run_peerolap(config: PeerOlapConfig) -> PeerOlapReport {
+    ddr_harness::run::<PeerOlapScenario>(config)
 }
 
 #[cfg(test)]

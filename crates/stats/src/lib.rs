@@ -19,9 +19,11 @@ pub mod load;
 pub mod recorder;
 pub mod series;
 pub mod table;
+pub mod window;
 
 pub use histogram::{Histogram, RunningStats};
 pub use load::{gini, top_share};
 pub use recorder::RuntimeMetrics;
 pub use series::BucketSeries;
 pub use table::Table;
+pub use window::{safe_ratio, MeasurementWindow};

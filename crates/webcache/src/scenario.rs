@@ -1,10 +1,15 @@
-//! Running a web-cache scenario end to end.
+//! The web-cache case study as a [`ddr_harness::Scenario`]: this file
+//! declares how to build, prime and report on a run; the shared driver
+//! loop lives in `ddr-harness`.
 
 use crate::config::WebCacheConfig;
-use crate::world::{CacheEvent, WebCacheWorld};
-use ddr_sim::{event_capacity_hint, EventQueue, SimTime, Simulation};
+use crate::world::WebCacheWorld;
+use ddr_harness::Scenario;
+use ddr_sim::{event_capacity_hint, EventQueue, World};
+use ddr_stats::{safe_ratio, MeasurementWindow};
 
-/// Report of one web-cache run.
+/// Report of one web-cache run: a thin domain view over the collected
+/// metrics and the measurement window.
 #[derive(Debug, Clone)]
 pub struct WebCacheReport {
     /// Mode label.
@@ -12,68 +17,90 @@ pub struct WebCacheReport {
     /// Collected metrics.
     pub metrics: crate::world::CacheMetrics,
     /// Measurement window (hours, warm-up excluded).
-    pub from_hour: u64,
-    /// Horizon hour (exclusive).
-    pub to_hour: u64,
+    pub window: MeasurementWindow,
     /// Fraction of outgoing edges connecting same-group proxies at the end
     /// of the run.
     pub same_group_fraction: f64,
 }
 
 impl WebCacheReport {
-    fn window(&self, s: &ddr_stats::BucketSeries) -> f64 {
-        s.window_sum(self.from_hour as usize, self.to_hour as usize)
-    }
-
     /// Requests in the measurement window.
     pub fn requests(&self) -> f64 {
-        self.window(&self.metrics.runtime.queries)
+        self.window.sum(&self.metrics.runtime.queries)
     }
 
     /// Local hit ratio.
     pub fn local_hit_ratio(&self) -> f64 {
-        self.window(&self.metrics.local_hits) / self.requests().max(1.0)
+        self.window
+            .ratio(&self.metrics.local_hits, &self.metrics.runtime.queries)
     }
 
     /// Neighbor (sibling) hit ratio — the quantity cooperation improves.
     pub fn neighbor_hit_ratio(&self) -> f64 {
-        self.window(&self.metrics.runtime.hits) / self.requests().max(1.0)
+        self.window
+            .ratio(&self.metrics.runtime.hits, &self.metrics.runtime.queries)
     }
 
     /// Origin-fetch ratio (lower is better).
     pub fn origin_ratio(&self) -> f64 {
-        self.window(&self.metrics.origin_fetches) / self.requests().max(1.0)
+        self.window
+            .ratio(&self.metrics.origin_fetches, &self.metrics.runtime.queries)
     }
 
     /// Mean request latency in ms.
     pub fn mean_latency_ms(&self) -> f64 {
         self.metrics.runtime.latency_ms.mean()
     }
+
+    /// Share of requests answered anywhere but the origin.
+    pub fn non_origin_ratio(&self) -> f64 {
+        safe_ratio(
+            self.window.sum(&self.metrics.local_hits) + self.window.sum(&self.metrics.runtime.hits),
+            self.requests(),
+        )
+    }
+}
+
+/// Case study 2 (cooperative proxy caching, pure-asymmetric relations) as
+/// a harness scenario.
+pub struct WebCacheScenario;
+
+impl Scenario for WebCacheScenario {
+    type Config = WebCacheConfig;
+    type World = WebCacheWorld;
+    type Report = WebCacheReport;
+
+    const NAME: &'static str = "webcache";
+
+    fn build(config: WebCacheConfig) -> WebCacheWorld {
+        WebCacheWorld::new(config)
+    }
+
+    fn capacity_hint(config: &WebCacheConfig) -> usize {
+        event_capacity_hint(config.proxies, 1)
+    }
+
+    fn window(config: &WebCacheConfig) -> MeasurementWindow {
+        MeasurementWindow::new(config.warmup_hours, config.sim_hours)
+    }
+
+    fn prime(world: &mut WebCacheWorld, queue: &mut EventQueue<<WebCacheWorld as World>::Event>) {
+        world.prime(queue);
+    }
+
+    fn extract_report(world: &WebCacheWorld, window: MeasurementWindow) -> WebCacheReport {
+        WebCacheReport {
+            label: world.config().mode.label(),
+            same_group_fraction: world.same_group_edge_fraction(),
+            metrics: world.metrics.clone(),
+            window,
+        }
+    }
 }
 
 /// Run one scenario; pure function of the config (which embeds the seed).
 pub fn run_webcache(config: WebCacheConfig) -> WebCacheReport {
-    let label = config.mode.label();
-    let from_hour = config.warmup_hours;
-    let to_hour = config.sim_hours;
-    let horizon = SimTime::from_hours(config.sim_hours);
-
-    let capacity = event_capacity_hint(config.proxies, 1);
-    let mut world = WebCacheWorld::new(config);
-    // Prime directly into a pre-sized queue; the queue preserves schedule
-    // order, so priming in place matches the old prime-and-transplant dance.
-    let mut queue: EventQueue<CacheEvent> = EventQueue::with_capacity(capacity);
-    world.prime(&mut queue);
-    let mut sim = Simulation::with_queue(world, queue);
-    sim.run(horizon);
-    let world = sim.into_world();
-    WebCacheReport {
-        label,
-        same_group_fraction: world.same_group_edge_fraction(),
-        metrics: world.metrics.clone(),
-        from_hour,
-        to_hour,
-    }
+    ddr_harness::run::<WebCacheScenario>(config)
 }
 
 #[cfg(test)]
@@ -98,11 +125,12 @@ mod tests {
     #[test]
     fn run_accounts_every_request() {
         let r = run_webcache(small(CacheMode::Static));
-        let total = r.window(&r.metrics.local_hits)
-            + r.window(&r.metrics.runtime.hits)
-            + r.window(&r.metrics.origin_fetches);
+        let total = r.window.sum(&r.metrics.local_hits)
+            + r.window.sum(&r.metrics.runtime.hits)
+            + r.window.sum(&r.metrics.origin_fetches);
         assert_eq!(total, r.requests(), "hit/miss accounting leak");
         assert!(r.requests() > 0.0);
+        assert!((r.non_origin_ratio() + r.origin_ratio() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -63,6 +63,13 @@ impl WorkloadConfig {
     /// `scale` divides users and songs, keeping densities (library size,
     /// categories, rates) identical so protocol behaviour is preserved.
     ///
+    /// At deep scales (beyond ~20, where a paper-sized library would no
+    /// longer fit inside one scaled-down category and sampling without
+    /// replacement would be impossible) the per-user library shrinks
+    /// proportionally so the configuration stays valid. Those scales are
+    /// for smoke tests only; measurement runs use scale ≤ 20, where the
+    /// library is untouched.
+    ///
     /// # Panics
     /// Panics unless `scale` divides the user and song counts and leaves
     /// songs divisible by categories.
@@ -77,11 +84,21 @@ impl WorkloadConfig {
             0,
             "scale breaks category division"
         );
-        WorkloadConfig {
+        let mut c = WorkloadConfig {
             users: base.users / scale as usize,
             songs,
             ..base
+        };
+        // Keep the validity invariant from `validate`: the favourite share
+        // of the largest plausible library must fit in one category.
+        let per_cat = (c.songs / c.categories as u32) as f64;
+        let max_fav = (c.library_mean + 4.0 * c.library_std) * c.favorite_fraction;
+        if max_fav > per_cat {
+            let shrink = per_cat / max_fav;
+            c.library_mean *= shrink;
+            c.library_std *= shrink;
         }
+        c
     }
 
     /// Validate internal consistency; returns a description of the first

@@ -28,10 +28,15 @@
 //! * [`webcache`] — case study 2: cooperative proxy caching (asymmetric)
 //! * [`peerolap`] — case study 3: distributed OLAP-result caching
 //! * [`stats`] — series/histograms/tables used by the harness, and the
-//!   shared `RuntimeMetrics` recorder all case studies embed
+//!   shared `RuntimeMetrics` recorder all case studies embed, plus
+//!   `MeasurementWindow`/`safe_ratio` (the windowed-report helpers)
+//! * [`harness`] — the `Scenario` trait, the one prime → run → extract
+//!   driver every case study runs through, the timed perf harness, and
+//!   the deterministic parallel sweep engine (`run_many` / `Sweep`)
 
 pub use ddr_core as core;
 pub use ddr_gnutella as gnutella;
+pub use ddr_harness as harness;
 pub use ddr_net as net;
 pub use ddr_overlay as overlay;
 pub use ddr_peerolap as peerolap;

@@ -97,7 +97,7 @@ fn webcache_series_match_pre_refactor_snapshot() {
         ),
     ] {
         let r = run_webcache(webcache_cfg(mode));
-        let (f, t) = (r.from_hour as usize, r.to_hour as usize);
+        let (f, t) = (r.window.from_hour as usize, r.window.to_hour as usize);
         assert_series(
             &format!("webcache/{} neighbor_hits", r.label),
             &r.metrics.runtime.hits.window(f, t),
@@ -139,7 +139,7 @@ fn peerolap_series_match_pre_refactor_snapshot() {
         ),
     ] {
         let r = run_peerolap(peerolap_cfg(mode));
-        let (f, t) = (r.from_hour as usize, r.to_hour as usize);
+        let (f, t) = (r.window.from_hour as usize, r.window.to_hour as usize);
         assert_series(
             &format!("peerolap/{} chunks_peer", r.label),
             &r.metrics.runtime.hits.window(f, t),
