@@ -22,6 +22,14 @@ cargo run -q --release -p ddr-experiments --bin ddr -- list
 echo "==> ddr run --all --smoke (every registered experiment stays runnable)"
 cargo run -q --release -p ddr-experiments --bin ddr -- run --all --smoke > /dev/null
 
+echo "==> telemetry smoke (trace + profile a run, then inspect the trace)"
+TRACE="$(mktemp -t ddr-ci-trace.XXXXXX.jsonl)"
+trap 'rm -f "$TRACE"' EXIT
+cargo run -q --release -p ddr-experiments --bin ddr -- \
+    run fig1 --smoke --trace "$TRACE" --trace-sample 1 --profile > /dev/null
+test -s "$TRACE" || { echo "trace file is empty" >&2; exit 1; }
+cargo run -q --release -p ddr-experiments --bin ddr -- inspect "$TRACE" > /dev/null
+
 echo "==> perfbench --smoke (kernel throughput harness, determinism cross-check)"
 cargo run -q --release -p ddr-experiments --bin perfbench -- --smoke
 

@@ -13,6 +13,15 @@
 //! no-op) for benches and tests that do not collect metrics, and
 //! [`ddr_sim::Counters`] gets an impl so white-box tests can forward the
 //! same stream into named trace counters.
+//!
+//! `SimObserver` deliberately carries only **aggregates** (per-hour
+//! bucket sums and scalar counters); it never identifies an individual
+//! query. Per-query observability — who issued it, which nodes it
+//! visited, when and how it terminated — is the job of the
+//! `ddr-telemetry` crate's `QueryTracer`, which the worlds thread
+//! alongside their observer. The split keeps this trait object-safe and
+//! allocation-free while the span layer pays for identity only when a
+//! trace sink is compiled in.
 
 use ddr_sim::Counters;
 use ddr_stats::RuntimeMetrics;

@@ -10,14 +10,19 @@ usage:
   ddr list                     enumerate experiments
   ddr run <name>... [flags]    run the named experiments
   ddr run --all [flags]        run every experiment
+  ddr inspect <trace.jsonl>    summarize a query trace (hop depth, funnel,
+                               slowest queries, record breakdown)
 
 flags (shared by every experiment):
-  --scale N    divide users & songs by N (default 1 = paper scale)
-  --hours H    simulated horizon (default 96)
-  --seed S     root seed override
-  --csv DIR    also write table CSVs into DIR
-  --json DIR   also write report JSON into DIR
-  --smoke      seconds-long CI configuration";
+  --scale N         divide users & songs by N (default 1 = paper scale)
+  --hours H         simulated horizon (default 96)
+  --seed S          root seed override
+  --csv DIR         also write table CSVs into DIR
+  --json DIR        also write report JSON into DIR
+  --smoke           seconds-long CI configuration
+  --trace FILE      write sampled query-lifecycle spans as JSONL to FILE
+  --trace-sample N  trace every Nth query (default 1 = all)
+  --profile         print a kernel dispatch/queue report after the run";
 
 /// The `ddr` binary, minus process concerns: parse `args` (everything
 /// after the program name) and return the exit code.
@@ -75,6 +80,32 @@ pub fn ddr_main(args: Vec<String>) -> i32 {
                 (e.run)(&opts, &mut em);
             }
             0
+        }
+        Some("inspect") => {
+            let rest: Vec<String> = args.collect();
+            match rest.as_slice() {
+                [path] if !path.starts_with('-') => {
+                    match ddr_telemetry::summarize_file(std::path::Path::new(path)) {
+                        Ok(summary) => {
+                            print!("{}", summary.render());
+                            0
+                        }
+                        Err(e) => {
+                            eprintln!("inspect: {e}");
+                            2
+                        }
+                    }
+                }
+                [flag] if flag == "--help" || flag == "-h" => {
+                    eprintln!("{DDR_USAGE}");
+                    0
+                }
+                _ => {
+                    eprintln!("inspect takes exactly one trace file");
+                    eprintln!("{DDR_USAGE}");
+                    2
+                }
+            }
         }
         Some("--help") | Some("-h") => {
             eprintln!("{DDR_USAGE}");
@@ -140,5 +171,43 @@ mod tests {
     #[test]
     fn all_conflicts_with_names() {
         assert_eq!(ddr_main(argv(&["run", "--all", "fig1"])), 2);
+    }
+
+    #[test]
+    fn inspect_rejects_missing_or_extra_arguments() {
+        assert_eq!(ddr_main(argv(&["inspect"])), 2);
+        assert_eq!(ddr_main(argv(&["inspect", "a.jsonl", "b.jsonl"])), 2);
+        assert_eq!(ddr_main(argv(&["inspect", "--bogus"])), 2);
+    }
+
+    #[test]
+    fn inspect_fails_cleanly_on_unreadable_file() {
+        assert_eq!(
+            ddr_main(argv(&["inspect", "/no/such/dir/trace.jsonl"])),
+            2,
+            "missing file must exit 2, not panic"
+        );
+    }
+
+    #[test]
+    fn inspect_help_exits_zero() {
+        assert_eq!(ddr_main(argv(&["inspect", "--help"])), 0);
+    }
+
+    #[test]
+    fn inspect_summarizes_a_valid_trace() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ddr-cli-inspect-{}.jsonl", std::process::id()));
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"v\":1,\"type\":\"issue\",\"run\":\"t\",\"t\":0,\"q\":0,\"node\":1,\"item\":5,\"ttl\":2}\n",
+                "{\"v\":1,\"type\":\"end\",\"run\":\"t\",\"t\":90,\"q\":0,\"outcome\":\"hit\",\"results\":1,\"latency_ms\":90.0}\n",
+            ),
+        )
+        .unwrap();
+        let code = ddr_main(argv(&["inspect", path.to_str().unwrap()]));
+        std::fs::remove_file(&path).ok();
+        assert_eq!(code, 0);
     }
 }

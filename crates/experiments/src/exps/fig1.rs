@@ -10,7 +10,7 @@
 use super::smoke_scale;
 use crate::emit::Emitter;
 use crate::opts::ExpOptions;
-use crate::{default_workers, hourly_figure_table, run_all};
+use crate::{hourly_figure_table, run_all_with};
 use ddr_gnutella::Mode;
 
 pub fn run(opts: &ExpOptions, em: &mut Emitter) {
@@ -19,7 +19,7 @@ pub fn run(opts: &ExpOptions, em: &mut Emitter) {
         opts.scenario(Mode::Static, 2),
         opts.scenario(Mode::Dynamic, 2),
     ];
-    let reports = run_all(configs, default_workers());
+    let reports = run_all_with(&opts, configs, em);
     let (stat, dynm) = (&reports[0], &reports[1]);
 
     let fig1a = hourly_figure_table(

@@ -7,11 +7,13 @@
 use super::shrink_peerolap;
 use crate::emit::Emitter;
 use crate::opts::ExpOptions;
-use ddr_peerolap::{run_peerolap, OlapMode, PeerOlapConfig};
+use ddr_peerolap::{run_peerolap, run_peerolap_traced, OlapMode, PeerOlapConfig, PeerOlapScenario};
 use ddr_stats::Table;
+use ddr_telemetry::{JsonlSink, KernelProfiler};
 
 pub fn run(opts: &ExpOptions, em: &mut Emitter) {
     let hours: u64 = if opts.hours_explicit { opts.hours } else { 8 };
+    let mut profiler = KernelProfiler::new();
 
     let mut table = Table::new(
         "Distributed OLAP caching: static vs dynamic neighborhoods",
@@ -36,7 +38,18 @@ pub fn run(opts: &ExpOptions, em: &mut Emitter) {
         if opts.smoke {
             shrink_peerolap(&mut cfg);
         }
-        let r = run_peerolap(cfg);
+        cfg.telemetry = opts.telemetry_for(mode.label());
+        let r = if opts.profile {
+            if opts.trace.is_some() {
+                ddr_harness::run_probed::<PeerOlapScenario<JsonlSink>, _>(cfg, &mut profiler)
+            } else {
+                ddr_harness::run_probed::<PeerOlapScenario, _>(cfg, &mut profiler)
+            }
+        } else if opts.trace.is_some() {
+            run_peerolap_traced(cfg)
+        } else {
+            run_peerolap(cfg)
+        };
         table.row(vec![
             r.label.to_string(),
             format!("{:.1}", 100.0 * r.peer_share()),
@@ -49,5 +62,8 @@ pub fn run(opts: &ExpOptions, em: &mut Emitter) {
         ]);
     }
     em.table(&table);
+    if opts.profile {
+        em.note(&profiler.render());
+    }
     opts.write_csv("peerolap_eval", &table);
 }

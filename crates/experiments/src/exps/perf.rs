@@ -305,6 +305,54 @@ pub fn run(opts: &ExpOptions, em: &mut Emitter) {
     em.table(&results_table(&results, reps));
 }
 
+/// The battery member the smoke-mode throughput guard watches. It runs
+/// with the default `NullSink` world, so it doubles as the zero-cost
+/// check for the telemetry layer: if compiled-out tracing ever leaks work
+/// into the hot path, this scenario slows down and the guard trips.
+const GUARD_SCENARIO: &str = "fig1_dynamic_hops2";
+
+/// Smoke runs tolerate heavy machine-relative noise (one unpinned rep on
+/// a shared CI host), so the guard only catches collapses — a kernel or
+/// instrumentation change costing 4× — never honest jitter.
+const GUARD_MIN_RATIO: f64 = 0.25;
+
+/// Compare the smoke battery's guard scenario against the most recent
+/// recorded trajectory entry that carries it. Silently passes when there
+/// is no baseline (fresh checkout, `--only` filtered the scenario away,
+/// unreadable file) — the guard gates regressions, not bootstrap.
+fn guard_smoke_throughput(entry: &BenchEntry, out_path: &str) {
+    let Some(current) = entry.scenarios.iter().find(|s| s.name == GUARD_SCENARIO) else {
+        return;
+    };
+    let Ok(text) = std::fs::read_to_string(out_path) else {
+        return;
+    };
+    let Ok(file) = serde_json::from_str::<BenchFile>(&text) else {
+        return;
+    };
+    let Some(baseline) = file.entries.iter().rev().find_map(|e| {
+        e.scenarios
+            .iter()
+            .find(|s| s.name == GUARD_SCENARIO)
+            .map(|s| s.events_per_sec)
+    }) else {
+        return;
+    };
+    let ratio = current.events_per_sec / baseline.max(1e-9);
+    eprintln!(
+        "[perfbench] smoke guard: {GUARD_SCENARIO} {:.0} ev/s vs recorded {:.0} (ratio {:.2})",
+        current.events_per_sec, baseline, ratio
+    );
+    assert!(
+        ratio >= GUARD_MIN_RATIO,
+        "{GUARD_SCENARIO} collapsed to {:.0} ev/s ({:.0}% of the recorded {:.0}): \
+         the untraced hot path regressed",
+        current.events_per_sec,
+        100.0 * ratio,
+        baseline
+    );
+}
+
 const PERFBENCH_USAGE: &str =
     "options: --label L  --out FILE  --scale N  --reps N  --only SUBSTR  --smoke  (-h for help)";
 
@@ -390,6 +438,7 @@ pub fn perfbench_main(args: Vec<String>) {
     validate_entry(&entry);
 
     if smoke {
+        guard_smoke_throughput(&entry, &out_path);
         eprintln!("[perfbench] smoke OK: battery completed, JSON schema valid ({SCHEMA})");
         return;
     }

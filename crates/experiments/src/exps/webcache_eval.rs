@@ -11,10 +11,14 @@ use super::shrink_webcache;
 use crate::emit::Emitter;
 use crate::opts::ExpOptions;
 use ddr_stats::Table;
-use ddr_webcache::{run_webcache, CacheMode, WebCacheConfig};
+use ddr_telemetry::{JsonlSink, KernelProfiler};
+use ddr_webcache::{
+    run_webcache, run_webcache_traced, CacheMode, WebCacheConfig, WebCacheScenario,
+};
 
 pub fn run(opts: &ExpOptions, em: &mut Emitter) {
     let hours: u64 = if opts.hours_explicit { opts.hours } else { 12 };
+    let mut profiler = KernelProfiler::new();
 
     let mut table = Table::new(
         "Cooperative web caching: static vs dynamic neighborhoods",
@@ -38,7 +42,18 @@ pub fn run(opts: &ExpOptions, em: &mut Emitter) {
         if opts.smoke {
             shrink_webcache(&mut cfg);
         }
-        let r = run_webcache(cfg);
+        cfg.telemetry = opts.telemetry_for(mode.label());
+        let r = if opts.profile {
+            if opts.trace.is_some() {
+                ddr_harness::run_probed::<WebCacheScenario<JsonlSink>, _>(cfg, &mut profiler)
+            } else {
+                ddr_harness::run_probed::<WebCacheScenario, _>(cfg, &mut profiler)
+            }
+        } else if opts.trace.is_some() {
+            run_webcache_traced(cfg)
+        } else {
+            run_webcache(cfg)
+        };
         table.row(vec![
             r.label.to_string(),
             format!("{:.1}", 100.0 * r.local_hit_ratio()),
@@ -50,5 +65,8 @@ pub fn run(opts: &ExpOptions, em: &mut Emitter) {
         ]);
     }
     em.table(&table);
+    if opts.profile {
+        em.note(&profiler.render());
+    }
     opts.write_csv("webcache_eval", &table);
 }

@@ -36,6 +36,7 @@ pub use registry::{find, registry, Experiment};
 
 use ddr_gnutella::{GnutellaScenario, RunReport, ScenarioConfig};
 use ddr_stats::Table;
+use ddr_telemetry::{JsonlSink, KernelProfiler};
 
 /// Run every Gnutella configuration, fanning out across up to `workers`
 /// threads, and return reports in input order. A thin alias over the
@@ -43,6 +44,38 @@ use ddr_stats::Table;
 /// callers.
 pub fn run_all(configs: Vec<ScenarioConfig>, workers: usize) -> Vec<RunReport> {
     ddr_harness::run_many::<GnutellaScenario>(configs, workers)
+}
+
+/// [`run_all`] with the telemetry options applied: the default build is
+/// the parallel untraced sweep; `--trace` swaps in the JSONL-sink world
+/// (sampled query spans appended to one shared file, each record carrying
+/// its run label); `--profile` runs serially under a kernel probe and
+/// emits the dispatch/queue report afterwards. Reports are bit-identical
+/// across all three paths — telemetry only observes.
+pub fn run_all_with(
+    opts: &ExpOptions,
+    configs: Vec<ScenarioConfig>,
+    em: &mut Emitter,
+) -> Vec<RunReport> {
+    if opts.profile {
+        let mut profiler = KernelProfiler::new();
+        let reports = configs
+            .into_iter()
+            .map(|c| {
+                if opts.trace.is_some() {
+                    ddr_harness::run_probed::<GnutellaScenario<JsonlSink>, _>(c, &mut profiler)
+                } else {
+                    ddr_harness::run_probed::<GnutellaScenario, _>(c, &mut profiler)
+                }
+            })
+            .collect();
+        em.note(&profiler.render());
+        reports
+    } else if opts.trace.is_some() {
+        ddr_harness::run_many::<GnutellaScenario<JsonlSink>>(configs, default_workers())
+    } else {
+        run_all(configs, default_workers())
+    }
 }
 
 /// Default worker count: one per core (re-exported from the sweep engine).
@@ -133,6 +166,25 @@ mod tests {
     #[test]
     fn run_all_empty_is_empty() {
         assert!(run_all(vec![], 4).is_empty());
+    }
+
+    #[test]
+    fn profiled_run_matches_plain_and_names_event_types() {
+        let opts = ExpOptions {
+            profile: true,
+            ..ExpOptions::default()
+        };
+        let mut em = Emitter::capture();
+        let configs = vec![tiny(Mode::Static), tiny(Mode::Dynamic)];
+        let prof = run_all_with(&opts, configs.clone(), &mut em);
+        let plain = run_all(configs, 2);
+        for (a, b) in prof.iter().zip(&plain) {
+            assert_eq!(a.total_hits(), b.total_hits(), "probing changed the run");
+            assert_eq!(a.total_messages(), b.total_messages());
+        }
+        let out = em.captured().unwrap();
+        assert!(out.contains("QueryArrive"), "no per-event profile row");
+        assert!(out.contains("occupancy"), "no queue-occupancy table");
     }
 
     #[test]

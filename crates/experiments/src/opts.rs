@@ -3,12 +3,15 @@
 //! One flag grammar serves the `ddr` CLI and all legacy per-figure shims:
 //!
 //! ```text
-//! --scale N    divide users & songs by N (default 1 = paper scale)
-//! --hours H    simulated horizon (default 96 = the paper's 4 days)
-//! --seed S     root seed (default: the scenario default)
-//! --csv DIR    also write table CSVs into DIR
-//! --json DIR   also write report JSON into DIR (defaults to the CSV dir)
-//! --smoke      shrink every world to a seconds-long CI configuration
+//! --scale N         divide users & songs by N (default 1 = paper scale)
+//! --hours H         simulated horizon (default 96 = the paper's 4 days)
+//! --seed S          root seed (default: the scenario default)
+//! --csv DIR         also write table CSVs into DIR
+//! --json DIR        also write report JSON into DIR (defaults to the CSV dir)
+//! --smoke           shrink every world to a seconds-long CI configuration
+//! --trace FILE      write sampled query-lifecycle spans as JSONL to FILE
+//! --trace-sample N  trace every Nth query (default 1 = all; needs --trace)
+//! --profile         profile the kernel and print a dispatch/queue report
 //! ```
 //!
 //! Parsing is a pure function ([`ExpOptions::parse`]) returning
@@ -18,6 +21,7 @@
 
 use ddr_gnutella::{Mode, ScenarioConfig};
 use ddr_stats::Table;
+use ddr_telemetry::TelemetryConfig;
 use std::path::PathBuf;
 
 /// Why parsing failed (or stopped) — surfaced verbatim in usage output.
@@ -45,8 +49,8 @@ impl std::fmt::Display for CliError {
 }
 
 /// The flag summary printed on `--help` and on parse errors.
-pub const USAGE: &str =
-    "options: --scale N  --hours H  --seed S  --csv DIR  --json DIR  --smoke  (-h for help)";
+pub const USAGE: &str = "options: --scale N  --hours H  --seed S  --csv DIR  --json DIR  --smoke  \
+     --trace FILE  --trace-sample N  --profile  (-h for help)";
 
 /// Command-line options shared by all experiment entry points.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +72,14 @@ pub struct ExpOptions {
     pub scale_explicit: bool,
     /// Whether `--hours` was given explicitly.
     pub hours_explicit: bool,
+    /// JSONL trace output path: compile the trace sink in and write
+    /// sampled query-lifecycle spans there.
+    pub trace: Option<PathBuf>,
+    /// Trace every Nth query (1 = all). Meaningful only with `--trace`.
+    pub trace_sample: u64,
+    /// Profile the event kernel (per-event-type dispatch timing + queue
+    /// occupancy) and print the report after the run.
+    pub profile: bool,
 }
 
 impl Default for ExpOptions {
@@ -81,6 +93,9 @@ impl Default for ExpOptions {
             smoke: false,
             scale_explicit: false,
             hours_explicit: false,
+            trace: None,
+            trace_sample: 1,
+            profile: false,
         }
     }
 }
@@ -126,6 +141,15 @@ impl ExpOptions {
                 "--csv" => opts.csv_dir = Some(PathBuf::from(value("--csv")?)),
                 "--json" => opts.json_dir = Some(PathBuf::from(value("--json")?)),
                 "--smoke" => opts.smoke = true,
+                "--trace" => opts.trace = Some(PathBuf::from(value("--trace")?)),
+                "--trace-sample" => {
+                    let v = value("--trace-sample")?;
+                    opts.trace_sample = match v.parse() {
+                        Ok(n) if n >= 1 => n,
+                        _ => return Err(CliError::BadValue("--trace-sample".into(), v)),
+                    };
+                }
+                "--profile" => opts.profile = true,
                 "--help" | "-h" => return Err(CliError::Help),
                 flag if flag.starts_with('-') => return Err(CliError::UnknownFlag(flag.into())),
                 _ => positional.push(arg),
@@ -170,6 +194,16 @@ impl ExpOptions {
         self
     }
 
+    /// The telemetry settings these options imply for one run, labelled
+    /// so records from parallel runs sharing a trace file stay separable.
+    pub fn telemetry_for(&self, run_label: &'static str) -> TelemetryConfig {
+        TelemetryConfig {
+            trace_path: self.trace.clone(),
+            sample: self.trace_sample,
+            run_label,
+        }
+    }
+
     /// Build a Gnutella scenario configuration under these options.
     pub fn scenario(&self, mode: Mode, hops: u8) -> ScenarioConfig {
         let mut c = if self.scale == 1 {
@@ -183,6 +217,7 @@ impl ExpOptions {
         if let Some(seed) = self.seed {
             c.seed = seed;
         }
+        c.telemetry = self.telemetry_for(mode.label());
         c
     }
 
@@ -225,7 +260,46 @@ mod tests {
         assert_eq!(o.hours, 96);
         assert!(o.seed.is_none() && o.csv_dir.is_none() && o.json_dir.is_none());
         assert!(!o.smoke && !o.scale_explicit && !o.hours_explicit);
+        assert!(o.trace.is_none() && !o.profile);
+        assert_eq!(o.trace_sample, 1);
         assert!(pos.is_empty());
+    }
+
+    #[test]
+    fn trace_flags_parse_and_stamp_the_scenario() {
+        let (o, _) = parse(&[
+            "--trace",
+            "/tmp/t.jsonl",
+            "--trace-sample",
+            "8",
+            "--profile",
+        ])
+        .unwrap();
+        assert_eq!(
+            o.trace.as_deref(),
+            Some(std::path::Path::new("/tmp/t.jsonl"))
+        );
+        assert_eq!(o.trace_sample, 8);
+        assert!(o.profile);
+        let c = o.scenario(Mode::Dynamic, 2);
+        assert_eq!(
+            c.telemetry.trace_path.as_deref(),
+            Some(std::path::Path::new("/tmp/t.jsonl"))
+        );
+        assert_eq!(c.telemetry.sample, 8);
+        assert_eq!(c.telemetry.run_label, Mode::Dynamic.label());
+    }
+
+    #[test]
+    fn trace_sample_zero_is_rejected() {
+        assert_eq!(
+            parse(&["--trace-sample", "0"]),
+            Err(CliError::BadValue("--trace-sample".into(), "0".into()))
+        );
+        assert_eq!(
+            parse(&["--trace-sample", "many"]),
+            Err(CliError::BadValue("--trace-sample".into(), "many".into()))
+        );
     }
 
     #[test]

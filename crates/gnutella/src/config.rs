@@ -7,6 +7,7 @@ use ddr_core::benefit::{
 };
 use ddr_core::{ForwardSelection, InvitationPolicy, ResultScore};
 use ddr_sim::SimDuration;
+use ddr_telemetry::TelemetryConfig;
 use ddr_workload::WorkloadConfig;
 
 /// Static baseline vs dynamic (framework) reconfiguration.
@@ -174,6 +175,10 @@ pub struct ScenarioConfig {
     pub free_rider_fraction: f64,
     /// Root seed; a run is a pure function of `(config, seed)`.
     pub seed: u64,
+    /// Trace output settings. Only consulted when the world is built with
+    /// an enabled sink (`GnutellaWorld<JsonlSink>`); the default
+    /// `NullSink` world ignores it entirely.
+    pub telemetry: TelemetryConfig,
 }
 
 impl ScenarioConfig {
@@ -203,6 +208,7 @@ impl ScenarioConfig {
             reconfig_on_neighbor_loss: true,
             free_rider_fraction: 0.0,
             seed: 0xDD_2003,
+            telemetry: TelemetryConfig::default(),
         }
     }
 

@@ -2,7 +2,7 @@
 
 use ddr_core::QueryDescriptor;
 use ddr_net::BandwidthClass;
-use ddr_sim::{NodeId, QueryId};
+use ddr_sim::{EventLabel, NodeId, QueryId};
 
 /// Everything that can happen in a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,4 +54,21 @@ pub enum GnutellaEvent {
         peer: NodeId,
         session: u32,
     },
+}
+
+impl EventLabel for GnutellaEvent {
+    fn label(&self) -> &'static str {
+        match self {
+            GnutellaEvent::Toggle { .. } => "Toggle",
+            GnutellaEvent::IssueQuery { .. } => "IssueQuery",
+            GnutellaEvent::QueryArrive { .. } => "QueryArrive",
+            GnutellaEvent::ReplyArrive { .. } => "ReplyArrive",
+            GnutellaEvent::QueryFinalize { .. } => "QueryFinalize",
+            GnutellaEvent::InviteArrive { .. } => "InviteArrive",
+            GnutellaEvent::EvictArrive { .. } => "EvictArrive",
+            GnutellaEvent::WaveCheck { .. } => "WaveCheck",
+            GnutellaEvent::IndexRefresh { .. } => "IndexRefresh",
+            GnutellaEvent::TrialExpire { .. } => "TrialExpire",
+        }
+    }
 }

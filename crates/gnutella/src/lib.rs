@@ -32,5 +32,5 @@ pub mod world;
 
 pub use config::{BenefitKind, Mode, ScenarioConfig};
 pub use metrics::{Metrics, RunReport};
-pub use scenario::{run_scenario, run_scenario_with_world, GnutellaScenario};
+pub use scenario::{run_scenario, run_scenario_traced, run_scenario_with_world, GnutellaScenario};
 pub use world::GnutellaWorld;

@@ -6,21 +6,25 @@ use crate::config::ScenarioConfig;
 use crate::metrics::RunReport;
 use crate::world::GnutellaWorld;
 use ddr_harness::Scenario;
-use ddr_sim::{event_capacity_hint, EventQueue, RunOutcome, World};
+use ddr_sim::{event_capacity_hint, EventQueue, RunOutcome};
 use ddr_stats::MeasurementWindow;
+use ddr_telemetry::{JsonlSink, NullSink, TraceSink};
+use std::marker::PhantomData;
 
 /// Case study 1 (static vs dynamic Gnutella, paper §4) as a harness
-/// scenario.
-pub struct GnutellaScenario;
+/// scenario. The sink parameter selects the telemetry build: the default
+/// `GnutellaScenario` (= `GnutellaScenario<NullSink>`) is the untraced
+/// fast path, `GnutellaScenario<JsonlSink>` records query spans.
+pub struct GnutellaScenario<T: TraceSink = NullSink>(PhantomData<T>);
 
-impl Scenario for GnutellaScenario {
+impl<T: TraceSink> Scenario for GnutellaScenario<T> {
     type Config = ScenarioConfig;
-    type World = GnutellaWorld;
+    type World = GnutellaWorld<T>;
     type Report = RunReport;
 
     const NAME: &'static str = "gnutella";
 
-    fn build(config: ScenarioConfig) -> GnutellaWorld {
+    fn build(config: ScenarioConfig) -> GnutellaWorld<T> {
         GnutellaWorld::new(config)
     }
 
@@ -32,11 +36,11 @@ impl Scenario for GnutellaScenario {
         MeasurementWindow::new(config.warmup_hours, config.sim_hours)
     }
 
-    fn prime(world: &mut GnutellaWorld, queue: &mut EventQueue<<GnutellaWorld as World>::Event>) {
+    fn prime(world: &mut GnutellaWorld<T>, queue: &mut EventQueue<crate::events::GnutellaEvent>) {
         world.prime(queue);
     }
 
-    fn extract_report(world: &GnutellaWorld, window: MeasurementWindow) -> RunReport {
+    fn extract_report(world: &GnutellaWorld<T>, window: MeasurementWindow) -> RunReport {
         RunReport {
             metrics: world.metrics.clone(),
             window,
@@ -57,6 +61,14 @@ impl Scenario for GnutellaScenario {
 /// identical reports.
 pub fn run_scenario(config: ScenarioConfig) -> RunReport {
     ddr_harness::run::<GnutellaScenario>(config)
+}
+
+/// Like [`run_scenario`] but with the JSONL trace sink compiled in:
+/// sampled query spans land in `config.telemetry.trace_path`. The
+/// returned report is bit-identical to the untraced one (tracing only
+/// observes).
+pub fn run_scenario_traced(config: ScenarioConfig) -> RunReport {
+    ddr_harness::run::<GnutellaScenario<JsonlSink>>(config)
 }
 
 /// Like [`run_scenario`] but also hands back the final world, for tests

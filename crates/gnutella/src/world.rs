@@ -36,11 +36,15 @@ use ddr_net::NetworkModel;
 use ddr_overlay::Topology;
 use ddr_sim::ItemId;
 use ddr_sim::{NodeId, QueryId, RngFactory, Scheduler, SimTime, Trace, World};
+use ddr_telemetry::{NullSink, QueryTracer, TraceOutcome, TraceSink};
 use ddr_workload::{generate_profiles, Catalog, ChurnProcess, QueryGenerator, UserProfile};
 use rand::rngs::SmallRng;
 
-/// The complete simulation state.
-pub struct GnutellaWorld {
+/// The complete simulation state. The sink parameter `T` decides at
+/// compile time whether query-lifecycle telemetry is recorded; the
+/// default [`NullSink`] world is byte-identical to the pre-telemetry
+/// hot path.
+pub struct GnutellaWorld<T: TraceSink = NullSink> {
     config: ScenarioConfig,
     catalog: Catalog,
     profiles: Vec<UserProfile>,
@@ -72,9 +76,12 @@ pub struct GnutellaWorld {
     /// Optional protocol trace (disabled by default; enable with
     /// [`GnutellaWorld::enable_trace`] for white-box debugging).
     pub trace: Trace,
+    /// Query-lifecycle span recorder (a no-op unless `T` is an enabled
+    /// sink).
+    tracer: QueryTracer<T>,
 }
 
-impl GnutellaWorld {
+impl<T: TraceSink> GnutellaWorld<T> {
     /// Build the initial world: profiles, network classes, the random
     /// bootstrap overlay among initially-online users — everything derived
     /// deterministically from `(config, config.seed)`.
@@ -132,6 +139,7 @@ impl GnutellaWorld {
         };
         let served = vec![0u64; config.workload.users];
         let indices = vec![None; 0]; // sized after `config` moves in
+        let tracer = QueryTracer::new(&config.telemetry);
         let mut world = GnutellaWorld {
             config,
             catalog,
@@ -151,6 +159,7 @@ impl GnutellaWorld {
             pq_pool: Vec::new(),
             metrics: Metrics::new(),
             trace: Trace::disabled(),
+            tracer,
         };
         world.benefit = world.config.benefit.build();
         world.indices = vec![None; world.config.workload.users];
@@ -434,6 +443,17 @@ impl GnutellaWorld {
 
     fn logoff(&mut self, node: NodeId, sched: &mut Scheduler<'_, GnutellaEvent>) {
         let i = node.index();
+        if T::ENABLED {
+            // The session teardown below discards the node's in-flight
+            // queries; close their spans first so every trace span still
+            // reaches a terminal record.
+            let mut cut: Vec<u64> = self.peers[i].pending.keys().map(|q| q.0).collect();
+            cut.sort_unstable();
+            for q in cut {
+                self.tracer
+                    .finish(sched.now(), QueryId(q), TraceOutcome::Timeout, 0, -1.0);
+            }
+        }
         self.peers[i].end_session();
         self.online.remove(node);
         self.metrics.logoffs += 1;
@@ -509,6 +529,15 @@ impl GnutellaWorld {
             },
             SearchStrategy::LocalIndices { radius } => LaunchPlan::LocalIndices { radius: *radius },
         };
+        let launch_ttl = match &plan {
+            LaunchPlan::Bfs => self.config.max_hops,
+            LaunchPlan::Deepening { first_depth } => *first_depth,
+            LaunchPlan::LocalIndices { radius } => {
+                self.config.max_hops.saturating_sub(*radius).max(1)
+            }
+        };
+        self.tracer
+            .issue(now, qid, node, item.index() as u64, launch_ttl);
         match plan {
             LaunchPlan::Bfs => {
                 self.flood_from_origin(node, qid, item, self.config.max_hops, sched);
@@ -588,6 +617,7 @@ impl GnutellaWorld {
         }
         if !self.peers[i].rt.seen().first_sighting(desc.id) {
             self.metrics.duplicates_dropped += 1;
+            self.tracer.dup(sched.now(), desc.id, to);
             return; // "if the same message has been received before, discard"
         }
         if !self.free_rider[i] && self.profiles[i].has(desc.item) {
@@ -644,6 +674,15 @@ impl GnutellaWorld {
             &mut self.rng,
             &mut targets,
         );
+        self.tracer.hop(
+            sched.now(),
+            desc.id,
+            to,
+            from,
+            desc.ttl,
+            desc.travelled,
+            targets.len(),
+        );
         for &t in &targets {
             self.send_query(to, t, fwd, sched);
         }
@@ -666,21 +705,31 @@ impl GnutellaWorld {
             }
             if was_first {
                 self.metrics.runtime.on_hit(now.as_hours() as usize);
+                let latency = now.saturating_since(pq.issued_at).as_millis() as f64;
+                self.tracer.first(now, query, from, hops, latency);
             }
         }
     }
 
-    fn finalize_query(&mut self, node: NodeId, query: QueryId) {
+    fn finalize_query(&mut self, node: NodeId, query: QueryId, now: SimTime) {
         let i = node.index();
         let Some(pq) = self.peers[i].pending.remove(&query) else {
             return; // logged off in the meantime, or double finalize
         };
         let results = pq.responders.len();
         if results == 0 {
+            self.tracer.finish(now, query, TraceOutcome::Miss, 0, -1.0);
             self.pq_pool.push(pq);
             return;
         }
         let first_at = pq.first_at.expect("responders non-empty");
+        self.tracer.finish(
+            now,
+            query,
+            TraceOutcome::Hit,
+            results as u64,
+            first_at.saturating_since(pq.issued_at).as_millis() as f64,
+        );
         let hour = first_at.as_hours();
         self.metrics.results.add(hour as usize, results as f64);
         if hour >= self.config.warmup_hours {
@@ -859,7 +908,7 @@ impl GnutellaWorld {
     }
 }
 
-impl GnutellaWorld {
+impl<T: TraceSink> GnutellaWorld<T> {
     /// Iterative deepening: the wave's collection window elapsed.
     fn wave_check(
         &mut self,
@@ -887,7 +936,7 @@ impl GnutellaWorld {
         };
         let satisfied = !pq.responders.is_empty();
         let Some(next_depth) = (!satisfied).then_some(next_depth).flatten() else {
-            self.finalize_query(node, query);
+            self.finalize_query(node, query, sched.now());
             return;
         };
         // Relaunch deeper under a fresh wire id; the pending record (and
@@ -900,6 +949,8 @@ impl GnutellaWorld {
         self.peers[i].rt.seen().first_sighting(qid2);
         self.peers[i].pending.insert(qid2, pq);
         self.metrics.extra_waves += 1;
+        self.tracer
+            .relaunch(sched.now(), query, qid2, next_wave as u8);
         self.flood_from_origin(node, qid2, item, next_depth, sched);
         sched.after(
             self.config.wave_timeout,
@@ -976,7 +1027,7 @@ impl GnutellaWorld {
     }
 }
 
-impl World for GnutellaWorld {
+impl<T: TraceSink> World for GnutellaWorld<T> {
     type Event = GnutellaEvent;
 
     fn handle(
@@ -1016,7 +1067,7 @@ impl World for GnutellaWorld {
                 self.reply_arrive(to, from, query, hops, now);
             }
             GnutellaEvent::QueryFinalize { node, query } => {
-                self.finalize_query(node, query);
+                self.finalize_query(node, query, now);
             }
             GnutellaEvent::InviteArrive { to, from } => {
                 self.invite_arrive(to, from, sched);

@@ -1,6 +1,6 @@
 //! The [`Scenario`] trait and the generic prime → run → extract driver.
 
-use ddr_sim::{EventQueue, RunOutcome, SimTime, Simulation, World};
+use ddr_sim::{EventLabel, EventQueue, KernelProbe, RunOutcome, SimTime, Simulation, World};
 use ddr_stats::MeasurementWindow;
 use std::time::Instant;
 
@@ -83,6 +83,33 @@ pub fn run_with_world<S: Scenario>(config: S::Config) -> (S::Report, S::World) {
     let world = sim.into_world();
     let report = S::extract_report(&world, window);
     (report, world)
+}
+
+/// Like [`run`] but with a [`KernelProbe`] observing the event loop:
+/// every dispatch is labelled and timed, and queue statistics are sampled
+/// periodically. The report is bit-identical to an unprobed run — probes
+/// only observe (they consume no randomness and schedule nothing). Used
+/// by `ddr run --profile`; requires the scenario's event type to carry
+/// static labels ([`EventLabel`]).
+pub fn run_probed<S, P>(config: S::Config, probe: &mut P) -> S::Report
+where
+    S: Scenario,
+    P: KernelProbe,
+    <S::World as World>::Event: EventLabel,
+{
+    let window = S::window(&config);
+    let capacity = S::capacity_hint(&config);
+    let horizon = SimTime::from_hours(window.to_hour);
+
+    let mut world = S::build(config);
+    let mut queue: EventQueue<<S::World as World>::Event> = EventQueue::with_capacity(capacity);
+    S::prime(&mut world, &mut queue);
+    let mut sim = Simulation::with_queue(world, queue);
+
+    let outcome = sim.run_probed(horizon, probe);
+    S::check_outcome(outcome);
+    let world = sim.into_world();
+    S::extract_report(&world, window)
 }
 
 /// Kernel-level counters of one timed run (the perfbench measurement).
@@ -251,6 +278,32 @@ mod tests {
         let (report, world) = run_with_world::<TickScenario>(cfg(1));
         assert_eq!(report.fired, world.fired);
         assert_eq!(report.checksum, world.checksum);
+    }
+
+    #[test]
+    fn probed_run_sees_every_dispatch_and_changes_nothing() {
+        struct CountProbe {
+            dispatches: u64,
+            samples: u64,
+        }
+        impl ddr_sim::KernelProbe for CountProbe {
+            fn on_dispatch(&mut self, label: &'static str, _wall_ns: u64) {
+                assert_eq!(label, "()");
+                self.dispatches += 1;
+            }
+            fn on_queue_sample(&mut self, _sample: ddr_sim::QueueSample) {
+                self.samples += 1;
+            }
+        }
+        let mut probe = CountProbe {
+            dispatches: 0,
+            samples: 0,
+        };
+        let probed = run_probed::<TickScenario, _>(cfg(7), &mut probe);
+        let plain = run::<TickScenario>(cfg(7));
+        assert_eq!(probed, plain, "probing must not perturb the run");
+        assert_eq!(probe.dispatches, plain.fired);
+        assert!(probe.samples > 0, "7200 events must trigger queue samples");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Configuration of the PeerOlap-style scenario.
 
 use ddr_sim::SimDuration;
+use ddr_telemetry::TelemetryConfig;
 
 /// Static random neighborhoods vs framework-managed reconfiguration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +73,9 @@ pub struct PeerOlapConfig {
     pub seed: u64,
     /// Mode under test.
     pub mode: OlapMode,
+    /// Trace output settings; consulted only by worlds built with an
+    /// enabled sink (`PeerOlapWorld<JsonlSink>`).
+    pub telemetry: TelemetryConfig,
 }
 
 impl PeerOlapConfig {
@@ -100,6 +104,7 @@ impl PeerOlapConfig {
             warmup_hours: 1,
             seed: 0x01AF,
             mode,
+            telemetry: TelemetryConfig::default(),
         }
     }
 

@@ -5,8 +5,10 @@
 use crate::config::PeerOlapConfig;
 use crate::world::PeerOlapWorld;
 use ddr_harness::Scenario;
-use ddr_sim::{event_capacity_hint, EventQueue, World};
+use ddr_sim::{event_capacity_hint, EventQueue};
 use ddr_stats::{safe_ratio, MeasurementWindow};
+use ddr_telemetry::{JsonlSink, NullSink, TraceSink};
+use std::marker::PhantomData;
 
 /// Report of one run: a thin domain view over the collected metrics and
 /// the measurement window.
@@ -58,17 +60,19 @@ impl PeerOlapReport {
 }
 
 /// Case study 3 (PeerOlap, bounded-incoming asymmetric relations) as a
-/// harness scenario.
-pub struct PeerOlapScenario;
+/// harness scenario. The sink parameter selects the telemetry build: the
+/// default `PeerOlapScenario` (= `PeerOlapScenario<NullSink>`) is the
+/// untraced fast path, `PeerOlapScenario<JsonlSink>` records query spans.
+pub struct PeerOlapScenario<T: TraceSink = NullSink>(PhantomData<T>);
 
-impl Scenario for PeerOlapScenario {
+impl<T: TraceSink> Scenario for PeerOlapScenario<T> {
     type Config = PeerOlapConfig;
-    type World = PeerOlapWorld;
+    type World = PeerOlapWorld<T>;
     type Report = PeerOlapReport;
 
     const NAME: &'static str = "peerolap";
 
-    fn build(config: PeerOlapConfig) -> PeerOlapWorld {
+    fn build(config: PeerOlapConfig) -> PeerOlapWorld<T> {
         PeerOlapWorld::new(config)
     }
 
@@ -80,11 +84,11 @@ impl Scenario for PeerOlapScenario {
         MeasurementWindow::new(config.warmup_hours, config.sim_hours)
     }
 
-    fn prime(world: &mut PeerOlapWorld, queue: &mut EventQueue<<PeerOlapWorld as World>::Event>) {
+    fn prime(world: &mut PeerOlapWorld<T>, queue: &mut EventQueue<crate::world::OlapEvent>) {
         world.prime(queue);
     }
 
-    fn extract_report(world: &PeerOlapWorld, window: MeasurementWindow) -> PeerOlapReport {
+    fn extract_report(world: &PeerOlapWorld<T>, window: MeasurementWindow) -> PeerOlapReport {
         PeerOlapReport {
             label: world.config().mode.label(),
             same_group_fraction: world.same_group_edge_fraction(),
@@ -97,6 +101,14 @@ impl Scenario for PeerOlapScenario {
 /// Run one scenario; pure function of the config (which embeds the seed).
 pub fn run_peerolap(config: PeerOlapConfig) -> PeerOlapReport {
     ddr_harness::run::<PeerOlapScenario>(config)
+}
+
+/// Like [`run_peerolap`] but with the JSONL trace sink compiled in:
+/// sampled query spans land in `config.telemetry.trace_path`. The
+/// returned report is bit-identical to the untraced one (tracing only
+/// observes).
+pub fn run_peerolap_traced(config: PeerOlapConfig) -> PeerOlapReport {
+    ddr_harness::run::<PeerOlapScenario<JsonlSink>>(config)
 }
 
 #[cfg(test)]
@@ -180,7 +192,7 @@ mod tests {
         let cfg = small(OlapMode::Dynamic);
         let in_capacity = cfg.in_capacity;
         let peers = cfg.peers;
-        let mut world = crate::world::PeerOlapWorld::new(cfg);
+        let mut world = crate::world::PeerOlapWorld::<NullSink>::new(cfg);
         let mut queue = ddr_sim::EventQueue::new();
         world.prime(&mut queue);
         let mut sim = ddr_sim::Simulation::new(world);

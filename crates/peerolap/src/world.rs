@@ -24,9 +24,11 @@ use ddr_core::stats_store::ReplyObservation;
 use ddr_core::{plan_asymmetric_update, CumulativeBenefit};
 use ddr_overlay::{RelationKind, Topology};
 use ddr_sim::{
-    FastHashMap, ItemId, NodeId, QueryId, RngFactory, Scheduler, SimDuration, SimTime, World,
+    EventLabel, FastHashMap, ItemId, NodeId, QueryId, RngFactory, Scheduler, SimDuration, SimTime,
+    World,
 };
 use ddr_stats::{BucketSeries, RuntimeMetrics};
+use ddr_telemetry::{NullSink, QueryTracer, TraceOutcome, TraceSink};
 use ddr_webcache::LruCache;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -59,6 +61,19 @@ pub enum OlapEvent {
     QueryComplete { peer: NodeId, query: QueryId },
     /// `peer` flips between present and absent (churn mode only).
     PeerToggle { peer: NodeId },
+}
+
+impl EventLabel for OlapEvent {
+    fn label(&self) -> &'static str {
+        match self {
+            OlapEvent::IssueQuery { .. } => "IssueQuery",
+            OlapEvent::ChunkRequest { .. } => "ChunkRequest",
+            OlapEvent::ChunkReply { .. } => "ChunkReply",
+            OlapEvent::P2pPhaseEnd { .. } => "P2pPhaseEnd",
+            OlapEvent::QueryComplete { .. } => "QueryComplete",
+            OlapEvent::PeerToggle { .. } => "PeerToggle",
+        }
+    }
 }
 
 /// An in-flight query at its initiator.
@@ -109,8 +124,10 @@ pub struct OlapMetrics {
     pub departures: u64,
 }
 
-/// The complete world.
-pub struct PeerOlapWorld {
+/// The complete world. The sink parameter selects the telemetry build:
+/// the default `PeerOlapWorld` (= `PeerOlapWorld<NullSink>`) compiles all
+/// tracing away, `PeerOlapWorld<JsonlSink>` records sampled query spans.
+pub struct PeerOlapWorld<T: TraceSink = NullSink> {
     config: PeerOlapConfig,
     space: CubeSpace,
     topology: Topology,
@@ -119,11 +136,12 @@ pub struct PeerOlapWorld {
     present: Membership,
     rng: SmallRng,
     next_query: u64,
+    tracer: QueryTracer<T>,
     /// Metrics, public for reports and tests.
     pub metrics: OlapMetrics,
 }
 
-impl PeerOlapWorld {
+impl<T: TraceSink> PeerOlapWorld<T> {
     /// Build the initial world with random outgoing neighborhoods.
     pub fn new(config: PeerOlapConfig) -> Self {
         config.validate().expect("invalid PeerOlap config");
@@ -158,6 +176,7 @@ impl PeerOlapWorld {
             .collect();
 
         let present = Membership::all_online(config.peers);
+        let tracer = QueryTracer::new(&config.telemetry);
         PeerOlapWorld {
             config,
             space,
@@ -166,6 +185,7 @@ impl PeerOlapWorld {
             present,
             rng,
             next_query: 0,
+            tracer,
             metrics: OlapMetrics::default(),
         }
     }
@@ -274,12 +294,21 @@ impl PeerOlapWorld {
 
         let qid = QueryId(self.next_query);
         self.next_query += 1;
+        self.tracer.issue(
+            now,
+            qid,
+            peer,
+            shape.chunks[0].index() as u64,
+            self.config.max_hops,
+        );
 
         if wanted.is_empty() {
             // Fully cached: done instantly.
             if now.as_hours() >= self.config.warmup_hours {
                 self.metrics.runtime.on_latency_ms(1.0);
             }
+            self.tracer
+                .finish(now, qid, TraceOutcome::Hit, local as u64, 1.0);
             self.after_query(peer, sched);
             return;
         }
@@ -295,6 +324,8 @@ impl PeerOlapWorld {
             },
         );
         let targets: Vec<NodeId> = self.topology.out(peer).iter().collect();
+        self.tracer
+            .hop(now, qid, peer, peer, self.config.max_hops, 0, targets.len());
         for t in targets {
             self.metrics.runtime.on_messages(hour, 1.0);
             let d = self.jittered(self.config.peer_delay);
@@ -344,6 +375,7 @@ impl PeerOlapWorld {
             return; // the peer left while the request was in flight
         }
         if !self.peers[i].rt.seen().first_sighting(query) {
+            self.tracer.dup(sched.now(), query, to);
             return; // already served this query via another path
         }
         let (have, missing): (Vec<ItemId>, Vec<ItemId>) = chunks
@@ -362,6 +394,7 @@ impl PeerOlapWorld {
             );
         }
         // Narrowed forwarding: only the still-missing chunks travel on.
+        let mut fanout = 0usize;
         if ttl > 1 && !missing.is_empty() {
             let targets: Vec<NodeId> = self
                 .topology
@@ -369,6 +402,7 @@ impl PeerOlapWorld {
                 .iter()
                 .filter(|&n| n != from && n != origin)
                 .collect();
+            fanout = targets.len();
             let hour = sched.now().as_hours() as usize;
             for t in targets {
                 self.metrics.runtime.on_messages(hour, 1.0);
@@ -386,6 +420,9 @@ impl PeerOlapWorld {
                 );
             }
         }
+        let travelled = self.config.max_hops - ttl + 1;
+        self.tracer
+            .hop(sched.now(), query, to, from, ttl, travelled, fanout);
     }
 
     fn chunk_reply(
@@ -400,6 +437,7 @@ impl PeerOlapWorld {
         let Some(pq) = self.peers[i].pending.get_mut(&query) else {
             return; // the P2P phase already closed
         };
+        let was_empty = pq.acquired.is_empty();
         let mut saved_ms = 0u64;
         let mut fresh = 0u32;
         for c in chunks {
@@ -414,6 +452,9 @@ impl PeerOlapWorld {
         }
         pq.last_reply_at = now;
         let latency_ms = now.saturating_since(pq.issued_at).as_millis() as f64;
+        if was_empty {
+            self.tracer.first(now, query, from, 1, latency_ms);
+        }
         self.metrics
             .runtime
             .hits
@@ -452,11 +493,13 @@ impl PeerOlapWorld {
             // Peers supplied everything; the query actually completed at
             // the last useful reply.
             let done_at = pq.last_reply_at;
+            let span_latency = done_at.saturating_since(pq.issued_at).as_millis() as f64;
+            let served = pq.wanted.len() as u64;
             if done_at.as_hours() >= self.config.warmup_hours {
-                self.metrics
-                    .runtime
-                    .on_latency_ms(done_at.saturating_since(pq.issued_at).as_millis() as f64);
+                self.metrics.runtime.on_latency_ms(span_latency);
             }
+            self.tracer
+                .finish(now, query, TraceOutcome::Hit, served, span_latency);
             sched.at(now, OlapEvent::QueryComplete { peer, query });
             return;
         }
@@ -476,6 +519,9 @@ impl PeerOlapWorld {
         if (now + done_in).as_hours() >= self.config.warmup_hours {
             self.metrics.runtime.on_latency_ms(total_latency);
         }
+        let acquired = self.peers[i].pending[&query].acquired.len() as u64;
+        self.tracer
+            .finish(now, query, TraceOutcome::Miss, acquired, total_latency);
         sched.after(done_in, OlapEvent::QueryComplete { peer, query });
     }
 
@@ -530,7 +576,7 @@ impl PeerOlapWorld {
     }
 }
 
-impl World for PeerOlapWorld {
+impl<T: TraceSink> World for PeerOlapWorld<T> {
     type Event = OlapEvent;
 
     fn handle(&mut self, now: SimTime, event: OlapEvent, sched: &mut Scheduler<'_, OlapEvent>) {
@@ -560,6 +606,14 @@ impl World for PeerOlapWorld {
                     self.present.set(peer, false);
                     self.metrics.departures += 1;
                     self.topology.isolate(peer);
+                    if T::ENABLED {
+                        let mut cut: Vec<u64> = self.peers[i].pending.keys().map(|q| q.0).collect();
+                        cut.sort_unstable();
+                        for q in cut {
+                            self.tracer
+                                .finish(now, QueryId(q), TraceOutcome::Timeout, 0, -1.0);
+                        }
+                    }
                     self.peers[i].pending.clear();
                     let d = self.exp_duration(self.config.mean_absence);
                     sched.after(d, OlapEvent::PeerToggle { peer });
@@ -594,7 +648,7 @@ mod tests {
 
     #[test]
     fn world_respects_in_capacity_at_bootstrap() {
-        let w = PeerOlapWorld::new(PeerOlapConfig::default_scenario(OlapMode::Static));
+        let w = PeerOlapWorld::<NullSink>::new(PeerOlapConfig::default_scenario(OlapMode::Static));
         assert!(w.topology().check_consistency().is_empty());
         for p in 0..w.config().peers {
             let n = NodeId::from_index(p);
@@ -605,7 +659,7 @@ mod tests {
 
     #[test]
     fn initial_clustering_near_chance() {
-        let w = PeerOlapWorld::new(PeerOlapConfig::default_scenario(OlapMode::Dynamic));
+        let w = PeerOlapWorld::<NullSink>::new(PeerOlapConfig::default_scenario(OlapMode::Dynamic));
         assert!(w.same_group_edge_fraction() < 0.4);
     }
 }

@@ -46,7 +46,7 @@ fn invariants_hold_under_churn() {
     let cfg = base(OlapMode::Dynamic, true);
     let in_capacity = cfg.in_capacity;
     let peers = cfg.peers;
-    let mut world = ddr_peerolap::PeerOlapWorld::new(cfg);
+    let mut world = ddr_peerolap::PeerOlapWorld::<ddr_telemetry::NullSink>::new(cfg);
     let mut queue = ddr_sim::EventQueue::new();
     world.prime(&mut queue);
     let mut sim = ddr_sim::Simulation::new(world);

@@ -7,6 +7,7 @@
 //! view; it keeps the hot loop free of dynamic dispatch and allocation.
 
 use crate::event::{EventQueue, Scheduler};
+use crate::probe::{EventLabel, KernelProbe, QueueSample};
 use crate::time::SimTime;
 
 /// Simulation state + event semantics.
@@ -144,6 +145,48 @@ impl<W: World> Simulation<W> {
         }
     }
 
+    /// Like [`run`](Self::run), but reporting every dispatch (event label
+    /// and wall time inside `World::handle`) and a periodic queue snapshot
+    /// to `probe`. Kept as a separate twin so the default hot loop stays
+    /// timer-free; the event sequence — and therefore the world's final
+    /// state — is identical to an unprobed run.
+    pub fn run_probed<P>(&mut self, horizon: SimTime, probe: &mut P) -> RunOutcome
+    where
+        W::Event: EventLabel,
+        P: KernelProbe,
+    {
+        /// Dispatches between queue snapshots.
+        const SAMPLE_EVERY: u64 = 4_096;
+        loop {
+            match self.queue.peek_time() {
+                None => return RunOutcome::Exhausted,
+                Some(t) if t >= horizon => return RunOutcome::ReachedHorizon,
+                Some(_) => {}
+            }
+            if self.processed >= self.event_budget {
+                return RunOutcome::EventBudgetExhausted;
+            }
+            let (now, event) = self.queue.pop().expect("peeked event vanished");
+            self.processed += 1;
+            if let Some(next) = self.queue.peek_event() {
+                self.world.prefetch(next);
+            }
+            let label = event.label();
+            let mut sched = Scheduler::new(&mut self.queue);
+            let start = std::time::Instant::now();
+            self.world.handle(now, event, &mut sched);
+            probe.on_dispatch(label, start.elapsed().as_nanos() as u64);
+            if self.processed.is_multiple_of(SAMPLE_EVERY) {
+                probe.on_queue_sample(QueueSample {
+                    pending: self.queue.len(),
+                    overflow: self.queue.overflow_len(),
+                    occupied_buckets: self.queue.occupied_buckets(),
+                    migrations: self.queue.migrations(),
+                });
+            }
+        }
+    }
+
     /// Process exactly one event if any is pending before `horizon`.
     /// Returns the timestamp of the processed event.
     ///
@@ -272,6 +315,49 @@ mod tests {
         assert_eq!(sim.processed(), 2, "step processed past the event budget");
         // run() agrees that the budget is exhausted.
         assert_eq!(sim.run(SimTime::MAX), RunOutcome::EventBudgetExhausted);
+    }
+
+    #[test]
+    fn probed_run_matches_plain_run() {
+        use crate::probe::{KernelProbe, QueueSample};
+
+        struct CountingProbe {
+            dispatches: u64,
+            samples: u64,
+        }
+        impl KernelProbe for CountingProbe {
+            fn on_dispatch(&mut self, label: &'static str, _wall_ns: u64) {
+                assert_eq!(label, "()");
+                self.dispatches += 1;
+            }
+            fn on_queue_sample(&mut self, _sample: QueueSample) {
+                self.samples += 1;
+            }
+        }
+
+        let mut plain = Simulation::new(Countdown {
+            remaining: 5_000,
+            fired_at: vec![],
+        });
+        plain.schedule_at(SimTime::ZERO, ());
+        assert_eq!(plain.run(SimTime::MAX), RunOutcome::Exhausted);
+
+        let mut probed = Simulation::new(Countdown {
+            remaining: 5_000,
+            fired_at: vec![],
+        });
+        probed.schedule_at(SimTime::ZERO, ());
+        let mut probe = CountingProbe {
+            dispatches: 0,
+            samples: 0,
+        };
+        assert_eq!(
+            probed.run_probed(SimTime::MAX, &mut probe),
+            RunOutcome::Exhausted
+        );
+        assert_eq!(probed.world().fired_at, plain.world().fired_at);
+        assert_eq!(probe.dispatches, probed.processed());
+        assert!(probe.samples >= 1, "5001 events must yield a queue sample");
     }
 
     #[test]

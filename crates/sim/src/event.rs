@@ -144,6 +144,10 @@ pub struct EventQueue<E> {
     seq: u64,
     now: SimTime,
     peak: usize,
+    /// Entries migrated from the overflow heap into the wheel over the
+    /// queue's lifetime (profiling: how often the far-future population
+    /// is touched).
+    migrations: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -167,6 +171,7 @@ impl<E> EventQueue<E> {
             seq: 0,
             now: SimTime::ZERO,
             peak: 0,
+            migrations: 0,
         }
     }
 
@@ -377,6 +382,7 @@ impl<E> EventQueue<E> {
             }
             self.occupied[b >> 6] |= 1 << (b & 63);
             self.wheel_len += 1;
+            self.migrations += 1;
         }
     }
 
@@ -412,6 +418,22 @@ impl<E> EventQueue<E> {
     /// Total number of events ever scheduled (the tie-break counter).
     pub fn scheduled_count(&self) -> u64 {
         self.seq
+    }
+
+    /// Events currently parked in the far-future overflow heap.
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// Number of non-empty wheel buckets (a popcount over the occupancy
+    /// bitmap — cheap enough to sample every few thousand dispatches).
+    pub fn occupied_buckets(&self) -> usize {
+        self.occupied.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Entries migrated overflow → wheel over the queue's lifetime.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
     }
 
     /// A [`Scheduler`] façade over this queue, for priming worlds before a
@@ -729,6 +751,21 @@ mod tests {
         q.schedule_in(SimDuration::from_millis(1), ());
         assert_eq!(q.peak_pending(), 10);
         assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    fn queue_stats_expose_overflow_and_migrations() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(1), ());
+        q.schedule_at(SimTime::from_hours(2), ());
+        assert_eq!(q.overflow_len(), 1, "hour-scale timer belongs in overflow");
+        assert_eq!(q.occupied_buckets(), 1);
+        assert_eq!(q.migrations(), 0);
+        q.pop();
+        q.pop();
+        assert_eq!(q.migrations(), 1, "far event must migrate into the wheel");
+        assert_eq!(q.overflow_len(), 0);
+        assert_eq!(q.occupied_buckets(), 0);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   locally to keep the dependency set minimal).
 //! * [`trace`] — lightweight counters and optional event traces for
 //!   debugging and tests.
+//! * [`probe`] — kernel-profiling hooks ([`EventLabel`], [`KernelProbe`])
+//!   consumed by [`Simulation::run_probed`]; the default `run` loop stays
+//!   instrumentation-free.
 //!
 //! ## Determinism contract
 //!
@@ -35,6 +38,7 @@ pub mod engine;
 pub mod event;
 pub mod hash;
 pub mod id;
+pub mod probe;
 pub mod rng;
 pub mod time;
 pub mod trace;
@@ -43,6 +47,7 @@ pub use engine::{RunOutcome, Simulation, World};
 pub use event::{event_capacity_hint, EventQueue, ReferenceEventQueue, Scheduler, KERNEL_NAME};
 pub use hash::{FastHashMap, FastHashSet, FxHasher};
 pub use id::{ItemId, NodeId, QueryId};
+pub use probe::{EventLabel, KernelProbe, NullKernelProbe, QueueSample};
 pub use rng::RngFactory;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Counters, Trace};

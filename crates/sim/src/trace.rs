@@ -51,6 +51,15 @@ impl Counters {
             *v = 0;
         }
     }
+
+    /// Fold another counter set into this one, summing shared names and
+    /// adopting new ones — how per-shard counters from parallel sweeps
+    /// are combined.
+    pub fn merge(&mut self, other: &Counters) {
+        for (&name, &n) in other.values.iter() {
+            self.add(name, n);
+        }
+    }
 }
 
 /// A bounded ring buffer of `(time, message)` trace records.
@@ -78,10 +87,13 @@ impl Trace {
         }
     }
 
-    /// A trace keeping the most recent `capacity` records.
+    /// A trace keeping the most recent `capacity` records. The effective
+    /// capacity is clamped to 2^16 so a pathological request cannot turn
+    /// the ring into an unbounded (or huge up-front) allocation.
     pub fn bounded(capacity: usize) -> Self {
+        let capacity = capacity.min(1 << 16);
         Trace {
-            records: VecDeque::with_capacity(capacity.min(1 << 16)),
+            records: VecDeque::with_capacity(capacity),
             capacity,
         }
     }
@@ -152,6 +164,48 @@ mod tests {
         c.reset();
         assert_eq!(c.get("x"), 0);
         assert_eq!(c.snapshot(), vec![("x", 0)]);
+    }
+
+    #[test]
+    fn merge_sums_shared_and_adopts_new_names() {
+        let mut a = Counters::new();
+        a.add("hits", 2);
+        a.add("messages", 10);
+        let mut b = Counters::new();
+        b.add("hits", 3);
+        b.add("drops", 1);
+        a.merge(&b);
+        assert_eq!(
+            a.snapshot(),
+            vec![("drops", 1), ("hits", 5), ("messages", 10)]
+        );
+        // The source is unchanged.
+        assert_eq!(b.get("hits"), 3);
+    }
+
+    #[test]
+    fn merge_after_reset_preserves_snapshot_order() {
+        let mut a = Counters::new();
+        a.add("zeta", 7);
+        a.reset();
+        let mut b = Counters::new();
+        b.add("alpha", 1);
+        a.merge(&b);
+        assert_eq!(a.snapshot(), vec![("alpha", 1), ("zeta", 0)]);
+    }
+
+    #[test]
+    fn bounded_clamps_stored_capacity() {
+        // Regression: the stored capacity used to keep the caller's huge
+        // value even though the pre-allocation clamped at 2^16, yielding
+        // an effectively unbounded ring.
+        let mut t = Trace::bounded(usize::MAX);
+        for i in 0..(1 << 16) + 10u64 {
+            t.record_with(SimTime::from_millis(i), || i.to_string());
+        }
+        assert_eq!(t.len(), 1 << 16, "ring grew past the clamp");
+        let first = t.records().next().map(|(_, s)| s.to_string());
+        assert_eq!(first.as_deref(), Some("10"), "oldest records not evicted");
     }
 
     #[test]

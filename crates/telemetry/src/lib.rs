@@ -1,0 +1,41 @@
+//! # ddr-telemetry — structured observability for the framework
+//!
+//! Three pillars, each usable on its own:
+//!
+//! * **Query-lifecycle tracing** — a [`QueryTracer`] embedded in each
+//!   scenario world records sampled per-query spans (issue → hops →
+//!   duplicate drops → first result → terminal hit/miss/timeout) through
+//!   a [`TraceSink`]. Sinks are selected at *compile time* via a generic
+//!   parameter on the world: the default [`NullSink`] has
+//!   `ENABLED = false`, so every tracer call const-folds to nothing and
+//!   the traced and untraced builds share one hot path. The runtime
+//!   sink, [`JsonlSink`], buffers versioned (`"v":1`) JSONL records and
+//!   appends them to the configured file.
+//! * **Kernel profiling** — [`KernelProfiler`] implements
+//!   `ddr_sim::KernelProbe`: per-event-type dispatch counts and
+//!   wall-time histograms plus periodic calendar-queue statistics,
+//!   rendered as an end-of-run report.
+//! * **Trace inspection** — [`inspect::summarize`] parses a JSONL trace
+//!   and produces the hop-depth distribution, per-hour hit/miss funnel,
+//!   top-k slowest queries and span-completeness diagnostics printed by
+//!   `ddr inspect`.
+//!
+//! Determinism: tracing only *observes*. A world built with `JsonlSink`
+//! consumes exactly the same RNG streams and schedules exactly the same
+//! events as one built with `NullSink`; the pinned-series regression
+//! tests enforce this.
+
+pub mod config;
+pub mod inspect;
+pub mod profile;
+pub mod sink;
+pub mod tracer;
+
+pub use config::TelemetryConfig;
+pub use inspect::{summarize, summarize_file, TraceSummary};
+pub use profile::KernelProfiler;
+pub use sink::{JsonlSink, NullSink, TraceSink};
+pub use tracer::{QueryTracer, TraceOutcome};
+
+/// Schema version stamped on every trace record (`"v":1`).
+pub const TRACE_SCHEMA_VERSION: u64 = 1;

@@ -2,6 +2,7 @@
 
 use ddr_core::ExplorationTrigger;
 use ddr_sim::SimDuration;
+use ddr_telemetry::TelemetryConfig;
 
 /// Static (random, fixed) vs dynamic (framework-managed) neighborhoods.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +83,9 @@ pub struct WebCacheConfig {
     pub seed: u64,
     /// Mode under test.
     pub mode: CacheMode,
+    /// Trace output settings; consulted only by worlds built with an
+    /// enabled sink (`WebCacheWorld<JsonlSink>`).
+    pub telemetry: TelemetryConfig,
 }
 
 impl WebCacheConfig {
@@ -114,6 +118,7 @@ impl WebCacheConfig {
             warmup_hours: 2,
             seed: 0x5A11D,
             mode,
+            telemetry: TelemetryConfig::default(),
         }
     }
 

@@ -5,8 +5,10 @@
 use crate::config::WebCacheConfig;
 use crate::world::WebCacheWorld;
 use ddr_harness::Scenario;
-use ddr_sim::{event_capacity_hint, EventQueue, World};
+use ddr_sim::{event_capacity_hint, EventQueue};
 use ddr_stats::{safe_ratio, MeasurementWindow};
+use ddr_telemetry::{JsonlSink, NullSink, TraceSink};
+use std::marker::PhantomData;
 
 /// Report of one web-cache run: a thin domain view over the collected
 /// metrics and the measurement window.
@@ -62,17 +64,19 @@ impl WebCacheReport {
 }
 
 /// Case study 2 (cooperative proxy caching, pure-asymmetric relations) as
-/// a harness scenario.
-pub struct WebCacheScenario;
+/// a harness scenario. The sink parameter selects the telemetry build:
+/// the default `WebCacheScenario` (= `WebCacheScenario<NullSink>`) is the
+/// untraced fast path, `WebCacheScenario<JsonlSink>` records query spans.
+pub struct WebCacheScenario<T: TraceSink = NullSink>(PhantomData<T>);
 
-impl Scenario for WebCacheScenario {
+impl<T: TraceSink> Scenario for WebCacheScenario<T> {
     type Config = WebCacheConfig;
-    type World = WebCacheWorld;
+    type World = WebCacheWorld<T>;
     type Report = WebCacheReport;
 
     const NAME: &'static str = "webcache";
 
-    fn build(config: WebCacheConfig) -> WebCacheWorld {
+    fn build(config: WebCacheConfig) -> WebCacheWorld<T> {
         WebCacheWorld::new(config)
     }
 
@@ -84,11 +88,11 @@ impl Scenario for WebCacheScenario {
         MeasurementWindow::new(config.warmup_hours, config.sim_hours)
     }
 
-    fn prime(world: &mut WebCacheWorld, queue: &mut EventQueue<<WebCacheWorld as World>::Event>) {
+    fn prime(world: &mut WebCacheWorld<T>, queue: &mut EventQueue<crate::world::CacheEvent>) {
         world.prime(queue);
     }
 
-    fn extract_report(world: &WebCacheWorld, window: MeasurementWindow) -> WebCacheReport {
+    fn extract_report(world: &WebCacheWorld<T>, window: MeasurementWindow) -> WebCacheReport {
         WebCacheReport {
             label: world.config().mode.label(),
             same_group_fraction: world.same_group_edge_fraction(),
@@ -101,6 +105,14 @@ impl Scenario for WebCacheScenario {
 /// Run one scenario; pure function of the config (which embeds the seed).
 pub fn run_webcache(config: WebCacheConfig) -> WebCacheReport {
     ddr_harness::run::<WebCacheScenario>(config)
+}
+
+/// Like [`run_webcache`] but with the JSONL trace sink compiled in:
+/// sampled request spans land in `config.telemetry.trace_path`. The
+/// returned report is bit-identical to the untraced one (tracing only
+/// observes).
+pub fn run_webcache_traced(config: WebCacheConfig) -> WebCacheReport {
+    ddr_harness::run::<WebCacheScenario<JsonlSink>>(config)
 }
 
 #[cfg(test)]
@@ -195,7 +207,7 @@ mod tests {
         let c = small(CacheMode::Dynamic);
         let out_degree = c.out_degree;
         let proxies = c.proxies;
-        let mut world = crate::world::WebCacheWorld::new(c);
+        let mut world = crate::world::WebCacheWorld::<NullSink>::new(c);
         let mut queue = ddr_sim::EventQueue::new();
         world.prime(&mut queue);
         let mut sim = ddr_sim::Simulation::new(world);

@@ -24,8 +24,11 @@ use ddr_core::runtime::{Membership, NodeRuntime, SimObserver};
 use ddr_core::stats_store::ReplyObservation;
 use ddr_core::{plan_asymmetric_update, CumulativeBenefit};
 use ddr_overlay::{RelationKind, Topology};
-use ddr_sim::{ItemId, NodeId, RngFactory, Scheduler, SimDuration, SimTime, World};
+use ddr_sim::{
+    EventLabel, ItemId, NodeId, QueryId, RngFactory, Scheduler, SimDuration, SimTime, World,
+};
 use ddr_stats::{BucketSeries, RuntimeMetrics};
+use ddr_telemetry::{NullSink, QueryTracer, TraceOutcome, TraceSink};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::collections::VecDeque;
@@ -43,6 +46,18 @@ pub enum CacheEvent {
     DigestRefresh { proxy: NodeId },
     /// `proxy` flips between up and down (churn mode only).
     ProxyToggle { proxy: NodeId },
+}
+
+impl EventLabel for CacheEvent {
+    fn label(&self) -> &'static str {
+        match self {
+            CacheEvent::Request { .. } => "Request",
+            CacheEvent::FetchComplete { .. } => "FetchComplete",
+            CacheEvent::ProbeReply { .. } => "ProbeReply",
+            CacheEvent::DigestRefresh { .. } => "DigestRefresh",
+            CacheEvent::ProxyToggle { .. } => "ProxyToggle",
+        }
+    }
 }
 
 /// Per-proxy mutable state: the framework-side [`NodeRuntime`]
@@ -83,8 +98,10 @@ pub struct CacheMetrics {
     pub requests_lost: u64,
 }
 
-/// The complete world.
-pub struct WebCacheWorld {
+/// The complete world. The sink parameter `T` decides at compile time
+/// whether request spans are traced; the default [`NullSink`] build is
+/// the untraced fast path.
+pub struct WebCacheWorld<T: TraceSink = NullSink> {
     config: WebCacheConfig,
     space: PageSpace,
     topology: Topology,
@@ -95,11 +112,15 @@ pub struct WebCacheWorld {
     /// Which proxies are currently up (all, without churn).
     up: Membership,
     rng: SmallRng,
+    /// Span ids for the tracer (requests resolve synchronously, so this
+    /// is purely a trace-record label).
+    next_query: u64,
+    tracer: QueryTracer<T>,
     /// Metrics, public for reports and tests.
     pub metrics: CacheMetrics,
 }
 
-impl WebCacheWorld {
+impl<T: TraceSink> WebCacheWorld<T> {
     /// Build the initial world: random outgoing neighbors for every proxy
     /// (both modes start identically).
     pub fn new(config: WebCacheConfig) -> Self {
@@ -136,6 +157,7 @@ impl WebCacheWorld {
 
         let digests = vec![None; config.proxies];
         let up = Membership::all_online(config.proxies);
+        let tracer = QueryTracer::new(&config.telemetry);
         WebCacheWorld {
             config,
             space,
@@ -144,6 +166,8 @@ impl WebCacheWorld {
             digests,
             up,
             rng,
+            next_query: 0,
+            tracer,
             metrics: CacheMetrics::default(),
         }
     }
@@ -266,10 +290,16 @@ impl WebCacheWorld {
             let space = &self.space;
             self.proxies[i].stream.next_page(space)
         };
+        // Squid-style search depth is 1 hop, so the whole span resolves
+        // inside this handler; the id exists only to label trace records.
+        let qid = QueryId(self.next_query);
+        self.next_query += 1;
+        self.tracer.issue(now, qid, proxy, page.index() as u64, 1);
 
         if self.proxies[i].cache.touch(page) {
             self.metrics.local_hits.incr(hour);
             self.record_latency(now, 1.0);
+            self.tracer.finish(now, qid, TraceOutcome::Hit, 1, 1.0);
         } else {
             // Local miss: remember it, query the siblings.
             if self.proxies[i].recent_misses.len() == self.config.miss_history {
@@ -303,6 +333,7 @@ impl WebCacheWorld {
                 neighbors
             };
             self.metrics.runtime.on_messages(hour, queried.len() as f64);
+            self.tracer.hop(now, qid, proxy, proxy, 1, 1, queried.len());
             let holder = queried
                 .iter()
                 .copied()
@@ -313,6 +344,8 @@ impl WebCacheWorld {
                     let ms = rtt.as_millis() as f64;
                     self.metrics.runtime.on_hit(hour);
                     self.record_latency(now, ms);
+                    self.tracer.first(now, qid, q, 1, ms);
+                    self.tracer.finish(now, qid, TraceOutcome::Hit, 1, ms);
                     if self.config.mode == CacheMode::Dynamic {
                         // Benefit: pages served per second of latency
                         // (latency-normalised score, cumulative ranking).
@@ -330,6 +363,8 @@ impl WebCacheWorld {
                     let rtt = self.jittered(self.config.origin_delay).saturating_mul(2);
                     self.metrics.origin_fetches.incr(hour);
                     self.record_latency(now, rtt.as_millis() as f64);
+                    self.tracer
+                        .finish(now, qid, TraceOutcome::Miss, 0, rtt.as_millis() as f64);
                     sched.after(rtt, CacheEvent::FetchComplete { proxy, page });
                 }
             }
@@ -430,7 +465,7 @@ impl WebCacheWorld {
     }
 }
 
-impl World for WebCacheWorld {
+impl<T: TraceSink> World for WebCacheWorld<T> {
     type Event = CacheEvent;
 
     fn handle(&mut self, now: SimTime, event: CacheEvent, sched: &mut Scheduler<'_, CacheEvent>) {
@@ -483,7 +518,7 @@ mod tests {
 
     #[test]
     fn world_starts_with_full_out_degree() {
-        let w = WebCacheWorld::new(WebCacheConfig::default_scenario(CacheMode::Static));
+        let w = WebCacheWorld::<NullSink>::new(WebCacheConfig::default_scenario(CacheMode::Static));
         for p in 0..w.config().proxies {
             assert_eq!(w.topology().out(NodeId::from_index(p)).len(), 3);
         }
@@ -492,7 +527,8 @@ mod tests {
 
     #[test]
     fn initial_same_group_fraction_is_near_chance() {
-        let w = WebCacheWorld::new(WebCacheConfig::default_scenario(CacheMode::Dynamic));
+        let w =
+            WebCacheWorld::<NullSink>::new(WebCacheConfig::default_scenario(CacheMode::Dynamic));
         let f = w.same_group_edge_fraction();
         // chance level: 7 same-group peers of 63 ≈ 0.111
         assert!(f < 0.3, "suspiciously clustered initial overlay: {f}");

@@ -33,6 +33,9 @@
 //! * [`harness`] — the `Scenario` trait, the one prime → run → extract
 //!   driver every case study runs through, the timed perf harness, and
 //!   the deterministic parallel sweep engine (`run_many` / `Sweep`)
+//! * [`telemetry`] — zero-cost-when-off observability: query-lifecycle
+//!   span tracing (JSONL), kernel profiling, and the trace summarizer
+//!   behind `ddr inspect`
 
 pub use ddr_core as core;
 pub use ddr_gnutella as gnutella;
@@ -42,5 +45,6 @@ pub use ddr_overlay as overlay;
 pub use ddr_peerolap as peerolap;
 pub use ddr_sim as sim;
 pub use ddr_stats as stats;
+pub use ddr_telemetry as telemetry;
 pub use ddr_webcache as webcache;
 pub use ddr_workload as workload;

@@ -1,0 +1,143 @@
+//! The telemetry determinism contract: tracing only **observes**.
+//!
+//! A trace-enabled run (`run_*_traced`, `JsonlSink` compiled in) must
+//! produce a report **bit-identical** to the untraced default build of
+//! the same `(config, seed)` — the tracer consumes no randomness and
+//! schedules no events, so the simulated world cannot tell whether it is
+//! being watched. Each case study is checked on its hourly series and
+//! scalar metrics, and the emitted JSONL is fed through the `ddr inspect`
+//! summarizer to assert it is well-formed (every line parses, every
+//! sampled span reaches exactly one terminal record).
+
+use ddr_repro::gnutella::{run_scenario, run_scenario_traced, Mode, ScenarioConfig};
+use ddr_repro::peerolap::{run_peerolap, run_peerolap_traced, OlapMode, PeerOlapConfig};
+use ddr_repro::sim::SimDuration;
+use ddr_repro::telemetry::{summarize_file, TelemetryConfig};
+use ddr_repro::webcache::{run_webcache, run_webcache_traced, CacheMode, WebCacheConfig};
+use std::path::PathBuf;
+
+/// A unique trace path per test so parallel test threads never share a
+/// sink file.
+fn trace_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ddr-telemetry-{tag}-{}.jsonl", std::process::id()))
+}
+
+fn telemetry(path: &std::path::Path, sample: u64, label: &'static str) -> TelemetryConfig {
+    TelemetryConfig {
+        trace_path: Some(path.to_path_buf()),
+        sample,
+        run_label: label,
+    }
+}
+
+#[test]
+fn gnutella_traced_run_is_bit_identical_and_trace_is_complete() {
+    let mut cfg = ScenarioConfig::scaled(Mode::Dynamic, 2, 20, 6);
+    cfg.seed = 3;
+    let plain = run_scenario(cfg.clone());
+
+    let path = trace_path("gnutella");
+    cfg.telemetry = telemetry(&path, 1, "Dynamic_Gnutella");
+    let traced = run_scenario_traced(cfg);
+
+    assert_eq!(plain.hits_series(), traced.hits_series());
+    assert_eq!(plain.messages_series(), traced.messages_series());
+    assert_eq!(
+        plain.metrics.runtime.updates,
+        traced.metrics.runtime.updates
+    );
+    assert_eq!(plain.mean_first_delay_ms(), traced.mean_first_delay_ms());
+
+    let summary = summarize_file(&path).expect("trace must parse line by line");
+    std::fs::remove_file(&path).ok();
+    assert!(summary.records > 0, "trace file came out empty");
+    assert!(summary.spans > 0, "no query span was recorded");
+    assert!(
+        summary.is_complete(),
+        "span accounting broke: {:?}",
+        summary.errors
+    );
+    assert_eq!(
+        summary.spans,
+        summary.hits + summary.misses + summary.timeouts,
+        "every span must reach exactly one terminal record"
+    );
+}
+
+#[test]
+fn gnutella_sampling_reduces_spans_without_perturbing_the_run() {
+    let mut cfg = ScenarioConfig::scaled(Mode::Static, 2, 20, 6);
+    cfg.seed = 3;
+    let plain = run_scenario(cfg.clone());
+
+    let path = trace_path("gnutella-sampled");
+    cfg.telemetry = telemetry(&path, 8, "Gnutella");
+    let traced = run_scenario_traced(cfg);
+
+    assert_eq!(plain.hits_series(), traced.hits_series());
+    assert_eq!(plain.messages_series(), traced.messages_series());
+
+    let summary = summarize_file(&path).expect("sampled trace must parse");
+    std::fs::remove_file(&path).ok();
+    assert!(summary.spans > 0);
+    assert!(summary.is_complete(), "{:?}", summary.errors);
+}
+
+#[test]
+fn webcache_traced_run_is_bit_identical() {
+    let mut cfg = WebCacheConfig::default_scenario(CacheMode::Dynamic);
+    cfg.proxies = 32;
+    cfg.groups = 4;
+    cfg.pages_per_group = 4_000;
+    cfg.global_pages = 4_000;
+    cfg.cache_capacity = 500;
+    cfg.sim_hours = 6;
+    cfg.warmup_hours = 1;
+    cfg.mean_request_interval = SimDuration::from_millis(1_000);
+    cfg.seed = 11;
+    let plain = run_webcache(cfg.clone());
+
+    let path = trace_path("webcache");
+    cfg.telemetry = telemetry(&path, 16, "Dynamic_Squid");
+    let traced = run_webcache_traced(cfg);
+
+    assert_eq!(plain.neighbor_hit_ratio(), traced.neighbor_hit_ratio());
+    assert_eq!(plain.mean_latency_ms(), traced.mean_latency_ms());
+    assert_eq!(
+        plain.metrics.runtime.updates,
+        traced.metrics.runtime.updates
+    );
+
+    let summary = summarize_file(&path).expect("webcache trace must parse");
+    std::fs::remove_file(&path).ok();
+    assert!(summary.spans > 0);
+    assert!(summary.is_complete(), "{:?}", summary.errors);
+}
+
+#[test]
+fn peerolap_traced_run_is_bit_identical() {
+    let mut cfg = PeerOlapConfig::default_scenario(OlapMode::Dynamic);
+    cfg.peers = 24;
+    cfg.groups = 4;
+    cfg.chunks_per_region = 2_048;
+    cfg.cache_capacity = 512;
+    cfg.sim_hours = 5;
+    cfg.warmup_hours = 1;
+    cfg.mean_query_interval = SimDuration::from_millis(2_000);
+    cfg.seed = 4;
+    let plain = run_peerolap(cfg.clone());
+
+    let path = trace_path("peerolap");
+    cfg.telemetry = telemetry(&path, 16, "Dynamic_PeerOlap");
+    let traced = run_peerolap_traced(cfg);
+
+    assert_eq!(plain.total_chunks(), traced.total_chunks());
+    assert_eq!(plain.peer_share(), traced.peer_share());
+    assert_eq!(plain.mean_latency_ms(), traced.mean_latency_ms());
+    assert_eq!(plain.metrics.adds_refused, traced.metrics.adds_refused);
+
+    let summary = summarize_file(&path).expect("peerolap trace must parse");
+    std::fs::remove_file(&path).ok();
+    assert!(summary.spans > 0);
+    assert!(summary.is_complete(), "{:?}", summary.errors);
+}
