@@ -33,4 +33,9 @@ cargo run -q --release -p ddr-experiments --bin ddr -- inspect "$TRACE" > /dev/n
 echo "==> perfbench --smoke (kernel throughput harness, determinism cross-check)"
 cargo run -q --release -p ddr-experiments --bin perfbench -- --smoke
 
+echo "==> ddr serve --smoke (real-time bus load test, records qps/core + p99)"
+cargo run -q --release -p ddr-experiments --bin ddr -- \
+    serve gnutella --nodes 200 --qps 50 --duration 2 --smoke \
+    --label ci-smoke --bench-out BENCH_6.json
+
 echo "==> CI green"

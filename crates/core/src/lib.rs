@@ -42,7 +42,10 @@ pub use dup_cache::DupCache;
 pub use explore::{ExplorationPlanner, ExplorationTrigger};
 pub use local_index::LocalIndex;
 pub use query::{QueryDescriptor, SearchOutcome};
-pub use runtime::{Membership, NodeRuntime, NullObserver, ReconfigClock, SimObserver};
+pub use runtime::{
+    Clock, Membership, NodeBehavior, NodeRuntime, NullObserver, ReconfigClock, SimObserver,
+    SimTransport, Transport,
+};
 pub use search::{ForwardSelection, IterativeDeepening, TerminationPolicy};
 pub use stats_store::{NodeStats, StatsStore};
 pub use summary::CategorySummary;

@@ -19,12 +19,19 @@
 //! [`NullObserver`] is the zero-cost sink for benches and tests that do
 //! not care about metrics.
 
+//! A second split sits *under* the worlds: [`transport`] defines the
+//! engine/node boundary (`Clock`, `Transport`, `NodeBehavior`) so the
+//! same per-node state machine runs under the discrete-event simulator
+//! and the real-time `ddr-serve` bus.
+
 pub mod membership;
 pub mod node;
 pub mod observer;
 pub mod reconfig;
+pub mod transport;
 
 pub use membership::Membership;
 pub use node::NodeRuntime;
 pub use observer::{NullObserver, SimObserver};
 pub use reconfig::ReconfigClock;
+pub use transport::{Clock, NodeBehavior, SimTransport, Transport};

@@ -12,6 +12,10 @@ usage:
   ddr run --all [flags]        run every experiment
   ddr inspect <trace.jsonl>    summarize a query trace (hop depth, funnel,
                                slowest queries, record breakdown)
+  ddr serve gnutella [flags]   real-time load test: shard the node fleet
+                               across threads, inject queries at a target
+                               rate, report qps/core and p50/p99 latency
+                               (`ddr serve gnutella --help` for flags)
 
 flags (shared by every experiment):
   --scale N         divide users & songs by N (default 1 = paper scale)
@@ -22,7 +26,8 @@ flags (shared by every experiment):
   --smoke           seconds-long CI configuration
   --trace FILE      write sampled query-lifecycle spans as JSONL to FILE
   --trace-sample N  trace every Nth query (default 1 = all)
-  --profile         print a kernel dispatch/queue report after the run";
+  --profile         print a kernel dispatch/queue report after the run
+  --threads N       cap sweep worker fan-out (default: one per core)";
 
 /// The `ddr` binary, minus process concerns: parse `args` (everything
 /// after the program name) and return the exit code.
@@ -81,6 +86,7 @@ pub fn ddr_main(args: Vec<String>) -> i32 {
             }
             0
         }
+        Some("serve") => crate::serve::serve_main(args.collect()),
         Some("inspect") => {
             let rest: Vec<String> = args.collect();
             match rest.as_slice() {
@@ -195,6 +201,13 @@ mod tests {
     }
 
     #[test]
+    fn serve_subcommand_routes_through_ddr() {
+        assert_eq!(ddr_main(argv(&["serve"])), 2, "scenario required");
+        assert_eq!(ddr_main(argv(&["serve", "gnutella", "--bogus"])), 2);
+        assert_eq!(ddr_main(argv(&["serve", "gnutella", "--help"])), 0);
+    }
+
+    #[test]
     fn inspect_summarizes_a_valid_trace() {
         let dir = std::env::temp_dir();
         let path = dir.join(format!("ddr-cli-inspect-{}.jsonl", std::process::id()));
@@ -205,8 +218,11 @@ mod tests {
                 "{\"v\":1,\"type\":\"end\",\"run\":\"t\",\"t\":90,\"q\":0,\"outcome\":\"hit\",\"results\":1,\"latency_ms\":90.0}\n",
             ),
         )
-        .unwrap();
-        let code = ddr_main(argv(&["inspect", path.to_str().unwrap()]));
+        .expect("write trace fixture into the temp dir");
+        let code = ddr_main(argv(&[
+            "inspect",
+            path.to_str().expect("temp path is valid UTF-8"),
+        ]));
         std::fs::remove_file(&path).ok();
         assert_eq!(code, 0);
     }

@@ -16,7 +16,7 @@
 use super::smoke_scale;
 use crate::emit::Emitter;
 use crate::opts::ExpOptions;
-use crate::{default_workers, run_all};
+use crate::run_all;
 use ddr_core::{ForwardSelection, InvitationPolicy};
 use ddr_gnutella::{BenefitKind, Mode, RunReport, ScenarioConfig};
 use ddr_stats::Table;
@@ -48,7 +48,7 @@ pub fn run(opts: &ExpOptions, em: &mut Emitter) {
         c.benefit = k;
         configs.push(c);
     }
-    let reports = run_all(configs, default_workers());
+    let reports = run_all(configs, opts.workers());
     let mut t = Table::new(
         "Ablation 1: benefit function (dynamic, hops=2)",
         &["Variant", "total hits", "total messages", "mean delay ms"],
@@ -74,7 +74,7 @@ pub fn run(opts: &ExpOptions, em: &mut Emitter) {
         c.forward = p;
         configs.push(c);
     }
-    let reports = run_all(configs, default_workers());
+    let reports = run_all(configs, opts.workers());
     let mut t = Table::new(
         "Ablation 2: forward selection (dynamic, hops=2)",
         &["Variant", "total hits", "total messages", "mean delay ms"],
@@ -108,7 +108,7 @@ pub fn run(opts: &ExpOptions, em: &mut Emitter) {
         c.invitation = p;
         configs.push(c);
     }
-    let reports = run_all(configs, default_workers());
+    let reports = run_all(configs, opts.workers());
     let mut t = Table::new(
         "Ablation 3: invitation policy (dynamic, hops=2)",
         &["Variant", "total hits", "total messages", "mean delay ms"],
@@ -124,7 +124,7 @@ pub fn run(opts: &ExpOptions, em: &mut Emitter) {
     delay_weight.result_score = ddr_core::ResultScore::BandwidthOverResults;
     let mut raw_weight = base(Mode::Dynamic);
     raw_weight.result_score = ddr_core::ResultScore::RawBandwidthOverResults;
-    let reports = run_all(vec![delay_weight, raw_weight], default_workers());
+    let reports = run_all(vec![delay_weight, raw_weight], opts.workers());
     let mut t = Table::new(
         "Ablation 4: bandwidth weight in B/R (dynamic, hops=2)",
         &["Variant", "total hits", "total messages", "mean delay ms"],
@@ -139,7 +139,7 @@ pub fn run(opts: &ExpOptions, em: &mut Emitter) {
     one.max_swaps_per_reconfig = 1;
     let mut unbounded = base(Mode::Dynamic);
     unbounded.max_swaps_per_reconfig = usize::MAX;
-    let reports = run_all(vec![one, unbounded], default_workers());
+    let reports = run_all(vec![one, unbounded], opts.workers());
     let mut t = Table::new(
         "Ablation 5: neighbor exchanges per reconfiguration (dynamic, hops=2)",
         &["Variant", "total hits", "total messages", "mean delay ms"],
@@ -154,7 +154,7 @@ pub fn run(opts: &ExpOptions, em: &mut Emitter) {
     persist.persist_stats = true;
     let mut stateless = base(Mode::Dynamic);
     stateless.persist_stats = false;
-    let reports = run_all(vec![persist, stateless], default_workers());
+    let reports = run_all(vec![persist, stateless], opts.workers());
     let mut t = Table::new(
         "Ablation 6: statistics persistence (dynamic, hops=2)",
         &["Variant", "total hits", "total messages", "mean delay ms"],
@@ -172,7 +172,7 @@ pub fn run(opts: &ExpOptions, em: &mut Emitter) {
         c.dup_cache_capacity = cap;
         configs.push(c);
     }
-    let reports = run_all(configs, default_workers());
+    let reports = run_all(configs, opts.workers());
     let mut t = Table::new(
         "Ablation 7: duplicate-cache capacity (dynamic, hops=2)",
         &["Capacity", "total hits", "total messages", "mean delay ms"],

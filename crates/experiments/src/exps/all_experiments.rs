@@ -8,7 +8,7 @@
 use super::{shrink_peerolap, shrink_webcache, smoke_scale};
 use crate::emit::Emitter;
 use crate::opts::ExpOptions;
-use crate::{default_workers, run_all};
+use crate::run_all;
 use ddr_gnutella::Mode;
 use ddr_peerolap::{run_peerolap, OlapMode, PeerOlapConfig};
 use ddr_stats::Table;
@@ -24,7 +24,7 @@ pub fn run(opts: &ExpOptions, em: &mut Emitter) {
                 opts.scenario(Mode::Static, hops),
                 opts.scenario(Mode::Dynamic, hops),
             ],
-            default_workers(),
+            opts.workers(),
         );
         let (s, d) = (&reports[0], &reports[1]);
         let fig = if hops == 2 { "Fig 1" } else { "Fig 2" };
@@ -46,7 +46,7 @@ pub fn run(opts: &ExpOptions, em: &mut Emitter) {
         configs.push(opts.scenario(Mode::Static, h));
         configs.push(opts.scenario(Mode::Dynamic, h));
     }
-    let reports = run_all(configs, default_workers());
+    let reports = run_all(configs, opts.workers());
     let mut t = Table::new(
         "Fig 3(a): first-result delay (ms) / total results",
         &[
@@ -78,7 +78,7 @@ pub fn run(opts: &ExpOptions, em: &mut Emitter) {
         c.reconfig_threshold = k;
         configs.push(c);
     }
-    let reports = run_all(configs, default_workers());
+    let reports = run_all(configs, opts.workers());
     let mut t = Table::new(
         "Fig 3(b): total hits vs reconfiguration threshold (hops=2)",
         &["K", "Gnutella", "Dynamic_Gnutella"],

@@ -14,7 +14,7 @@ use super::shrink_webcache;
 use crate::emit::Emitter;
 use crate::opts::ExpOptions;
 use ddr_core::ExplorationTrigger;
-use ddr_harness::{default_workers, Sweep};
+use ddr_harness::Sweep;
 use ddr_stats::Table;
 use ddr_webcache::{CacheMode, WebCacheConfig, WebCacheScenario};
 
@@ -53,7 +53,7 @@ pub fn run(opts: &ExpOptions, em: &mut Emitter) {
             "probe+query msgs",
         ],
     );
-    for (label, r) in sweep.run(default_workers()) {
+    for (label, r) in sweep.run(opts.workers()) {
         t.row(vec![
             label,
             format!("{:.1}", 100.0 * r.neighbor_hit_ratio()),

@@ -10,7 +10,7 @@
 use super::smoke_scale;
 use crate::emit::Emitter;
 use crate::opts::ExpOptions;
-use crate::{default_workers, run_all};
+use crate::run_all;
 use ddr_gnutella::{Mode, ScenarioConfig};
 use ddr_stats::Table;
 
@@ -33,7 +33,7 @@ pub fn run(opts: &ExpOptions, em: &mut Emitter) {
         configs.push(variant(k, false, true)); // no loss trigger
         configs.push(variant(k, false, false)); // + stateless
     }
-    let reports = run_all(configs, default_workers());
+    let reports = run_all(configs, opts.workers());
     let static_hits = reports[0].total_hits();
 
     let mut t = Table::new(

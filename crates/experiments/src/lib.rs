@@ -29,6 +29,7 @@ pub mod emit;
 pub mod exps;
 pub mod opts;
 pub mod registry;
+pub mod serve;
 
 pub use emit::Emitter;
 pub use opts::{CliError, ExpOptions, USAGE};
@@ -72,9 +73,9 @@ pub fn run_all_with(
         em.note(&profiler.render());
         reports
     } else if opts.trace.is_some() {
-        ddr_harness::run_many::<GnutellaScenario<JsonlSink>>(configs, default_workers())
+        ddr_harness::run_many::<GnutellaScenario<JsonlSink>>(configs, opts.workers())
     } else {
-        run_all(configs, default_workers())
+        run_all(configs, opts.workers())
     }
 }
 
@@ -133,7 +134,7 @@ pub fn banner(name: &str, opts: &ExpOptions) {
         opts.hours,
         opts.seed,
         opts.smoke,
-        default_workers()
+        opts.workers()
     );
 }
 

@@ -12,6 +12,8 @@
 //! --trace FILE      write sampled query-lifecycle spans as JSONL to FILE
 //! --trace-sample N  trace every Nth query (default 1 = all; needs --trace)
 //! --profile         profile the kernel and print a dispatch/queue report
+//! --threads N       cap sweep worker fan-out (default: one per core);
+//!                   `ddr serve` reuses it as the shard count
 //! ```
 //!
 //! Parsing is a pure function ([`ExpOptions::parse`]) returning
@@ -50,7 +52,7 @@ impl std::fmt::Display for CliError {
 
 /// The flag summary printed on `--help` and on parse errors.
 pub const USAGE: &str = "options: --scale N  --hours H  --seed S  --csv DIR  --json DIR  --smoke  \
-     --trace FILE  --trace-sample N  --profile  (-h for help)";
+     --trace FILE  --trace-sample N  --profile  --threads N  (-h for help)";
 
 /// Command-line options shared by all experiment entry points.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,6 +82,9 @@ pub struct ExpOptions {
     /// Profile the event kernel (per-event-type dispatch timing + queue
     /// occupancy) and print the report after the run.
     pub profile: bool,
+    /// Worker-thread cap for sweep fan-out (and the serve backend's
+    /// shard count). `None` means one per core.
+    pub threads: Option<usize>,
 }
 
 impl Default for ExpOptions {
@@ -96,6 +101,7 @@ impl Default for ExpOptions {
             trace: None,
             trace_sample: 1,
             profile: false,
+            threads: None,
         }
     }
 }
@@ -150,6 +156,13 @@ impl ExpOptions {
                     };
                 }
                 "--profile" => opts.profile = true,
+                "--threads" => {
+                    let v = value("--threads")?;
+                    opts.threads = match v.parse() {
+                        Ok(n) if n >= 1 => Some(n),
+                        _ => return Err(CliError::BadValue("--threads".into(), v)),
+                    };
+                }
                 "--help" | "-h" => return Err(CliError::Help),
                 flag if flag.starts_with('-') => return Err(CliError::UnknownFlag(flag.into())),
                 _ => positional.push(arg),
@@ -192,6 +205,12 @@ impl ExpOptions {
             self.hours = hours;
         }
         self
+    }
+
+    /// The worker-thread count every sweep fans out to: the `--threads`
+    /// cap when given, otherwise one per core.
+    pub fn workers(&self) -> usize {
+        self.threads.unwrap_or_else(crate::default_workers)
     }
 
     /// The telemetry settings these options imply for one run, labelled
@@ -299,6 +318,24 @@ mod tests {
         assert_eq!(
             parse(&["--trace-sample", "many"]),
             Err(CliError::BadValue("--trace-sample".into(), "many".into()))
+        );
+    }
+
+    #[test]
+    fn threads_caps_workers_and_rejects_zero() {
+        let (o, _) = parse(&["--threads", "3"]).unwrap();
+        assert_eq!(o.threads, Some(3));
+        assert_eq!(o.workers(), 3);
+        let (o, _) = parse(&[]).unwrap();
+        assert_eq!(o.threads, None);
+        assert!(o.workers() >= 1, "default must be at least one worker");
+        assert_eq!(
+            parse(&["--threads", "0"]),
+            Err(CliError::BadValue("--threads".into(), "0".into()))
+        );
+        assert_eq!(
+            parse(&["--threads", "lots"]),
+            Err(CliError::BadValue("--threads".into(), "lots".into()))
         );
     }
 

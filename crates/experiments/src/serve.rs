@@ -1,0 +1,476 @@
+//! `ddr serve` — the real-time load-generator entry point.
+//!
+//! Where `ddr run` replays the paper's figures in virtual time, `ddr
+//! serve` stands the same per-node state machine up on the `ddr-serve`
+//! bus and measures what this machine sustains under wall-clock load:
+//!
+//! ```text
+//! ddr serve gnutella --nodes N --qps Q --duration S
+//!           [--threads N] [--seed S] [--degree D] [--smoke]
+//!           [--trace FILE] [--bench-out FILE] [--label L]
+//! ```
+//!
+//! `--threads` is the shard count (defaults to one per core, the same
+//! cap `ExpOptions::workers` applies to sweeps). `--smoke` shortens the
+//! per-query collection window to 500 ms so the post-injection drain
+//! phase stays CI-sized. `--bench-out` appends the run's throughput and
+//! latency figures to a `BENCH_6.json` trajectory file (schema
+//! `ddr-serve-bench/v1`), the serve-side analogue of perfbench's
+//! `BENCH_2.json`.
+
+use ddr_gnutella::NodeSetConfig;
+use ddr_serve::{run_gnutella, run_gnutella_traced, ServeConfig, ServeReport};
+use ddr_sim::SimDuration;
+use ddr_telemetry::TelemetryConfig;
+use std::path::PathBuf;
+
+use crate::opts::CliError;
+
+/// The flag summary printed on `--help` and parse errors.
+pub const SERVE_USAGE: &str = "\
+usage: ddr serve gnutella [flags]
+  --nodes N        fleet size (default 200)
+  --qps Q          offered load, queries/sec across the fleet (default 50)
+  --duration S     injection window, wall seconds (default 2)
+  --threads N      shard / worker-thread count (default: one per core)
+  --seed S         master seed for topology+workload (default 1)
+  --degree D       overlay degree (default 4)
+  --smoke          500 ms collection window so the drain phase stays short
+  --trace FILE     write completed-query spans as JSONL (ddr inspect reads it)
+  --bench-out FILE append qps/core + latency percentiles to a BENCH_6.json
+  --label L        label for the bench entry (default \"serve\")";
+
+/// Parsed `ddr serve` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    pub nodes: usize,
+    pub qps: f64,
+    pub duration_s: f64,
+    pub threads: Option<usize>,
+    pub seed: u64,
+    pub degree: usize,
+    pub smoke: bool,
+    pub trace: Option<PathBuf>,
+    pub bench_out: Option<String>,
+    pub label: String,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            nodes: 200,
+            qps: 50.0,
+            duration_s: 2.0,
+            threads: None,
+            seed: 1,
+            degree: 4,
+            smoke: false,
+            trace: None,
+            bench_out: None,
+            label: "serve".into(),
+        }
+    }
+}
+
+/// Parse everything after `ddr serve <scenario>`. Pure; the caller maps
+/// [`CliError`] onto usage + exit code 2.
+pub fn parse_serve_args<I>(args: I) -> Result<ServeArgs, CliError>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut out = ServeArgs::default();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| -> Result<String, CliError> {
+            args.next()
+                .ok_or_else(|| CliError::MissingValue(flag.into()))
+        };
+        fn positive<T: std::str::FromStr + PartialOrd + Default>(
+            flag: &str,
+            v: String,
+        ) -> Result<T, CliError> {
+            match v.parse::<T>() {
+                Ok(n) if n > T::default() => Ok(n),
+                _ => Err(CliError::BadValue(flag.into(), v)),
+            }
+        }
+        match arg.as_str() {
+            "--nodes" => out.nodes = positive("--nodes", value("--nodes")?)?,
+            "--qps" => out.qps = positive("--qps", value("--qps")?)?,
+            "--duration" => out.duration_s = positive("--duration", value("--duration")?)?,
+            "--threads" => out.threads = Some(positive("--threads", value("--threads")?)?),
+            "--seed" => {
+                let v = value("--seed")?;
+                out.seed = v
+                    .parse()
+                    .map_err(|_| CliError::BadValue("--seed".into(), v))?;
+            }
+            "--degree" => out.degree = positive("--degree", value("--degree")?)?,
+            "--smoke" => out.smoke = true,
+            "--trace" => out.trace = Some(PathBuf::from(value("--trace")?)),
+            "--bench-out" => out.bench_out = Some(value("--bench-out")?),
+            "--label" => out.label = value("--label")?,
+            "--help" | "-h" => return Err(CliError::Help),
+            flag if flag.starts_with('-') => return Err(CliError::UnknownFlag(flag.into())),
+            other => return Err(CliError::BadValue("scenario".into(), other.into())),
+        }
+    }
+    Ok(out)
+}
+
+/// Build the bus configuration these arguments describe.
+pub fn serve_config(args: &ServeArgs) -> ServeConfig {
+    let mut node_set = NodeSetConfig::new(args.nodes, args.seed);
+    node_set.degree = args.degree;
+    if args.smoke {
+        node_set.query_timeout = SimDuration::from_millis(500);
+    }
+    let shards = args.threads.unwrap_or_else(crate::default_workers);
+    let mut cfg = ServeConfig::new(node_set, args.qps, args.duration_s, shards);
+    cfg.telemetry = TelemetryConfig {
+        trace_path: args.trace.clone(),
+        sample: 1,
+        run_label: "Serve",
+    };
+    cfg
+}
+
+fn fmt_ms(v: Option<f64>) -> String {
+    match v {
+        Some(ms) => format!("{ms:.0}ms"),
+        None => "-".into(),
+    }
+}
+
+/// Render the report the way CI logs want to grep it.
+pub fn render_report(r: &ServeReport) -> String {
+    format!(
+        "serve: nodes={} shards={} offered={:.0}qps window={:.1}s\n\
+         serve: queries offered={} issued={} completed={} hits={}\n\
+         serve: messages={} duplicates={} elapsed={:.1}s\n\
+         serve: achieved={:.1} qps  per-core={:.1} qps/core  hit_rate={:.3}\n\
+         serve: first-result latency p50={} p99={}",
+        r.nodes,
+        r.shards,
+        r.offered_qps,
+        r.duration_s,
+        r.queries_offered,
+        r.queries_issued,
+        r.queries_completed,
+        r.hits,
+        r.messages,
+        r.duplicates,
+        r.elapsed_s,
+        r.achieved_qps,
+        r.qps_per_core,
+        r.hit_rate,
+        fmt_ms(r.p50_first_ms),
+        fmt_ms(r.p99_first_ms),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_6.json — the serve-throughput trajectory file
+// ---------------------------------------------------------------------------
+
+/// One recorded serve run.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ServeBenchEntry {
+    label: String,
+    recorded_unix: u64,
+    nodes: usize,
+    shards: usize,
+    qps_offered: f64,
+    duration_s: f64,
+    queries_completed: u64,
+    achieved_qps: f64,
+    qps_per_core: f64,
+    hit_rate: f64,
+    p50_first_ms: f64,
+    p99_first_ms: f64,
+}
+
+/// The whole `BENCH_6.json` file: append-only entry list, same shape as
+/// perfbench's `BENCH_2.json` trajectory.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ServeBenchFile {
+    schema: String,
+    entries: Vec<ServeBenchEntry>,
+}
+
+const SERVE_SCHEMA: &str = "ddr-serve-bench/v1";
+
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn entry_from(label: &str, r: &ServeReport) -> ServeBenchEntry {
+    ServeBenchEntry {
+        label: label.to_string(),
+        recorded_unix: unix_now(),
+        nodes: r.nodes,
+        shards: r.shards,
+        qps_offered: r.offered_qps,
+        duration_s: r.duration_s,
+        queries_completed: r.queries_completed,
+        achieved_qps: r.achieved_qps,
+        qps_per_core: r.qps_per_core,
+        hit_rate: r.hit_rate,
+        p50_first_ms: r.p50_first_ms.unwrap_or(-1.0),
+        p99_first_ms: r.p99_first_ms.unwrap_or(-1.0),
+    }
+}
+
+/// Round-trip an entry through the codec and check the invariants CI
+/// relies on. Panics on violation (mirrors perfbench's validation).
+fn validate_entry(entry: &ServeBenchEntry) {
+    let file = ServeBenchFile {
+        schema: SERVE_SCHEMA.to_string(),
+        entries: vec![entry.clone()],
+    };
+    let json = serde_json::to_string_pretty(&file).expect("serialise serve entry");
+    let back: ServeBenchFile = serde_json::from_str(&json).expect("round-trip serve entry");
+    assert_eq!(back.schema, SERVE_SCHEMA);
+    let e = &back.entries[0];
+    assert!(e.nodes > 0 && e.shards > 0);
+    assert!(e.qps_offered > 0.0 && e.duration_s > 0.0);
+    assert!(e.achieved_qps >= 0.0 && e.qps_per_core >= 0.0);
+    assert!((0.0..=1.0).contains(&e.hit_rate));
+}
+
+fn load_or_new(path: &str) -> ServeBenchFile {
+    match std::fs::read_to_string(path) {
+        Ok(text) => {
+            let file: ServeBenchFile = serde_json::from_str(&text)
+                .unwrap_or_else(|e| panic!("existing {path} does not parse: {e:?}"));
+            assert_eq!(file.schema, SERVE_SCHEMA, "schema mismatch in {path}");
+            file
+        }
+        Err(_) => ServeBenchFile {
+            schema: SERVE_SCHEMA.to_string(),
+            entries: Vec::new(),
+        },
+    }
+}
+
+/// Append this run to the trajectory file.
+pub fn record_bench(path: &str, label: &str, report: &ServeReport) {
+    let entry = entry_from(label, report);
+    validate_entry(&entry);
+    let mut file = load_or_new(path);
+    file.entries.push(entry);
+    let json = serde_json::to_string_pretty(&file).expect("serialise serve bench file");
+    std::fs::write(path, json + "\n").expect("write serve bench file");
+    eprintln!("[serve] appended entry to {path}");
+}
+
+/// `ddr serve` body: everything after the subcommand token. Returns the
+/// process exit code.
+pub fn serve_main(args: Vec<String>) -> i32 {
+    let mut args = args.into_iter();
+    match args.next().as_deref() {
+        Some("gnutella") => {}
+        Some("--help") | Some("-h") => {
+            eprintln!("{SERVE_USAGE}");
+            return 0;
+        }
+        Some(other) => {
+            eprintln!("unknown serve scenario {other:?} (only \"gnutella\" is wired up)");
+            eprintln!("{SERVE_USAGE}");
+            return 2;
+        }
+        None => {
+            eprintln!("serve needs a scenario");
+            eprintln!("{SERVE_USAGE}");
+            return 2;
+        }
+    }
+    let parsed = match parse_serve_args(args) {
+        Ok(parsed) => parsed,
+        Err(CliError::Help) => {
+            eprintln!("{SERVE_USAGE}");
+            return 0;
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{SERVE_USAGE}");
+            return 2;
+        }
+    };
+    let cfg = serve_config(&parsed);
+    eprintln!(
+        "[serve] gnutella nodes={} shards={} qps={} duration={}s seed={} smoke={}",
+        cfg.node_set.nodes, cfg.shards, parsed.qps, parsed.duration_s, parsed.seed, parsed.smoke
+    );
+    let report = if parsed.trace.is_some() {
+        run_gnutella_traced(&cfg)
+    } else {
+        run_gnutella(&cfg)
+    };
+    println!("{}", render_report(&report));
+    if let Some(path) = &parsed.bench_out {
+        record_bench(path, &parsed.label, &report);
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ServeArgs, CliError> {
+        parse_serve_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_and_full_flag_set() {
+        let a = parse(&[]).expect("empty args use defaults");
+        assert_eq!(a, ServeArgs::default());
+        let a = parse(&[
+            "--nodes",
+            "300",
+            "--qps",
+            "120.5",
+            "--duration",
+            "3",
+            "--threads",
+            "4",
+            "--seed",
+            "9",
+            "--degree",
+            "6",
+            "--smoke",
+            "--trace",
+            "/tmp/serve.jsonl",
+            "--bench-out",
+            "BENCH_6.json",
+            "--label",
+            "capacity",
+        ])
+        .expect("full flag set parses");
+        assert_eq!(a.nodes, 300);
+        assert_eq!(a.qps, 120.5);
+        assert_eq!(a.duration_s, 3.0);
+        assert_eq!(a.threads, Some(4));
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.degree, 6);
+        assert!(a.smoke);
+        assert_eq!(
+            a.trace.as_deref(),
+            Some(std::path::Path::new("/tmp/serve.jsonl"))
+        );
+        assert_eq!(a.bench_out.as_deref(), Some("BENCH_6.json"));
+        assert_eq!(a.label, "capacity");
+    }
+
+    #[test]
+    fn bad_values_are_errors_not_panics() {
+        assert_eq!(
+            parse(&["--nodes", "0"]),
+            Err(CliError::BadValue("--nodes".into(), "0".into()))
+        );
+        assert_eq!(
+            parse(&["--qps", "-3"]),
+            Err(CliError::BadValue("--qps".into(), "-3".into()))
+        );
+        assert_eq!(
+            parse(&["--duration"]),
+            Err(CliError::MissingValue("--duration".into()))
+        );
+        assert_eq!(
+            parse(&["--warp", "9"]),
+            Err(CliError::UnknownFlag("--warp".into()))
+        );
+        assert_eq!(
+            parse(&["extra"]),
+            Err(CliError::BadValue("scenario".into(), "extra".into()))
+        );
+        assert_eq!(parse(&["-h"]), Err(CliError::Help));
+    }
+
+    #[test]
+    fn smoke_shortens_the_collection_window() {
+        let mut args = ServeArgs::default();
+        let cfg = serve_config(&args);
+        assert_eq!(cfg.node_set.query_timeout, SimDuration::from_millis(10_000));
+        args.smoke = true;
+        args.threads = Some(2);
+        let cfg = serve_config(&args);
+        assert_eq!(cfg.node_set.query_timeout, SimDuration::from_millis(500));
+        assert_eq!(cfg.shards, 2);
+    }
+
+    #[test]
+    fn bench_file_appends_and_round_trips() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ddr-serve-bench-{}.json", std::process::id()));
+        let path_s = path.to_str().expect("temp path is valid UTF-8");
+        std::fs::remove_file(&path).ok();
+        let report = ServeReport {
+            nodes: 200,
+            shards: 4,
+            offered_qps: 50.0,
+            duration_s: 2.0,
+            queries_offered: 100,
+            queries_issued: 100,
+            queries_completed: 98,
+            hits: 40,
+            messages: 3_000,
+            duplicates: 120,
+            elapsed_s: 3.5,
+            achieved_qps: 49.0,
+            qps_per_core: 12.25,
+            hit_rate: 40.0 / 98.0,
+            p50_first_ms: Some(210.0),
+            p99_first_ms: Some(460.0),
+        };
+        record_bench(path_s, "smoke", &report);
+        record_bench(path_s, "smoke", &report);
+        let file = load_or_new(path_s);
+        assert_eq!(file.schema, SERVE_SCHEMA);
+        assert_eq!(file.entries.len(), 2, "entries must append, not replace");
+        assert_eq!(file.entries[0].queries_completed, 98);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_main_rejects_bad_invocations() {
+        let argv = |a: &[&str]| a.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(serve_main(argv(&[])), 2, "scenario is required");
+        assert_eq!(serve_main(argv(&["webcache"])), 2, "unwired scenario");
+        assert_eq!(serve_main(argv(&["gnutella", "--nodes"])), 2);
+        assert_eq!(serve_main(argv(&["--help"])), 0);
+        assert_eq!(serve_main(argv(&["gnutella", "-h"])), 0);
+    }
+
+    /// End-to-end: a tiny run through `serve_main`, with a bench file.
+    #[test]
+    fn serve_main_runs_a_tiny_fleet() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ddr-serve-e2e-{}.json", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        let args = [
+            "gnutella",
+            "--nodes",
+            "32",
+            "--qps",
+            "100",
+            "--duration",
+            "0.4",
+            "--threads",
+            "2",
+            "--smoke",
+            "--bench-out",
+            path.to_str().expect("temp path is valid UTF-8"),
+        ];
+        let code = serve_main(args.iter().map(|s| s.to_string()).collect());
+        assert_eq!(code, 0);
+        let file = load_or_new(path.to_str().expect("temp path is valid UTF-8"));
+        assert_eq!(file.entries.len(), 1);
+        assert!(file.entries[0].queries_completed > 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -26,11 +26,13 @@
 pub mod config;
 pub mod events;
 pub mod metrics;
+pub mod node;
 pub mod peer;
 pub mod scenario;
 pub mod world;
 
 pub use config::{BenefitKind, Mode, ScenarioConfig};
 pub use metrics::{Metrics, RunReport};
+pub use node::{build_nodes, GnutellaNode, NodeMsg, NodeSetConfig, QueryOutcome};
 pub use scenario::{run_scenario, run_scenario_traced, run_scenario_with_world, GnutellaScenario};
 pub use world::GnutellaWorld;

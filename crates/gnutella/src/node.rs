@@ -1,0 +1,417 @@
+//! A single Gnutella node as a standalone [`NodeBehavior`] state
+//! machine.
+//!
+//! [`GnutellaWorld`](crate::world::GnutellaWorld) simulates the whole
+//! population inside one struct — the right shape for a cache-friendly
+//! DES, and the one the paper's figures are produced with. This module
+//! is the *production-shaped* counterpart: one `GnutellaNode` owns only
+//! its own library, neighbor list, duplicate cache and pending-query
+//! table, and reacts to delivered [`NodeMsg`]s through the engine-
+//! agnostic `Clock`/`Transport` context. The same instance runs under
+//!
+//! * the discrete-event backend (`ddr_serve::sim_backend`), which keeps
+//!   runs deterministic and is what the sim/serve parity test drives;
+//! * the real-time `ddr-serve` bus, which shards nodes across worker
+//!   threads and measures wall-clock queries/sec.
+//!
+//! The protocol is the paper's §4.1 static search core: flood to
+//! neighbors with a hop limit, duplicate suppression, holders reply
+//! straight to the initiator and do not forward, results collected
+//! until a timeout. Reconfiguration/churn stay sim-only for now — the
+//! serve backend models a steady-state fleet under query load.
+
+use ddr_core::runtime::{Clock, NodeBehavior, Transport};
+use ddr_core::{NodeRuntime, QueryDescriptor};
+use ddr_net::NetworkModel;
+use ddr_overlay::Topology;
+use ddr_sim::{FastHashMap, ItemId, NodeId, QueryId, RngFactory, SimDuration, SimTime};
+use ddr_workload::{generate_profiles, Catalog, QueryGenerator, UserProfile, WorkloadConfig};
+use rand::rngs::SmallRng;
+use std::sync::Arc;
+
+/// Messages exchanged between [`GnutellaNode`]s (plus the self-addressed
+/// timer that closes a query's collection window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeMsg {
+    /// Load-generator injection: issue a query under this id. The node
+    /// picks the target item from its own workload stream.
+    Issue { query: QueryId },
+    /// A flooded search request.
+    Query { desc: QueryDescriptor },
+    /// A holder's reply, travelling straight to the initiator.
+    Reply { query: QueryId, hops: u8 },
+    /// Self-timer: the collection window for `query` closed.
+    Finalize { query: QueryId },
+}
+
+/// An initiator-side in-flight query.
+#[derive(Debug)]
+struct Pending {
+    item: ItemId,
+    issued_at: SimTime,
+    ttl: u8,
+    results: u32,
+    first: Option<(NodeId, SimTime, u8)>,
+}
+
+/// A finished query, drained by the engine for metrics and tracing.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryOutcome {
+    pub query: QueryId,
+    pub node: NodeId,
+    pub item: ItemId,
+    pub ttl: u8,
+    pub issued_at: SimTime,
+    pub finished_at: SimTime,
+    pub results: u32,
+    /// First responder, arrival time, overlay hops — `None` on a miss.
+    pub first: Option<(NodeId, SimTime, u8)>,
+}
+
+/// Per-node message counters (aggregated by the engine).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NodeCounters {
+    pub queries_issued: u64,
+    pub messages_sent: u64,
+    pub duplicates_dropped: u64,
+    pub replies_sent: u64,
+}
+
+/// One Gnutella peer: library + neighbors + framework runtime, driven
+/// entirely through delivered messages.
+pub struct GnutellaNode {
+    id: NodeId,
+    profile: UserProfile,
+    neighbors: Vec<NodeId>,
+    rt: NodeRuntime,
+    queries: QueryGenerator,
+    pending: FastHashMap<QueryId, Pending>,
+    net: Arc<NetworkModel>,
+    catalog: Arc<Catalog>,
+    rng: SmallRng,
+    max_hops: u8,
+    query_timeout: SimDuration,
+    /// Message counters, read by the engine after (or during) a run.
+    pub counters: NodeCounters,
+    completed: Vec<QueryOutcome>,
+}
+
+impl GnutellaNode {
+    /// Drain the outcomes of queries finalized since the last drain.
+    pub fn take_completed(&mut self) -> Vec<QueryOutcome> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's current neighbor set.
+    pub fn neighbors(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+
+    /// In-flight query count (non-zero while collection windows are
+    /// open).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn delay_to(&mut self, to: NodeId) -> SimDuration {
+        self.net.one_way_delay(&mut self.rng, self.id, to)
+    }
+}
+
+impl NodeBehavior for GnutellaNode {
+    type Msg = NodeMsg;
+
+    fn on_message<C>(&mut self, from: NodeId, msg: NodeMsg, ctx: &mut C)
+    where
+        C: Clock<NodeMsg> + Transport<NodeMsg>,
+    {
+        match msg {
+            NodeMsg::Issue { query } => {
+                let now = ctx.now();
+                let item = self.queries.next_target(&self.catalog, &self.profile);
+                self.counters.queries_issued += 1;
+                self.rt.seen().first_sighting(query);
+                self.pending.insert(
+                    query,
+                    Pending {
+                        item,
+                        issued_at: now,
+                        ttl: self.max_hops,
+                        results: 0,
+                        first: None,
+                    },
+                );
+                let desc = QueryDescriptor {
+                    id: query,
+                    origin: self.id,
+                    item,
+                    ttl: self.max_hops,
+                    travelled: 1,
+                    issued_at: now,
+                };
+                for n in 0..self.neighbors.len() {
+                    let to = self.neighbors[n];
+                    let d = self.delay_to(to);
+                    self.counters.messages_sent += 1;
+                    ctx.send(to, d, NodeMsg::Query { desc });
+                }
+                ctx.schedule_after(self.query_timeout, NodeMsg::Finalize { query });
+            }
+            NodeMsg::Query { desc } => {
+                if !self.rt.seen().first_sighting(desc.id) {
+                    self.counters.duplicates_dropped += 1;
+                    return;
+                }
+                if self.profile.has(desc.item) {
+                    // Reply straight to the initiator, do not forward.
+                    let d = self.delay_to(desc.origin);
+                    self.counters.replies_sent += 1;
+                    self.counters.messages_sent += 1;
+                    ctx.send(
+                        desc.origin,
+                        d,
+                        NodeMsg::Reply {
+                            query: desc.id,
+                            hops: desc.travelled,
+                        },
+                    );
+                    return;
+                }
+                if desc.ttl <= 1 {
+                    return;
+                }
+                let fwd = desc.next_hop();
+                for n in 0..self.neighbors.len() {
+                    let to = self.neighbors[n];
+                    if to == from {
+                        continue;
+                    }
+                    let d = self.delay_to(to);
+                    self.counters.messages_sent += 1;
+                    ctx.send(to, d, NodeMsg::Query { desc: fwd });
+                }
+            }
+            NodeMsg::Reply { query, hops } => {
+                if let Some(pq) = self.pending.get_mut(&query) {
+                    pq.results += 1;
+                    if pq.first.is_none() {
+                        pq.first = Some((from, ctx.now(), hops));
+                    }
+                }
+            }
+            NodeMsg::Finalize { query } => {
+                if let Some(pq) = self.pending.remove(&query) {
+                    self.completed.push(QueryOutcome {
+                        query,
+                        node: self.id,
+                        item: pq.item,
+                        ttl: pq.ttl,
+                        issued_at: pq.issued_at,
+                        finished_at: ctx.now(),
+                        results: pq.results,
+                        first: pq.first,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Configuration for a fleet of standalone nodes (both the serve bus
+/// and the deterministic parity backend build from this).
+#[derive(Debug, Clone)]
+pub struct NodeSetConfig {
+    /// Fleet size.
+    pub nodes: usize,
+    /// Target overlay degree of the static random topology.
+    pub degree: usize,
+    /// Flood hop limit.
+    pub max_hops: u8,
+    /// Collection window per query.
+    pub query_timeout: SimDuration,
+    /// Master seed (workload, topology, delays).
+    pub seed: u64,
+}
+
+impl NodeSetConfig {
+    /// Defaults matching the sim's small-scale scenario shape: degree 4,
+    /// 2 hops, 10 s collection window.
+    pub fn new(nodes: usize, seed: u64) -> Self {
+        NodeSetConfig {
+            nodes,
+            degree: 4,
+            max_hops: 2,
+            query_timeout: SimDuration::from_millis(10_000),
+            seed,
+        }
+    }
+
+    /// The workload, scaled from the paper's densities: song space
+    /// proportional to the fleet (floor one category's worth) so hit
+    /// rates are population-size independent, libraries at paper size.
+    pub fn workload(&self) -> WorkloadConfig {
+        let base = WorkloadConfig::paper();
+        let per_user_songs = base.songs as usize / base.users;
+        let songs = ((self.nodes * per_user_songs) as u32).max(base.categories as u32 * 400) as f64;
+        // Round up to a categories multiple (Catalog requires it).
+        let per_cat = (songs / base.categories as f64).ceil() as u32;
+        WorkloadConfig {
+            users: self.nodes,
+            songs: per_cat * base.categories as u32,
+            ..base
+        }
+    }
+}
+
+/// Build the fleet: catalog, profiles, bandwidth classes, a static
+/// random symmetric overlay, and one [`GnutellaNode`] per user — all
+/// deterministic in `(config, seed)`.
+pub fn build_nodes(cfg: &NodeSetConfig) -> Vec<GnutellaNode> {
+    let workload = cfg.workload();
+    let rngs = RngFactory::new(cfg.seed);
+    let catalog = Arc::new(Catalog::new(
+        workload.songs,
+        workload.categories,
+        workload.theta,
+    ));
+    let profiles = generate_profiles(&workload, &catalog, &rngs);
+    let net = Arc::new(NetworkModel::paper(cfg.nodes, &rngs));
+    let mut topology = Topology::symmetric(cfg.nodes, cfg.degree);
+    let members: Vec<NodeId> = (0..cfg.nodes).map(NodeId::from_index).collect();
+    let mut topo_rng = rngs.stream("serve.topology", 0);
+    topology.populate_random_symmetric(&members, cfg.degree, &mut topo_rng);
+
+    profiles
+        .into_iter()
+        .enumerate()
+        .map(|(i, profile)| {
+            let id = NodeId::from_index(i);
+            GnutellaNode {
+                id,
+                profile,
+                neighbors: topology.out(id).iter().collect(),
+                // Dup-cache capacity covers every query a 10 s window can
+                // hold at serve rates; reconfiguration is sim-only, so the
+                // clock threshold is inert here.
+                rt: NodeRuntime::new(u32::MAX).with_dup_cache(4_096),
+                queries: QueryGenerator::new(&workload, &rngs, i as u64),
+                pending: ddr_sim::hash::fast_map(),
+                net: Arc::clone(&net),
+                catalog: Arc::clone(&catalog),
+                rng: rngs.stream("serve.node", i as u64),
+                max_hops: cfg.max_hops,
+                query_timeout: cfg.query_timeout,
+                counters: NodeCounters::default(),
+                completed: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic_and_connected() {
+        let cfg = NodeSetConfig::new(64, 9);
+        let a = build_nodes(&cfg);
+        let b = build_nodes(&cfg);
+        assert_eq!(a.len(), 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.neighbors(), y.neighbors());
+            assert_eq!(x.profile.library(), y.profile.library());
+        }
+        // The random bootstrap fills almost everyone; nobody isolated.
+        let isolated = a.iter().filter(|n| n.neighbors().is_empty()).count();
+        assert_eq!(isolated, 0, "isolated nodes in a 64-node bootstrap");
+    }
+
+    #[test]
+    fn query_floods_and_collects_replies() {
+        use ddr_sim::EventQueue;
+
+        // A deterministic 3-node line: 0 — 1 — 2, where node 1 holds
+        // nothing and node 2 holds the item node 0 wants. Drive the
+        // behavior through the sim backend by hand.
+        #[derive(Clone, Copy, Debug)]
+        struct Env {
+            to: NodeId,
+            from: NodeId,
+            msg: NodeMsg,
+        }
+        struct Ctx<'a, 'b> {
+            sched: &'a mut ddr_sim::Scheduler<'b, Env>,
+            me: NodeId,
+        }
+        impl Clock<NodeMsg> for Ctx<'_, '_> {
+            fn now(&self) -> SimTime {
+                self.sched.now()
+            }
+            fn schedule_after(&mut self, d: SimDuration, msg: NodeMsg) {
+                let me = self.me;
+                self.sched.after(
+                    d,
+                    Env {
+                        to: me,
+                        from: me,
+                        msg,
+                    },
+                );
+            }
+            fn schedule_at(&mut self, at: SimTime, msg: NodeMsg) {
+                let me = self.me;
+                self.sched.at(
+                    at,
+                    Env {
+                        to: me,
+                        from: me,
+                        msg,
+                    },
+                );
+            }
+        }
+        impl Transport<NodeMsg> for Ctx<'_, '_> {
+            fn send(&mut self, to: NodeId, d: SimDuration, msg: NodeMsg) {
+                let from = self.me;
+                self.sched.after(d, Env { to, from, msg });
+            }
+        }
+
+        let cfg = NodeSetConfig::new(48, 7);
+        let mut nodes = build_nodes(&cfg);
+        let mut q: EventQueue<Env> = EventQueue::new();
+        q.schedule_at(
+            SimTime::ZERO,
+            Env {
+                to: NodeId(0),
+                from: NodeId(0),
+                msg: NodeMsg::Issue {
+                    query: QueryId(100),
+                },
+            },
+        );
+        while let Some((_, env)) = q.pop() {
+            let mut sched = q.scheduler();
+            let mut ctx = Ctx {
+                sched: &mut sched,
+                me: env.to,
+            };
+            nodes[env.to.index()].on_message(env.from, env.msg, &mut ctx);
+        }
+        let done = nodes[0].take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].query, QueryId(100));
+        assert!(done[0].finished_at >= SimTime::from_millis(10_000));
+        assert_eq!(nodes[0].counters.queries_issued, 1);
+        assert!(nodes[0].pending_len() == 0);
+        // The flood reached beyond the initiator.
+        let total_msgs: u64 = nodes.iter().map(|n| n.counters.messages_sent).sum();
+        assert!(total_msgs >= cfg.degree as u64);
+    }
+}

@@ -27,7 +27,7 @@ use crate::events::GnutellaEvent;
 use crate::metrics::Metrics;
 use crate::peer::{PeerState, PendingQuery};
 use ddr_core::benefit::BenefitFunction;
-use ddr_core::runtime::{Membership, NodeRuntime, SimObserver};
+use ddr_core::runtime::{Clock, Membership, NodeRuntime, SimObserver, Transport};
 use ddr_core::{
     plan_asymmetric_update, CategorySummary, InvitationContext, InvitationDecision, LocalIndex,
     QueryDescriptor,
@@ -326,29 +326,36 @@ impl<T: TraceSink> GnutellaWorld<T> {
     }
 
     // ---- protocol actions -------------------------------------------------
+    //
+    // Every method below is generic over the engine context: the node
+    // logic only speaks `Clock` (time + self-timers) and `Transport`
+    // (node-to-node delivery). Under the simulator the context is the
+    // `Scheduler` and both trait methods collapse to `after`, so the
+    // port off direct event dispatch is bit-identical (pinned in
+    // `tests/runtime_regression.rs`).
 
-    fn send_query(
+    fn send_query<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
         &mut self,
         from: NodeId,
         to: NodeId,
         desc: QueryDescriptor,
-        sched: &mut Scheduler<'_, GnutellaEvent>,
+        ctx: &mut C,
     ) {
         let d = self.net.one_way_delay(&mut self.rng, from, to);
         self.metrics
             .runtime
-            .on_messages(sched.now().as_hours() as usize, 1.0);
-        sched.after(d, GnutellaEvent::QueryArrive { to, from, desc });
+            .on_messages(ctx.now().as_hours() as usize, 1.0);
+        ctx.send(to, d, GnutellaEvent::QueryArrive { to, from, desc });
     }
 
     /// Flood a fresh (or relaunched) query from its initiator.
-    fn flood_from_origin(
+    fn flood_from_origin<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
         &mut self,
         node: NodeId,
         qid: QueryId,
         item: ItemId,
         ttl: u8,
-        sched: &mut Scheduler<'_, GnutellaEvent>,
+        ctx: &mut C,
     ) {
         let desc = QueryDescriptor {
             id: qid,
@@ -356,7 +363,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
             item,
             ttl,
             travelled: 1,
-            issued_at: sched.now(),
+            issued_at: ctx.now(),
         };
         // Reuse the scratch buffer (taken out of `self` so `send_query`
         // can borrow the world mutably while we iterate).
@@ -370,12 +377,16 @@ impl<T: TraceSink> GnutellaWorld<T> {
             &mut targets,
         );
         for &t in &targets {
-            self.send_query(node, t, desc, sched);
+            self.send_query(node, t, desc, ctx);
         }
         self.scratch_targets = targets;
     }
 
-    fn login(&mut self, node: NodeId, sched: &mut Scheduler<'_, GnutellaEvent>) {
+    fn login<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
+        &mut self,
+        node: NodeId,
+        ctx: &mut C,
+    ) {
         let i = node.index();
         if !self.config.persist_stats {
             self.peers[i].rt.reset_stats();
@@ -384,7 +395,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
         self.online.add(node);
         self.metrics.logins += 1;
         self.trace
-            .record_with(sched.now(), || format!("{node} login"));
+            .record_with(ctx.now(), || format!("{node} login"));
         if self.is_dynamic() && self.config.benefit_join_on_login {
             // Re-cluster from remembered statistics: invite the most
             // beneficial known online nodes for every slot they can fill.
@@ -405,7 +416,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
                 self.metrics.invitations_sent += 1;
                 self.peers[i].pending_invites += 1;
                 let d = self.net.one_way_delay(&mut self.rng, node, a);
-                sched.after(d, GnutellaEvent::InviteArrive { to: a, from: node });
+                ctx.send(a, d, GnutellaEvent::InviteArrive { to: a, from: node });
             }
         }
         // Gnutella join: link to random online nodes with free slots
@@ -422,7 +433,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
             &mut self.rng,
         );
         let d = self.peers[i].queries.next_interval();
-        sched.after(
+        ctx.schedule_after(
             d,
             GnutellaEvent::IssueQuery {
                 node,
@@ -431,7 +442,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
         );
         if let SearchStrategy::LocalIndices { radius } = self.config.strategy {
             self.rebuild_index(node, radius);
-            sched.after(
+            ctx.schedule_after(
                 self.config.index_refresh,
                 GnutellaEvent::IndexRefresh {
                     node,
@@ -441,7 +452,11 @@ impl<T: TraceSink> GnutellaWorld<T> {
         }
     }
 
-    fn logoff(&mut self, node: NodeId, sched: &mut Scheduler<'_, GnutellaEvent>) {
+    fn logoff<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
+        &mut self,
+        node: NodeId,
+        ctx: &mut C,
+    ) {
         let i = node.index();
         if T::ENABLED {
             // The session teardown below discards the node's in-flight
@@ -451,14 +466,14 @@ impl<T: TraceSink> GnutellaWorld<T> {
             cut.sort_unstable();
             for q in cut {
                 self.tracer
-                    .finish(sched.now(), QueryId(q), TraceOutcome::Timeout, 0, -1.0);
+                    .finish(ctx.now(), QueryId(q), TraceOutcome::Timeout, 0, -1.0);
             }
         }
         self.peers[i].end_session();
         self.online.remove(node);
         self.metrics.logoffs += 1;
         self.trace
-            .record_with(sched.now(), || format!("{node} logoff"));
+            .record_with(ctx.now(), || format!("{node} logoff"));
         let former = self.topology.isolate(node);
         // "Neighbor log-offs trigger the update process" (dynamic); static
         // nodes replace lost neighbors randomly.
@@ -468,7 +483,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
             }
             if self.is_dynamic() {
                 if self.config.reconfig_on_neighbor_loss {
-                    self.reconfigure(m, sched);
+                    self.reconfigure(m, ctx);
                 }
             } else {
                 self.topology.join_random_symmetric(
@@ -482,17 +497,17 @@ impl<T: TraceSink> GnutellaWorld<T> {
         }
     }
 
-    fn issue_query(
+    fn issue_query<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
         &mut self,
         node: NodeId,
         session: u32,
-        sched: &mut Scheduler<'_, GnutellaEvent>,
+        ctx: &mut C,
     ) {
         let i = node.index();
         if !self.peers[i].online || self.peers[i].session != session {
             return; // stale event from a previous session
         }
-        let now = sched.now();
+        let now = ctx.now();
 
         let item = {
             let catalog = &self.catalog;
@@ -540,15 +555,15 @@ impl<T: TraceSink> GnutellaWorld<T> {
             .issue(now, qid, node, item.index() as u64, launch_ttl);
         match plan {
             LaunchPlan::Bfs => {
-                self.flood_from_origin(node, qid, item, self.config.max_hops, sched);
-                sched.after(
+                self.flood_from_origin(node, qid, item, self.config.max_hops, ctx);
+                ctx.schedule_after(
                     self.config.query_timeout,
                     GnutellaEvent::QueryFinalize { node, query: qid },
                 );
             }
             LaunchPlan::Deepening { first_depth } => {
-                self.flood_from_origin(node, qid, item, first_depth, sched);
-                sched.after(
+                self.flood_from_origin(node, qid, item, first_depth, ctx);
+                ctx.schedule_after(
                     self.config.wave_timeout,
                     GnutellaEvent::WaveCheck {
                         node,
@@ -569,7 +584,8 @@ impl<T: TraceSink> GnutellaWorld<T> {
                     let there = self.net.one_way_delay(&mut self.rng, node, holder);
                     let back = self.net.one_way_delay(&mut self.rng, holder, node);
                     let bw = self.net.class(holder);
-                    sched.after(
+                    ctx.send(
+                        node,
                         there + back,
                         GnutellaEvent::ReplyArrive {
                             to: node,
@@ -583,9 +599,9 @@ impl<T: TraceSink> GnutellaWorld<T> {
                     // The last `radius` hops are covered by indices at the
                     // frontier, so the flood itself travels shorter.
                     let ttl = self.config.max_hops.saturating_sub(radius).max(1);
-                    self.flood_from_origin(node, qid, item, ttl, sched);
+                    self.flood_from_origin(node, qid, item, ttl, ctx);
                 }
-                sched.after(
+                ctx.schedule_after(
                     self.config.query_timeout,
                     GnutellaEvent::QueryFinalize { node, query: qid },
                 );
@@ -597,19 +613,19 @@ impl<T: TraceSink> GnutellaWorld<T> {
         // so both modes follow identical event schedules.
         let clock_due = self.peers[i].rt.clock.tick();
         if self.is_dynamic() && clock_due {
-            self.reconfigure(node, sched);
+            self.reconfigure(node, ctx);
         }
 
         let d = self.peers[i].queries.next_interval();
-        sched.after(d, GnutellaEvent::IssueQuery { node, session });
+        ctx.schedule_after(d, GnutellaEvent::IssueQuery { node, session });
     }
 
-    fn query_arrive(
+    fn query_arrive<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
         &mut self,
         to: NodeId,
         from: NodeId,
         desc: QueryDescriptor,
-        sched: &mut Scheduler<'_, GnutellaEvent>,
+        ctx: &mut C,
     ) {
         let i = to.index();
         if !self.peers[i].online {
@@ -617,7 +633,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
         }
         if !self.peers[i].rt.seen().first_sighting(desc.id) {
             self.metrics.duplicates_dropped += 1;
-            self.tracer.dup(sched.now(), desc.id, to);
+            self.tracer.dup(ctx.now(), desc.id, to);
             return; // "if the same message has been received before, discard"
         }
         if !self.free_rider[i] && self.profiles[i].has(desc.item) {
@@ -627,7 +643,8 @@ impl<T: TraceSink> GnutellaWorld<T> {
             self.served[i] += 1;
             let bw = self.net.class(to);
             let d = self.net.one_way_delay(&mut self.rng, to, desc.origin);
-            sched.after(
+            ctx.send(
+                desc.origin,
                 d,
                 GnutellaEvent::ReplyArrive {
                     to: desc.origin,
@@ -648,7 +665,8 @@ impl<T: TraceSink> GnutellaWorld<T> {
                 self.served[holder.index()] += 1;
                 let bw = self.net.class(holder);
                 let d = self.net.one_way_delay(&mut self.rng, to, desc.origin);
-                sched.after(
+                ctx.send(
+                    desc.origin,
                     d,
                     GnutellaEvent::ReplyArrive {
                         to: desc.origin,
@@ -675,7 +693,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
             &mut targets,
         );
         self.tracer.hop(
-            sched.now(),
+            ctx.now(),
             desc.id,
             to,
             from,
@@ -684,7 +702,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
             targets.len(),
         );
         for &t in &targets {
-            self.send_query(to, t, fwd, sched);
+            self.send_query(to, t, fwd, ctx);
         }
         self.scratch_targets = targets;
     }
@@ -762,12 +780,16 @@ impl<T: TraceSink> GnutellaWorld<T> {
 
     /// Algo 5 `Reconfigure`: compute the most beneficial neighborhood,
     /// evict dropped neighbors, invite newcomers, reset the counter.
-    fn reconfigure(&mut self, node: NodeId, sched: &mut Scheduler<'_, GnutellaEvent>) {
+    fn reconfigure<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
+        &mut self,
+        node: NodeId,
+        ctx: &mut C,
+    ) {
         let i = node.index();
         self.peers[i].rt.clock.reset();
         self.metrics.runtime.on_update();
         self.trace
-            .record_with(sched.now(), || format!("{node} reconfigure"));
+            .record_with(ctx.now(), || format!("{node} reconfigure"));
 
         let plan = {
             let online = &self.online;
@@ -792,14 +814,14 @@ impl<T: TraceSink> GnutellaWorld<T> {
                 self.metrics.evictions += 1;
                 self.metrics.runtime.on_edges_changed(1);
                 let d = self.net.one_way_delay(&mut self.rng, node, e);
-                sched.after(d, GnutellaEvent::EvictArrive { to: e, from: node });
+                ctx.send(e, d, GnutellaEvent::EvictArrive { to: e, from: node });
             }
         }
         for a in plan.add {
             self.metrics.invitations_sent += 1;
             self.peers[i].pending_invites += 1;
             let d = self.net.one_way_delay(&mut self.rng, node, a);
-            sched.after(d, GnutellaEvent::InviteArrive { to: a, from: node });
+            ctx.send(a, d, GnutellaEvent::InviteArrive { to: a, from: node });
         }
         // Maintain the connectivity floor with random links (slots
         // reserved for in-flight invitations stay free, otherwise random
@@ -826,11 +848,11 @@ impl<T: TraceSink> GnutellaWorld<T> {
     /// Algo 5 `Process_Invitation` — always accept (or benefit-gate),
     /// evicting the least beneficial neighbor when full; reset the
     /// reconfiguration counter to avoid cascading updates.
-    fn invite_arrive(
+    fn invite_arrive<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
         &mut self,
         to: NodeId,
         from: NodeId,
-        sched: &mut Scheduler<'_, GnutellaEvent>,
+        ctx: &mut C,
     ) {
         let m = to.index();
         // The invitation's outcome is now known either way: release the
@@ -846,7 +868,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
         if self.topology.degree(from) >= self.config.degree {
             return; // the inviter filled up meanwhile: negative outcome
         }
-        let ctx = InvitationContext {
+        let inv_ctx = InvitationContext {
             inviter_summary: Some(&self.summaries[from.index()]),
             own_summary: Some(&self.summaries[to.index()]),
         };
@@ -856,7 +878,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
             &self.peers[m].rt.stats,
             self.benefit.as_ref(),
             self.config.degree,
-            &ctx,
+            &inv_ctx,
         );
         match decision {
             InvitationDecision::Accept { evict } => {
@@ -865,7 +887,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
                         self.metrics.evictions += 1;
                         self.metrics.runtime.on_edges_changed(1);
                         let d = self.net.one_way_delay(&mut self.rng, to, w);
-                        sched.after(d, GnutellaEvent::EvictArrive { to: w, from: to });
+                        ctx.send(w, d, GnutellaEvent::EvictArrive { to: w, from: to });
                     }
                 }
                 if self.topology.link_symmetric(to, from).is_ok() {
@@ -874,7 +896,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
                     // §4.3 damping: the neighbour list just changed, so
                     // restart the update clock.
                     self.peers[m].rt.note_invitation_accepted();
-                    self.trace.record_with(sched.now(), || {
+                    self.trace.record_with(ctx.now(), || {
                         format!("{to} accepted invitation from {from}")
                     });
                     if let ddr_core::InvitationPolicy::TrialPeriod { trial_millis } =
@@ -882,7 +904,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
                     {
                         // Provisional acceptance: re-evaluate after the
                         // trial window (§3.4 solution a).
-                        sched.after(
+                        ctx.schedule_after(
                             ddr_sim::SimDuration::from_millis(trial_millis),
                             GnutellaEvent::TrialExpire {
                                 node: to,
@@ -910,12 +932,12 @@ impl<T: TraceSink> GnutellaWorld<T> {
 
 impl<T: TraceSink> GnutellaWorld<T> {
     /// Iterative deepening: the wave's collection window elapsed.
-    fn wave_check(
+    fn wave_check<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
         &mut self,
         node: NodeId,
         query: QueryId,
         wave: u8,
-        sched: &mut Scheduler<'_, GnutellaEvent>,
+        ctx: &mut C,
     ) {
         let i = node.index();
         if !self.peers[i].online {
@@ -936,7 +958,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
         };
         let satisfied = !pq.responders.is_empty();
         let Some(next_depth) = (!satisfied).then_some(next_depth).flatten() else {
-            self.finalize_query(node, query, sched.now());
+            self.finalize_query(node, query, ctx.now());
             return;
         };
         // Relaunch deeper under a fresh wire id; the pending record (and
@@ -950,9 +972,9 @@ impl<T: TraceSink> GnutellaWorld<T> {
         self.peers[i].pending.insert(qid2, pq);
         self.metrics.extra_waves += 1;
         self.tracer
-            .relaunch(sched.now(), query, qid2, next_wave as u8);
-        self.flood_from_origin(node, qid2, item, next_depth, sched);
-        sched.after(
+            .relaunch(ctx.now(), query, qid2, next_wave as u8);
+        self.flood_from_origin(node, qid2, item, next_depth, ctx);
+        ctx.schedule_after(
             self.config.wave_timeout,
             GnutellaEvent::WaveCheck {
                 node,
@@ -964,12 +986,12 @@ impl<T: TraceSink> GnutellaWorld<T> {
 
     /// Trial expiry (§3.4 solution a): keep the provisional neighbor only
     /// if it produced benefit during the trial window.
-    fn trial_expire(
+    fn trial_expire<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
         &mut self,
         node: NodeId,
         peer: NodeId,
         session: u32,
-        sched: &mut Scheduler<'_, GnutellaEvent>,
+        ctx: &mut C,
     ) {
         let i = node.index();
         if !self.peers[i].online || self.peers[i].session != session {
@@ -989,11 +1011,12 @@ impl<T: TraceSink> GnutellaWorld<T> {
                 self.metrics.evictions += 1;
                 self.metrics.runtime.on_edges_changed(1);
                 self.metrics.trials_failed += 1;
-                self.trace.record_with(sched.now(), || {
+                self.trace.record_with(ctx.now(), || {
                     format!("{node} ended trial with {peer} (no benefit)")
                 });
                 let d = self.net.one_way_delay(&mut self.rng, node, peer);
-                sched.after(
+                ctx.send(
+                    peer,
                     d,
                     GnutellaEvent::EvictArrive {
                         to: peer,
@@ -1007,11 +1030,11 @@ impl<T: TraceSink> GnutellaWorld<T> {
     }
 
     /// Local indices: periodic rebuild while the node stays online.
-    fn index_refresh(
+    fn index_refresh<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
         &mut self,
         node: NodeId,
         session: u32,
-        sched: &mut Scheduler<'_, GnutellaEvent>,
+        ctx: &mut C,
     ) {
         let i = node.index();
         if !self.peers[i].online || self.peers[i].session != session {
@@ -1019,7 +1042,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
         }
         if let SearchStrategy::LocalIndices { radius } = self.config.strategy {
             self.rebuild_index(node, radius);
-            sched.after(
+            ctx.schedule_after(
                 self.config.index_refresh,
                 GnutellaEvent::IndexRefresh { node, session },
             );

@@ -19,7 +19,7 @@
 
 use crate::config::{OlapMode, PeerOlapConfig};
 use crate::cube::{chunk_processing_ms, CubeSpace, OlapQueryStream};
-use ddr_core::runtime::{Membership, NodeRuntime, SimObserver};
+use ddr_core::runtime::{Clock, Membership, NodeRuntime, SimObserver, Transport};
 use ddr_core::stats_store::ReplyObservation;
 use ddr_core::{plan_asymmetric_update, CumulativeBenefit};
 use ddr_overlay::{RelationKind, Topology};
@@ -263,13 +263,21 @@ impl<T: TraceSink> PeerOlapWorld<T> {
         SimDuration::from_millis(((base.as_millis() as f64) * f).round().max(1.0) as u64)
     }
 
-    fn issue_query(&mut self, peer: NodeId, sched: &mut Scheduler<'_, OlapEvent>) {
+    // The query-path handlers are generic over the engine context
+    // (`Clock` + `Transport`): under the simulator both trait methods
+    // are exactly `Scheduler::after`/`at`, so the port is bit-identical
+    // (pinned in `tests/runtime_regression.rs`).
+    fn issue_query<C: Clock<OlapEvent> + Transport<OlapEvent>>(
+        &mut self,
+        peer: NodeId,
+        ctx: &mut C,
+    ) {
         let i = peer.index();
-        let now = sched.now();
+        let now = ctx.now();
         let hour = now.as_hours() as usize;
 
         let d = self.peers[i].stream.next_interval();
-        sched.after(d, OlapEvent::IssueQuery { peer });
+        ctx.schedule_after(d, OlapEvent::IssueQuery { peer });
 
         if !self.present.contains(peer) {
             return; // absent peers issue nothing
@@ -309,7 +317,7 @@ impl<T: TraceSink> PeerOlapWorld<T> {
             }
             self.tracer
                 .finish(now, qid, TraceOutcome::Hit, local as u64, 1.0);
-            self.after_query(peer, sched);
+            self.after_query(peer);
             return;
         }
 
@@ -329,7 +337,8 @@ impl<T: TraceSink> PeerOlapWorld<T> {
         for t in targets {
             self.metrics.runtime.on_messages(hour, 1.0);
             let d = self.jittered(self.config.peer_delay);
-            sched.after(
+            ctx.send(
+                t,
                 d,
                 OlapEvent::ChunkRequest {
                     to: t,
@@ -341,15 +350,15 @@ impl<T: TraceSink> PeerOlapWorld<T> {
                 },
             );
         }
-        sched.after(
+        ctx.schedule_after(
             self.config.p2p_timeout,
             OlapEvent::P2pPhaseEnd { peer, query: qid },
         );
-        self.after_query(peer, sched);
+        self.after_query(peer);
     }
 
     /// Post-issue bookkeeping: the request-count reconfiguration clock.
-    fn after_query(&mut self, peer: NodeId, _sched: &mut Scheduler<'_, OlapEvent>) {
+    fn after_query(&mut self, peer: NodeId) {
         if self.config.mode != OlapMode::Dynamic {
             return;
         }
@@ -360,7 +369,7 @@ impl<T: TraceSink> PeerOlapWorld<T> {
     }
 
     #[allow(clippy::too_many_arguments)] // mirrors the event's payload fields
-    fn chunk_request(
+    fn chunk_request<C: Clock<OlapEvent> + Transport<OlapEvent>>(
         &mut self,
         to: NodeId,
         from: NodeId,
@@ -368,14 +377,14 @@ impl<T: TraceSink> PeerOlapWorld<T> {
         query: QueryId,
         ttl: u8,
         chunks: Vec<ItemId>,
-        sched: &mut Scheduler<'_, OlapEvent>,
+        ctx: &mut C,
     ) {
         let i = to.index();
         if !self.present.contains(to) {
             return; // the peer left while the request was in flight
         }
         if !self.peers[i].rt.seen().first_sighting(query) {
-            self.tracer.dup(sched.now(), query, to);
+            self.tracer.dup(ctx.now(), query, to);
             return; // already served this query via another path
         }
         let (have, missing): (Vec<ItemId>, Vec<ItemId>) = chunks
@@ -383,7 +392,8 @@ impl<T: TraceSink> PeerOlapWorld<T> {
             .partition(|&c| self.peers[i].cache.peek(c));
         if !have.is_empty() {
             let d = self.jittered(self.config.peer_delay);
-            sched.after(
+            ctx.send(
+                origin,
                 d,
                 OlapEvent::ChunkReply {
                     to: origin,
@@ -403,11 +413,12 @@ impl<T: TraceSink> PeerOlapWorld<T> {
                 .filter(|&n| n != from && n != origin)
                 .collect();
             fanout = targets.len();
-            let hour = sched.now().as_hours() as usize;
+            let hour = ctx.now().as_hours() as usize;
             for t in targets {
                 self.metrics.runtime.on_messages(hour, 1.0);
                 let d = self.jittered(self.config.peer_delay);
-                sched.after(
+                ctx.send(
+                    t,
                     d,
                     OlapEvent::ChunkRequest {
                         to: t,
@@ -422,7 +433,7 @@ impl<T: TraceSink> PeerOlapWorld<T> {
         }
         let travelled = self.config.max_hops - ttl + 1;
         self.tracer
-            .hop(sched.now(), query, to, from, ttl, travelled, fanout);
+            .hop(ctx.now(), query, to, from, ttl, travelled, fanout);
     }
 
     fn chunk_reply(
@@ -472,17 +483,17 @@ impl<T: TraceSink> PeerOlapWorld<T> {
         }
     }
 
-    fn p2p_phase_end(
+    fn p2p_phase_end<C: Clock<OlapEvent> + Transport<OlapEvent>>(
         &mut self,
         peer: NodeId,
         query: QueryId,
-        sched: &mut Scheduler<'_, OlapEvent>,
+        ctx: &mut C,
     ) {
         let i = peer.index();
         let Some(pq) = self.peers[i].pending.get(&query) else {
             return;
         };
-        let now = sched.now();
+        let now = ctx.now();
         let missing: Vec<ItemId> = pq
             .wanted
             .iter()
@@ -500,7 +511,7 @@ impl<T: TraceSink> PeerOlapWorld<T> {
             }
             self.tracer
                 .finish(now, query, TraceOutcome::Hit, served, span_latency);
-            sched.at(now, OlapEvent::QueryComplete { peer, query });
+            ctx.schedule_at(now, OlapEvent::QueryComplete { peer, query });
             return;
         }
         // Warehouse fallback: round trip plus sequential chunk processing.
@@ -522,7 +533,7 @@ impl<T: TraceSink> PeerOlapWorld<T> {
         let acquired = self.peers[i].pending[&query].acquired.len() as u64;
         self.tracer
             .finish(now, query, TraceOutcome::Miss, acquired, total_latency);
-        sched.after(done_in, OlapEvent::QueryComplete { peer, query });
+        ctx.schedule_after(done_in, OlapEvent::QueryComplete { peer, query });
     }
 
     fn query_complete(&mut self, peer: NodeId, query: QueryId) {

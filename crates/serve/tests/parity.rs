@@ -1,0 +1,62 @@
+//! Sim/serve parity: the same `GnutellaNode` fleet, driven once through
+//! the deterministic DES backend and once through the wall-clock bus,
+//! must agree on protocol-level behaviour.
+//!
+//! Both backends build from one `NodeSetConfig`, so topology, libraries
+//! and per-node RNG streams are identical; only delivery order differs
+//! (virtual calendar queue vs. real threads and channels). Exact
+//! message counts therefore differ run to run on the bus side — the
+//! assertions use aggregate tolerances, not equality. See
+//! EXPERIMENTS.md "Serve-backend determinism".
+
+use ddr_gnutella::NodeSetConfig;
+use ddr_serve::{run_deterministic, run_gnutella, ServeConfig};
+use ddr_sim::SimDuration;
+
+#[test]
+fn sim_and_bus_agree_on_hit_rate_and_message_volume() {
+    let mut node_set = NodeSetConfig::new(100, 42);
+    node_set.query_timeout = SimDuration::from_millis(500);
+
+    let qps = 400.0;
+    let duration_s = 1.0;
+
+    // Deterministic run: the same offered load expressed in virtual
+    // time — one query every 1/qps seconds, round-robin, same count the
+    // load generator targets.
+    let queries = (qps * duration_s) as u64;
+    let interval = SimDuration::from_secs_f64(1.0 / qps);
+    let sim = run_deterministic(&node_set, queries, interval);
+
+    let bus = run_gnutella(&ServeConfig::new(node_set, qps, duration_s, 2));
+
+    assert!(
+        sim.queries_completed == queries,
+        "deterministic backend must finalize every query"
+    );
+    assert!(
+        bus.queries_completed as f64 >= 0.5 * queries as f64,
+        "bus completed only {} of ~{queries} queries",
+        bus.queries_completed
+    );
+
+    // Same fleet, same workload distribution: the fraction of queries
+    // finding at least one holder within the hop limit must agree.
+    let dh = (sim.hit_rate() - bus.hit_rate).abs();
+    assert!(
+        dh < 0.15,
+        "hit rates diverge: sim {:.3} vs bus {:.3}",
+        sim.hit_rate(),
+        bus.hit_rate
+    );
+
+    // Flood fan-out per query is a topology property; thread scheduling
+    // only perturbs duplicate-arrival order, so per-query message
+    // volume must land in the same band.
+    let sim_mpq = sim.messages_per_query();
+    let bus_mpq = bus.messages as f64 / bus.queries_issued.max(1) as f64;
+    assert!(
+        (bus_mpq - sim_mpq).abs() / sim_mpq < 0.30,
+        "messages per query diverge: sim {sim_mpq:.2} vs bus {bus_mpq:.2}"
+    );
+}

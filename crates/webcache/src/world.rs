@@ -20,7 +20,7 @@ use crate::config::{CacheMode, WebCacheConfig};
 use crate::digest::BloomFilter;
 use crate::lru::LruCache;
 use crate::traffic::{PageSpace, RequestStream};
-use ddr_core::runtime::{Membership, NodeRuntime, SimObserver};
+use ddr_core::runtime::{Clock, Membership, NodeRuntime, SimObserver, Transport};
 use ddr_core::stats_store::ReplyObservation;
 use ddr_core::{plan_asymmetric_update, CumulativeBenefit};
 use ddr_overlay::{RelationKind, Topology};
@@ -271,14 +271,22 @@ impl<T: TraceSink> WebCacheWorld<T> {
         }
     }
 
-    fn handle_request(&mut self, proxy: NodeId, sched: &mut Scheduler<'_, CacheEvent>) {
+    // The request/explore handlers are generic over the engine context
+    // (`Clock` + `Transport`): under the simulator both trait methods
+    // are exactly `Scheduler::after`, so the port is bit-identical
+    // (pinned in `tests/runtime_regression.rs`).
+    fn handle_request<C: Clock<CacheEvent> + Transport<CacheEvent>>(
+        &mut self,
+        proxy: NodeId,
+        ctx: &mut C,
+    ) {
         let i = proxy.index();
-        let now = sched.now();
+        let now = ctx.now();
         let hour = now.as_hours() as usize;
 
         // Schedule the next request first (the stream never stops).
         let next = self.proxies[i].stream.next_interval();
-        sched.after(next, CacheEvent::Request { proxy });
+        ctx.schedule_after(next, CacheEvent::Request { proxy });
 
         if !self.up.contains(proxy) {
             self.metrics.requests_lost += 1;
@@ -357,7 +365,9 @@ impl<T: TraceSink> WebCacheWorld<T> {
                             at: now,
                         });
                     }
-                    sched.after(rtt, CacheEvent::FetchComplete { proxy, page });
+                    // The sibling's reply carries the page: a message to
+                    // ourselves after the round trip.
+                    ctx.send(proxy, rtt, CacheEvent::FetchComplete { proxy, page });
                 }
                 None => {
                     let rtt = self.jittered(self.config.origin_delay).saturating_mul(2);
@@ -365,7 +375,7 @@ impl<T: TraceSink> WebCacheWorld<T> {
                     self.record_latency(now, rtt.as_millis() as f64);
                     self.tracer
                         .finish(now, qid, TraceOutcome::Miss, 0, rtt.as_millis() as f64);
-                    sched.after(rtt, CacheEvent::FetchComplete { proxy, page });
+                    ctx.send(proxy, rtt, CacheEvent::FetchComplete { proxy, page });
                 }
             }
         }
@@ -373,7 +383,7 @@ impl<T: TraceSink> WebCacheWorld<T> {
         if self.config.mode == CacheMode::Dynamic {
             self.proxies[i].rt.explorer().on_request();
             if self.proxies[i].rt.explorer().should_fire(now) {
-                self.explore(proxy, sched);
+                self.explore(proxy, ctx);
             }
             if self.proxies[i].rt.clock.tick() {
                 self.update_neighbors(proxy);
@@ -383,9 +393,13 @@ impl<T: TraceSink> WebCacheWorld<T> {
 
     /// Algo 2: probe random non-neighbor proxies; replies return
     /// summarized information (overlap with our recent misses).
-    fn explore(&mut self, proxy: NodeId, sched: &mut Scheduler<'_, CacheEvent>) {
+    fn explore<C: Clock<CacheEvent> + Transport<CacheEvent>>(
+        &mut self,
+        proxy: NodeId,
+        ctx: &mut C,
+    ) {
         self.metrics.runtime.on_exploration();
-        let hour = sched.now().as_hours() as usize;
+        let hour = ctx.now().as_hours() as usize;
         let n = self.config.proxies;
         for _ in 0..self.config.probe_fanout {
             let q = NodeId::from_index(self.rng.gen_range(0..n));
@@ -394,7 +408,8 @@ impl<T: TraceSink> WebCacheWorld<T> {
             }
             self.metrics.runtime.on_messages(hour, 1.0);
             let rtt = self.jittered(self.config.sibling_delay).saturating_mul(2);
-            sched.after(rtt, CacheEvent::ProbeReply { to: proxy, from: q });
+            // The probe reply returns to the prober after the round trip.
+            ctx.send(proxy, rtt, CacheEvent::ProbeReply { to: proxy, from: q });
         }
     }
 
