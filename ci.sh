@@ -33,6 +33,14 @@ cargo run -q --release -p ddr-experiments --bin ddr -- inspect "$TRACE" > /dev/n
 echo "==> perfbench --smoke (kernel throughput harness, determinism cross-check)"
 cargo run -q --release -p ddr-experiments --bin perfbench -- --smoke
 
+echo "==> perfbench --smoke --shards 2 (sharded kernel: digest parity + scaling entry)"
+cargo run -q --release -p ddr-experiments --bin perfbench -- \
+    --smoke --shards 2 --label ci-smoke --out BENCH_7.json
+
+echo "==> shard_scaling --smoke --shards 2 (parallel-vs-serial parity gate)"
+cargo run -q --release -p ddr-experiments --bin ddr -- \
+    run shard_scaling --smoke --shards 2 > /dev/null
+
 echo "==> ddr serve --smoke (real-time bus load test, records qps/core + p99)"
 cargo run -q --release -p ddr-experiments --bin ddr -- \
     serve gnutella --nodes 200 --qps 50 --duration 2 --smoke \

@@ -27,7 +27,9 @@ flags (shared by every experiment):
   --trace FILE      write sampled query-lifecycle spans as JSONL to FILE
   --trace-sample N  trace every Nth query (default 1 = all)
   --profile         print a kernel dispatch/queue report after the run
-  --threads N       cap sweep worker fan-out (default: one per core)";
+  --threads N       cap sweep worker fan-out (default: one per core)
+  --shards N        shard count for sharded-kernel experiments
+                    (shard_scaling, perfbench --shards; default 1)";
 
 /// The `ddr` binary, minus process concerns: parse `args` (everything
 /// after the program name) and return the exit code.

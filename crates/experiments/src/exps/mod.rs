@@ -14,6 +14,7 @@ pub mod fig3b;
 pub mod fig3b_ablation;
 pub mod peerolap_eval;
 pub mod perf;
+pub mod shard_scaling;
 pub mod strategies;
 pub mod webcache_eval;
 

@@ -16,8 +16,15 @@
 //! battery without touching the file.
 //!
 //! ```text
-//! perfbench [--label L] [--out FILE] [--scale N] [--reps N] [--smoke]
+//! perfbench [--label L] [--out FILE] [--scale N] [--reps N] [--smoke] [--shards N]
 //! ```
+//!
+//! `--shards N` swaps in the sharded-kernel battery: the synthetic relay
+//! world's 1→N shard scaling curve (each point digest-checked against
+//! the serial reference) plus one large-world `fig1_dynamic` capacity
+//! run. Sharded entries append to `BENCH_7.json` (unless `--out`
+//! overrides), carry a `cores` field, and are recorded even under
+//! `--smoke` so CI keeps a scaling trajectory.
 //!
 //! Each scenario runs `--reps` times (default 3) and the **fastest**
 //! repetition is recorded. Wall-clock noise on a shared machine is
@@ -45,7 +52,7 @@ use ddr_stats::Table;
 use ddr_webcache::{CacheMode, WebCacheConfig, WebCacheScenario};
 
 /// One scenario's measurements.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScenarioResult {
     name: String,
     sim_hours: u64,
@@ -55,16 +62,127 @@ pub struct ScenarioResult {
     events_per_sec: f64,
     peak_queue_depth: usize,
     final_pending: usize,
+    /// Shard count for sharded-kernel scenarios; absent (serial kernel)
+    /// for the classic battery, so old entries parse unchanged. The
+    /// codec impls below are manual for exactly that reason: the field
+    /// is omitted when `None` and tolerated when missing.
+    shards: Option<usize>,
 }
 
 /// One perfbench invocation (a point on the perf trajectory).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BenchEntry {
     label: String,
     kernel: String,
     recorded_unix: u64,
     scale: u32,
+    /// Physical cores on the recording host. Only stamped by `--shards`
+    /// entries: a scaling curve is meaningless without knowing how many
+    /// cores the workers had to share. Optional in the codec so old
+    /// entries parse unchanged.
+    cores: Option<usize>,
     scenarios: Vec<ScenarioResult>,
+}
+
+impl serde::Serialize for ScenarioResult {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        out.push_str("\"name\":");
+        serde::Serialize::write_json(&self.name, out);
+        out.push_str(",\"sim_hours\":");
+        serde::Serialize::write_json(&self.sim_hours, out);
+        out.push_str(",\"nodes\":");
+        serde::Serialize::write_json(&self.nodes, out);
+        out.push_str(",\"events_processed\":");
+        serde::Serialize::write_json(&self.events_processed, out);
+        out.push_str(",\"wall_seconds\":");
+        serde::Serialize::write_json(&self.wall_seconds, out);
+        out.push_str(",\"events_per_sec\":");
+        serde::Serialize::write_json(&self.events_per_sec, out);
+        out.push_str(",\"peak_queue_depth\":");
+        serde::Serialize::write_json(&self.peak_queue_depth, out);
+        out.push_str(",\"final_pending\":");
+        serde::Serialize::write_json(&self.final_pending, out);
+        if let Some(s) = self.shards {
+            out.push_str(",\"shards\":");
+            serde::Serialize::write_json(&s, out);
+        }
+        out.push('}');
+    }
+}
+
+impl serde::Deserialize for ScenarioResult {
+    fn from_json_value(v: &serde::json::Value) -> Result<Self, serde::json::JsonError> {
+        Ok(ScenarioResult {
+            name: serde::Deserialize::from_json_value(serde::json::field(v, "name")?)?,
+            sim_hours: serde::Deserialize::from_json_value(serde::json::field(v, "sim_hours")?)?,
+            nodes: serde::Deserialize::from_json_value(serde::json::field(v, "nodes")?)?,
+            events_processed: serde::Deserialize::from_json_value(serde::json::field(
+                v,
+                "events_processed",
+            )?)?,
+            wall_seconds: serde::Deserialize::from_json_value(serde::json::field(
+                v,
+                "wall_seconds",
+            )?)?,
+            events_per_sec: serde::Deserialize::from_json_value(serde::json::field(
+                v,
+                "events_per_sec",
+            )?)?,
+            peak_queue_depth: serde::Deserialize::from_json_value(serde::json::field(
+                v,
+                "peak_queue_depth",
+            )?)?,
+            final_pending: serde::Deserialize::from_json_value(serde::json::field(
+                v,
+                "final_pending",
+            )?)?,
+            shards: match v.get("shards") {
+                None => None,
+                Some(x) => serde::Deserialize::from_json_value(x)?,
+            },
+        })
+    }
+}
+
+impl serde::Serialize for BenchEntry {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        out.push_str("\"label\":");
+        serde::Serialize::write_json(&self.label, out);
+        out.push_str(",\"kernel\":");
+        serde::Serialize::write_json(&self.kernel, out);
+        out.push_str(",\"recorded_unix\":");
+        serde::Serialize::write_json(&self.recorded_unix, out);
+        out.push_str(",\"scale\":");
+        serde::Serialize::write_json(&self.scale, out);
+        if let Some(c) = self.cores {
+            out.push_str(",\"cores\":");
+            serde::Serialize::write_json(&c, out);
+        }
+        out.push_str(",\"scenarios\":");
+        serde::Serialize::write_json(&self.scenarios, out);
+        out.push('}');
+    }
+}
+
+impl serde::Deserialize for BenchEntry {
+    fn from_json_value(v: &serde::json::Value) -> Result<Self, serde::json::JsonError> {
+        Ok(BenchEntry {
+            label: serde::Deserialize::from_json_value(serde::json::field(v, "label")?)?,
+            kernel: serde::Deserialize::from_json_value(serde::json::field(v, "kernel")?)?,
+            recorded_unix: serde::Deserialize::from_json_value(serde::json::field(
+                v,
+                "recorded_unix",
+            )?)?,
+            scale: serde::Deserialize::from_json_value(serde::json::field(v, "scale")?)?,
+            cores: match v.get("cores") {
+                None => None,
+                Some(x) => serde::Deserialize::from_json_value(x)?,
+            },
+            scenarios: serde::Deserialize::from_json_value(serde::json::field(v, "scenarios")?)?,
+        })
+    }
 }
 
 /// The whole `BENCH_2.json` file: append-only entry list.
@@ -96,13 +214,14 @@ fn timed<S: ddr_harness::Scenario>(
         events_per_sec: t.events_per_sec(),
         peak_queue_depth: t.peak_pending,
         final_pending: t.final_pending,
+        shards: None,
     }
 }
 
 /// One schedulable battery member: a name plus a closure that performs a
 /// single timed repetition from a fresh world.
 struct BatteryMember {
-    name: &'static str,
+    name: String,
     run: Box<dyn FnMut() -> ScenarioResult>,
 }
 
@@ -143,7 +262,7 @@ fn gnutella_member(name: &'static str, cfg: ScenarioConfig) -> BatteryMember {
     let nodes = cfg.workload.users;
     let hours = cfg.sim_hours;
     BatteryMember {
-        name,
+        name: name.to_string(),
         run: Box::new(move || timed::<GnutellaScenario>(name, cfg.clone(), nodes, hours)),
     }
 }
@@ -190,7 +309,7 @@ fn battery(scale: u32, smoke: bool) -> Vec<BatteryMember> {
     wc.seed = 7;
     let (n, h) = (wc.proxies, wc.sim_hours);
     out.push(BatteryMember {
-        name: "webcache_dynamic",
+        name: "webcache_dynamic".to_string(),
         run: Box::new(move || timed::<WebCacheScenario>("webcache_dynamic", wc.clone(), n, h)),
     });
 
@@ -201,10 +320,78 @@ fn battery(scale: u32, smoke: bool) -> Vec<BatteryMember> {
     po.seed = 7;
     let (n, h) = (po.peers, po.sim_hours);
     out.push(BatteryMember {
-        name: "peerolap_dynamic",
+        name: "peerolap_dynamic".to_string(),
         run: Box::new(move || timed::<PeerOlapScenario>("peerolap_dynamic", po.clone(), n, h)),
     });
 
+    out
+}
+
+/// The `--shards` battery: the synthetic relay world across a 1→N shard
+/// curve (see [`crate::exps::shard_scaling`]) plus one large-world
+/// `fig1_dynamic` capacity run on the serial kernel. Every curve point
+/// is digest-checked against the 1-shard reference as it runs, so a
+/// recorded entry implies the parallel kernel was bit-identical.
+fn sharded_battery(smoke: bool, max_shards: usize) -> Vec<BatteryMember> {
+    use crate::exps::shard_scaling;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    // The recorded curve runs a million-node world: short cascades keep
+    // the event count near 5M per point while the node state (arena +
+    // SoA columns) is full capacity-scale.
+    let (nodes, hops) = if smoke {
+        (2_000u32, 8u8)
+    } else {
+        (1_000_000, 4)
+    };
+    let reference_digest: Rc<Cell<Option<u64>>> = Rc::new(Cell::new(None));
+    let mut out = Vec::new();
+    for s in shard_scaling::shard_curve(max_shards) {
+        let name = format!("shard_scaling_s{s}");
+        let member_name = name.clone();
+        let reference = Rc::clone(&reference_digest);
+        out.push(BatteryMember {
+            name,
+            run: Box::new(move || {
+                let m = shard_scaling::measure(nodes as usize, hops, s, 7);
+                match reference.get() {
+                    None => reference.set(Some(m.digest)),
+                    Some(d) => assert_eq!(
+                        m.digest, d,
+                        "{member_name}: parallel run diverged from the serial reference"
+                    ),
+                }
+                ScenarioResult {
+                    name: member_name.clone(),
+                    sim_hours: 0,
+                    nodes: nodes as usize,
+                    events_processed: m.events,
+                    wall_seconds: m.wall_seconds,
+                    events_per_sec: m.events_per_sec(),
+                    // The primed queue holds one cascade seed per node at
+                    // t = 0 — the only depth the sharded kernel observes.
+                    peak_queue_depth: nodes as usize,
+                    final_pending: 0,
+                    shards: Some(s),
+                }
+            }),
+        });
+    }
+
+    // Large-world capacity: the paper's fig1 dynamic configuration with
+    // the population raised (serial kernel: the Gnutella world's global
+    // state cannot shard; this entry records how big a world the memory
+    // layout now carries, not a speedup).
+    let users = if smoke { 4_000 } else { 100_000 };
+    let name = format!("fig1_dynamic_capacity_{}k", users / 1_000);
+    let mut cfg = ScenarioConfig::big_world(Mode::Dynamic, 2, users, 2);
+    cfg.seed = 7;
+    let member_name = name.clone();
+    out.push(BatteryMember {
+        name,
+        run: Box::new(move || timed::<GnutellaScenario>(&member_name, cfg.clone(), users, 2)),
+    });
     out
 }
 
@@ -299,6 +486,7 @@ pub fn run(opts: &ExpOptions, em: &mut Emitter) {
         kernel: KERNEL_NAME.to_string(),
         recorded_unix: unix_now(),
         scale,
+        cores: None,
         scenarios: results.clone(),
     };
     validate_entry(&entry);
@@ -353,8 +541,10 @@ fn guard_smoke_throughput(entry: &BenchEntry, out_path: &str) {
     );
 }
 
-const PERFBENCH_USAGE: &str =
-    "options: --label L  --out FILE  --scale N  --reps N  --only SUBSTR  --smoke  (-h for help)";
+const PERFBENCH_USAGE: &str = "options: --label L  --out FILE  --scale N  --reps N  \
+     --only SUBSTR  --shards N  --smoke  (-h for help)\n\
+     --shards N runs the sharded-kernel battery (scaling curve to N shards plus a\n\
+     large-world capacity run) and records to BENCH_7.json unless --out overrides";
 
 fn perfbench_fail(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -366,11 +556,12 @@ fn perfbench_fail(msg: &str) -> ! {
 /// the trajectory file unless probing (`--smoke` / `--only`).
 pub fn perfbench_main(args: Vec<String>) {
     let mut label = String::from("run");
-    let mut out_path = String::from("BENCH_2.json");
+    let mut out_path: Option<String> = None;
     let mut scale: u32 = 4;
     let mut reps: u32 = 3;
     let mut smoke = false;
     let mut only: Option<String> = None;
+    let mut shards: Option<usize> = None;
     let mut args = args.into_iter();
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -379,7 +570,17 @@ pub fn perfbench_main(args: Vec<String>) {
         };
         match flag.as_str() {
             "--label" => label = value("--label"),
-            "--out" => out_path = value("--out"),
+            "--out" => out_path = Some(value("--out")),
+            "--shards" => {
+                let v = value("--shards");
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| perfbench_fail(&format!("bad value for --shards: {v:?}")));
+                if n < 1 {
+                    perfbench_fail("--shards must be at least 1");
+                }
+                shards = Some(n);
+            }
             "--scale" => {
                 let v = value("--scale");
                 scale = v
@@ -408,11 +609,24 @@ pub fn perfbench_main(args: Vec<String>) {
         scale = scale.max(20); // 100 users: seconds, not minutes
         reps = 1; // smoke validates completion + schema, not timing
     }
+    // Each battery has its own trajectory file: the serial-kernel battery
+    // appends to BENCH_2.json, the sharded battery to BENCH_7.json.
+    let out_path = out_path.unwrap_or_else(|| {
+        String::from(if shards.is_some() {
+            "BENCH_7.json"
+        } else {
+            "BENCH_2.json"
+        })
+    });
 
     eprintln!(
-        "[perfbench] kernel={KERNEL_NAME} scale={scale} reps={reps} label={label} smoke={smoke}"
+        "[perfbench] kernel={KERNEL_NAME} scale={scale} reps={reps} label={label} \
+         smoke={smoke} shards={shards:?}"
     );
-    let mut members = battery(scale, smoke);
+    let mut members = match shards {
+        Some(n) => sharded_battery(smoke, n),
+        None => battery(scale, smoke),
+    };
     if let Some(pat) = &only {
         members.retain(|s| s.name.contains(pat.as_str()));
         assert!(!members.is_empty(), "--only {pat} matches no scenario");
@@ -433,11 +647,32 @@ pub fn perfbench_main(args: Vec<String>) {
         kernel: KERNEL_NAME.to_string(),
         recorded_unix: unix_now(),
         scale,
+        cores: shards.map(|_| ddr_sim::default_workers()),
         scenarios,
     };
     validate_entry(&entry);
 
-    if smoke {
+    if let Some(n) = shards {
+        let curve: Vec<_> = entry
+            .scenarios
+            .iter()
+            .filter(|s| s.shards.is_some())
+            .collect();
+        if let (Some(base), Some(top)) = (curve.first(), curve.last()) {
+            eprintln!(
+                "[perfbench] shard scaling: {:.0} ev/s at {} shard(s) -> {:.0} ev/s at {} \
+                 ({:.2}x on {} core(s))",
+                base.events_per_sec,
+                base.shards.unwrap_or(1),
+                top.events_per_sec,
+                top.shards.unwrap_or(n),
+                top.events_per_sec / base.events_per_sec.max(1e-9),
+                entry.cores.unwrap_or(1),
+            );
+        }
+    }
+
+    if smoke && shards.is_none() {
         guard_smoke_throughput(&entry, &out_path);
         eprintln!("[perfbench] smoke OK: battery completed, JSON schema valid ({SCHEMA})");
         return;

@@ -79,9 +79,11 @@ pub fn run_all_with(
     }
 }
 
-/// Default worker count: one per core (re-exported from the sweep engine).
+/// Default worker count: one per core (the kernel's shared helper — the
+/// same one the sweep engine, the serve backend, and the sharded kernel
+/// resolve through).
 pub fn default_workers() -> usize {
-    ddr_harness::default_workers()
+    ddr_sim::parallelism::default_workers()
 }
 
 /// The hourly-series table for one (static, dynamic) pair — the layout of

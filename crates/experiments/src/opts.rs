@@ -14,6 +14,8 @@
 //! --profile         profile the kernel and print a dispatch/queue report
 //! --threads N       cap sweep worker fan-out (default: one per core);
 //!                   `ddr serve` reuses it as the shard count
+//! --shards N        shard count for the conservative parallel kernel
+//!                   (experiments with sharded worlds; default 1 = serial)
 //! ```
 //!
 //! Parsing is a pure function ([`ExpOptions::parse`]) returning
@@ -52,7 +54,7 @@ impl std::fmt::Display for CliError {
 
 /// The flag summary printed on `--help` and on parse errors.
 pub const USAGE: &str = "options: --scale N  --hours H  --seed S  --csv DIR  --json DIR  --smoke  \
-     --trace FILE  --trace-sample N  --profile  --threads N  (-h for help)";
+     --trace FILE  --trace-sample N  --profile  --threads N  --shards N  (-h for help)";
 
 /// Command-line options shared by all experiment entry points.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +87,11 @@ pub struct ExpOptions {
     /// Worker-thread cap for sweep fan-out (and the serve backend's
     /// shard count). `None` means one per core.
     pub threads: Option<usize>,
+    /// Shard count for experiments running on the conservative parallel
+    /// kernel. `None` means serial (one shard). Experiments whose worlds
+    /// have global mutable state ignore it and stay serial (the output
+    /// is bit-identical either way; see DESIGN.md §11).
+    pub shards: Option<usize>,
 }
 
 impl Default for ExpOptions {
@@ -102,6 +109,7 @@ impl Default for ExpOptions {
             trace_sample: 1,
             profile: false,
             threads: None,
+            shards: None,
         }
     }
 }
@@ -163,6 +171,13 @@ impl ExpOptions {
                         _ => return Err(CliError::BadValue("--threads".into(), v)),
                     };
                 }
+                "--shards" => {
+                    let v = value("--shards")?;
+                    opts.shards = match v.parse() {
+                        Ok(n) if n >= 1 => Some(n),
+                        _ => return Err(CliError::BadValue("--shards".into(), v)),
+                    };
+                }
                 "--help" | "-h" => return Err(CliError::Help),
                 flag if flag.starts_with('-') => return Err(CliError::UnknownFlag(flag.into())),
                 _ => positional.push(arg),
@@ -210,7 +225,13 @@ impl ExpOptions {
     /// The worker-thread count every sweep fans out to: the `--threads`
     /// cap when given, otherwise one per core.
     pub fn workers(&self) -> usize {
-        self.threads.unwrap_or_else(crate::default_workers)
+        ddr_sim::resolve_workers(self.threads)
+    }
+
+    /// The shard count for sharded-kernel experiments: the `--shards`
+    /// value when given, otherwise 1 (serial).
+    pub fn shard_count(&self) -> usize {
+        self.shards.unwrap_or(1)
     }
 
     /// The telemetry settings these options imply for one run, labelled
@@ -336,6 +357,20 @@ mod tests {
         assert_eq!(
             parse(&["--threads", "lots"]),
             Err(CliError::BadValue("--threads".into(), "lots".into()))
+        );
+    }
+
+    #[test]
+    fn shards_parse_and_default_to_serial() {
+        let (o, _) = parse(&["--shards", "4"]).unwrap();
+        assert_eq!(o.shards, Some(4));
+        assert_eq!(o.shard_count(), 4);
+        let (o, _) = parse(&[]).unwrap();
+        assert_eq!(o.shards, None);
+        assert_eq!(o.shard_count(), 1, "default is serial");
+        assert_eq!(
+            parse(&["--shards", "0"]),
+            Err(CliError::BadValue("--shards".into(), "0".into()))
         );
     }
 

@@ -92,6 +92,11 @@ pub fn registry() -> Vec<Experiment> {
             description: "Event-kernel throughput battery (display only; binary records)",
             run: crate::exps::perf::run,
         },
+        Experiment {
+            name: "shard_scaling",
+            description: "Parallel sharded kernel: 1->N shard throughput curve with parity check",
+            run: crate::exps::shard_scaling::run,
+        },
     ]
 }
 

@@ -125,7 +125,7 @@ pub fn serve_config(args: &ServeArgs) -> ServeConfig {
     if args.smoke {
         node_set.query_timeout = SimDuration::from_millis(500);
     }
-    let shards = args.threads.unwrap_or_else(crate::default_workers);
+    let shards = ddr_sim::resolve_workers(args.threads);
     let mut cfg = ServeConfig::new(node_set, args.qps, args.duration_s, shards);
     cfg.telemetry = TelemetryConfig {
         trace_path: args.trace.clone(),

@@ -1,0 +1,47 @@
+//! Gate: `--shards` must never change results.
+//!
+//! Two halves, matching DESIGN.md §11's contract:
+//!
+//! * Worlds with global mutable state (every Gnutella-family experiment)
+//!   ignore the flag and stay on the serial kernel — their emitted
+//!   tables must be byte-identical with and without `--shards`.
+//! * The sharded kernel itself must be bit-identical to its serial
+//!   reference — `shard_scaling` asserts the digest of every curve point
+//!   against the 1-shard run and panics on divergence, so completing at
+//!   all is the parity proof. (`ddr-sim/tests/prop_sharded.rs` proves
+//!   the same property differentially against the reference heap.)
+
+use ddr_experiments::{find, Emitter, ExpOptions};
+
+fn captured(name: &str, shards: Option<usize>) -> String {
+    let opts = ExpOptions {
+        smoke: true,
+        shards,
+        ..ExpOptions::default()
+    };
+    let mut em = Emitter::capture();
+    (find(name).expect("registered experiment").run)(&opts, &mut em);
+    em.captured().expect("capture emitter").to_string()
+}
+
+#[test]
+fn shards_flag_is_inert_for_global_state_worlds() {
+    // One Gnutella-family figure and one secondary case study; both run
+    // the serial kernel regardless of --shards, so the emitted output
+    // must not move by a byte.
+    for name in ["fig1", "webcache_eval"] {
+        let serial = captured(name, None);
+        let sharded = captured(name, Some(3));
+        assert!(!serial.is_empty(), "{name} emitted nothing");
+        assert_eq!(serial, sharded, "{name}: --shards changed the output");
+    }
+}
+
+#[test]
+fn shard_scaling_curve_passes_its_parity_assertions() {
+    // The run itself asserts every parallel point's digest equals the
+    // serial reference; reaching the note line means parity held.
+    let out = captured("shard_scaling", Some(4));
+    assert!(out.contains("Shard scaling"), "table missing");
+    assert!(out.contains("bit-identical"), "parity note missing");
+}

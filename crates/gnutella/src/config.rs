@@ -222,6 +222,25 @@ impl ScenarioConfig {
         c
     }
 
+    /// A large-world capacity configuration: the paper's catalog and
+    /// per-user densities (library size, categories, churn, query rate)
+    /// with the user count raised to `users` and a short horizon — the
+    /// shape of the `fig1_dynamic` capacity entries in `BENCH_7.json`.
+    /// Unlike [`scaled`](Self::scaled), nothing shrinks: a 100k-user
+    /// world carries 50× the paper's population against the same
+    /// 200k-song catalog.
+    ///
+    /// # Panics
+    /// Panics if `sim_hours < 2` (warmup needs one hour before it).
+    pub fn big_world(mode: Mode, max_hops: u8, users: usize, sim_hours: u64) -> Self {
+        assert!(sim_hours >= 2, "capacity runs need warmup + measurement");
+        let mut c = ScenarioConfig::paper(mode, max_hops);
+        c.workload.users = users;
+        c.sim_hours = sim_hours;
+        c.warmup_hours = 1;
+        c
+    }
+
     /// Validate the configuration, including the workload.
     pub fn validate(&self) -> Result<(), String> {
         self.workload.validate()?;
@@ -303,6 +322,17 @@ mod tests {
         let c = ScenarioConfig::scaled(Mode::Static, 4, 10, 24);
         assert_eq!(c.workload.users, 200);
         assert_eq!(c.warmup_hours, 3);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn big_world_keeps_paper_densities() {
+        let c = ScenarioConfig::big_world(Mode::Dynamic, 2, 100_000, 2);
+        assert_eq!(c.workload.users, 100_000);
+        assert_eq!(c.workload.songs, 200_000);
+        assert_eq!(c.workload.library_mean, 200.0);
+        assert_eq!(c.sim_hours, 2);
+        assert_eq!(c.warmup_hours, 1);
         assert!(c.validate().is_ok());
     }
 

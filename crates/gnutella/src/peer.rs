@@ -54,13 +54,38 @@ impl PendingQuery {
     }
 }
 
-/// One peer's complete mutable state.
-pub struct PeerState {
+/// The hot per-peer scalars, split out of [`PeerState`] into a dense
+/// struct-of-arrays column in the world (`sessions: Vec<SessionSlot>`).
+/// Nearly every event handler starts with an online/session check; at
+/// large scale, reading it through `PeerState` drags a whole cold
+/// cache line (maps, generators) in per check, while a packed 8-byte
+/// slot keeps 8 peers per line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionSlot {
     /// Whether the user is currently online.
     pub online: bool,
     /// Monotone session counter; bumped at each login so stale
     /// `IssueQuery` events from earlier sessions are ignored.
     pub session: u32,
+}
+
+impl SessionSlot {
+    /// Mark the peer online under a fresh session number. Pair with
+    /// [`PeerState::begin_session`].
+    pub fn login(&mut self) {
+        self.online = true;
+        self.session = self.session.wrapping_add(1);
+    }
+
+    /// Mark the peer offline. Pair with [`PeerState::end_session`].
+    pub fn logoff(&mut self) {
+        self.online = false;
+    }
+}
+
+/// One peer's complete mutable state (minus the hot online/session
+/// scalars, which live in the world's [`SessionSlot`] column).
+pub struct PeerState {
     /// Framework runtime: statistics about other nodes (survive offline
     /// periods — user preferences are static, so old knowledge stays
     /// valuable), the duplicate cache, and the threshold-K
@@ -79,18 +104,17 @@ pub struct PeerState {
 
 impl PeerState {
     /// Reset the per-session state on login. Statistics survive; the
-    /// duplicate cache and in-flight queries do not.
+    /// duplicate cache and in-flight queries do not. The caller flips the
+    /// world's [`SessionSlot`] alongside.
     pub fn begin_session(&mut self) {
-        self.online = true;
-        self.session = self.session.wrapping_add(1);
         self.rt.begin_session();
         self.pending.clear();
         self.pending_invites = 0;
     }
 
-    /// Clear in-flight state on logoff.
+    /// Clear in-flight state on logoff. The caller flips the world's
+    /// [`SessionSlot`] alongside.
     pub fn end_session(&mut self) {
-        self.online = false;
         self.pending.clear();
         self.pending_invites = 0;
     }
@@ -106,8 +130,6 @@ mod tests {
         let cfg = WorkloadConfig::paper();
         let rngs = RngFactory::new(1);
         PeerState {
-            online: false,
-            session: 0,
             rt: NodeRuntime::new(10).with_dup_cache(16),
             pending_invites: 0,
             pending: ddr_sim::hash::fast_map(),
@@ -119,19 +141,22 @@ mod tests {
     #[test]
     fn session_lifecycle() {
         let mut p = peer();
+        let mut slot = SessionSlot::default();
         p.rt.seen().first_sighting(QueryId(1));
         p.pending
             .insert(QueryId(1), PendingQuery::new(ItemId(0), SimTime::ZERO));
         p.begin_session();
-        assert!(p.online);
-        assert_eq!(p.session, 1);
+        slot.login();
+        assert!(slot.online);
+        assert_eq!(slot.session, 1);
         assert!(p.pending.is_empty());
         assert!(
             p.rt.seen().first_sighting(QueryId(1)),
             "dup cache must clear"
         );
         p.end_session();
-        assert!(!p.online);
+        slot.logoff();
+        assert!(!slot.online);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::config::SearchStrategy;
 use crate::config::{Mode, ScenarioConfig};
 use crate::events::GnutellaEvent;
 use crate::metrics::Metrics;
-use crate::peer::{PeerState, PendingQuery};
+use crate::peer::{PeerState, PendingQuery, SessionSlot};
 use ddr_core::benefit::BenefitFunction;
 use ddr_core::runtime::{Clock, Membership, NodeRuntime, SimObserver, Transport};
 use ddr_core::{
@@ -51,6 +51,10 @@ pub struct GnutellaWorld<T: TraceSink = NullSink> {
     net: NetworkModel,
     topology: Topology,
     peers: Vec<PeerState>,
+    /// Hot online/session scalars for every peer, kept as a dense
+    /// struct-of-arrays column (8 B per peer) so the liveness checks at
+    /// the top of every handler don't pull in cold `PeerState` lines.
+    sessions: Vec<SessionSlot>,
     /// Per-node content summaries (piggybacked on invitations when the
     /// summary-gated policy is active).
     summaries: Vec<CategorySummary>,
@@ -103,8 +107,6 @@ impl<T: TraceSink> GnutellaWorld<T> {
                 let churn = ChurnProcess::new(&config.workload, &rngs, i as u64);
                 let queries = QueryGenerator::new(&config.workload, &rngs, i as u64);
                 PeerState {
-                    online: false,
-                    session: 0,
                     rt: NodeRuntime::new(config.reconfig_threshold)
                         .with_dup_cache(config.dup_cache_capacity),
                     pending_invites: 0,
@@ -138,6 +140,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
             flags
         };
         let served = vec![0u64; config.workload.users];
+        let sessions = vec![SessionSlot::default(); config.workload.users];
         let indices = vec![None; 0]; // sized after `config` moves in
         let tracer = QueryTracer::new(&config.telemetry);
         let mut world = GnutellaWorld {
@@ -147,6 +150,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
             net,
             topology,
             peers,
+            sessions,
             summaries,
             indices,
             free_rider,
@@ -169,6 +173,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
         for i in 0..world.peers.len() {
             if world.peers[i].churn.online() {
                 world.peers[i].begin_session();
+                world.sessions[i].login();
                 let n = NodeId::from_index(i);
                 world.online.add(n);
                 initial.push(n);
@@ -188,13 +193,13 @@ impl<T: TraceSink> GnutellaWorld<T> {
             let node = NodeId::from_index(i);
             let toggle_in = self.peers[i].churn.next_toggle();
             sched.schedule_in(toggle_in, GnutellaEvent::Toggle { node });
-            if self.peers[i].online {
+            if self.sessions[i].online {
                 let d = self.peers[i].queries.next_interval();
                 sched.schedule_in(
                     d,
                     GnutellaEvent::IssueQuery {
                         node,
-                        session: self.peers[i].session,
+                        session: self.sessions[i].session,
                     },
                 );
                 if let SearchStrategy::LocalIndices { radius } = self.config.strategy {
@@ -203,7 +208,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
                         self.config.index_refresh,
                         GnutellaEvent::IndexRefresh {
                             node,
-                            session: self.peers[i].session,
+                            session: self.sessions[i].session,
                         },
                     );
                 }
@@ -297,7 +302,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
         let mut n = 0usize;
         for i in 0..self.peers.len() {
             let node = NodeId::from_index(i);
-            if self.peers[i].online && pred(node) {
+            if self.sessions[i].online && pred(node) {
                 sum += self.topology.degree(node);
                 n += 1;
             }
@@ -309,7 +314,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
     /// (diagnostics for how much knowledge reconfiguration can draw on).
     pub fn mean_stats_entries(&self) -> f64 {
         let online: Vec<_> = (0..self.peers.len())
-            .filter(|&i| self.peers[i].online)
+            .filter(|&i| self.sessions[i].online)
             .collect();
         if online.is_empty() {
             return 0.0;
@@ -392,6 +397,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
             self.peers[i].rt.reset_stats();
         }
         self.peers[i].begin_session();
+        self.sessions[i].login();
         self.online.add(node);
         self.metrics.logins += 1;
         self.trace
@@ -437,7 +443,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
             d,
             GnutellaEvent::IssueQuery {
                 node,
-                session: self.peers[i].session,
+                session: self.sessions[i].session,
             },
         );
         if let SearchStrategy::LocalIndices { radius } = self.config.strategy {
@@ -446,7 +452,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
                 self.config.index_refresh,
                 GnutellaEvent::IndexRefresh {
                     node,
-                    session: self.peers[i].session,
+                    session: self.sessions[i].session,
                 },
             );
         }
@@ -470,6 +476,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
             }
         }
         self.peers[i].end_session();
+        self.sessions[i].logoff();
         self.online.remove(node);
         self.metrics.logoffs += 1;
         self.trace
@@ -504,7 +511,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
         ctx: &mut C,
     ) {
         let i = node.index();
-        if !self.peers[i].online || self.peers[i].session != session {
+        if !self.sessions[i].online || self.sessions[i].session != session {
             return; // stale event from a previous session
         }
         let now = ctx.now();
@@ -628,7 +635,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
         ctx: &mut C,
     ) {
         let i = to.index();
-        if !self.peers[i].online {
+        if !self.sessions[i].online {
             return; // the node logged off while the message was in flight
         }
         if !self.peers[i].rt.seen().first_sighting(desc.id) {
@@ -709,7 +716,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
 
     fn reply_arrive(&mut self, to: NodeId, from: NodeId, query: QueryId, hops: u8, now: SimTime) {
         let i = to.index();
-        if !self.peers[i].online {
+        if !self.sessions[i].online {
             return;
         }
         if let Some(pq) = self.peers[i].pending.get_mut(&query) {
@@ -859,7 +866,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
         // inviter's slot reservation (cleared on logoff, hence saturating).
         let inv = from.index();
         self.peers[inv].pending_invites = self.peers[inv].pending_invites.saturating_sub(1);
-        if !self.peers[m].online || !self.online.contains(from) {
+        if !self.sessions[m].online || !self.online.contains(from) {
             return; // either end vanished while the invitation travelled
         }
         if self.topology.out(to).contains(from) {
@@ -909,7 +916,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
                             GnutellaEvent::TrialExpire {
                                 node: to,
                                 peer: from,
-                                session: self.peers[m].session,
+                                session: self.sessions[m].session,
                             },
                         );
                     }
@@ -923,7 +930,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
     /// node will not try to reconnect in the near future.
     fn evict_arrive(&mut self, to: NodeId, from: NodeId) {
         let w = to.index();
-        if !self.peers[w].online {
+        if !self.sessions[w].online {
             return;
         }
         self.peers[w].rt.stats.reset_node(from);
@@ -940,7 +947,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
         ctx: &mut C,
     ) {
         let i = node.index();
-        if !self.peers[i].online {
+        if !self.sessions[i].online {
             return;
         }
         let Some(pq) = self.peers[i].pending.get(&query) else {
@@ -994,7 +1001,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
         ctx: &mut C,
     ) {
         let i = node.index();
-        if !self.peers[i].online || self.peers[i].session != session {
+        if !self.sessions[i].online || self.sessions[i].session != session {
             return; // the trial died with the session
         }
         if !self.topology.out(node).contains(peer) {
@@ -1037,7 +1044,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
         ctx: &mut C,
     ) {
         let i = node.index();
-        if !self.peers[i].online || self.peers[i].session != session {
+        if !self.sessions[i].online || self.sessions[i].session != session {
             return; // stale event from an earlier session
         }
         if let SearchStrategy::LocalIndices { radius } = self.config.strategy {
@@ -1066,9 +1073,9 @@ impl<T: TraceSink> World for GnutellaWorld<T> {
                 // is the state to enter now.
                 let i = node.index();
                 let goes_online = self.peers[i].churn.online();
-                if goes_online && !self.peers[i].online {
+                if goes_online && !self.sessions[i].online {
                     self.login(node, sched);
-                } else if !goes_online && self.peers[i].online {
+                } else if !goes_online && self.sessions[i].online {
                     self.logoff(node, sched);
                 }
                 let d = self.peers[i].churn.next_toggle();

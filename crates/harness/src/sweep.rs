@@ -30,11 +30,10 @@ pub fn derive_seed(root: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Default worker count: one per core.
+/// Default worker count: one per core. Delegates to the kernel's shared
+/// helper so sweeps, CLI overrides, and the sharded kernel all agree.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    ddr_sim::parallelism::default_workers()
 }
 
 /// Run every configuration, fanning out across up to `workers` threads,

@@ -24,6 +24,6 @@ pub mod relation;
 pub mod topology;
 
 pub use graph::{bfs_within, reachable_within};
-pub use neighbors::NeighborList;
+pub use neighbors::{NeighborList, INLINE_NEIGHBORS};
 pub use relation::RelationKind;
 pub use topology::{ConsistencyError, Topology};

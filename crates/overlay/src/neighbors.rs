@@ -1,11 +1,23 @@
 //! A capacity-bounded, duplicate-free, insertion-ordered neighbor list.
 //!
 //! Degree bounds in the paper are tiny (Gnutella: 4 neighbors), so a flat
-//! `Vec` with linear scans beats any hashed structure; insertion order is
+//! array with linear scans beats any hashed structure; insertion order is
 //! preserved because eviction policies and tie-breaking want stable,
 //! deterministic iteration.
+//!
+//! Storage is a small-buffer optimization: up to [`INLINE_NEIGHBORS`]
+//! entries live inline in the struct (no heap allocation at all — at
+//! million-node scale the two per-node lists used to cost two `Vec`
+//! allocations each and a pointer chase per scan), spilling to a `Vec`
+//! only for the rare wider lists (all-to-all test topologies, unbounded
+//! pure-asymmetric incoming lists).
 
 use ddr_sim::NodeId;
+
+/// Entries stored inline before spilling to the heap. Covers the paper's
+/// degree bounds (4–5) with headroom; 8 ids is 32 bytes, the sweet spot
+/// before the inline copy on `remove` starts to cost.
+pub const INLINE_NEIGHBORS: usize = 8;
 
 /// Error returned by [`NeighborList::add`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,28 +28,42 @@ pub enum AddError {
     Full,
 }
 
+#[derive(Clone)]
+enum Store {
+    /// `len` live entries at the front of `buf`; the tail is garbage.
+    Inline {
+        buf: [NodeId; INLINE_NEIGHBORS],
+        len: u8,
+    },
+    /// Lists that outgrew the inline buffer (they never shrink back:
+    /// representation flapping would churn allocations for nothing).
+    Spilled(Vec<NodeId>),
+}
+
 /// A bounded list of neighbor ids.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct NeighborList {
-    nodes: Vec<NodeId>,
+    store: Store,
     capacity: usize,
 }
 
 impl NeighborList {
-    /// An empty list with the given capacity.
+    /// An empty list with the given capacity. Lists no wider than
+    /// [`INLINE_NEIGHBORS`] never allocate.
     pub fn with_capacity(capacity: usize) -> Self {
         NeighborList {
-            nodes: Vec::with_capacity(capacity.min(64)),
+            store: Store::Inline {
+                buf: [NodeId(0); INLINE_NEIGHBORS],
+                len: 0,
+            },
             capacity,
         }
     }
 
     /// An effectively unbounded list (pure-asymmetric incoming lists).
+    /// Starts inline like every other list; spills on demand.
     pub fn unbounded() -> Self {
-        NeighborList {
-            nodes: Vec::new(),
-            capacity: usize::MAX,
-        }
+        Self::with_capacity(usize::MAX)
     }
 
     /// The capacity bound.
@@ -46,24 +72,28 @@ impl NeighborList {
     }
 
     /// Current number of neighbors.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        match &self.store {
+            Store::Inline { len, .. } => *len as usize,
+            Store::Spilled(v) => v.len(),
+        }
     }
 
     /// Whether the list is empty.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len() == 0
     }
 
     /// Whether the list is at capacity.
     pub fn is_full(&self) -> bool {
-        self.nodes.len() >= self.capacity
+        self.len() >= self.capacity
     }
 
     /// Whether `node` is present.
     #[inline]
     pub fn contains(&self, node: NodeId) -> bool {
-        self.nodes.contains(&node)
+        self.as_slice().contains(&node)
     }
 
     /// Add `node`; fails on duplicates and at capacity.
@@ -74,7 +104,21 @@ impl NeighborList {
         if self.is_full() {
             return Err(AddError::Full);
         }
-        self.nodes.push(node);
+        match &mut self.store {
+            Store::Inline { buf, len } => {
+                if (*len as usize) < INLINE_NEIGHBORS {
+                    buf[*len as usize] = node;
+                    *len += 1;
+                } else {
+                    // Outgrew the inline buffer: spill, preserving order.
+                    let mut v = Vec::with_capacity(INLINE_NEIGHBORS * 2);
+                    v.extend_from_slice(&buf[..]);
+                    v.push(node);
+                    self.store = Store::Spilled(v);
+                }
+            }
+            Store::Spilled(v) => v.push(node),
+        }
         Ok(())
     }
 
@@ -82,28 +126,71 @@ impl NeighborList {
     /// remaining entries is preserved (deterministic iteration matters for
     /// reproducibility).
     pub fn remove(&mut self, node: NodeId) -> bool {
-        match self.nodes.iter().position(|&n| n == node) {
-            Some(i) => {
-                self.nodes.remove(i);
-                true
+        match &mut self.store {
+            Store::Inline { buf, len } => {
+                let n = *len as usize;
+                match buf[..n].iter().position(|&x| x == node) {
+                    Some(i) => {
+                        buf.copy_within(i + 1..n, i);
+                        *len -= 1;
+                        true
+                    }
+                    None => false,
+                }
             }
-            None => false,
+            Store::Spilled(v) => match v.iter().position(|&x| x == node) {
+                Some(i) => {
+                    v.remove(i);
+                    true
+                }
+                None => false,
+            },
         }
     }
 
     /// Remove and return all entries (e.g. when a node logs off).
     pub fn drain(&mut self) -> Vec<NodeId> {
-        std::mem::take(&mut self.nodes)
+        match &mut self.store {
+            Store::Inline { buf, len } => {
+                let out = buf[..*len as usize].to_vec();
+                *len = 0;
+                out
+            }
+            Store::Spilled(v) => std::mem::take(v),
+        }
     }
 
     /// Iterate over neighbors in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes.iter().copied()
+        self.as_slice().iter().copied()
     }
 
     /// The neighbors as a slice (insertion order).
+    #[inline]
     pub fn as_slice(&self) -> &[NodeId] {
-        &self.nodes
+        match &self.store {
+            Store::Inline { buf, len } => &buf[..*len as usize],
+            Store::Spilled(v) => v,
+        }
+    }
+}
+
+// Equality and Debug go through the logical contents: whether a list has
+// spilled is a storage detail (two same-capacity lists can differ in
+// representation after enough adds and removes).
+impl PartialEq for NeighborList {
+    fn eq(&self, other: &Self) -> bool {
+        self.capacity == other.capacity && self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for NeighborList {}
+
+impl std::fmt::Debug for NeighborList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NeighborList")
+            .field("nodes", &self.as_slice())
+            .field("capacity", &self.capacity)
+            .finish()
     }
 }
 
@@ -111,7 +198,7 @@ impl<'a> IntoIterator for &'a NeighborList {
     type Item = NodeId;
     type IntoIter = std::iter::Copied<std::slice::Iter<'a, NodeId>>;
     fn into_iter(self) -> Self::IntoIter {
-        self.nodes.iter().copied()
+        self.as_slice().iter().copied()
     }
 }
 
@@ -184,5 +271,48 @@ mod tests {
         }
         assert!(!l.is_full());
         assert_eq!(l.len(), 10_000);
+    }
+
+    /// The spill boundary: behaviour must be seamless crossing
+    /// INLINE_NEIGHBORS in either direction.
+    #[test]
+    fn spill_preserves_order_and_semantics() {
+        let cap = INLINE_NEIGHBORS * 3;
+        let mut l = NeighborList::with_capacity(cap);
+        for i in 0..cap as u32 {
+            l.add(NodeId(i)).unwrap();
+        }
+        assert_eq!(
+            l.iter().collect::<Vec<_>>(),
+            (0..cap as u32).map(NodeId).collect::<Vec<_>>()
+        );
+        assert_eq!(l.add(NodeId(0)), Err(AddError::Duplicate));
+        // Shrink below the inline threshold again; order still holds.
+        for i in 0..(cap as u32 - 2) {
+            assert!(l.remove(NodeId(i)));
+        }
+        assert_eq!(
+            l.iter().collect::<Vec<_>>(),
+            vec![NodeId(cap as u32 - 2), NodeId(cap as u32 - 1)]
+        );
+    }
+
+    /// Equality is logical, not representational: a spilled-then-shrunk
+    /// list equals a never-spilled one with the same contents.
+    #[test]
+    fn equality_ignores_spill_state() {
+        let cap = INLINE_NEIGHBORS + 4;
+        let mut spilled = NeighborList::with_capacity(cap);
+        for i in 0..(INLINE_NEIGHBORS as u32 + 1) {
+            spilled.add(NodeId(i)).unwrap();
+        }
+        for i in 2..(INLINE_NEIGHBORS as u32 + 1) {
+            spilled.remove(NodeId(i));
+        }
+        let mut inline = NeighborList::with_capacity(cap);
+        inline.add(NodeId(0)).unwrap();
+        inline.add(NodeId(1)).unwrap();
+        assert_eq!(spilled, inline);
+        assert_eq!(format!("{spilled:?}"), format!("{inline:?}"));
     }
 }

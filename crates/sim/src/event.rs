@@ -81,17 +81,34 @@ impl<E> Ord for Scheduled<E> {
 /// ± 60 ms, so 64 ms slots concentrated hundreds of entries per bucket
 /// and the mid-bucket sorted inserts turned into memmoves.
 const SLOT_SHIFT: u32 = 0;
-/// Number of wheel buckets (power of two). Wheel horizon =
-/// `NBUCKETS << SLOT_SHIFT` = 2.048 s beyond the cursor — enough for
-/// every network delay and collection window; hour-scale churn timers
-/// go to the overflow heap.
-const NBUCKETS: usize = 2048;
-const SLOT_MASK: u64 = (NBUCKETS as u64) - 1;
-/// Words in the bucket-occupancy bitmap (one bit per bucket). The bitmap
-/// turns "find the next non-empty bucket" into a handful of
-/// `trailing_zeros` word scans instead of walking up to `NBUCKETS`
-/// empty `VecDeque`s (the mean gap between events is tens of slots).
-const OCC_WORDS: usize = NBUCKETS / 64;
+/// Default number of wheel buckets (power of two). Wheel horizon =
+/// `DEFAULT_WHEEL_BUCKETS << SLOT_SHIFT` = 2.048 s beyond the cursor —
+/// enough for every network delay and collection window at paper scale;
+/// hour-scale churn timers go to the overflow heap.
+pub const DEFAULT_WHEEL_BUCKETS: usize = 2048;
+/// Smallest admissible wheel (one occupancy-bitmap word). Mostly useful
+/// for tests that want to hammer cursor rollover.
+pub const MIN_WHEEL_BUCKETS: usize = 64;
+/// Largest wheel [`wheel_buckets_for`] will pick (131 072 slots ≈ 131 s
+/// of horizon). Beyond this the bucket array itself stops being
+/// cache-resident and the occupancy scan dominates.
+pub const MAX_WHEEL_BUCKETS: usize = 1 << 17;
+
+/// Wheel size (bucket count) for a given pending-event capacity hint.
+///
+/// A million-node world keeps on the order of one timer per node alive;
+/// with the paper-scale 2 048-slot wheel nearly all of them sit in the
+/// overflow heap and every cursor lap migrates a huge population through
+/// `O(log n)` heap pops. Growing the wheel with the expected pending
+/// population keeps the near-future working set in O(1) buckets. The
+/// divisor is a measured compromise: most pending events are hour-scale
+/// churn timers that belong in overflow no matter the wheel size, so the
+/// wheel only needs to cover the near-future fraction.
+pub fn wheel_buckets_for(cap: usize) -> usize {
+    (cap / 4)
+        .next_power_of_two()
+        .clamp(DEFAULT_WHEEL_BUCKETS, MAX_WHEEL_BUCKETS)
+}
 
 #[inline]
 fn slot_of(t: SimTime) -> u64 {
@@ -100,11 +117,12 @@ fn slot_of(t: SimTime) -> u64 {
 
 /// The production future-event list: a two-level calendar queue.
 ///
-/// Level 1 is a circular array of `NBUCKETS` buckets, each a `VecDeque`
-/// kept sorted ascending by `(time, seq)`; the bucket for absolute slot
-/// `s` is `wheel[s % NBUCKETS]`, and the **single-lap invariant** says a
+/// Level 1 is a circular array of buckets (a power-of-two count fixed at
+/// construction; see [`wheel_buckets_for`]), each a `VecDeque` kept
+/// sorted ascending by `(time, seq)`; the bucket for absolute slot `s`
+/// is `wheel[s % nbuckets]`, and the **single-lap invariant** says a
 /// bucket only ever holds entries of one absolute slot: those within
-/// `[cursor, cursor + NBUCKETS)`. Level 2 is a min-heap holding
+/// `[cursor, cursor + nbuckets)`. Level 2 is a min-heap holding
 /// everything at or beyond the wheel horizon; entries migrate into the
 /// wheel as the cursor advances past their lap boundary.
 ///
@@ -124,18 +142,24 @@ fn slot_of(t: SimTime) -> u64 {
 /// assert_eq!(q.now(), SimTime::from_millis(10));
 /// ```
 pub struct EventQueue<E> {
-    /// Circular bucket array; `wheel[s & SLOT_MASK]` holds slot `s`.
+    /// Circular bucket array; `wheel[s & slot_mask]` holds slot `s`. The
+    /// length is a power of two fixed at construction (see
+    /// [`EventQueue::with_geometry`]).
     wheel: Vec<VecDeque<Scheduled<E>>>,
+    /// `wheel.len() - 1`, cached for the hot physical-index computation.
+    slot_mask: u64,
     /// Entries currently stored in the wheel (not counting overflow).
     wheel_len: usize,
     /// Absolute slot index of the earliest possibly-occupied bucket.
     /// Only ever advances; all buckets for slots `< cursor` are empty.
     cursor: u64,
-    /// Far-future entries (absolute slot `>= cursor + NBUCKETS`).
+    /// Far-future entries (absolute slot `>= cursor + wheel.len()`).
     overflow: BinaryHeap<Scheduled<E>>,
     /// One bit per physical bucket: set iff the bucket is non-empty.
-    /// Lets [`Self::compute_next`] skip empty buckets a word at a time.
-    occupied: [u64; OCC_WORDS],
+    /// Lets [`Self::compute_next`] skip empty buckets a word at a time
+    /// (a handful of `trailing_zeros` scans instead of walking up to
+    /// `wheel.len()` empty `VecDeque`s).
+    occupied: Box<[u64]>,
     /// Cached timestamp of the earliest pending entry. `None` means
     /// "unknown" (dirty), not "empty" — emptiness is `len() == 0`.
     /// Interior mutability lets `peek_time(&self)` fill it so the
@@ -157,16 +181,34 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue positioned at t = 0.
+    /// An empty queue positioned at t = 0, with the default paper-scale
+    /// wheel geometry.
     pub fn new() -> Self {
-        let mut wheel = Vec::with_capacity(NBUCKETS);
-        wheel.resize_with(NBUCKETS, VecDeque::new);
+        Self::with_geometry(DEFAULT_WHEEL_BUCKETS)
+    }
+
+    /// An empty queue with an explicit wheel size. Geometry never affects
+    /// pop order — the `(time, seq)` contract is identical for every
+    /// wheel size (events beyond the horizon simply detour through the
+    /// overflow heap) — only the migration/scan cost profile.
+    ///
+    /// # Panics
+    /// Panics unless `nbuckets` is a power of two and at least
+    /// [`MIN_WHEEL_BUCKETS`] (the occupancy bitmap needs whole words).
+    pub fn with_geometry(nbuckets: usize) -> Self {
+        assert!(
+            nbuckets.is_power_of_two() && nbuckets >= MIN_WHEEL_BUCKETS,
+            "wheel size must be a power of two >= {MIN_WHEEL_BUCKETS}, got {nbuckets}"
+        );
+        let mut wheel = Vec::with_capacity(nbuckets);
+        wheel.resize_with(nbuckets, VecDeque::new);
         EventQueue {
             wheel,
+            slot_mask: (nbuckets as u64) - 1,
             wheel_len: 0,
             cursor: 0,
             overflow: BinaryHeap::new(),
-            occupied: [0; OCC_WORDS],
+            occupied: vec![0u64; nbuckets / 64].into_boxed_slice(),
             next_at: Cell::new(None),
             seq: 0,
             now: SimTime::ZERO,
@@ -178,20 +220,33 @@ impl<E> EventQueue<E> {
     /// An empty queue with pre-reserved capacity (figure-scale runs keep
     /// thousands of in-flight events; see [`event_capacity_hint`]).
     /// Capacity is split between the overflow heap (which holds the
-    /// hour-scale timer population) and the near-future buckets.
+    /// hour-scale timer population) and the near-future buckets, and the
+    /// wheel geometry adapts to the hint (see [`wheel_buckets_for`]) so
+    /// million-node worlds don't thrash the overflow heap.
     pub fn with_capacity(cap: usize) -> Self {
-        let mut q = Self::new();
-        q.overflow.reserve(cap / 2);
+        let mut q = Self::with_geometry(wheel_buckets_for(cap));
+        // Cap the up-front reservations: at million-node scale the hint
+        // runs into the millions and faithful pre-allocation would cost
+        // hundreds of MB before the first event fires.
+        q.overflow.reserve((cap / 2).min(1 << 20));
         // Give each bucket a small head start so early same-slot bursts
         // (scenario priming schedules every node at once) don't grow
-        // buckets one push at a time.
-        let per_bucket = (cap / NBUCKETS).clamp(0, 64);
+        // buckets one push at a time. Bounded so the total reservation
+        // stays modest for big wheels.
+        let nbuckets = q.wheel.len();
+        let per_bucket = (cap / nbuckets).clamp(0, 64).min((1 << 18) / nbuckets);
         if per_bucket > 0 {
             for b in &mut q.wheel {
                 b.reserve(per_bucket);
             }
         }
         q
+    }
+
+    /// Number of wheel buckets (the configured geometry).
+    #[inline]
+    pub fn wheel_buckets(&self) -> usize {
+        self.wheel.len()
     }
 
     /// Current virtual time: the timestamp of the most recently popped
@@ -233,8 +288,8 @@ impl<E> EventQueue<E> {
         };
         let slot = slot_of(at);
         debug_assert!(slot >= self.cursor, "cursor passed the current time");
-        if slot - self.cursor < NBUCKETS as u64 {
-            let b = (slot & SLOT_MASK) as usize;
+        if slot - self.cursor < self.wheel.len() as u64 {
+            let b = (slot & self.slot_mask) as usize;
             let bucket = &mut self.wheel[b];
             // Keep the bucket sorted ascending by (time, seq). The new
             // entry carries the largest seq so far, so among equal times
@@ -298,7 +353,7 @@ impl<E> EventQueue<E> {
     pub fn peek_event(&self) -> Option<&E> {
         if self.wheel_len > 0 {
             let b = self
-                .next_occupied((self.cursor & SLOT_MASK) as usize)
+                .next_occupied((self.cursor & self.slot_mask) as usize)
                 .expect("wheel_len > 0 but occupancy bitmap empty");
             let front = self.wheel[b]
                 .front()
@@ -318,7 +373,7 @@ impl<E> EventQueue<E> {
     fn compute_next(&self) -> Option<SimTime> {
         if self.wheel_len > 0 {
             let b = self
-                .next_occupied((self.cursor & SLOT_MASK) as usize)
+                .next_occupied((self.cursor & self.slot_mask) as usize)
                 .expect("wheel_len > 0 but occupancy bitmap empty");
             let front = self.wheel[b]
                 .front()
@@ -333,16 +388,17 @@ impl<E> EventQueue<E> {
     /// from the cursor equal to absolute-slot order, so this is the
     /// bucket holding the wheel minimum.
     fn next_occupied(&self, start: usize) -> Option<usize> {
+        let occ_words = self.occupied.len();
         let sw = start >> 6;
         // Word containing `start`, with bits below `start` masked off.
         let w = self.occupied[sw] & (!0u64 << (start & 63));
         if w != 0 {
             return Some((sw << 6) + w.trailing_zeros() as usize);
         }
-        for i in 1..=OCC_WORDS {
-            let idx = (sw + i) & (OCC_WORDS - 1);
+        for i in 1..=occ_words {
+            let idx = (sw + i) & (occ_words - 1);
             // After a full wrap, re-inspect the start word's low bits.
-            let w = if i == OCC_WORDS {
+            let w = if i == occ_words {
                 self.occupied[sw] & !(!0u64 << (start & 63))
             } else {
                 self.occupied[idx]
@@ -361,13 +417,13 @@ impl<E> EventQueue<E> {
     fn advance_cursor(&mut self, slot: u64) {
         debug_assert!(slot >= self.cursor);
         self.cursor = slot;
-        let horizon = self.cursor + NBUCKETS as u64;
+        let horizon = self.cursor + self.wheel.len() as u64;
         while let Some(top) = self.overflow.peek() {
             if slot_of(top.time) >= horizon {
                 break;
             }
             let entry = self.overflow.pop().expect("peeked entry vanished");
-            let b = (slot_of(entry.time) & SLOT_MASK) as usize;
+            let b = (slot_of(entry.time) & self.slot_mask) as usize;
             let bucket = &mut self.wheel[b];
             // Overflow drains in (time, seq) order, so appends preserve
             // the bucket sort; the sorted-insert branch only fires when
@@ -396,12 +452,12 @@ impl<E> EventQueue<E> {
             // an overflow lap boundary; both advance the cursor and
             // migrate newly in-window overflow entries.
             debug_assert!(
-                slot - self.cursor < NBUCKETS as u64 || self.wheel_len == 0,
+                slot - self.cursor < self.wheel.len() as u64 || self.wheel_len == 0,
                 "cursor jump past a populated wheel window"
             );
             self.advance_cursor(slot);
         }
-        let b = (slot & SLOT_MASK) as usize;
+        let b = (slot & self.slot_mask) as usize;
         let bucket = &mut self.wheel[b];
         let entry = bucket.pop_front().expect("cached minimum not in bucket");
         debug_assert_eq!(entry.time, t, "bucket front disagrees with cache");
@@ -674,7 +730,7 @@ mod tests {
     /// order, FIFO-stable — as the cursor rolls past lap boundaries.
     #[test]
     fn bucket_rollover_beyond_initial_horizon() {
-        let wheel_span_ms = (NBUCKETS as u64) << SLOT_SHIFT; // 32.768 s
+        let wheel_span_ms = (DEFAULT_WHEEL_BUCKETS as u64) << SLOT_SHIFT;
         let mut q = EventQueue::new();
         // One event per "lap" across 5 laps, scheduled out of order, plus
         // a same-timestamp burst in lap 3 to check FIFO survives
@@ -775,5 +831,59 @@ mod tests {
         let large = event_capacity_hint(2_000, 4);
         assert!(large >= small);
         assert!(small.is_power_of_two());
+    }
+
+    #[test]
+    fn wheel_geometry_adapts_to_capacity_hint() {
+        // Small hints keep the paper-scale default …
+        assert_eq!(wheel_buckets_for(0), DEFAULT_WHEEL_BUCKETS);
+        assert_eq!(
+            EventQueue::<()>::with_capacity(1_000).wheel_buckets(),
+            DEFAULT_WHEEL_BUCKETS
+        );
+        // … big hints grow the wheel, up to the cap.
+        let big = wheel_buckets_for(event_capacity_hint(1_000_000, 4));
+        assert!(big > DEFAULT_WHEEL_BUCKETS);
+        assert!(big <= MAX_WHEEL_BUCKETS);
+        assert_eq!(wheel_buckets_for(usize::MAX / 2), MAX_WHEEL_BUCKETS);
+        assert_eq!(
+            EventQueue::<()>::with_geometry(MIN_WHEEL_BUCKETS).wheel_buckets(),
+            MIN_WHEEL_BUCKETS
+        );
+    }
+
+    /// Geometry never changes pop order: a deliberately tiny wheel (which
+    /// forces constant overflow detours and cursor laps) must agree with
+    /// the reference heap event for event.
+    #[test]
+    fn tiny_wheel_matches_reference_heap() {
+        let mut cal: EventQueue<u64> = EventQueue::with_geometry(MIN_WHEEL_BUCKETS);
+        let mut refq: ReferenceEventQueue<u64> = ReferenceEventQueue::new();
+        // A deterministic scramble of near, far, and equal timestamps.
+        let mut t: u64 = 0;
+        for i in 0..2_000u64 {
+            t = t.wrapping_mul(6364136223846793005).wrapping_add(i) % 10_000;
+            let at = SimTime::from_millis(t);
+            if at >= cal.now() {
+                cal.schedule_at(at, i);
+                refq.schedule_at(at, i);
+            }
+            if i % 3 == 0 {
+                assert_eq!(cal.pop(), refq.pop());
+            }
+        }
+        loop {
+            let (a, b) = (cal.pop(), refq.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_geometry_panics() {
+        let _ = EventQueue::<()>::with_geometry(1000);
     }
 }

@@ -25,6 +25,13 @@
 //! * [`probe`] — kernel-profiling hooks ([`EventLabel`], [`KernelProbe`])
 //!   consumed by [`Simulation::run_probed`]; the default `run` loop stays
 //!   instrumentation-free.
+//! * [`sharded`] — the conservative parallel kernel: nodes partitioned
+//!   across shards, each with its own calendar queue, advanced in
+//!   lookahead-bounded windows with a single-threaded deterministic
+//!   cross-shard merge, so a parallel run is bit-identical to the serial
+//!   one.
+//! * [`parallelism`] — the one shared worker-count default every layer
+//!   (sweeps, CLI `--threads`/`--shards`, serve shards) resolves through.
 //!
 //! ## Determinism contract
 //!
@@ -38,16 +45,23 @@ pub mod engine;
 pub mod event;
 pub mod hash;
 pub mod id;
+pub mod parallelism;
 pub mod probe;
 pub mod rng;
+pub mod sharded;
 pub mod time;
 pub mod trace;
 
 pub use engine::{RunOutcome, Simulation, World};
-pub use event::{event_capacity_hint, EventQueue, ReferenceEventQueue, Scheduler, KERNEL_NAME};
+pub use event::{
+    event_capacity_hint, wheel_buckets_for, EventQueue, ReferenceEventQueue, Scheduler,
+    DEFAULT_WHEEL_BUCKETS, KERNEL_NAME, MAX_WHEEL_BUCKETS, MIN_WHEEL_BUCKETS,
+};
 pub use hash::{FastHashMap, FastHashSet, FxHasher};
 pub use id::{ItemId, NodeId, QueryId};
+pub use parallelism::{default_workers, resolve_workers};
 pub use probe::{EventLabel, KernelProbe, NullKernelProbe, QueueSample};
 pub use rng::RngFactory;
+pub use sharded::{Partition, ShardCtx, ShardWorld, ShardedSimulation};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Counters, Trace};

@@ -1,0 +1,41 @@
+//! The single source of truth for host parallelism defaults.
+//!
+//! Three layers historically carried their own "how many workers" default
+//! (the sweep engine, `ExpOptions::workers()`, and the serve backend's
+//! shard count); they all resolve here now, so a `--threads`/`--shards`
+//! override and the one-per-core fallback behave identically everywhere —
+//! including the sharded simulation kernel's default shard count.
+
+/// Default worker count: one per core (1 if the host won't say).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolve an optional user override against the one-per-core default.
+/// Zero is treated as "no override" so CLI plumbing can pass parsed
+/// values straight through.
+pub fn resolve_workers(requested: Option<usize>) -> usize {
+    match requested {
+        Some(n) if n > 0 => n,
+        _ => default_workers(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn resolve_honours_override_and_falls_back() {
+        assert_eq!(resolve_workers(Some(3)), 3);
+        assert_eq!(resolve_workers(None), default_workers());
+        assert_eq!(resolve_workers(Some(0)), default_workers());
+    }
+}

@@ -1,0 +1,250 @@
+//! Differential property tests for the conservative sharded kernel.
+//!
+//! The executable specification is a plain serial run over
+//! [`ReferenceEventQueue`]: one global `(time, seq)`-ordered stream, no
+//! shards, no windows. The sharded kernel — under any shard count, on
+//! one thread or one worker per shard — must leave every node in a
+//! bit-identical final state, including order-sensitive checksums and
+//! per-node RNG streams, across random seeds, node counts, fan-outs,
+//! and churn schedules.
+//!
+//! The world is deliberately *node-local* (a handler touches only the
+//! destination node's state and every send respects the lookahead):
+//! that is exactly the class of worlds the kernel's determinism
+//! contract covers (DESIGN.md §11).
+
+use ddr_sim::{
+    NodeId, Partition, ReferenceEventQueue, ShardCtx, ShardWorld, ShardedSimulation, SimDuration,
+    SimTime,
+};
+use proptest::prelude::*;
+
+const LOOKAHEAD_MS: u64 = 10;
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.rotate_left(23);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One node's state. The checksum folds in every dispatch in order, and
+/// the RNG stream advances once per decision — any reordering of a
+/// node's events changes both.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Node {
+    online: bool,
+    rng: u64,
+    pings: u64,
+    toggles: u64,
+    checksum: u64,
+}
+
+impl Node {
+    fn new(seed: u64, idx: usize) -> Self {
+        Node {
+            online: !seed.wrapping_add(idx as u64).is_multiple_of(3),
+            rng: mix(seed, idx as u64 ^ 0xA5A5_A5A5),
+            pings: 0,
+            toggles: 0,
+            checksum: 0,
+        }
+    }
+
+    fn next_rng(&mut self) -> u64 {
+        self.rng = mix(self.rng, 0x2545_F491_4F6C_DD1D);
+        self.rng
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Ev {
+    Ping { hops: u8, tag: u64 },
+    Toggle,
+}
+
+/// The node-local protocol logic, shared verbatim between the serial
+/// reference and the sharded world; `emit` abstracts over "schedule on
+/// the global queue" vs "stage in the shard outbox".
+fn dispatch(
+    total_nodes: usize,
+    node: &mut Node,
+    now: SimTime,
+    ev: &Ev,
+    mut emit: impl FnMut(NodeId, SimDuration, Ev),
+) {
+    match *ev {
+        Ev::Toggle => {
+            node.online = !node.online;
+            node.toggles += 1;
+            node.checksum = mix(node.checksum, mix(now.as_millis(), 0x70661E));
+            let rearm = LOOKAHEAD_MS + node.next_rng() % 5_000;
+            emit(NodeId(0), SimDuration::from_millis(rearm), Ev::Toggle);
+        }
+        Ev::Ping { hops, tag } => {
+            node.pings += 1;
+            node.checksum = mix(node.checksum, mix(now.as_millis(), tag));
+            // Offline nodes swallow pings (churn changes the traffic
+            // pattern, not just the counters).
+            if node.online && hops > 0 {
+                let r = node.next_rng();
+                let dest = NodeId::from_index((r % total_nodes as u64) as usize);
+                let delay = SimDuration::from_millis(LOOKAHEAD_MS + r % 777);
+                emit(
+                    dest,
+                    delay,
+                    Ev::Ping {
+                        hops: hops - 1,
+                        tag: mix(tag, r),
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// One shard of the test world. Events carry their destination because
+/// [`ShardWorld::handle`] receives only the payload. A `Toggle` emitted
+/// with `NodeId(0)` is a self-send; `dispatch` has no notion of "self",
+/// so the wrapper rewrites it.
+struct TestShard {
+    base: usize,
+    total_nodes: usize,
+    nodes: Vec<Node>,
+}
+
+impl ShardWorld for TestShard {
+    type Event = (NodeId, Ev);
+
+    fn handle(&mut self, now: SimTime, ev: Self::Event, ctx: &mut ShardCtx<'_, Self::Event>) {
+        let (dest, ev) = ev;
+        let i = dest.index() - self.base;
+        let self_id = dest;
+        dispatch(
+            self.total_nodes,
+            &mut self.nodes[i],
+            now,
+            &ev,
+            |to, delay, child| {
+                let to = if matches!(child, Ev::Toggle) {
+                    self_id
+                } else {
+                    to
+                };
+                ctx.send(to, delay, (to, child));
+            },
+        );
+    }
+}
+
+/// Priming schedule for `n` nodes: a ping wave plus (optionally) a
+/// toggle per node, in node order — identical call order on both sides.
+fn prime(seed: u64, n: usize, hops: u8, churn: bool, mut emit: impl FnMut(SimTime, NodeId, Ev)) {
+    for i in 0..n {
+        let tag = mix(seed, i as u64);
+        let dest = NodeId::from_index((tag % n as u64) as usize);
+        let at = SimTime::from_millis(tag % 50);
+        emit(at, dest, Ev::Ping { hops, tag });
+    }
+    if churn {
+        for i in 0..n {
+            let at = SimTime::from_millis(mix(seed, i as u64 ^ 0xC4) % 2_000);
+            emit(at, NodeId::from_index(i), Ev::Toggle);
+        }
+    }
+}
+
+/// The serial specification: one global reference heap, popped to the
+/// horizon.
+fn run_reference(seed: u64, n: usize, hops: u8, churn: bool, horizon: SimTime) -> (Vec<Node>, u64) {
+    let mut nodes: Vec<Node> = (0..n).map(|i| Node::new(seed, i)).collect();
+    let mut q: ReferenceEventQueue<(NodeId, Ev)> = ReferenceEventQueue::new();
+    prime(seed, n, hops, churn, |at, dest, ev| {
+        q.schedule_at(at, (dest, ev));
+    });
+    let mut processed = 0u64;
+    while let Some(t) = q.peek_time() {
+        if t >= horizon {
+            break;
+        }
+        let (now, (dest, ev)) = q.pop().expect("peeked event vanished");
+        let self_id = dest;
+        dispatch(n, &mut nodes[dest.index()], now, &ev, |to, delay, child| {
+            let to = if matches!(child, Ev::Toggle) {
+                self_id
+            } else {
+                to
+            };
+            q.schedule_at(now + delay, (to, child));
+        });
+        processed += 1;
+    }
+    (nodes, processed)
+}
+
+fn build_sharded(
+    seed: u64,
+    n: usize,
+    hops: u8,
+    churn: bool,
+    shards: usize,
+) -> ShardedSimulation<TestShard> {
+    let partition = Partition::contiguous(n, shards);
+    let worlds = (0..partition.shards())
+        .map(|s| {
+            let r = partition.range(s);
+            TestShard {
+                base: r.start,
+                total_nodes: n,
+                nodes: r.map(|i| Node::new(seed, i)).collect(),
+            }
+        })
+        .collect();
+    let mut sim = ShardedSimulation::new(worlds, partition, SimDuration::from_millis(LOOKAHEAD_MS));
+    prime(seed, n, hops, churn, |at, dest, ev| {
+        sim.schedule_at(at, dest, (dest, ev));
+    });
+    sim
+}
+
+fn collect_nodes(sim: &ShardedSimulation<TestShard>) -> Vec<Node> {
+    sim.worlds().flat_map(|w| w.nodes.iter().cloned()).collect()
+}
+
+proptest! {
+    /// Sharded serial execution == the reference heap, for every shard
+    /// count, seed, fan-out depth, and churn schedule.
+    #[test]
+    fn sharded_matches_reference(
+        seed in any::<u64>(),
+        n in 2usize..60,
+        shards in 1usize..6,
+        hops in 0u8..16,
+        churn in any::<bool>(),
+    ) {
+        let horizon = SimTime::from_secs(30);
+        let (expect_nodes, expect_processed) = run_reference(seed, n, hops, churn, horizon);
+        let mut sim = build_sharded(seed, n, hops, churn, shards);
+        sim.run(horizon);
+        prop_assert_eq!(collect_nodes(&sim), expect_nodes);
+        prop_assert_eq!(sim.processed(), expect_processed);
+    }
+
+    /// Threaded execution (one worker per shard, real barriers) is
+    /// bit-identical to both.
+    #[test]
+    fn parallel_matches_reference(
+        seed in any::<u64>(),
+        n in 2usize..40,
+        shards in 2usize..5,
+        hops in 0u8..12,
+        churn in any::<bool>(),
+    ) {
+        let horizon = SimTime::from_secs(20);
+        let (expect_nodes, expect_processed) = run_reference(seed, n, hops, churn, horizon);
+        let mut sim = build_sharded(seed, n, hops, churn, shards);
+        sim.run_parallel(horizon, shards);
+        prop_assert_eq!(collect_nodes(&sim), expect_nodes);
+        prop_assert_eq!(sim.processed(), expect_processed);
+    }
+}
