@@ -41,6 +41,18 @@ echo "==> shard_scaling --smoke --shards 2 (parallel-vs-serial parity gate)"
 cargo run -q --release -p ddr-experiments --bin ddr -- \
     run shard_scaling --smoke --shards 2 > /dev/null
 
+echo "==> fig1_dynamic --shards 2 --smoke (Gnutella slice world: digest parity gate)"
+DIGEST_SERIAL=$(cargo run -q --release -p ddr-experiments --bin ddr -- \
+    run fig1_dynamic --smoke 2> /dev/null | grep '^digest:')
+DIGEST_SHARDED=$(cargo run -q --release -p ddr-experiments --bin ddr -- \
+    run fig1_dynamic --shards 2 --smoke 2> /dev/null | grep '^digest:')
+test -n "$DIGEST_SERIAL" || { echo "fig1_dynamic emitted no digest" >&2; exit 1; }
+if [ "$DIGEST_SERIAL" != "$DIGEST_SHARDED" ]; then
+    echo "fig1_dynamic --shards 2 diverged from serial: $DIGEST_SERIAL vs $DIGEST_SHARDED" >&2
+    exit 1
+fi
+echo "    $DIGEST_SERIAL (serial == 2 shards)"
+
 echo "==> ddr serve --smoke (real-time bus load test, records qps/core + p99)"
 cargo run -q --release -p ddr-experiments --bin ddr -- \
     serve gnutella --nodes 200 --qps 50 --duration 2 --smoke \

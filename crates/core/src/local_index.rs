@@ -48,6 +48,55 @@ impl LocalIndex {
         }
     }
 
+    /// Like [`Self::build`], but reading adjacency through a closure
+    /// instead of a global [`Topology`] — for worlds where each node owns
+    /// its own neighbor view (the sharded Gnutella world).
+    pub fn build_from<'a, 'b, N, F, I>(
+        owner: NodeId,
+        neighbors_of: N,
+        radius: usize,
+        items_of: F,
+    ) -> Self
+    where
+        N: Fn(NodeId) -> &'b [NodeId],
+        F: Fn(NodeId) -> I,
+        I: IntoIterator<Item = &'a ItemId>,
+    {
+        let mut entries: FastHashMap<ItemId, Vec<NodeId>> = ddr_sim::hash::fast_map();
+        // Plain BFS to `radius` hops, owner excluded (mirrors
+        // `ddr_overlay::bfs_within`).
+        let mut visited: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        visited.insert(owner);
+        let mut frontier = vec![owner];
+        let mut nearby: Vec<NodeId> = Vec::new();
+        for _ in 0..radius {
+            let mut next = Vec::new();
+            for &n in &frontier {
+                for &m in neighbors_of(n) {
+                    if visited.insert(m) {
+                        nearby.push(m);
+                        next.push(m);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            frontier = next;
+        }
+        for &node in &nearby {
+            for &item in items_of(node) {
+                entries.entry(item).or_default().push(node);
+            }
+        }
+        LocalIndex {
+            owner,
+            radius,
+            entries,
+            indexed_nodes: nearby.len(),
+        }
+    }
+
     /// The index owner.
     pub fn owner(&self) -> NodeId {
         self.owner

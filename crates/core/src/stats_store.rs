@@ -135,6 +135,31 @@ impl StatsStore {
         self.entries.remove(&node);
     }
 
+    /// Overwrite a node's freshness timestamp without touching its
+    /// accumulated statistics. Recency-based liveness proxies use this to
+    /// mark a candidate stale when it failed to answer (e.g. a refused
+    /// invitation means it is probably offline); the next genuine
+    /// observation refreshes the timestamp and re-qualifies it.
+    pub fn touch(&mut self, node: NodeId, at: SimTime) {
+        if let Some(e) = self.entries.get_mut(&node) {
+            e.last_update = at;
+        }
+    }
+
+    /// Multiply every node's accumulated benefit by `factor` (0 ≤ factor
+    /// ≤ 1). Called once per reconfiguration epoch so rankings weigh the
+    /// evidence gathered since the last update most heavily: a sample
+    /// from `e` epochs ago weighs `factor^e`. This is what prices a
+    /// hyperactive reconfiguration clock (paper Fig 3b) — with threshold
+    /// K the ranking rests on ~K fresh results plus a decayed tail, so
+    /// K=1 swaps chase single-query noise while larger K averages over
+    /// many samples. Uniform decay preserves the within-epoch ordering.
+    pub fn decay_benefit(&mut self, factor: f64) {
+        for e in self.entries.values_mut() {
+            e.benefit *= factor;
+        }
+    }
+
     /// Drop entries older than `horizon` (staleness control for long-lived
     /// asymmetric deployments; not used in the paper's 4-day runs).
     pub fn expire_older_than(&mut self, horizon: SimTime) {

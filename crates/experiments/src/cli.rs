@@ -29,7 +29,8 @@ flags (shared by every experiment):
   --profile         print a kernel dispatch/queue report after the run
   --threads N       cap sweep worker fan-out (default: one per core)
   --shards N        shard count for sharded-kernel experiments
-                    (shard_scaling, perfbench --shards; default 1)";
+                    (fig1_dynamic, shard_scaling, perfbench; default 1;
+                    rejected for experiments on the serial kernel)";
 
 /// The `ddr` binary, minus process concerns: parse `args` (everything
 /// after the program name) and return the exit code.
@@ -81,6 +82,22 @@ pub fn ddr_main(args: Vec<String>) -> i32 {
                 }
                 sel
             };
+            if opts.shards.is_some() {
+                if let Some(e) = selected.iter().find(|e| !e.shardable) {
+                    let shardable: Vec<&str> = registry()
+                        .iter()
+                        .filter(|e| e.shardable)
+                        .map(|e| e.name)
+                        .collect();
+                    eprintln!(
+                        "--shards: {:?} runs on the serial kernel; shardable experiments: {}",
+                        e.name,
+                        shardable.join(", ")
+                    );
+                    eprintln!("{USAGE}");
+                    return 2;
+                }
+            }
             for e in selected {
                 crate::banner(e.name, &opts);
                 let mut em = Emitter::stdout();
@@ -179,6 +196,23 @@ mod tests {
     #[test]
     fn all_conflicts_with_names() {
         assert_eq!(ddr_main(argv(&["run", "--all", "fig1"])), 2);
+    }
+
+    #[test]
+    fn shards_rejected_for_serial_kernel_experiments() {
+        // Rejection happens before anything runs, so these are instant.
+        assert_eq!(ddr_main(argv(&["run", "fig1", "--shards", "2"])), 2);
+        assert_eq!(
+            ddr_main(argv(&["run", "webcache_eval", "--shards", "2"])),
+            2
+        );
+        // --all includes serial-kernel experiments, so it conflicts too.
+        assert_eq!(ddr_main(argv(&["run", "--all", "--shards", "2"])), 2);
+        // A shardable experiment mixed with a serial one still fails.
+        assert_eq!(
+            ddr_main(argv(&["run", "fig1_dynamic", "fig1", "--shards", "2"])),
+            2
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@ pub mod diag;
 pub mod exploration_sweep;
 pub mod fairness;
 pub mod fig1;
+pub mod fig1_dynamic;
 pub mod fig2;
 pub mod fig3a;
 pub mod fig3b;

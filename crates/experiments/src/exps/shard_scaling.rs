@@ -7,13 +7,14 @@
 //! serial reference before its timing is reported, so the table cannot
 //! silently trade determinism for speed.
 //!
-//! The world is deliberately *not* the Gnutella case study: that world
-//! keeps genuinely global mutable state (one shared RNG stream, one
-//! topology map), so sharding it would change its event order (see
-//! DESIGN.md §11). This world is what the framework's node model looks
-//! like once state is node-local: per-node RNG-free tags, a degree-`D`
+//! The world is deliberately *not* the Gnutella case study (that one
+//! runs on the sharded kernel via `fig1_dynamic --shards N`; DESIGN.md
+//! §12): this is the framework's node model with everything except the
+//! kernel stripped away — per-node RNG-free tags, a degree-`D`
 //! neighbor table packed into one flat `Vec<u32>` arena per shard, and
-//! message delays drawn from the network model's floor upward.
+//! message delays drawn from the network model's floor upward — so the
+//! curve measures the synchronization machinery itself, not protocol
+//! cost.
 
 use crate::emit::Emitter;
 use crate::opts::ExpOptions;

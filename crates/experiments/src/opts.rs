@@ -15,7 +15,8 @@
 //! --threads N       cap sweep worker fan-out (default: one per core);
 //!                   `ddr serve` reuses it as the shard count
 //! --shards N        shard count for the conservative parallel kernel
-//!                   (experiments with sharded worlds; default 1 = serial)
+//!                   (shardable experiments only — the ddr CLI rejects it
+//!                   for serial-kernel experiments; default 1 = serial)
 //! ```
 //!
 //! Parsing is a pure function ([`ExpOptions::parse`]) returning
@@ -88,9 +89,11 @@ pub struct ExpOptions {
     /// shard count). `None` means one per core.
     pub threads: Option<usize>,
     /// Shard count for experiments running on the conservative parallel
-    /// kernel. `None` means serial (one shard). Experiments whose worlds
-    /// have global mutable state ignore it and stay serial (the output
-    /// is bit-identical either way; see DESIGN.md §11).
+    /// kernel. `None` means serial (one shard). Shardable worlds (the
+    /// Gnutella slice world and the synthetic relay world) produce
+    /// bit-identical output at any shard count (DESIGN.md §11–12); the
+    /// `ddr run` subcommand rejects the flag for everything else rather
+    /// than silently ignoring it.
     pub shards: Option<usize>,
 }
 

@@ -15,6 +15,11 @@ pub struct Experiment {
     pub description: &'static str,
     /// Entry point.
     pub run: fn(&ExpOptions, &mut Emitter),
+    /// Whether the experiment runs on the conservative sharded kernel
+    /// and honours `--shards N`. The `ddr run` subcommand rejects
+    /// `--shards` for experiments that don't (exit 2): silently ignoring
+    /// the flag would let a typo masquerade as a parallel run.
+    pub shardable: bool,
 }
 
 /// Every experiment, in presentation order (paper figures first, then
@@ -26,76 +31,97 @@ pub fn registry() -> Vec<Experiment> {
             name: "fig1",
             description: "Figure 1: hits & messages per hour, static vs dynamic, hops=2",
             run: crate::exps::fig1::run,
+            shardable: false,
+        },
+        Experiment {
+            name: "fig1_dynamic",
+            description: "Figure 1 dynamic half on the sharded kernel (--shards N, digest-pinned)",
+            run: crate::exps::fig1_dynamic::run,
+            shardable: true,
         },
         Experiment {
             name: "fig2",
             description: "Figure 2: hits & messages per hour, static vs dynamic, hops=4",
             run: crate::exps::fig2::run,
+            shardable: false,
         },
         Experiment {
             name: "fig3a",
             description: "Figure 3(a): first-result delay and total results vs hop limit",
             run: crate::exps::fig3a::run,
+            shardable: false,
         },
         Experiment {
             name: "fig3b",
             description: "Figure 3(b): total hits vs reconfiguration threshold K",
             run: crate::exps::fig3b::run,
+            shardable: false,
         },
         Experiment {
             name: "fig3b_ablation",
             description: "Fig 3(b) mechanism ablation: adaptation channels vs K-sensitivity",
             run: crate::exps::fig3b_ablation::run,
+            shardable: false,
         },
         Experiment {
             name: "webcache_eval",
             description: "Case study 2: cooperative web caching, static vs dynamic",
             run: crate::exps::webcache_eval::run,
+            shardable: false,
         },
         Experiment {
             name: "peerolap_eval",
             description: "Case study 3: PeerOlap distributed OLAP caching, static vs dynamic",
             run: crate::exps::peerolap_eval::run,
+            shardable: false,
         },
         Experiment {
             name: "ablations",
             description: "Design-choice ablations over the framework knobs (7 suites)",
             run: crate::exps::ablations::run,
+            shardable: false,
         },
         Experiment {
             name: "strategies",
             description: "Search-cost techniques: BFS vs iterative deepening vs local indices",
             run: crate::exps::strategies::run,
+            shardable: false,
         },
         Experiment {
             name: "diag",
             description: "Overlay diagnostics: clustering strength, statistics coverage",
             run: crate::exps::diag::run,
+            shardable: false,
         },
         Experiment {
             name: "fairness",
             description: "Serving-load distribution and free-rider isolation",
             run: crate::exps::fairness::run,
+            shardable: false,
         },
         Experiment {
             name: "exploration_sweep",
             description: "Exploration-frequency sweep on the web-cache case study",
             run: crate::exps::exploration_sweep::run,
+            shardable: false,
         },
         Experiment {
             name: "all_experiments",
             description: "Every paper experiment plus both case studies (EXPERIMENTS.md source)",
             run: crate::exps::all_experiments::run,
+            shardable: false,
         },
         Experiment {
             name: "perfbench",
             description: "Event-kernel throughput battery (display only; binary records)",
             run: crate::exps::perf::run,
+            shardable: true,
         },
         Experiment {
             name: "shard_scaling",
             description: "Parallel sharded kernel: 1->N shard throughput curve with parity check",
             run: crate::exps::shard_scaling::run,
+            shardable: true,
         },
     ]
 }
@@ -125,5 +151,18 @@ mod tests {
         assert!(find("fig1").is_some());
         assert!(find("perfbench").is_some());
         assert!(find("no_such_experiment").is_none());
+    }
+
+    #[test]
+    fn exactly_the_sharded_kernel_experiments_are_shardable() {
+        let shardable: Vec<&str> = registry()
+            .iter()
+            .filter(|e| e.shardable)
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(
+            shardable,
+            vec!["fig1_dynamic", "perfbench", "shard_scaling"]
+        );
     }
 }

@@ -1,10 +1,15 @@
 //! Gate: `--shards` must never change results.
 //!
-//! Two halves, matching DESIGN.md §11's contract:
+//! Three parts, matching DESIGN.md §11–12's contract:
 //!
-//! * Worlds with global mutable state (every Gnutella-family experiment)
-//!   ignore the flag and stay on the serial kernel — their emitted
-//!   tables must be byte-identical with and without `--shards`.
+//! * Worlds still on the serial kernel (the web-cache case study here)
+//!   never see the flag: the `ddr run` CLI rejects `--shards` for them
+//!   (exit 2, covered in `cli.rs` tests), and running their entry point
+//!   with `shards` set in the options anyway must be byte-inert.
+//! * The Gnutella slice world runs on the sharded kernel and must emit
+//!   the identical report digest at shards {1, 2, 4} — the
+//!   `fig1_dynamic` experiment prints the digest exactly so this (and
+//!   ci.sh) can compare runs from the outside.
 //! * The sharded kernel itself must be bit-identical to its serial
 //!   reference — `shard_scaling` asserts the digest of every curve point
 //!   against the 1-shard run and panics on divergence, so completing at
@@ -24,16 +29,36 @@ fn captured(name: &str, shards: Option<usize>) -> String {
     em.captured().expect("capture emitter").to_string()
 }
 
+/// The `digest: <16 hex>` note a sharded Gnutella experiment emits.
+fn digest_line(out: &str) -> &str {
+    out.lines()
+        .find(|l| l.trim_start().starts_with("digest:"))
+        .expect("run emitted no digest line")
+        .trim()
+}
+
 #[test]
-fn shards_flag_is_inert_for_global_state_worlds() {
-    // One Gnutella-family figure and one secondary case study; both run
-    // the serial kernel regardless of --shards, so the emitted output
-    // must not move by a byte.
-    for name in ["fig1", "webcache_eval"] {
-        let serial = captured(name, None);
-        let sharded = captured(name, Some(3));
-        assert!(!serial.is_empty(), "{name} emitted nothing");
-        assert_eq!(serial, sharded, "{name}: --shards changed the output");
+fn shards_option_is_inert_for_serial_kernel_worlds() {
+    // The CLI rejects --shards for these experiments; if the option ever
+    // reaches one anyway (direct registry call), it must not move the
+    // output by a byte.
+    let serial = captured("webcache_eval", None);
+    let sharded = captured("webcache_eval", Some(3));
+    assert!(!serial.is_empty(), "webcache_eval emitted nothing");
+    assert_eq!(serial, sharded, "webcache_eval: --shards changed output");
+}
+
+#[test]
+fn fig1_dynamic_digest_is_identical_at_every_shard_count() {
+    let reference = captured("fig1_dynamic", None);
+    let want = digest_line(&reference);
+    for shards in [1usize, 2, 4] {
+        let out = captured("fig1_dynamic", Some(shards));
+        assert_eq!(
+            digest_line(&out),
+            want,
+            "fig1_dynamic diverged from serial at {shards} shards"
+        );
     }
 }
 

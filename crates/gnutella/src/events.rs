@@ -35,8 +35,30 @@ pub enum GnutellaEvent {
     QueryFinalize { node: NodeId, query: QueryId },
     /// A neighborhood invitation (Algo 5) arrives at `to` from `from`.
     InviteArrive { to: NodeId, from: NodeId },
-    /// An eviction notice (Algo 5) arrives at `to` from `from`.
+    /// The invitee's answer to an invitation travels back to the inviter.
+    /// Releases the inviter's reserved slot; on `accepted` the inviter
+    /// mirrors the link in its own neighbor view.
+    InviteReply {
+        to: NodeId,
+        from: NodeId,
+        accepted: bool,
+    },
+    /// An eviction notice (Algo 5) arrives at `to` from `from`: `to`
+    /// drops `from` from its own neighbor view.
     EvictArrive { to: NodeId, from: NodeId },
+    /// Symmetric-link handshake: `from` asks `to` to become a neighbor
+    /// (join/rewire). The receiver commits first and answers `LinkAck`.
+    LinkRequest { to: NodeId, from: NodeId },
+    /// Answer to a `LinkRequest`. On `accepted` the requester mirrors the
+    /// link; either way the requester's reserved slot is released.
+    LinkAck {
+        to: NodeId,
+        from: NodeId,
+        accepted: bool,
+    },
+    /// One side dropped the link (logoff, repair, refusal cleanup); the
+    /// receiver removes `from` from its own neighbor view.
+    Unlink { to: NodeId, from: NodeId },
     /// Iterative deepening: the collection window of `wave` for `query`
     /// at the initiating `node` has elapsed — finalise or relaunch deeper.
     WaveCheck {
@@ -65,7 +87,11 @@ impl EventLabel for GnutellaEvent {
             GnutellaEvent::ReplyArrive { .. } => "ReplyArrive",
             GnutellaEvent::QueryFinalize { .. } => "QueryFinalize",
             GnutellaEvent::InviteArrive { .. } => "InviteArrive",
+            GnutellaEvent::InviteReply { .. } => "InviteReply",
             GnutellaEvent::EvictArrive { .. } => "EvictArrive",
+            GnutellaEvent::LinkRequest { .. } => "LinkRequest",
+            GnutellaEvent::LinkAck { .. } => "LinkAck",
+            GnutellaEvent::Unlink { .. } => "Unlink",
             GnutellaEvent::WaveCheck { .. } => "WaveCheck",
             GnutellaEvent::IndexRefresh { .. } => "IndexRefresh",
             GnutellaEvent::TrialExpire { .. } => "TrialExpire",

@@ -14,7 +14,7 @@ use serde::Serialize;
 /// hour; the warm-up window is excluded by the accessor methods on
 /// [`RunReport`], not at collection time, so tests can inspect warm-up
 /// behaviour too.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Metrics {
     /// Shared framework recorder: `queries` (issued per hour), `hits`
     /// (queries satisfied per hour, bucketed by first-result arrival —
@@ -83,12 +83,34 @@ impl Metrics {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Combine another shard's metrics into this one. Every field is
+    /// either a count/sum or an exact-sums accumulator, so folding the
+    /// per-shard metrics in shard order reproduces the serial totals
+    /// bit-for-bit — the property the shard-parity tests pin.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.runtime.merge(&other.runtime);
+        self.results.merge(&other.results);
+        self.first_delay_hist.merge(&other.first_delay_hist);
+        self.invitations_sent += other.invitations_sent;
+        self.invitations_accepted += other.invitations_accepted;
+        self.evictions += other.evictions;
+        self.logins += other.logins;
+        self.logoffs += other.logoffs;
+        self.duplicates_dropped += other.duplicates_dropped;
+        self.index_answers += other.index_answers;
+        self.extra_waves += other.extra_waves;
+        self.first_result_hops.merge(&other.first_result_hops);
+        self.result_hops.merge(&other.result_hops);
+        self.trials_confirmed += other.trials_confirmed;
+        self.trials_failed += other.trials_failed;
+    }
 }
 
 /// The result of a completed run: metrics plus the measurement window.
 /// Serialises to JSON for archival (`--csv DIR` in the experiment
 /// binaries also writes `<name>.json` next to the CSVs).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RunReport {
     /// Collected metrics.
     pub metrics: Metrics,
@@ -143,6 +165,25 @@ impl RunReport {
     pub fn hit_ratio(&self) -> f64 {
         self.window
             .ratio(&self.metrics.runtime.hits, &self.metrics.runtime.queries)
+    }
+
+    /// Order-sensitive 64-bit digest of the full report (every metric
+    /// field, via the canonical JSON serialisation). Two reports are
+    /// digest-equal iff they are bit-identical, so CI can compare a
+    /// sharded run against the serial run with one number.
+    pub fn digest(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("report serialises");
+        // SplitMix64 fold over the bytes: cheap, stable across platforms,
+        // and any single-bit difference avalanches through the state.
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        for &b in json.as_bytes() {
+            state ^= b as u64;
+            state = state.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            state ^= state >> 27;
+            state = state.wrapping_mul(0x94D0_49BB_1331_11EB);
+            state ^= state >> 31;
+        }
+        state
     }
 }
 

@@ -22,11 +22,10 @@
 
 use ddr_core::runtime::{Clock, NodeBehavior, Transport};
 use ddr_core::{NodeRuntime, QueryDescriptor};
-use ddr_net::NetworkModel;
+use ddr_net::{NetworkModel, NodeDelayStream};
 use ddr_overlay::Topology;
 use ddr_sim::{FastHashMap, ItemId, NodeId, QueryId, RngFactory, SimDuration, SimTime};
 use ddr_workload::{generate_profiles, Catalog, QueryGenerator, UserProfile, WorkloadConfig};
-use rand::rngs::SmallRng;
 use std::sync::Arc;
 
 /// Messages exchanged between [`GnutellaNode`]s (plus the self-addressed
@@ -88,7 +87,7 @@ pub struct GnutellaNode {
     pending: FastHashMap<QueryId, Pending>,
     net: Arc<NetworkModel>,
     catalog: Arc<Catalog>,
-    rng: SmallRng,
+    delays: NodeDelayStream,
     max_hops: u8,
     query_timeout: SimDuration,
     /// Message counters, read by the engine after (or during) a run.
@@ -119,7 +118,7 @@ impl GnutellaNode {
     }
 
     fn delay_to(&mut self, to: NodeId) -> SimDuration {
-        self.net.one_way_delay(&mut self.rng, self.id, to)
+        self.net.one_way_delay_for(&mut self.delays, self.id, to)
     }
 }
 
@@ -303,7 +302,7 @@ pub fn build_nodes(cfg: &NodeSetConfig) -> Vec<GnutellaNode> {
                 pending: ddr_sim::hash::fast_map(),
                 net: Arc::clone(&net),
                 catalog: Arc::clone(&catalog),
-                rng: rngs.stream("serve.node", i as u64),
+                delays: NodeDelayStream::new(&rngs, id),
                 max_hops: cfg.max_hops,
                 query_timeout: cfg.query_timeout,
                 counters: NodeCounters::default(),

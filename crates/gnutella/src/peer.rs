@@ -3,7 +3,7 @@
 //! generators).
 
 use ddr_core::runtime::NodeRuntime;
-use ddr_sim::{FastHashMap, ItemId, NodeId, QueryId, SimTime};
+use ddr_sim::{FastHashMap, FastHashSet, ItemId, NodeId, QueryId, SimTime};
 use ddr_workload::{ChurnProcess, QueryGenerator};
 
 /// An in-flight query at its initiator.
@@ -83,6 +83,18 @@ impl SessionSlot {
     }
 }
 
+/// Refused-handshake retries granted per refill campaign (login, a lost
+/// neighbor, a reconfiguration floor top-up).
+pub const REFILL_RETRY_BUDGET: u8 = 8;
+
+/// Evictions a peer repairs per session before backing off — a backstop
+/// against a pathological session where the network evicts one node over
+/// and over and every repair dial burns more handshakes. In practice it
+/// never binds (a session sees a handful of evictions at most): free-rider
+/// isolation comes from the advertised-summary eligibility gate and the
+/// evictors' persistent [`PeerState::evicted`] memory, not from this cap.
+pub const EVICTION_REPAIR_LIMIT: u8 = 250;
+
 /// One peer's complete mutable state (minus the hot online/session
 /// scalars, which live in the world's [`SessionSlot`] column).
 pub struct PeerState {
@@ -94,6 +106,31 @@ pub struct PeerState {
     /// Invitations sent whose outcome has not yet arrived. Each reserves
     /// one neighbor slot so random refills don't race the acceptance.
     pub pending_invites: u32,
+    /// While set, refused link requests are retried toward the full
+    /// degree (the login-fill campaign). The first reconfiguration
+    /// clears it: from then on the dynamic variant only maintains the
+    /// connectivity floor and regains links through invitations.
+    pub fill_to_degree: bool,
+    /// Remaining refused-handshake retries in the current refill
+    /// campaign. Without a cap, a mostly-full network could keep a
+    /// seeker dialing forever; the budget bounds the message cost.
+    pub refill_budget: u8,
+    /// Nodes this peer has evicted. Their later link requests and
+    /// invitations are refused, and the peer's own random dials skip
+    /// them: an eviction was a judgement that the node is not worth a
+    /// slot, and forgetting it would let a zero-benefit peer (a free
+    /// rider) dial straight back in. The dual of Algo 5's
+    /// `Process_Eviction` ("so that it will not attempt to reconnect in
+    /// the near future"), held on the evictor's side — and, like the
+    /// statistics it derives from, persistent across sessions. A severed
+    /// pair can still re-earn a link through the evictor's own
+    /// benefit-driven invitations once fresh replies rebuild the
+    /// evictee's standing.
+    pub evicted: FastHashSet<NodeId>,
+    /// Evictions suffered this session. Once it passes
+    /// [`EVICTION_REPAIR_LIMIT`], further evictions go unrepaired until
+    /// the next login.
+    pub evictions_received: u8,
     /// In-flight queries issued by this peer.
     pub pending: FastHashMap<QueryId, PendingQuery>,
     /// The churn process driving this user's on/off schedule.
@@ -110,6 +147,9 @@ impl PeerState {
         self.rt.begin_session();
         self.pending.clear();
         self.pending_invites = 0;
+        self.fill_to_degree = true;
+        self.refill_budget = REFILL_RETRY_BUDGET;
+        self.evictions_received = 0;
     }
 
     /// Clear in-flight state on logoff. The caller flips the world's
@@ -132,6 +172,10 @@ mod tests {
         PeerState {
             rt: NodeRuntime::new(10).with_dup_cache(16),
             pending_invites: 0,
+            fill_to_degree: false,
+            refill_budget: 0,
+            evicted: ddr_sim::hash::fast_set(),
+            evictions_received: 0,
             pending: ddr_sim::hash::fast_map(),
             churn: ChurnProcess::new(&cfg, &rngs, 0),
             queries: QueryGenerator::new(&cfg, &rngs, 0),

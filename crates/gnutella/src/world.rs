@@ -19,59 +19,143 @@
 //!   and does not seek an immediate replacement.
 //!
 //! Static mode strips all of the above except `Process_Query`, replacing
-//! lost neighbors with random online nodes — vanilla Gnutella.
+//! lost neighbors with requests to random hosts — vanilla Gnutella.
+//!
+//! # Shard-native state ownership
+//!
+//! The world is a **slice world**: one instance owns the contiguous node
+//! range `[base, base + len)` and every event handler touches only the
+//! destination node's columns. Three rules make it run bit-identically
+//! under both the serial kernel and the conservative sharded kernel
+//! (`ddr_sim::sharded`) at any shard count:
+//!
+//! 1. **Per-node randomness.** There is no world-level RNG. Delay sampling
+//!    draws from the node's `"net.delay"` stream
+//!    ([`ddr_net::NodeDelayStream`]), protocol randomness (forward
+//!    selection, bootstrap candidate draws) from the node's
+//!    `"gnutella.proto"` stream, and churn/query generators were already
+//!    per-node. A node's draws depend only on its own event sequence.
+//! 2. **Message-passing reconfiguration.** No handler mutates another
+//!    node's neighbor list. Each node owns a [`NeighborList`] *view* of
+//!    its links; symmetric-link maintenance travels as
+//!    `LinkRequest`/`LinkAck`/`Unlink` handshakes and the invitation
+//!    protocol as `InviteArrive`/`InviteReply`/`EvictArrive`, all with
+//!    network delays ≥ the kernel lookahead. Views can disagree for one
+//!    message flight time — exactly like real sockets — and repair
+//!    `Unlink`s reconcile refused mirrors.
+//! 3. **Shard-local membership.** No handler reads the global online set.
+//!    Nodes learn about other hosts from observed traffic via a per-node
+//!    [`HostCache`] (seeded with bootstrap neighbors) plus uniform draws
+//!    from their own proto stream (modeling a bootstrap server); offline
+//!    candidates simply refuse with a negative ack.
+//!
+//! All self-timers and message delays are clamped to the lookahead
+//! (`NetworkModel::min_delay`, 10 ms under paper parameters) in *both*
+//! kernels, so the event timeline is identical.
 
 use crate::config::SearchStrategy;
 use crate::config::{Mode, ScenarioConfig};
 use crate::events::GnutellaEvent;
+use crate::hosts::HostCache;
 use crate::metrics::Metrics;
 use crate::peer::{PeerState, PendingQuery, SessionSlot};
 use ddr_core::benefit::BenefitFunction;
-use ddr_core::runtime::{Clock, Membership, NodeRuntime, SimObserver, Transport};
+use ddr_core::runtime::{Clock, NodeRuntime, SimObserver, Transport};
 use ddr_core::{
     plan_asymmetric_update, CategorySummary, InvitationContext, InvitationDecision, LocalIndex,
     QueryDescriptor,
 };
-use ddr_net::NetworkModel;
-use ddr_overlay::Topology;
+use ddr_net::{NetworkModel, NodeDelayStream};
+use ddr_overlay::{NeighborList, Topology};
 use ddr_sim::ItemId;
-use ddr_sim::{NodeId, QueryId, RngFactory, Scheduler, SimTime, Trace, World};
+use ddr_sim::{
+    NodeId, Partition, QueryId, RngFactory, Scheduler, ShardCtx, ShardWorld, SimDuration, SimTime,
+    Trace, World,
+};
+
+/// The ranking used for eviction decisions: the configured benefit
+/// function plus an epsilon for nodes that have *ever* answered a query.
+///
+/// Epoch decay (see `StatsStore::decay_benefit`) deliberately forgets old
+/// evidence so rankings track fresh results — but that also erases the
+/// long-term distinction between a quiet contributor (answered long ago,
+/// benefit decayed toward zero) and a peer that has never answered
+/// anything. The undecayed `answered` counter restores it: never-answering
+/// peers (free riders) rank strictly below every contributor at equal
+/// decayed benefit and become the canonical eviction victims. In a world
+/// without free riders every candidate carries the same bonus, so the
+/// ordering — and the simulation — is unchanged.
+struct EverAnswered<'a>(&'a dyn BenefitFunction);
+
+impl BenefitFunction for EverAnswered<'_> {
+    fn benefit(&self, s: &ddr_core::NodeStats) -> f64 {
+        self.0.benefit(s) + if s.answered > 0 { 1e-6 } else { 0.0 }
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
 use ddr_telemetry::{NullSink, QueryTracer, TraceOutcome, TraceSink};
 use ddr_workload::{generate_profiles, Catalog, ChurnProcess, QueryGenerator, UserProfile};
 use rand::rngs::SmallRng;
+use rand::Rng;
+use std::sync::Arc;
 
-/// The complete simulation state. The sink parameter `T` decides at
-/// compile time whether query-lifecycle telemetry is recorded; the
-/// default [`NullSink`] world is byte-identical to the pre-telemetry
-/// hot path.
-pub struct GnutellaWorld<T: TraceSink = NullSink> {
+/// Immutable world inputs, shared (read-only) by every shard's slice.
+struct SharedWorld {
     config: ScenarioConfig,
     catalog: Catalog,
     profiles: Vec<UserProfile>,
     net: NetworkModel,
-    topology: Topology,
-    peers: Vec<PeerState>,
-    /// Hot online/session scalars for every peer, kept as a dense
-    /// struct-of-arrays column (8 B per peer) so the liveness checks at
-    /// the top of every handler don't pull in cold `PeerState` lines.
-    sessions: Vec<SessionSlot>,
     /// Per-node content summaries (piggybacked on invitations when the
     /// summary-gated policy is active).
     summaries: Vec<CategorySummary>,
-    /// Per-node radius-r content indices (local-indices strategy only).
-    indices: Vec<Option<LocalIndex>>,
     /// Which users are free-riders (query but never answer).
     free_rider: Vec<bool>,
-    /// Results served per node (load-balance analysis).
+}
+
+/// The complete simulation state for one contiguous node slice. The sink
+/// parameter `T` decides at compile time whether query-lifecycle telemetry
+/// is recorded; the default [`NullSink`] world is byte-identical to the
+/// pre-telemetry hot path.
+///
+/// A serial run uses one full-range slice; a sharded run uses
+/// `Partition::contiguous` slices driven by `ShardedSimulation`.
+pub struct GnutellaWorld<T: TraceSink = NullSink> {
+    shared: Arc<SharedWorld>,
+    /// First node index this slice owns.
+    base: usize,
+    peers: Vec<PeerState>,
+    /// Hot online/session scalars for every owned peer, kept as a dense
+    /// struct-of-arrays column (8 B per peer) so the liveness checks at
+    /// the top of every handler don't pull in cold `PeerState` lines.
+    sessions: Vec<SessionSlot>,
+    /// Each node's own view of its symmetric links (capacity = degree).
+    neighbors: Vec<NeighborList>,
+    /// Shard-local membership: hosts observed in protocol traffic.
+    hosts: Vec<HostCache>,
+    /// Per-node protocol randomness (`"gnutella.proto"` streams).
+    proto: Vec<SmallRng>,
+    /// Per-node delay sampling (`"net.delay"` streams).
+    delays: Vec<NodeDelayStream>,
+    /// Per-node query-id counters (qid = node << 32 | counter).
+    next_qid: Vec<u32>,
+    /// Per-node radius-r content indices (local-indices strategy only;
+    /// restricted to the serial full-range world).
+    indices: Vec<Option<LocalIndex>>,
+    /// Results served per owned node (load-balance analysis).
     served: Vec<u64>,
-    online: Membership,
     benefit: Box<dyn BenefitFunction>,
-    rng: SmallRng,
-    next_query: u64,
+    /// Kernel lookahead = the network delay floor; every delay and timer
+    /// is clamped to at least this in both kernels.
+    lookahead: SimDuration,
     /// Reused forward-target buffer: `ForwardSelection::select_into`
     /// fills it on every flood/forward, so the query path performs no
     /// per-event allocation.
     scratch_targets: Vec<NodeId>,
+    /// Reused join-candidate buffer for `pick_join_targets`.
+    scratch_join: Vec<NodeId>,
     /// Recycled [`PendingQuery`] records (their `responders` buffers keep
     /// their capacity across queries).
     pq_pool: Vec<PendingQuery>,
@@ -86,11 +170,33 @@ pub struct GnutellaWorld<T: TraceSink = NullSink> {
 }
 
 impl<T: TraceSink> GnutellaWorld<T> {
-    /// Build the initial world: profiles, network classes, the random
-    /// bootstrap overlay among initially-online users — everything derived
-    /// deterministically from `(config, config.seed)`.
+    /// Build the serial full-range world: profiles, network classes, the
+    /// random bootstrap overlay among initially-online users — everything
+    /// derived deterministically from `(config, config.seed)`.
     pub fn new(config: ScenarioConfig) -> Self {
+        let (mut worlds, _partition, _lookahead) = Self::build_sharded(config, 1);
+        worlds.pop().expect("one shard yields one world")
+    }
+
+    /// Build `shards` slice worlds over `Partition::contiguous`, plus the
+    /// partition and the kernel lookahead to drive them with. All global
+    /// derivations (profiles, classes, bootstrap overlay, initial online
+    /// set) happen in full node order *before* splitting, so the per-node
+    /// state is independent of the shard count.
+    pub fn build_sharded(
+        config: ScenarioConfig,
+        shards: usize,
+    ) -> (Vec<GnutellaWorld<T>>, Partition, SimDuration) {
         config.validate().expect("invalid scenario config");
+        assert!(shards >= 1, "need at least one shard");
+        if shards > 1 {
+            assert!(
+                !matches!(config.strategy, SearchStrategy::LocalIndices { .. }),
+                "local-indices strategy needs multi-hop topology closure and \
+                 only runs on the serial full-range world"
+            );
+        }
+        let users = config.workload.users;
         let rngs = RngFactory::new(config.seed);
         let catalog = Catalog::new(
             config.workload.songs,
@@ -98,11 +204,14 @@ impl<T: TraceSink> GnutellaWorld<T> {
             config.workload.theta,
         );
         let profiles = generate_profiles(&config.workload, &catalog, &rngs);
-        let net = NetworkModel::paper(config.workload.users, &rngs);
-        let mut topology = Topology::symmetric(config.workload.users, config.degree);
-        let mut online = Membership::new(config.workload.users);
+        let net = NetworkModel::paper(users, &rngs);
+        let lookahead = net.min_delay();
+        assert!(
+            lookahead > SimDuration::ZERO,
+            "delay model admits zero delays: no usable lookahead"
+        );
 
-        let peers: Vec<PeerState> = (0..config.workload.users)
+        let mut peers: Vec<PeerState> = (0..users)
             .map(|i| {
                 let churn = ChurnProcess::new(&config.workload, &rngs, i as u64);
                 let queries = QueryGenerator::new(&config.workload, &rngs, i as u64);
@@ -110,130 +219,225 @@ impl<T: TraceSink> GnutellaWorld<T> {
                     rt: NodeRuntime::new(config.reconfig_threshold)
                         .with_dup_cache(config.dup_cache_capacity),
                     pending_invites: 0,
+                    fill_to_degree: false,
+                    refill_budget: 0,
+                    evicted: ddr_sim::hash::fast_set(),
+                    evictions_received: 0,
                     pending: ddr_sim::hash::fast_map(),
                     churn,
                     queries,
                 }
             })
             .collect();
-
-        let summaries = profiles
-            .iter()
-            .map(|p| {
-                CategorySummary::build(p.library(), catalog.categories() as usize, |i| {
-                    catalog.category_of(i).index()
-                })
-            })
-            .collect();
         let free_rider = {
-            let mut flags = vec![false; config.workload.users];
-            let count =
-                (config.workload.users as f64 * config.free_rider_fraction).round() as usize;
+            let mut flags = vec![false; users];
+            let count = (users as f64 * config.free_rider_fraction).round() as usize;
             // Deterministic selection via a dedicated stream: shuffle the
             // population and mark the first `count`.
             use rand::seq::SliceRandom;
-            let mut order: Vec<usize> = (0..config.workload.users).collect();
+            let mut order: Vec<usize> = (0..users).collect();
             order.shuffle(&mut rngs.stream("freeriders", 0));
             for &i in order.iter().take(count) {
                 flags[i] = true;
             }
             flags
         };
-        let served = vec![0u64; config.workload.users];
-        let sessions = vec![SessionSlot::default(); config.workload.users];
-        let indices = vec![None; 0]; // sized after `config` moves in
-        let tracer = QueryTracer::new(&config.telemetry);
-        let mut world = GnutellaWorld {
+        // A summary advertises what a node *shares*, not what it has: a
+        // free rider owns a library but serves nothing from it, so its
+        // advertisement is empty — exactly how real Gnutella clients spot
+        // free riders (a zero shared-file count in the handshake). Every
+        // contributor's library is non-empty by construction, so an empty
+        // summary identifies a free rider and FR-free worlds carry none.
+        let summaries = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                if free_rider[i] {
+                    CategorySummary::empty(catalog.categories() as usize)
+                } else {
+                    CategorySummary::build(p.library(), catalog.categories() as usize, |i| {
+                        catalog.category_of(i).index()
+                    })
+                }
+            })
+            .collect();
+
+        // Initially-online users and the random bootstrap overlay, built
+        // on a scratch topology and copied into per-node views.
+        let mut sessions = vec![SessionSlot::default(); users];
+        let mut initial: Vec<NodeId> = Vec::new();
+        for (i, peer) in peers.iter_mut().enumerate() {
+            if peer.churn.online() {
+                peer.begin_session();
+                sessions[i].login();
+                initial.push(NodeId::from_index(i));
+            }
+        }
+        let mut boot = Topology::symmetric(users, config.degree);
+        boot.populate_random_symmetric(&initial, config.degree, &mut rngs.stream("bootstrap", 0));
+        let neighbors: Vec<NeighborList> = (0..users)
+            .map(|i| {
+                let mut nl = NeighborList::with_capacity(config.degree);
+                for &m in boot.out(NodeId::from_index(i)).as_slice() {
+                    let _ = nl.add(m);
+                }
+                nl
+            })
+            .collect();
+        let hosts: Vec<HostCache> = neighbors
+            .iter()
+            .map(|nl| {
+                let mut h = HostCache::new();
+                for &m in nl.as_slice() {
+                    h.note(m);
+                }
+                h
+            })
+            .collect();
+        let proto: Vec<SmallRng> = (0..users)
+            .map(|i| rngs.stream("gnutella.proto", i as u64))
+            .collect();
+        let delays: Vec<NodeDelayStream> = (0..users)
+            .map(|i| NodeDelayStream::new(&rngs, NodeId::from_index(i)))
+            .collect();
+
+        let shared = Arc::new(SharedWorld {
             config,
             catalog,
             profiles,
             net,
-            topology,
-            peers,
-            sessions,
             summaries,
-            indices,
             free_rider,
-            served,
-            online,
-            benefit: Box::new(ddr_core::CumulativeBenefit),
-            rng: rngs.stream("world", 0),
-            next_query: 0,
-            scratch_targets: Vec::with_capacity(16),
-            pq_pool: Vec::new(),
-            metrics: Metrics::new(),
-            trace: Trace::disabled(),
-            tracer,
-        };
-        world.benefit = world.config.benefit.build();
-        world.indices = vec![None; world.config.workload.users];
+        });
+        let partition = Partition::contiguous(users, shards);
 
-        // Initially-online users and the random bootstrap overlay.
-        let mut initial: Vec<NodeId> = Vec::new();
-        for i in 0..world.peers.len() {
-            if world.peers[i].churn.online() {
-                world.peers[i].begin_session();
-                world.sessions[i].login();
-                let n = NodeId::from_index(i);
-                world.online.add(n);
-                initial.push(n);
-            }
-        }
-        online = std::mem::replace(&mut world.online, Membership::new(0));
-        topology = std::mem::replace(&mut world.topology, Topology::symmetric(0, 0));
-        topology.populate_random_symmetric(&initial, world.config.degree, &mut world.rng);
-        world.online = online;
-        world.topology = topology;
-        world
+        let mut peers = peers.into_iter();
+        let mut sessions = sessions.into_iter();
+        let mut neighbors = neighbors.into_iter();
+        let mut hosts = hosts.into_iter();
+        let mut proto = proto.into_iter();
+        let mut delays = delays.into_iter();
+        let worlds = (0..partition.shards())
+            .map(|s| {
+                let range = partition.range(s);
+                let count = range.len();
+                GnutellaWorld {
+                    base: range.start,
+                    peers: peers.by_ref().take(count).collect(),
+                    sessions: sessions.by_ref().take(count).collect(),
+                    neighbors: neighbors.by_ref().take(count).collect(),
+                    hosts: hosts.by_ref().take(count).collect(),
+                    proto: proto.by_ref().take(count).collect(),
+                    delays: delays.by_ref().take(count).collect(),
+                    next_qid: vec![0; count],
+                    indices: vec![None; count],
+                    served: vec![0; count],
+                    benefit: shared.config.benefit.build(),
+                    lookahead,
+                    scratch_targets: Vec::with_capacity(16),
+                    scratch_join: Vec::with_capacity(16),
+                    pq_pool: Vec::new(),
+                    metrics: Metrics::new(),
+                    trace: Trace::disabled(),
+                    tracer: QueryTracer::new(&shared.config.telemetry),
+                    shared: shared.clone(),
+                }
+            })
+            .collect();
+        (worlds, partition, lookahead)
     }
 
-    /// Seed the initial events. Call once before running.
-    pub fn prime(&mut self, sched: &mut ddr_sim::EventQueue<GnutellaEvent>) {
-        for i in 0..self.peers.len() {
-            let node = NodeId::from_index(i);
-            let toggle_in = self.peers[i].churn.next_toggle();
-            sched.schedule_in(toggle_in, GnutellaEvent::Toggle { node });
-            if self.sessions[i].online {
-                let d = self.peers[i].queries.next_interval();
-                sched.schedule_in(
-                    d,
+    /// Local (slice) index of an owned node.
+    #[inline]
+    fn li(&self, node: NodeId) -> usize {
+        debug_assert!(
+            node.index() >= self.base && node.index() - self.base < self.peers.len(),
+            "event for node {node} dispatched to the slice at base {}",
+            self.base
+        );
+        node.index() - self.base
+    }
+
+    /// Whether this slice owns every node (the serial world).
+    fn is_full_range(&self) -> bool {
+        self.base == 0 && self.peers.len() == self.shared.net.len()
+    }
+
+    /// Collect this slice's initial events as `(time, node, event)` in
+    /// owned-node order. The serial [`Self::prime`] and the sharded
+    /// runner both schedule from this list — in the same global node
+    /// order — so the initial queue sequence is identical.
+    pub fn collect_prime(&mut self, out: &mut Vec<(SimTime, NodeId, GnutellaEvent)>) {
+        for k in 0..self.peers.len() {
+            let node = NodeId::from_index(self.base + k);
+            let toggle_in = self.peers[k].churn.next_toggle();
+            out.push((
+                SimTime::ZERO + toggle_in,
+                node,
+                GnutellaEvent::Toggle { node },
+            ));
+            if self.sessions[k].online {
+                let d = self.peers[k].queries.next_interval();
+                out.push((
+                    SimTime::ZERO + d,
+                    node,
                     GnutellaEvent::IssueQuery {
                         node,
-                        session: self.sessions[i].session,
+                        session: self.sessions[k].session,
                     },
-                );
-                if let SearchStrategy::LocalIndices { radius } = self.config.strategy {
+                ));
+                if let SearchStrategy::LocalIndices { radius } = self.shared.config.strategy {
                     self.rebuild_index(node, radius);
-                    sched.schedule_in(
-                        self.config.index_refresh,
+                    out.push((
+                        SimTime::ZERO + self.shared.config.index_refresh,
+                        node,
                         GnutellaEvent::IndexRefresh {
                             node,
-                            session: self.sessions[i].session,
+                            session: self.sessions[k].session,
                         },
-                    );
+                    ));
                 }
             }
         }
     }
 
-    /// Rebuild `node`'s local index from the current overlay and the
-    /// (static) libraries of everything within `radius` hops.
+    /// Seed the initial events (serial driver). Call once before running.
+    pub fn prime(&mut self, sched: &mut ddr_sim::EventQueue<GnutellaEvent>) {
+        let mut evs = Vec::new();
+        self.collect_prime(&mut evs);
+        for (at, _node, ev) in evs {
+            sched.schedule_at(at, ev);
+        }
+    }
+
+    /// Rebuild `node`'s local index from the current per-node neighbor
+    /// views and the (static) libraries of everything within `radius`
+    /// hops. Full-range world only (construction enforces it).
     fn rebuild_index(&mut self, node: NodeId, radius: u8) {
-        let profiles = &self.profiles;
-        let idx = LocalIndex::build(node, &self.topology, radius as usize, |n| {
-            profiles[n.index()].library()
-        });
-        self.indices[node.index()] = Some(idx);
+        debug_assert!(
+            self.is_full_range(),
+            "local indices walk multi-hop neighborhoods and need the full range"
+        );
+        let shared = &self.shared;
+        let base = self.base;
+        let neighbors = &self.neighbors;
+        let idx = LocalIndex::build_from(
+            node,
+            |n| neighbors[n.index() - base].as_slice(),
+            radius as usize,
+            |n| shared.profiles[n.index()].library(),
+        );
+        self.indices[node.index() - base] = Some(idx);
     }
 
     /// First *online, serving* holder of `item` in `node`'s local index,
     /// if any (free-riders refuse to serve, index or not).
     fn index_holder(&self, node: NodeId, item: ItemId) -> Option<NodeId> {
-        let idx = self.indices[node.index()].as_ref()?;
+        let idx = self.indices[self.li(node)].as_ref()?;
         idx.holders(item)
             .iter()
             .copied()
-            .find(|&h| self.online.contains(h) && !self.free_rider[h.index()])
+            .find(|&h| self.sessions[self.li(h)].online && !self.shared.free_rider[h.index()])
     }
 
     /// Keep the most recent `capacity` protocol-event records (logins,
@@ -244,36 +448,57 @@ impl<T: TraceSink> GnutellaWorld<T> {
 
     /// The scenario configuration.
     pub fn config(&self) -> &ScenarioConfig {
-        &self.config
+        &self.shared.config
     }
 
-    /// The overlay (tests assert consistency invariants on it).
-    pub fn topology(&self) -> &Topology {
-        &self.topology
+    /// The kernel lookahead this world was built with (= the network
+    /// delay floor).
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
     }
 
-    /// The online set.
-    pub fn online(&self) -> &Membership {
-        &self.online
+    /// First node index this slice owns.
+    pub fn base(&self) -> usize {
+        self.base
     }
 
-    /// Peer state for inspection in tests.
+    /// Number of nodes this slice owns.
+    pub fn owned_nodes(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// `node`'s own view of its neighbor links (owned nodes only).
+    pub fn neighbors_of(&self, node: NodeId) -> &[NodeId] {
+        self.neighbors[self.li(node)].as_slice()
+    }
+
+    /// Whether an owned node is currently online.
+    pub fn is_online(&self, node: NodeId) -> bool {
+        self.sessions[self.li(node)].online
+    }
+
+    /// Number of owned nodes currently online.
+    pub fn online_count(&self) -> usize {
+        self.sessions.iter().filter(|s| s.online).count()
+    }
+
+    /// Peer state for inspection in tests (owned nodes only).
     pub fn peer(&self, node: NodeId) -> &PeerState {
-        &self.peers[node.index()]
+        &self.peers[self.li(node)]
     }
 
-    /// Fraction of overlay links whose endpoints share a favourite
-    /// category — the interest-clustering measure behind the dynamic
-    /// mode's gains ("nodes with similar access patterns or interests are
-    /// grouped together", paper §1).
+    /// Fraction of overlay links (over owned nodes' views) whose
+    /// endpoints share a favourite category — the interest-clustering
+    /// measure behind the dynamic mode's gains ("nodes with similar
+    /// access patterns or interests are grouped together", paper §1).
     pub fn same_category_link_fraction(&self) -> f64 {
         let mut total = 0usize;
         let mut same = 0usize;
-        for i in 0..self.peers.len() {
-            let n = NodeId::from_index(i);
-            for m in self.topology.out(n).iter() {
+        for k in 0..self.peers.len() {
+            let i = self.base + k;
+            for &m in self.neighbors[k].as_slice() {
                 total += 1;
-                if self.profiles[i].favorite == self.profiles[m.index()].favorite {
+                if self.shared.profiles[i].favorite == self.shared.profiles[m.index()].favorite {
                     same += 1;
                 }
             }
@@ -287,57 +512,201 @@ impl<T: TraceSink> GnutellaWorld<T> {
 
     /// Whether `node` is a configured free-rider.
     pub fn is_free_rider(&self, node: NodeId) -> bool {
-        self.free_rider[node.index()]
+        self.shared.free_rider[node.index()]
     }
 
-    /// Results served per node (load-balance analysis).
+    /// Results served per owned node (load-balance analysis).
     pub fn served_loads(&self) -> Vec<f64> {
         self.served.iter().map(|&s| s as f64).collect()
     }
 
-    /// Mean overlay degree over the *online* nodes matching `pred`
+    /// Count of standing (evictor, evictee) eviction-memory pairs split
+    /// by whether the evictee matches `pred` — `(matching, rest)`.
+    /// Diagnostic for the free-rider starvation analysis: concentrated
+    /// memories mean evictions single out one class of peers.
+    pub fn eviction_memory_split<P: Fn(NodeId) -> bool>(&self, pred: P) -> (usize, usize) {
+        let mut hit = 0usize;
+        let mut rest = 0usize;
+        for p in &self.peers {
+            for &m in p.evicted.iter() {
+                if pred(m) {
+                    hit += 1;
+                } else {
+                    rest += 1;
+                }
+            }
+        }
+        (hit, rest)
+    }
+
+    /// Mean overlay degree over the *online* owned nodes matching `pred`
     /// (`None` if no online node matches).
     pub fn mean_degree_where<P: Fn(NodeId) -> bool>(&self, pred: P) -> Option<f64> {
         let mut sum = 0usize;
         let mut n = 0usize;
-        for i in 0..self.peers.len() {
-            let node = NodeId::from_index(i);
-            if self.sessions[i].online && pred(node) {
-                sum += self.topology.degree(node);
+        for k in 0..self.peers.len() {
+            let node = NodeId::from_index(self.base + k);
+            if self.sessions[k].online && pred(node) {
+                sum += self.neighbors[k].len();
                 n += 1;
             }
         }
         (n > 0).then(|| sum as f64 / n as f64)
     }
 
-    /// Mean benefit-bearing statistics entries per online peer
+    /// Mean benefit-bearing statistics entries per online owned peer
     /// (diagnostics for how much knowledge reconfiguration can draw on).
     pub fn mean_stats_entries(&self) -> f64 {
         let online: Vec<_> = (0..self.peers.len())
-            .filter(|&i| self.sessions[i].online)
+            .filter(|&k| self.sessions[k].online)
             .collect();
         if online.is_empty() {
             return 0.0;
         }
         online
             .iter()
-            .map(|&i| self.peers[i].rt.stats.len())
+            .map(|&k| self.peers[k].rt.stats.len())
             .sum::<usize>() as f64
             / online.len() as f64
     }
 
     fn is_dynamic(&self) -> bool {
-        self.config.mode == Mode::Dynamic
+        self.shared.config.mode == Mode::Dynamic
+    }
+
+    /// Fresh per-node query id: `node << 32 | counter`. Independent of
+    /// every other node's query volume, hence shard-invariant.
+    fn fresh_qid(&mut self, k: usize, node: NodeId) -> QueryId {
+        let q = QueryId(((node.index() as u64) << 32) | self.next_qid[k] as u64);
+        self.next_qid[k] = self.next_qid[k].wrapping_add(1);
+        q
+    }
+
+    /// One-way delay `from → to` from the sender's own stream, clamped to
+    /// the lookahead. `k` is `from`'s local index.
+    #[inline]
+    fn delay(&mut self, k: usize, from: NodeId, to: NodeId) -> SimDuration {
+        self.shared
+            .net
+            .one_way_delay_for(&mut self.delays[k], from, to)
+            .max(self.lookahead)
+    }
+
+    /// Fill `out` with up to `want` join candidates for `node`: first the
+    /// node's host cache (observed traffic), then uniform draws from its
+    /// proto stream (the bootstrap server). Candidates may be offline —
+    /// they answer `LinkAck { accepted: false }`.
+    fn pick_join_targets(&mut self, k: usize, node: NodeId, want: usize, out: &mut Vec<NodeId>) {
+        out.clear();
+        if want == 0 {
+            return;
+        }
+        let total = self.shared.net.len();
+        let mut attempts = 4 * want + 16;
+        while out.len() < want && attempts > 0 && total > 1 {
+            attempts -= 1;
+            let m = NodeId::from_index(self.proto[k].gen_range(0..total));
+            if m == node
+                || self.neighbors[k].contains(m)
+                || out.contains(&m)
+                || self.peers[k].evicted.contains(&m)
+            {
+                continue;
+            }
+            out.push(m);
+        }
+        for m in self.hosts[k].iter() {
+            if out.len() >= want {
+                break;
+            }
+            if m == node
+                || self.neighbors[k].contains(m)
+                || out.contains(&m)
+                || self.peers[k].evicted.contains(&m)
+            {
+                continue;
+            }
+            out.push(m);
+        }
+    }
+
+    /// Send `LinkRequest`s for up to `want` new links, reserving a slot
+    /// per request.
+    fn request_links<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
+        &mut self,
+        node: NodeId,
+        want: usize,
+        ctx: &mut C,
+    ) {
+        let k = self.li(node);
+        let mut join = std::mem::take(&mut self.scratch_join);
+        self.pick_join_targets(k, node, want, &mut join);
+        for &t in &join {
+            self.peers[k].pending_invites += 1;
+            let d = self.delay(k, node, t);
+            ctx.send(t, d, GnutellaEvent::LinkRequest { to: t, from: node });
+        }
+        self.scratch_join = join;
+    }
+
+    /// Top up `node`'s links toward its current target: the full degree
+    /// during the login-fill campaign and in static mode, the
+    /// connectivity floor once the dynamic variant has taken over
+    /// (paper: beyond the floor, dynamic nodes regain links only through
+    /// invitations — running under-degree is part of its savings).
+    fn refill_links<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
+        &mut self,
+        node: NodeId,
+        ctx: &mut C,
+    ) {
+        let k = self.li(node);
+        if !self.sessions[k].online {
+            return;
+        }
+        let degree = self.shared.config.degree;
+        // A campaign (login, a churn loss) targets the full degree; the
+        // top-up inside a reconfiguration stops one slot short of it.
+        // That last slot is reserved for benefit-chosen invitations — an
+        // updating node only completes its degree on merit, so a
+        // hyperactive update clock, whose evictions bleed the overlay,
+        // does not get its density back for free.
+        let target = if self.is_dynamic() && !self.peers[k].fill_to_degree {
+            degree
+                .saturating_sub(1)
+                .max(self.shared.config.min_degree_floor)
+        } else {
+            degree
+        };
+        let have = self.neighbors[k].len() + self.peers[k].pending_invites as usize;
+        let want = target.min(degree).saturating_sub(have);
+        if want > 0 {
+            self.request_links(node, want, ctx);
+        }
+    }
+
+    /// A handshake came back refused: retry while the campaign budget
+    /// lasts (candidates are often offline — the node has no oracle).
+    fn retry_refill<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
+        &mut self,
+        node: NodeId,
+        ctx: &mut C,
+    ) {
+        let k = self.li(node);
+        if !self.sessions[k].online || self.peers[k].refill_budget == 0 {
+            return;
+        }
+        self.peers[k].refill_budget -= 1;
+        self.refill_links(node, ctx);
     }
 
     // ---- protocol actions -------------------------------------------------
     //
     // Every method below is generic over the engine context: the node
     // logic only speaks `Clock` (time + self-timers) and `Transport`
-    // (node-to-node delivery). Under the simulator the context is the
-    // `Scheduler` and both trait methods collapse to `after`, so the
-    // port off direct event dispatch is bit-identical (pinned in
-    // `tests/runtime_regression.rs`).
+    // (node-to-node delivery). Under the serial kernel the context is the
+    // `Scheduler`; under the sharded kernel it is a thin adapter over
+    // `ShardCtx`. Both deliver identical event sequences, which is what
+    // the sharded == serial bit-identity tests pin.
 
     fn send_query<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
         &mut self,
@@ -346,7 +715,8 @@ impl<T: TraceSink> GnutellaWorld<T> {
         desc: QueryDescriptor,
         ctx: &mut C,
     ) {
-        let d = self.net.one_way_delay(&mut self.rng, from, to);
+        let k = self.li(from);
+        let d = self.delay(k, from, to);
         self.metrics
             .runtime
             .on_messages(ctx.now().as_hours() as usize, 1.0);
@@ -362,6 +732,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
         ttl: u8,
         ctx: &mut C,
     ) {
+        let k = self.li(node);
         let desc = QueryDescriptor {
             id: qid,
             origin: node,
@@ -373,12 +744,12 @@ impl<T: TraceSink> GnutellaWorld<T> {
         // Reuse the scratch buffer (taken out of `self` so `send_query`
         // can borrow the world mutably while we iterate).
         let mut targets = std::mem::take(&mut self.scratch_targets);
-        self.config.forward.select_into(
-            self.topology.out(node).as_slice(),
+        self.shared.config.forward.select_into(
+            self.neighbors[k].as_slice(),
             None,
-            &self.peers[node.index()].rt.stats,
+            &self.peers[k].rt.stats,
             self.benefit.as_ref(),
-            &mut self.rng,
+            &mut self.proto[k],
             &mut targets,
         );
         for &t in &targets {
@@ -392,67 +763,53 @@ impl<T: TraceSink> GnutellaWorld<T> {
         node: NodeId,
         ctx: &mut C,
     ) {
-        let i = node.index();
-        if !self.config.persist_stats {
-            self.peers[i].rt.reset_stats();
+        let k = self.li(node);
+        if !self.shared.config.persist_stats {
+            self.peers[k].rt.reset_stats();
         }
-        self.peers[i].begin_session();
-        self.sessions[i].login();
-        self.online.add(node);
+        self.peers[k].begin_session();
+        self.sessions[k].login();
         self.metrics.logins += 1;
         self.trace
             .record_with(ctx.now(), || format!("{node} login"));
-        if self.is_dynamic() && self.config.benefit_join_on_login {
+        if self.is_dynamic() && self.shared.config.benefit_join_on_login {
             // Re-cluster from remembered statistics: invite the most
-            // beneficial known online nodes for every slot they can fill.
-            let online = &self.online;
-            let invites: Vec<NodeId> = self.peers[i]
+            // beneficial known nodes for every slot they can fill. The
+            // node cannot know who is online — offline invitees refuse.
+            let invites: Vec<NodeId> = self.peers[k]
                 .rt
                 .stats
-                .ranked_by(
-                    |s| self.benefit.benefit(s),
-                    |m| m != node && online.contains(m),
-                )
+                .ranked_by(|s| self.benefit.benefit(s), |m| m != node)
                 .into_iter()
                 .take_while(|&(_, b)| b > 0.0)
-                .take(self.config.degree)
+                .take(self.shared.config.degree)
                 .map(|(m, _)| m)
                 .collect();
             for a in invites {
                 self.metrics.invitations_sent += 1;
-                self.peers[i].pending_invites += 1;
-                let d = self.net.one_way_delay(&mut self.rng, node, a);
+                self.peers[k].pending_invites += 1;
+                let d = self.delay(k, node, a);
                 ctx.send(a, d, GnutellaEvent::InviteArrive { to: a, from: node });
             }
         }
-        // Gnutella join: link to random online nodes with free slots
-        // (minus slots reserved for pending invitations).
-        let target = self
-            .config
-            .degree
-            .saturating_sub(self.peers[i].pending_invites as usize);
-        self.topology.join_random_symmetric(
-            node,
-            self.online.as_slice(),
-            target,
-            self.config.degree,
-            &mut self.rng,
-        );
-        let d = self.peers[i].queries.next_interval();
+        // Gnutella join: request links from known/bootstrap hosts (minus
+        // slots reserved for pending invitations).
+        self.refill_links(node, ctx);
+        let d = self.peers[k].queries.next_interval().max(self.lookahead);
         ctx.schedule_after(
             d,
             GnutellaEvent::IssueQuery {
                 node,
-                session: self.sessions[i].session,
+                session: self.sessions[k].session,
             },
         );
-        if let SearchStrategy::LocalIndices { radius } = self.config.strategy {
+        if let SearchStrategy::LocalIndices { radius } = self.shared.config.strategy {
             self.rebuild_index(node, radius);
             ctx.schedule_after(
-                self.config.index_refresh,
+                self.shared.config.index_refresh.max(self.lookahead),
                 GnutellaEvent::IndexRefresh {
                     node,
-                    session: self.sessions[i].session,
+                    session: self.sessions[k].session,
                 },
             );
         }
@@ -463,44 +820,30 @@ impl<T: TraceSink> GnutellaWorld<T> {
         node: NodeId,
         ctx: &mut C,
     ) {
-        let i = node.index();
+        let k = self.li(node);
         if T::ENABLED {
             // The session teardown below discards the node's in-flight
             // queries; close their spans first so every trace span still
             // reaches a terminal record.
-            let mut cut: Vec<u64> = self.peers[i].pending.keys().map(|q| q.0).collect();
+            let mut cut: Vec<u64> = self.peers[k].pending.keys().map(|q| q.0).collect();
             cut.sort_unstable();
             for q in cut {
                 self.tracer
                     .finish(ctx.now(), QueryId(q), TraceOutcome::Timeout, 0, -1.0);
             }
         }
-        self.peers[i].end_session();
-        self.sessions[i].logoff();
-        self.online.remove(node);
+        self.peers[k].end_session();
+        self.sessions[k].logoff();
         self.metrics.logoffs += 1;
         self.trace
             .record_with(ctx.now(), || format!("{node} logoff"));
-        let former = self.topology.isolate(node);
-        // "Neighbor log-offs trigger the update process" (dynamic); static
-        // nodes replace lost neighbors randomly.
+        // Tear down the node's own view and notify each former neighbor;
+        // they react in their `Unlink` handlers (dynamic: reconfigure;
+        // static: request replacement links).
+        let former = self.neighbors[k].drain();
         for m in former {
-            if !self.online.contains(m) {
-                continue;
-            }
-            if self.is_dynamic() {
-                if self.config.reconfig_on_neighbor_loss {
-                    self.reconfigure(m, ctx);
-                }
-            } else {
-                self.topology.join_random_symmetric(
-                    m,
-                    self.online.as_slice(),
-                    self.config.degree,
-                    self.config.degree,
-                    &mut self.rng,
-                );
-            }
+            let d = self.delay(k, node, m);
+            ctx.send(m, d, GnutellaEvent::Unlink { to: m, from: node });
         }
     }
 
@@ -510,20 +853,21 @@ impl<T: TraceSink> GnutellaWorld<T> {
         session: u32,
         ctx: &mut C,
     ) {
-        let i = node.index();
-        if !self.sessions[i].online || self.sessions[i].session != session {
+        let k = self.li(node);
+        if !self.sessions[k].online || self.sessions[k].session != session {
             return; // stale event from a previous session
         }
         let now = ctx.now();
 
         let item = {
-            let catalog = &self.catalog;
-            let profile = &self.profiles[i];
-            self.peers[i].queries.next_target(catalog, profile)
+            let shared = &self.shared;
+            let i = node.index();
+            self.peers[k]
+                .queries
+                .next_target(&shared.catalog, &shared.profiles[i])
         };
-        let qid = QueryId(self.next_query);
-        self.next_query += 1;
-        self.peers[i].rt.seen().first_sighting(qid);
+        let qid = self.fresh_qid(k, node);
+        self.peers[k].rt.seen().first_sighting(qid);
         // Recycle a finalised record (keeps its responders capacity)
         // instead of allocating a fresh one per query.
         let pq = match self.pq_pool.pop() {
@@ -533,7 +877,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
             }
             None => PendingQuery::new(item, now),
         };
-        self.peers[i].pending.insert(qid, pq);
+        self.peers[k].pending.insert(qid, pq);
         self.metrics.runtime.on_query(now.as_hours() as usize);
 
         // Decide the launch shape without cloning the strategy (the
@@ -544,7 +888,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
             Deepening { first_depth: u8 },
             LocalIndices { radius: u8 },
         }
-        let plan = match &self.config.strategy {
+        let plan = match &self.shared.config.strategy {
             SearchStrategy::Bfs => LaunchPlan::Bfs,
             SearchStrategy::IterativeDeepening { depths } => LaunchPlan::Deepening {
                 first_depth: depths[0],
@@ -552,26 +896,27 @@ impl<T: TraceSink> GnutellaWorld<T> {
             SearchStrategy::LocalIndices { radius } => LaunchPlan::LocalIndices { radius: *radius },
         };
         let launch_ttl = match &plan {
-            LaunchPlan::Bfs => self.config.max_hops,
+            LaunchPlan::Bfs => self.shared.config.max_hops,
             LaunchPlan::Deepening { first_depth } => *first_depth,
             LaunchPlan::LocalIndices { radius } => {
-                self.config.max_hops.saturating_sub(*radius).max(1)
+                self.shared.config.max_hops.saturating_sub(*radius).max(1)
             }
         };
         self.tracer
             .issue(now, qid, node, item.index() as u64, launch_ttl);
         match plan {
             LaunchPlan::Bfs => {
-                self.flood_from_origin(node, qid, item, self.config.max_hops, ctx);
+                let ttl = self.shared.config.max_hops;
+                self.flood_from_origin(node, qid, item, ttl, ctx);
                 ctx.schedule_after(
-                    self.config.query_timeout,
+                    self.shared.config.query_timeout.max(self.lookahead),
                     GnutellaEvent::QueryFinalize { node, query: qid },
                 );
             }
             LaunchPlan::Deepening { first_depth } => {
                 self.flood_from_origin(node, qid, item, first_depth, ctx);
                 ctx.schedule_after(
-                    self.config.wave_timeout,
+                    self.shared.config.wave_timeout.max(self.lookahead),
                     GnutellaEvent::WaveCheck {
                         node,
                         query: qid,
@@ -584,13 +929,14 @@ impl<T: TraceSink> GnutellaWorld<T> {
                     // Contact the indexed holder directly: one targeted
                     // message, one reply — no flood.
                     self.metrics.index_answers += 1;
-                    self.served[holder.index()] += 1;
+                    let hk = self.li(holder);
+                    self.served[hk] += 1;
                     self.metrics
                         .runtime
                         .on_messages(now.as_hours() as usize, 1.0);
-                    let there = self.net.one_way_delay(&mut self.rng, node, holder);
-                    let back = self.net.one_way_delay(&mut self.rng, holder, node);
-                    let bw = self.net.class(holder);
+                    let there = self.delay(k, node, holder);
+                    let back = self.delay(hk, holder, node);
+                    let bw = self.shared.net.class(holder);
                     ctx.send(
                         node,
                         there + back,
@@ -605,11 +951,11 @@ impl<T: TraceSink> GnutellaWorld<T> {
                 } else {
                     // The last `radius` hops are covered by indices at the
                     // frontier, so the flood itself travels shorter.
-                    let ttl = self.config.max_hops.saturating_sub(radius).max(1);
+                    let ttl = self.shared.config.max_hops.saturating_sub(radius).max(1);
                     self.flood_from_origin(node, qid, item, ttl, ctx);
                 }
                 ctx.schedule_after(
-                    self.config.query_timeout,
+                    self.shared.config.query_timeout.max(self.lookahead),
                     GnutellaEvent::QueryFinalize { node, query: qid },
                 );
             }
@@ -618,12 +964,12 @@ impl<T: TraceSink> GnutellaWorld<T> {
         // Reconfiguration clock ticks in requests (paper §4.3). The clock
         // always ticks — static mode simply never acts on a due clock —
         // so both modes follow identical event schedules.
-        let clock_due = self.peers[i].rt.clock.tick();
+        let clock_due = self.peers[k].rt.clock.tick();
         if self.is_dynamic() && clock_due {
             self.reconfigure(node, ctx);
         }
 
-        let d = self.peers[i].queries.next_interval();
+        let d = self.peers[k].queries.next_interval().max(self.lookahead);
         ctx.schedule_after(d, GnutellaEvent::IssueQuery { node, session });
     }
 
@@ -634,22 +980,28 @@ impl<T: TraceSink> GnutellaWorld<T> {
         desc: QueryDescriptor,
         ctx: &mut C,
     ) {
-        let i = to.index();
-        if !self.sessions[i].online {
+        let k = self.li(to);
+        if !self.sessions[k].online {
             return; // the node logged off while the message was in flight
         }
-        if !self.peers[i].rt.seen().first_sighting(desc.id) {
+        // Shard-local membership: query traffic teaches the node about
+        // other hosts (the sender and the far-away initiator).
+        self.hosts[k].note(from);
+        if desc.origin != to {
+            self.hosts[k].note(desc.origin);
+        }
+        if !self.peers[k].rt.seen().first_sighting(desc.id) {
             self.metrics.duplicates_dropped += 1;
             self.tracer.dup(ctx.now(), desc.id, to);
             return; // "if the same message has been received before, discard"
         }
-        if !self.free_rider[i] && self.profiles[i].has(desc.item) {
+        if !self.shared.free_rider[to.index()] && self.shared.profiles[to.index()].has(desc.item) {
             // Reply to the initiator and do not propagate (§4.1).
             // Free-riders skip this branch entirely: they hold content
             // but refuse to serve it (§2's imbalance scenario).
-            self.served[i] += 1;
-            let bw = self.net.class(to);
-            let d = self.net.one_way_delay(&mut self.rng, to, desc.origin);
+            self.served[k] += 1;
+            let bw = self.shared.net.class(to);
+            let d = self.delay(k, to, desc.origin);
             ctx.send(
                 desc.origin,
                 d,
@@ -663,15 +1015,16 @@ impl<T: TraceSink> GnutellaWorld<T> {
             );
             return;
         }
-        if let SearchStrategy::LocalIndices { .. } = self.config.strategy {
+        if let SearchStrategy::LocalIndices { .. } = self.shared.config.strategy {
             // Answer on behalf of an indexed nearby holder (Yang &
             // Garcia-Molina: the index covers the final hops, so the
             // query terminates here).
             if let Some(holder) = self.index_holder(to, desc.item) {
                 self.metrics.index_answers += 1;
-                self.served[holder.index()] += 1;
-                let bw = self.net.class(holder);
-                let d = self.net.one_way_delay(&mut self.rng, to, desc.origin);
+                let hk = self.li(holder);
+                self.served[hk] += 1;
+                let bw = self.shared.net.class(holder);
+                let d = self.delay(k, to, desc.origin);
                 ctx.send(
                     desc.origin,
                     d,
@@ -691,12 +1044,12 @@ impl<T: TraceSink> GnutellaWorld<T> {
         }
         let fwd = desc.next_hop();
         let mut targets = std::mem::take(&mut self.scratch_targets);
-        self.config.forward.select_into(
-            self.topology.out(to).as_slice(),
+        self.shared.config.forward.select_into(
+            self.neighbors[k].as_slice(),
             Some(from),
-            &self.peers[i].rt.stats,
+            &self.peers[k].rt.stats,
             self.benefit.as_ref(),
-            &mut self.rng,
+            &mut self.proto[k],
             &mut targets,
         );
         self.tracer.hop(
@@ -715,14 +1068,15 @@ impl<T: TraceSink> GnutellaWorld<T> {
     }
 
     fn reply_arrive(&mut self, to: NodeId, from: NodeId, query: QueryId, hops: u8, now: SimTime) {
-        let i = to.index();
-        if !self.sessions[i].online {
+        let k = self.li(to);
+        if !self.sessions[k].online {
             return;
         }
-        if let Some(pq) = self.peers[i].pending.get_mut(&query) {
+        self.hosts[k].note(from);
+        if let Some(pq) = self.peers[k].pending.get_mut(&query) {
             let was_first = pq.first_at.is_none();
             pq.record(from, now);
-            if now.as_hours() >= self.config.warmup_hours {
+            if now.as_hours() >= self.shared.config.warmup_hours {
                 self.metrics.result_hops.record(hops as f64);
                 if was_first {
                     self.metrics.first_result_hops.record(hops as f64);
@@ -737,8 +1091,8 @@ impl<T: TraceSink> GnutellaWorld<T> {
     }
 
     fn finalize_query(&mut self, node: NodeId, query: QueryId, now: SimTime) {
-        let i = node.index();
-        let Some(pq) = self.peers[i].pending.remove(&query) else {
+        let k = self.li(node);
+        let Some(pq) = self.peers[k].pending.remove(&query) else {
             return; // logged off in the meantime, or double finalize
         };
         let results = pq.responders.len();
@@ -757,7 +1111,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
         );
         let hour = first_at.as_hours();
         self.metrics.results.add(hour as usize, results as f64);
-        if hour >= self.config.warmup_hours {
+        if hour >= self.shared.config.warmup_hours {
             let delay = first_at.saturating_since(pq.issued_at).as_millis() as f64;
             self.metrics.runtime.on_latency_ms(delay);
             self.metrics.first_delay_hist.record(delay);
@@ -767,10 +1121,10 @@ impl<T: TraceSink> GnutellaWorld<T> {
         // them in static mode costs little and simplifies A/B debugging).
         if self.is_dynamic() {
             for &(responder, at) in &pq.responders {
-                let bandwidth = self.net.class(responder);
-                let score = self.config.result_score.score(bandwidth, results);
+                let bandwidth = self.shared.net.class(responder);
+                let score = self.shared.config.result_score.score(bandwidth, results);
                 let latency_ms = at.saturating_since(pq.issued_at).as_millis() as f64;
-                self.peers[i]
+                self.peers[k]
                     .rt
                     .stats
                     .record_reply(ddr_core::stats_store::ReplyObservation {
@@ -787,153 +1141,438 @@ impl<T: TraceSink> GnutellaWorld<T> {
 
     /// Algo 5 `Reconfigure`: compute the most beneficial neighborhood,
     /// evict dropped neighbors, invite newcomers, reset the counter.
+    /// Every change is enacted on the node's own view plus messages; the
+    /// counterparties mirror on receipt.
     fn reconfigure<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
         &mut self,
         node: NodeId,
         ctx: &mut C,
     ) {
-        let i = node.index();
-        self.peers[i].rt.clock.reset();
+        let k = self.li(node);
+        self.peers[k].rt.clock.reset();
+        self.peers[k].fill_to_degree = false;
+        self.peers[k].refill_budget = crate::peer::REFILL_RETRY_BUDGET;
+        // Open a fresh observation epoch: halve every accumulated benefit
+        // so this update (and the invites it retries) ranks mostly on the
+        // ~K results gathered since the last one. See
+        // `StatsStore::decay_benefit` for why this bends Fig 3(b).
+        self.peers[k].rt.stats.decay_benefit(0.5);
         self.metrics.runtime.on_update();
         self.trace
             .record_with(ctx.now(), || format!("{node} reconfigure"));
 
-        let plan = {
-            let online = &self.online;
-            let eligible = |m: NodeId| m != node && online.contains(m);
-            plan_asymmetric_update(
-                self.topology.out(node).as_slice(),
-                &self.peers[i].rt.stats,
-                self.benefit.as_ref(),
-                self.config.degree,
-                eligible,
-            )
-            .limit_swaps(
-                self.config.max_swaps_per_reconfig,
-                self.config.degree,
-                &self.peers[i].rt.stats,
-                self.benefit.as_ref(),
-                eligible,
-            )
-        };
+        // Evictions are enacted eagerly, making a planned swap
+        // degree-neutral: the freed slot is either retaken by the
+        // invited replacement or — when the recency proxy was wrong and
+        // the invite refuses — stays empty until a retried invitation
+        // or a later update fills it. The occasional shrinkage is the
+        // paper's under-degree dynamic overlay, and a large part of its
+        // message savings.
+        let plan = self.plan_update(k, node, ctx.now());
         for e in plan.evict {
-            if self.topology.unlink_symmetric(node, e) {
+            if self.neighbors[k].remove(e) {
                 self.metrics.evictions += 1;
                 self.metrics.runtime.on_edges_changed(1);
-                let d = self.net.one_way_delay(&mut self.rng, node, e);
+                self.peers[k].evicted.insert(e);
+                let d = self.delay(k, node, e);
                 ctx.send(e, d, GnutellaEvent::EvictArrive { to: e, from: node });
             }
         }
         for a in plan.add {
             self.metrics.invitations_sent += 1;
-            self.peers[i].pending_invites += 1;
-            let d = self.net.one_way_delay(&mut self.rng, node, a);
+            self.peers[k].pending_invites += 1;
+            let d = self.delay(k, node, a);
             ctx.send(a, d, GnutellaEvent::InviteArrive { to: a, from: node });
         }
-        // Maintain the connectivity floor with random links (slots
+        // Maintain the connectivity floor with link requests (slots
         // reserved for in-flight invitations stay free, otherwise random
         // links would race the acceptances and the benefit-driven link
         // would be dropped on arrival). Above the floor, only invitations
         // add links — the paper's dynamic variant regains links through
         // the protocol, not through random reconnects.
-        let reserved = self.peers[i].pending_invites as usize;
-        let floor = self
+        self.refill_links(node, ctx);
+    }
+
+    /// Rank the node's statistics into an update plan under shard-local
+    /// membership: there is no global online set to filter candidates
+    /// with, so a statistics entry refreshed inside the recency window
+    /// (one mean session length) is the liveness proxy instead. A stale
+    /// pick merely refuses via `InviteReply`, which marks it stale (see
+    /// the dispatch arm) so the retry plans around it.
+    fn plan_update(&self, k: usize, node: NodeId, now: SimTime) -> ddr_core::UpdatePlan {
+        let window =
+            SimDuration::from_millis(2 * self.shared.config.workload.mean_online.as_millis());
+        let rank = EverAnswered(self.benefit.as_ref());
+        let stats = &self.peers[k].rt.stats;
+        let current = self.neighbors[k].as_slice();
+        // Incumbents are always eligible: the view itself tracks
+        // liveness (a leaving neighbor Unlinks within a flight time),
+        // so the recency proxy must not "dead-evict" a quiet but
+        // connected peer. It only gates newcomers.
+        let eligible = |m: NodeId| {
+            m != node
+                // A node advertising an empty shared library (a free
+                // rider) is never worth a slot: as an incumbent it is
+                // dropped unconditionally, as a candidate it is never
+                // invited. Contributor summaries are always non-empty,
+                // so this clause is inert in free-rider-free worlds.
+                && self.shared.summaries[m.index()].total() > 0
+                && (current.contains(&m)
+                    || stats
+                        .get(m)
+                        .is_some_and(|s| now.saturating_since(s.last_update) <= window))
+        };
+        plan_asymmetric_update(current, stats, &rank, self.shared.config.degree, eligible)
+            .limit_swaps(
+                self.shared.config.max_swaps_per_reconfig,
+                self.shared.config.degree,
+                stats,
+                &rank,
+                eligible,
+            )
+    }
+
+    /// A refused invitation released a slot the reconfiguration already
+    /// evicted for. Re-plan and invite the next-best candidate into the
+    /// genuinely free slots (never evicting again), spending one unit of
+    /// the campaign budget per round — this recovers most of the
+    /// effectiveness an online oracle would give the planner.
+    fn retry_invites<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
+        &mut self,
+        node: NodeId,
+        ctx: &mut C,
+    ) {
+        let k = self.li(node);
+        if !self.sessions[k].online || self.peers[k].refill_budget == 0 {
+            return;
+        }
+        self.peers[k].refill_budget -= 1;
+        let free = self
+            .shared
             .config
-            .min_degree_floor
-            .min(self.config.degree.saturating_sub(reserved));
-        if self.topology.degree(node) < floor {
-            self.topology.join_random_symmetric(
-                node,
-                self.online.as_slice(),
-                floor,
-                self.config.degree,
-                &mut self.rng,
-            );
+            .degree
+            .saturating_sub(self.neighbors[k].len() + self.peers[k].pending_invites as usize);
+        let adds = self.plan_update(k, node, ctx.now()).add;
+        for a in adds.into_iter().take(free) {
+            self.metrics.invitations_sent += 1;
+            self.peers[k].pending_invites += 1;
+            let d = self.delay(k, node, a);
+            ctx.send(a, d, GnutellaEvent::InviteArrive { to: a, from: node });
         }
     }
 
     /// Algo 5 `Process_Invitation` — always accept (or benefit-gate),
     /// evicting the least beneficial neighbor when full; reset the
-    /// reconfiguration counter to avoid cascading updates.
+    /// reconfiguration counter to avoid cascading updates. The verdict
+    /// travels back as `InviteReply` so the inviter can mirror the link
+    /// (or release the reserved slot).
     fn invite_arrive<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
         &mut self,
         to: NodeId,
         from: NodeId,
         ctx: &mut C,
     ) {
-        let m = to.index();
-        // The invitation's outcome is now known either way: release the
-        // inviter's slot reservation (cleared on logoff, hence saturating).
-        let inv = from.index();
-        self.peers[inv].pending_invites = self.peers[inv].pending_invites.saturating_sub(1);
-        if !self.sessions[m].online || !self.online.contains(from) {
-            return; // either end vanished while the invitation travelled
+        let k = self.li(to);
+        if !self.sessions[k].online || self.peers[k].evicted.contains(&from) {
+            // Connection refused — offline, or the inviter is a node this
+            // peer already judged not worth a slot this session. The
+            // reply still travels so the inviter's reservation is
+            // released.
+            let d = self.delay(k, to, from);
+            ctx.send(
+                from,
+                d,
+                GnutellaEvent::InviteReply {
+                    to: from,
+                    from: to,
+                    accepted: false,
+                },
+            );
+            return;
         }
-        if self.topology.out(to).contains(from) {
-            return; // already neighbors (race with another update)
-        }
-        if self.topology.degree(from) >= self.config.degree {
-            return; // the inviter filled up meanwhile: negative outcome
+        self.hosts[k].note(from);
+        if self.neighbors[k].contains(from) {
+            // Already neighbors (race with another update): nothing to
+            // commit, but answer accepted so the inviter keeps its mirror.
+            let d = self.delay(k, to, from);
+            ctx.send(
+                from,
+                d,
+                GnutellaEvent::InviteReply {
+                    to: from,
+                    from: to,
+                    accepted: true,
+                },
+            );
+            return;
         }
         let inv_ctx = InvitationContext {
-            inviter_summary: Some(&self.summaries[from.index()]),
-            own_summary: Some(&self.summaries[to.index()]),
+            inviter_summary: Some(&self.shared.summaries[from.index()]),
+            own_summary: Some(&self.shared.summaries[to.index()]),
         };
-        let decision = self.config.invitation.decide(
+        let decision = self.shared.config.invitation.decide(
             from,
-            self.topology.out(to).as_slice(),
-            &self.peers[m].rt.stats,
-            self.benefit.as_ref(),
-            self.config.degree,
+            self.neighbors[k].as_slice(),
+            &self.peers[k].rt.stats,
+            &EverAnswered(self.benefit.as_ref()),
+            self.shared.config.degree,
             &inv_ctx,
         );
-        match decision {
-            InvitationDecision::Accept { evict } => {
-                if let Some(w) = evict {
-                    if self.topology.unlink_symmetric(to, w) {
+        let mut accepted = false;
+        if let InvitationDecision::Accept { evict } = decision {
+            if let Some(w) = evict {
+                if self.neighbors[k].remove(w) {
+                    self.metrics.evictions += 1;
+                    self.metrics.runtime.on_edges_changed(1);
+                    let d = self.delay(k, to, w);
+                    ctx.send(w, d, GnutellaEvent::EvictArrive { to: w, from: to });
+                }
+            }
+            if self.neighbors[k].add(from).is_ok() {
+                accepted = true;
+                self.metrics.invitations_accepted += 1;
+                self.metrics.runtime.on_edges_changed(1);
+                // §4.3 damping: the neighbour list just changed, so
+                // restart the update clock.
+                self.peers[k].rt.note_invitation_accepted();
+                self.trace.record_with(ctx.now(), || {
+                    format!("{to} accepted invitation from {from}")
+                });
+                if let ddr_core::InvitationPolicy::TrialPeriod { trial_millis } =
+                    self.shared.config.invitation
+                {
+                    // Provisional acceptance: re-evaluate after the
+                    // trial window (§3.4 solution a).
+                    ctx.schedule_after(
+                        SimDuration::from_millis(trial_millis).max(self.lookahead),
+                        GnutellaEvent::TrialExpire {
+                            node: to,
+                            peer: from,
+                            session: self.sessions[k].session,
+                        },
+                    );
+                }
+            }
+        }
+        let d = self.delay(k, to, from);
+        ctx.send(
+            from,
+            d,
+            GnutellaEvent::InviteReply {
+                to: from,
+                from: to,
+                accepted,
+            },
+        );
+    }
+
+    /// Mirror a positively-acknowledged link (`LinkAck` / `InviteReply`)
+    /// in the acknowledged node's own view, or send a repair `Unlink` if
+    /// the link can no longer be honored (logged off / filled up
+    /// meanwhile). The reservation made at send time is always released
+    /// by the caller.
+    ///
+    /// `evict_if_full` is set on the invitation path: the reconfiguration
+    /// that sent the invite planned to swap out its least beneficial
+    /// neighbor, and that deferred eviction lands here — only once the
+    /// replacement is confirmed.
+    fn mirror_link<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
+        &mut self,
+        node: NodeId,
+        peer: NodeId,
+        evict_if_full: bool,
+        ctx: &mut C,
+    ) {
+        let k = self.li(node);
+        if self.sessions[k].online {
+            if self.neighbors[k].contains(peer) {
+                return; // already mirrored (race with another handshake)
+            }
+            if self.neighbors[k].add(peer).is_ok() {
+                // The committing side already counted the edge change;
+                // the mirror is bookkeeping, not a second change.
+                return;
+            }
+            if evict_if_full {
+                // Deferred swap: drop the least beneficial current
+                // neighbor — but only if the confirmed newcomer actually
+                // beats it (statistics may have moved since planning).
+                let rank = EverAnswered(self.benefit.as_ref());
+                let new_b = self.peers[k]
+                    .rt
+                    .stats
+                    .get(peer)
+                    .map(|s| rank.benefit(s))
+                    .unwrap_or(0.0);
+                let worst = self.neighbors[k]
+                    .iter()
+                    .map(|m| {
+                        let b = self.peers[k]
+                            .rt
+                            .stats
+                            .get(m)
+                            .map(|s| rank.benefit(s))
+                            .unwrap_or(0.0);
+                        (m, b)
+                    })
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+                if let Some((w, wb)) = worst {
+                    if wb < new_b && self.neighbors[k].remove(w) {
                         self.metrics.evictions += 1;
                         self.metrics.runtime.on_edges_changed(1);
-                        let d = self.net.one_way_delay(&mut self.rng, to, w);
-                        ctx.send(w, d, GnutellaEvent::EvictArrive { to: w, from: to });
-                    }
-                }
-                if self.topology.link_symmetric(to, from).is_ok() {
-                    self.metrics.invitations_accepted += 1;
-                    self.metrics.runtime.on_edges_changed(1);
-                    // §4.3 damping: the neighbour list just changed, so
-                    // restart the update clock.
-                    self.peers[m].rt.note_invitation_accepted();
-                    self.trace.record_with(ctx.now(), || {
-                        format!("{to} accepted invitation from {from}")
-                    });
-                    if let ddr_core::InvitationPolicy::TrialPeriod { trial_millis } =
-                        self.config.invitation
-                    {
-                        // Provisional acceptance: re-evaluate after the
-                        // trial window (§3.4 solution a).
-                        ctx.schedule_after(
-                            ddr_sim::SimDuration::from_millis(trial_millis),
-                            GnutellaEvent::TrialExpire {
-                                node: to,
-                                peer: from,
-                                session: self.sessions[m].session,
-                            },
-                        );
+                        self.peers[k].evicted.insert(w);
+                        let d = self.delay(k, node, w);
+                        ctx.send(w, d, GnutellaEvent::EvictArrive { to: w, from: node });
+                        let _ = self.neighbors[k].add(peer);
+                        return;
                     }
                 }
             }
-            InvitationDecision::Reject => {}
+        }
+        // Offline, or full with nothing worth evicting: the counterparty
+        // committed a link this node cannot hold — repair.
+        let d = self.delay(k, node, peer);
+        ctx.send(
+            peer,
+            d,
+            GnutellaEvent::Unlink {
+                to: peer,
+                from: node,
+            },
+        );
+    }
+
+    /// Symmetric-link handshake, receiver side: commit-first, then ack.
+    fn link_request<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
+        &mut self,
+        to: NodeId,
+        from: NodeId,
+        ctx: &mut C,
+    ) {
+        let k = self.li(to);
+        let mut accepted = false;
+        if self.sessions[k].online && !self.peers[k].evicted.contains(&from) {
+            self.hosts[k].note(from);
+            if self.neighbors[k].contains(from) {
+                accepted = true; // idempotent re-request
+            } else if self.neighbors[k].add(from).is_ok() {
+                // Accept whenever a slot is free. The receiver's own
+                // outstanding handshakes do NOT reserve slots here: if one
+                // of them is accepted after the list fills, its mirror
+                // repairs the overflow (and on the invitation path the
+                // beneficial link wins the slot by eviction), so refusing
+                // eagerly would only starve the overlay.
+                accepted = true;
+                self.metrics.runtime.on_edges_changed(1);
+            }
+        }
+        let d = self.delay(k, to, from);
+        ctx.send(
+            from,
+            d,
+            GnutellaEvent::LinkAck {
+                to: from,
+                from: to,
+                accepted,
+            },
+        );
+    }
+
+    /// A neighbor link disappeared (logoff, repair, refused mirror):
+    /// update the own view and react per mode — the dynamic variant
+    /// reconfigures ("neighbor log-offs trigger the update process"),
+    /// the static variant requests replacement links from known hosts.
+    fn unlink<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
+        &mut self,
+        to: NodeId,
+        from: NodeId,
+        ctx: &mut C,
+    ) {
+        let k = self.li(to);
+        if !self.sessions[k].online {
+            return;
+        }
+        if !self.neighbors[k].remove(from) {
+            return; // view never held the link (refused handshake)
+        }
+        if self.is_dynamic() {
+            if self.shared.config.reconfig_on_neighbor_loss {
+                // "Neighbor log-offs trigger the update process." The
+                // triggered update already reopens a floor-target refill
+                // with a fresh budget; the slot above the floor stays
+                // reserved for merit — a node recovers its full degree
+                // only through benefit-driven invitations, which is what
+                // separates contributors from peers nobody would invite.
+                self.reconfigure(to, ctx);
+            } else {
+                // No triggered update: a churn loss opens a full-degree
+                // repair campaign like static's, since without the
+                // update process there is no invitation channel working
+                // to restore the density.
+                self.peers[k].fill_to_degree = true;
+                self.peers[k].refill_budget = crate::peer::REFILL_RETRY_BUDGET;
+                self.refill_links(to, ctx);
+            }
+        } else {
+            // Static Gnutella: a fresh refill campaign replaces the lost
+            // neighbor with requests to known/bootstrap hosts.
+            self.peers[k].refill_budget = crate::peer::REFILL_RETRY_BUDGET;
+            self.refill_links(to, ctx);
         }
     }
 
-    /// Algo 5 `Process_Eviction`: reset the evictor's statistics so the
-    /// node will not try to reconnect in the near future.
-    fn evict_arrive(&mut self, to: NodeId, from: NodeId) {
-        let w = to.index();
-        if !self.sessions[w].online {
+    /// Algo 5 `Process_Eviction`: drop the link from the own view and
+    /// reset the evictor's statistics so the node will not try to
+    /// reconnect in the near future.
+    fn evict_arrive<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
+        &mut self,
+        to: NodeId,
+        from: NodeId,
+        ctx: &mut C,
+    ) {
+        let k = self.li(to);
+        if !self.sessions[k].online {
             return;
         }
-        self.peers[w].rt.stats.reset_node(from);
+        self.neighbors[k].remove(from);
+        self.peers[k].rt.stats.reset_node(from);
+        // Repeated evictions are a rejection signal, not bad luck: past
+        // the per-session allowance the node stops redialing (backoff)
+        // and stays lean until its next login. A systematically rejected
+        // peer — one every neighborhood votes out — starves; see
+        // `EVICTION_REPAIR_LIMIT`.
+        self.peers[k].evictions_received = self.peers[k].evictions_received.saturating_add(1);
+        if self.peers[k].evictions_received > crate::peer::EVICTION_REPAIR_LIMIT {
+            return;
+        }
+        if self.is_dynamic() && !self.shared.config.reconfig_on_neighbor_loss {
+            // When losses don't feed the update trigger, an eviction is
+            // indistinguishable from churn at the receiving end: run the
+            // ordinary full-degree repair campaign.
+            self.peers[k].fill_to_degree = true;
+            self.peers[k].refill_budget = crate::peer::REFILL_RETRY_BUDGET;
+            self.refill_links(to, ctx);
+            return;
+        }
+        // Under the loss-triggered update regime, the lost link is only
+        // repaired with a single un-retried probe that stops one slot
+        // short of full degree (the slot reserved for invitations, as in
+        // `refill_links`) — being evicted costs the evictee real density
+        // until its next churn event renews the campaign budget. That
+        // cost scales with the network's update rate, which is what
+        // bends Fig 3(b): hyperactive clocks bleed the overlay lean,
+        // sluggish ones keep it dense but unclustered.
+        let floor = self
+            .shared
+            .config
+            .degree
+            .saturating_sub(1)
+            .max(self.shared.config.min_degree_floor);
+        let have = self.neighbors[k].len() + self.peers[k].pending_invites as usize;
+        let want = floor.saturating_sub(have);
+        if want > 0 {
+            self.request_links(to, want, ctx);
+        }
     }
 }
 
@@ -946,11 +1585,11 @@ impl<T: TraceSink> GnutellaWorld<T> {
         wave: u8,
         ctx: &mut C,
     ) {
-        let i = node.index();
-        if !self.sessions[i].online {
+        let k = self.li(node);
+        if !self.sessions[k].online {
             return;
         }
-        let Some(pq) = self.peers[i].pending.get(&query) else {
+        let Some(pq) = self.peers[k].pending.get(&query) else {
             return; // finalised or superseded
         };
         if pq.wave != wave {
@@ -959,7 +1598,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
         // Pull the two scalars we need out of the schedule instead of
         // cloning the depth vector on every wave check.
         let next_wave = wave as usize + 1;
-        let next_depth = match &self.config.strategy {
+        let next_depth = match &self.shared.config.strategy {
             SearchStrategy::IterativeDeepening { depths } => depths.get(next_wave).copied(),
             _ => return, // strategy changed? impossible within a run
         };
@@ -970,19 +1609,18 @@ impl<T: TraceSink> GnutellaWorld<T> {
         };
         // Relaunch deeper under a fresh wire id; the pending record (and
         // the original issue time) carries over.
-        let mut pq = self.peers[i].pending.remove(&query).expect("checked above");
+        let mut pq = self.peers[k].pending.remove(&query).expect("checked above");
         pq.wave = next_wave as u8;
         let item = pq.item;
-        let qid2 = QueryId(self.next_query);
-        self.next_query += 1;
-        self.peers[i].rt.seen().first_sighting(qid2);
-        self.peers[i].pending.insert(qid2, pq);
+        let qid2 = self.fresh_qid(k, node);
+        self.peers[k].rt.seen().first_sighting(qid2);
+        self.peers[k].pending.insert(qid2, pq);
         self.metrics.extra_waves += 1;
         self.tracer
             .relaunch(ctx.now(), query, qid2, next_wave as u8);
         self.flood_from_origin(node, qid2, item, next_depth, ctx);
         ctx.schedule_after(
-            self.config.wave_timeout,
+            self.shared.config.wave_timeout.max(self.lookahead),
             GnutellaEvent::WaveCheck {
                 node,
                 query: qid2,
@@ -1000,28 +1638,28 @@ impl<T: TraceSink> GnutellaWorld<T> {
         session: u32,
         ctx: &mut C,
     ) {
-        let i = node.index();
-        if !self.sessions[i].online || self.sessions[i].session != session {
+        let k = self.li(node);
+        if !self.sessions[k].online || self.sessions[k].session != session {
             return; // the trial died with the session
         }
-        if !self.topology.out(node).contains(peer) {
+        if !self.neighbors[k].contains(peer) {
             return; // already unlinked by other means
         }
-        let earned = self.peers[i]
+        let earned = self.peers[k]
             .rt
             .stats
             .get(peer)
             .map(|s| self.benefit.benefit(s))
             .unwrap_or(0.0);
         if earned <= 0.0 {
-            if self.topology.unlink_symmetric(node, peer) {
+            if self.neighbors[k].remove(peer) {
                 self.metrics.evictions += 1;
                 self.metrics.runtime.on_edges_changed(1);
                 self.metrics.trials_failed += 1;
                 self.trace.record_with(ctx.now(), || {
                     format!("{node} ended trial with {peer} (no benefit)")
                 });
-                let d = self.net.one_way_delay(&mut self.rng, node, peer);
+                let d = self.delay(k, node, peer);
                 ctx.send(
                     peer,
                     d,
@@ -1043,49 +1681,48 @@ impl<T: TraceSink> GnutellaWorld<T> {
         session: u32,
         ctx: &mut C,
     ) {
-        let i = node.index();
-        if !self.sessions[i].online || self.sessions[i].session != session {
+        let k = self.li(node);
+        if !self.sessions[k].online || self.sessions[k].session != session {
             return; // stale event from an earlier session
         }
-        if let SearchStrategy::LocalIndices { radius } = self.config.strategy {
+        if let SearchStrategy::LocalIndices { radius } = self.shared.config.strategy {
             self.rebuild_index(node, radius);
             ctx.schedule_after(
-                self.config.index_refresh,
+                self.shared.config.index_refresh.max(self.lookahead),
                 GnutellaEvent::IndexRefresh { node, session },
             );
         }
     }
-}
 
-impl<T: TraceSink> World for GnutellaWorld<T> {
-    type Event = GnutellaEvent;
-
-    fn handle(
+    /// The one event dispatcher both kernels share. `ctx` is the serial
+    /// `Scheduler` or the sharded `ShardPort`; the handler code is
+    /// identical, which is what makes sharded == serial bit-identical.
+    fn dispatch<C: Clock<GnutellaEvent> + Transport<GnutellaEvent>>(
         &mut self,
         now: SimTime,
         event: GnutellaEvent,
-        sched: &mut Scheduler<'_, GnutellaEvent>,
+        ctx: &mut C,
     ) {
         match event {
             GnutellaEvent::Toggle { node } => {
                 // `ChurnProcess::next_toggle` already flipped the target
                 // state when this event was scheduled, so `churn.online()`
                 // is the state to enter now.
-                let i = node.index();
-                let goes_online = self.peers[i].churn.online();
-                if goes_online && !self.sessions[i].online {
-                    self.login(node, sched);
-                } else if !goes_online && self.sessions[i].online {
-                    self.logoff(node, sched);
+                let k = self.li(node);
+                let goes_online = self.peers[k].churn.online();
+                if goes_online && !self.sessions[k].online {
+                    self.login(node, ctx);
+                } else if !goes_online && self.sessions[k].online {
+                    self.logoff(node, ctx);
                 }
-                let d = self.peers[i].churn.next_toggle();
-                sched.after(d, GnutellaEvent::Toggle { node });
+                let d = self.peers[k].churn.next_toggle().max(self.lookahead);
+                ctx.schedule_after(d, GnutellaEvent::Toggle { node });
             }
             GnutellaEvent::IssueQuery { node, session } => {
-                self.issue_query(node, session, sched);
+                self.issue_query(node, session, ctx);
             }
             GnutellaEvent::QueryArrive { to, from, desc } => {
-                self.query_arrive(to, from, desc, sched);
+                self.query_arrive(to, from, desc, ctx);
             }
             GnutellaEvent::ReplyArrive {
                 to,
@@ -1100,25 +1737,137 @@ impl<T: TraceSink> World for GnutellaWorld<T> {
                 self.finalize_query(node, query, now);
             }
             GnutellaEvent::InviteArrive { to, from } => {
-                self.invite_arrive(to, from, sched);
+                self.invite_arrive(to, from, ctx);
+            }
+            GnutellaEvent::InviteReply { to, from, accepted } => {
+                let k = self.li(to);
+                self.peers[k].pending_invites = self.peers[k].pending_invites.saturating_sub(1);
+                if accepted {
+                    self.mirror_link(to, from, true, ctx);
+                } else {
+                    // The candidate did not answer: almost certainly
+                    // offline. Mark its statistics entry stale so the
+                    // recency proxy stops proposing it (its next real
+                    // reply re-qualifies it). The freed slot waits for
+                    // the next update, which plans around the stale
+                    // entry — unless connectivity itself is at stake,
+                    // in which case the re-plan happens immediately.
+                    let k = self.li(to);
+                    self.peers[k].rt.stats.touch(from, SimTime::ZERO);
+                    self.retry_invites(to, ctx);
+                }
             }
             GnutellaEvent::EvictArrive { to, from } => {
-                self.evict_arrive(to, from);
+                self.evict_arrive(to, from, ctx);
+            }
+            GnutellaEvent::LinkRequest { to, from } => {
+                self.link_request(to, from, ctx);
+            }
+            GnutellaEvent::LinkAck { to, from, accepted } => {
+                let k = self.li(to);
+                self.peers[k].pending_invites = self.peers[k].pending_invites.saturating_sub(1);
+                if accepted {
+                    self.mirror_link(to, from, false, ctx);
+                } else {
+                    self.retry_refill(to, ctx);
+                }
+            }
+            GnutellaEvent::Unlink { to, from } => {
+                self.unlink(to, from, ctx);
             }
             GnutellaEvent::WaveCheck { node, query, wave } => {
-                self.wave_check(node, query, wave, sched);
+                self.wave_check(node, query, wave, ctx);
             }
             GnutellaEvent::IndexRefresh { node, session } => {
-                self.index_refresh(node, session, sched);
+                self.index_refresh(node, session, ctx);
             }
             GnutellaEvent::TrialExpire {
                 node,
                 peer,
                 session,
             } => {
-                self.trial_expire(node, peer, session, sched);
+                self.trial_expire(node, peer, session, ctx);
             }
         }
+    }
+}
+
+/// The node every event is addressed to — decides shard routing and which
+/// node's state a handler may touch.
+pub(crate) fn event_target(event: &GnutellaEvent) -> NodeId {
+    match *event {
+        GnutellaEvent::Toggle { node }
+        | GnutellaEvent::IssueQuery { node, .. }
+        | GnutellaEvent::QueryFinalize { node, .. }
+        | GnutellaEvent::WaveCheck { node, .. }
+        | GnutellaEvent::IndexRefresh { node, .. }
+        | GnutellaEvent::TrialExpire { node, .. } => node,
+        GnutellaEvent::QueryArrive { to, .. }
+        | GnutellaEvent::ReplyArrive { to, .. }
+        | GnutellaEvent::InviteArrive { to, .. }
+        | GnutellaEvent::InviteReply { to, .. }
+        | GnutellaEvent::EvictArrive { to, .. }
+        | GnutellaEvent::LinkRequest { to, .. }
+        | GnutellaEvent::LinkAck { to, .. }
+        | GnutellaEvent::Unlink { to, .. } => to,
+    }
+}
+
+/// Adapter presenting a [`ShardCtx`] as the `Clock` + `Transport` pair the
+/// handlers speak. Self-timers route to the handling node's own shard.
+struct ShardPort<'a, 'b> {
+    ctx: &'a mut ShardCtx<'b, GnutellaEvent>,
+    node: NodeId,
+}
+
+impl Clock<GnutellaEvent> for ShardPort<'_, '_> {
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    fn schedule_after(&mut self, delay: SimDuration, event: GnutellaEvent) {
+        self.ctx.send(self.node, delay, event);
+    }
+
+    fn schedule_at(&mut self, at: SimTime, event: GnutellaEvent) {
+        let d = at
+            .saturating_since(self.ctx.now())
+            .max(self.ctx.lookahead());
+        self.ctx.send(self.node, d, event);
+    }
+}
+
+impl Transport<GnutellaEvent> for ShardPort<'_, '_> {
+    fn send(&mut self, to: NodeId, delay: SimDuration, event: GnutellaEvent) {
+        self.ctx.send(to, delay, event);
+    }
+}
+
+impl<T: TraceSink> ShardWorld for GnutellaWorld<T> {
+    type Event = GnutellaEvent;
+
+    fn handle(
+        &mut self,
+        now: SimTime,
+        event: GnutellaEvent,
+        ctx: &mut ShardCtx<'_, GnutellaEvent>,
+    ) {
+        let node = event_target(&event);
+        let mut port = ShardPort { ctx, node };
+        self.dispatch(now, event, &mut port);
+    }
+}
+
+impl<T: TraceSink> World for GnutellaWorld<T> {
+    type Event = GnutellaEvent;
+
+    fn handle(
+        &mut self,
+        now: SimTime,
+        event: GnutellaEvent,
+        sched: &mut Scheduler<'_, GnutellaEvent>,
+    ) {
+        self.dispatch(now, event, sched);
     }
 
     /// Warm the caches for the next event while the current one runs.
@@ -1136,8 +1885,8 @@ impl<T: TraceSink> World for GnutellaWorld<T> {
             use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
             match next {
                 GnutellaEvent::QueryArrive { to, desc, .. } => {
-                    let i = to.index();
-                    let peer = &self.peers[i];
+                    let k = to.index() - self.base;
+                    let peer = &self.peers[k];
                     // SAFETY: prefetch has no architectural effect; the
                     // addresses point into live owned allocations.
                     unsafe {
@@ -1146,16 +1895,16 @@ impl<T: TraceSink> World for GnutellaWorld<T> {
                             _mm_prefetch(seen.probe_addr(desc.id) as *const i8, _MM_HINT_T0);
                         }
                         _mm_prefetch(
-                            self.profiles[i].probe_addr(desc.item) as *const i8,
+                            self.shared.profiles[to.index()].probe_addr(desc.item) as *const i8,
                             _MM_HINT_T0,
                         );
                     }
                 }
                 GnutellaEvent::ReplyArrive { to, .. } => {
-                    let i = to.index();
+                    let k = to.index() - self.base;
                     // SAFETY: as above.
                     unsafe {
-                        _mm_prefetch(std::ptr::addr_of!(self.peers[i]) as *const i8, _MM_HINT_T0);
+                        _mm_prefetch(std::ptr::addr_of!(self.peers[k]) as *const i8, _MM_HINT_T0);
                     }
                 }
                 _ => {}

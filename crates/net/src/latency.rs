@@ -109,6 +109,18 @@ impl DelayModel {
     pub fn mean(&self, a: BandwidthClass, b: BandwidthClass) -> SimDuration {
         SimDuration::from_millis(self.pair_params(a, b).mean_ms.round() as u64)
     }
+
+    /// The smallest delay `sample` can ever return, over all class pairs.
+    /// This is the natural lookahead for conservative parallel simulation:
+    /// every sampled network delay is ≥ this bound.
+    pub fn min_delay(&self) -> SimDuration {
+        let lo = self
+            .params
+            .iter()
+            .map(|p| p.lo())
+            .fold(f64::INFINITY, f64::min);
+        SimDuration::from_millis(lo.floor() as u64)
+    }
 }
 
 /// One standard-normal sample via Box–Muller (the cosine branch only; the
@@ -207,6 +219,18 @@ mod tests {
             clamp_sigmas: 3.0,
         };
         assert_eq!(p.lo(), 0.0);
+    }
+
+    #[test]
+    fn min_delay_is_lan_floor() {
+        let m = DelayModel::paper();
+        // LAN: 70 − 3·20 = 10 ms is the tightest truncation bound.
+        assert_eq!(m.min_delay().as_millis(), 10);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let d = m.sample(&mut rng, BandwidthClass::Lan, BandwidthClass::Lan);
+            assert!(d >= m.min_delay());
+        }
     }
 
     #[test]

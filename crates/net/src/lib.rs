@@ -26,5 +26,5 @@ pub mod transfer;
 
 pub use bandwidth::BandwidthClass;
 pub use latency::{DelayModel, LatencyParams};
-pub use model::NetworkModel;
+pub use model::{NetworkModel, NodeDelayStream};
 pub use transfer::TransferModel;

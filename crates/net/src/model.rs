@@ -4,7 +4,37 @@
 use crate::bandwidth::BandwidthClass;
 use crate::latency::DelayModel;
 use ddr_sim::{NodeId, RngFactory, SimDuration};
+use rand::rngs::SmallRng;
 use rand::Rng;
+
+/// A per-node deterministic delay-sampling stream.
+///
+/// Derived from the run's [`RngFactory`] under the `"net.delay"` label
+/// keyed by node index, so the delay sequence a node draws depends only on
+/// `(root seed, node)` — never on how many delays *other* nodes sampled.
+/// This is what lets sharded worlds sample network delays with no shared
+/// RNG: each node (and therefore each shard, which owns a contiguous node
+/// range) carries its own stream.
+#[derive(Debug, Clone)]
+pub struct NodeDelayStream {
+    rng: SmallRng,
+}
+
+impl NodeDelayStream {
+    /// The stream for `node` under `rngs`.
+    pub fn new(rngs: &RngFactory, node: NodeId) -> Self {
+        NodeDelayStream {
+            rng: rngs.stream("net.delay", node.index() as u64),
+        }
+    }
+
+    /// A multiplicative jitter factor drawn uniformly from `[lo, hi)` —
+    /// for worlds that scale a base delay instead of sampling the
+    /// class-pair model (webcache, peerolap).
+    pub fn jitter(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+}
 
 /// Immutable network description for a simulation run.
 ///
@@ -77,9 +107,30 @@ impl NetworkModel {
         self.delays.sample(rng, self.class(from), self.class(to))
     }
 
+    /// Sample the one-way delay for a message `from → to` from the
+    /// sender's own per-node stream. Preferred over [`Self::one_way_delay`]
+    /// inside worlds: no shared RNG, so handlers stay shard-local.
+    #[inline]
+    pub fn one_way_delay_for(
+        &self,
+        stream: &mut NodeDelayStream,
+        from: NodeId,
+        to: NodeId,
+    ) -> SimDuration {
+        self.delays
+            .sample(&mut stream.rng, self.class(from), self.class(to))
+    }
+
     /// Expected (mean) one-way delay for a pair, for analytic baselines.
     pub fn mean_delay(&self, from: NodeId, to: NodeId) -> SimDuration {
         self.delays.mean(self.class(from), self.class(to))
+    }
+
+    /// The smallest delay the sampler can return for any pair — the
+    /// natural conservative-kernel lookahead for worlds driven by this
+    /// model (see [`DelayModel::min_delay`]).
+    pub fn min_delay(&self) -> SimDuration {
+        self.delays.min_delay()
     }
 
     /// Class census `(modem, cable, lan)` — used by tests and run banners.
@@ -152,6 +203,40 @@ mod tests {
                 .one_way_delay(&mut rng, NodeId(0), NodeId(3))
                 .as_millis();
             assert!((90..=210).contains(&d));
+        }
+    }
+
+    #[test]
+    fn node_streams_are_deterministic_and_independent() {
+        let rngs = RngFactory::new(17);
+        let net = NetworkModel::paper(8, &rngs);
+        let draw = |s: &mut NodeDelayStream| {
+            (0..16)
+                .map(|_| net.one_way_delay_for(s, NodeId(2), NodeId(5)).as_millis())
+                .collect::<Vec<_>>()
+        };
+        let mut a = NodeDelayStream::new(&rngs, NodeId(2));
+        let mut b = NodeDelayStream::new(&rngs, NodeId(2));
+        let first = draw(&mut a);
+        assert_eq!(first, draw(&mut b), "same (seed, node) → same stream");
+        // Burning another node's stream must not perturb node 2's stream.
+        let mut c = NodeDelayStream::new(&rngs, NodeId(2));
+        let mut other = NodeDelayStream::new(&rngs, NodeId(3));
+        draw(&mut other);
+        assert_eq!(first, draw(&mut c));
+        for _ in 0..5_000 {
+            let d = net.one_way_delay_for(&mut a, NodeId(0), NodeId(1));
+            assert!(d >= net.min_delay());
+        }
+    }
+
+    #[test]
+    fn jitter_in_range() {
+        let rngs = RngFactory::new(3);
+        let mut s = NodeDelayStream::new(&rngs, NodeId(0));
+        for _ in 0..1_000 {
+            let j = s.jitter(0.8, 1.2);
+            assert!((0.8..1.2).contains(&j));
         }
     }
 }

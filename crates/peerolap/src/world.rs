@@ -22,6 +22,7 @@ use crate::cube::{chunk_processing_ms, CubeSpace, OlapQueryStream};
 use ddr_core::runtime::{Clock, Membership, NodeRuntime, SimObserver, Transport};
 use ddr_core::stats_store::ReplyObservation;
 use ddr_core::{plan_asymmetric_update, CumulativeBenefit};
+use ddr_net::NodeDelayStream;
 use ddr_overlay::{RelationKind, Topology};
 use ddr_sim::{
     EventLabel, FastHashMap, ItemId, NodeId, QueryId, RngFactory, Scheduler, SimDuration, SimTime,
@@ -135,6 +136,10 @@ pub struct PeerOlapWorld<T: TraceSink = NullSink> {
     /// Which peers are currently present (all of them without churn).
     present: Membership,
     rng: SmallRng,
+    /// Per-peer delay-jitter streams (`net.delay` keyed by node), the
+    /// workspace-wide idiom for delay sampling: a node's delay sequence
+    /// depends only on `(seed, node)`, never on other nodes' traffic.
+    delays: Vec<NodeDelayStream>,
     next_query: u64,
     tracer: QueryTracer<T>,
     /// Metrics, public for reports and tests.
@@ -176,6 +181,9 @@ impl<T: TraceSink> PeerOlapWorld<T> {
             .collect();
 
         let present = Membership::all_online(config.peers);
+        let delays = (0..config.peers)
+            .map(|p| NodeDelayStream::new(&rngs, NodeId::from_index(p)))
+            .collect();
         let tracer = QueryTracer::new(&config.telemetry);
         PeerOlapWorld {
             config,
@@ -184,6 +192,7 @@ impl<T: TraceSink> PeerOlapWorld<T> {
             peers,
             present,
             rng,
+            delays,
             next_query: 0,
             tracer,
             metrics: OlapMetrics::default(),
@@ -258,8 +267,12 @@ impl<T: TraceSink> PeerOlapWorld<T> {
         }
     }
 
-    fn jittered(&mut self, base: SimDuration) -> SimDuration {
-        let f: f64 = self.rng.gen_range(0.85..1.15);
+    /// `base` scaled by the acting peer's own jitter stream. Sampling
+    /// from the per-node stream (not a world RNG) keeps a peer's delay
+    /// sequence independent of other peers' traffic — the same
+    /// discipline the sharded Gnutella world needs, applied uniformly.
+    fn jittered(&mut self, node: NodeId, base: SimDuration) -> SimDuration {
+        let f = self.delays[node.index()].jitter(0.85, 1.15);
         SimDuration::from_millis(((base.as_millis() as f64) * f).round().max(1.0) as u64)
     }
 
@@ -336,7 +349,7 @@ impl<T: TraceSink> PeerOlapWorld<T> {
             .hop(now, qid, peer, peer, self.config.max_hops, 0, targets.len());
         for t in targets {
             self.metrics.runtime.on_messages(hour, 1.0);
-            let d = self.jittered(self.config.peer_delay);
+            let d = self.jittered(peer, self.config.peer_delay);
             ctx.send(
                 t,
                 d,
@@ -391,7 +404,7 @@ impl<T: TraceSink> PeerOlapWorld<T> {
             .into_iter()
             .partition(|&c| self.peers[i].cache.peek(c));
         if !have.is_empty() {
-            let d = self.jittered(self.config.peer_delay);
+            let d = self.jittered(to, self.config.peer_delay);
             ctx.send(
                 origin,
                 d,
@@ -416,7 +429,7 @@ impl<T: TraceSink> PeerOlapWorld<T> {
             let hour = ctx.now().as_hours() as usize;
             for t in targets {
                 self.metrics.runtime.on_messages(hour, 1.0);
-                let d = self.jittered(self.config.peer_delay);
+                let d = self.jittered(to, self.config.peer_delay);
                 ctx.send(
                     t,
                     d,
@@ -521,7 +534,9 @@ impl<T: TraceSink> PeerOlapWorld<T> {
             .chunks_warehouse
             .add(hour, missing.len() as f64);
         self.metrics.warehouse_ms.add(hour, proc_ms as f64);
-        let wh_rtt = self.jittered(self.config.warehouse_delay).saturating_mul(2);
+        let wh_rtt = self
+            .jittered(peer, self.config.warehouse_delay)
+            .saturating_mul(2);
         let done_in = wh_rtt + SimDuration::from_millis(proc_ms);
         let total_latency = now
             .saturating_since(self.peers[i].pending[&query].issued_at)

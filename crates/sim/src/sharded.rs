@@ -49,9 +49,10 @@
 //! The price of the contract is the **lookahead bound**: every
 //! [`ShardCtx::send`] must use a delay of at least the configured
 //! lookahead (asserted), and handlers may touch only their own shard's
-//! state. Worlds with genuinely global mutable state (the Gnutella
-//! world's shared RNG stream and topology) cannot be sharded without
-//! changing their event order; they keep the serial kernel. See
+//! state. The Gnutella case study meets both (per-node RNG streams,
+//! message-passing reconfiguration, shard-local membership — DESIGN.md
+//! §12); worlds that still keep global mutable state (the web-cache
+//! and PeerOlap worlds' shared books) keep the serial kernel. See
 //! DESIGN.md §11.
 
 use crate::engine::RunOutcome;

@@ -1,14 +1,23 @@
-//! Scalar summaries: running moments (Welford) and fixed-width histograms
-//! with percentile queries. Back the Fig 3(a) delay measurements.
+//! Scalar summaries: running moments and fixed-width histograms with
+//! percentile queries. Back the Fig 3(a) delay measurements.
 
 use serde::{Deserialize, Serialize};
 
-/// Numerically-stable running mean/variance/min/max (Welford's algorithm).
+/// Running mean/variance/min/max over exact component sums.
+///
+/// Deliberately *not* Welford: the accumulator keeps `(n, Σx, Σx²)`,
+/// whose merge is component-wise addition. All samples recorded in this
+/// codebase are integer-valued (milliseconds, hop counts), so every
+/// partial sum is exactly representable below 2⁵³ and **merging shard
+/// accumulators is bit-identical to sequential accumulation in any
+/// order** — the property the sharded kernel's report merge relies on.
+/// (Welford's `(mean, m2)` carries rounding that depends on visit
+/// order, which would break sharded == serial parity.)
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunningStats {
     n: u64,
-    mean: f64,
-    m2: f64,
+    sum: f64,
+    sumsq: f64,
     min: f64,
     max: f64,
 }
@@ -18,8 +27,8 @@ impl RunningStats {
     pub fn new() -> Self {
         RunningStats {
             n: 0,
-            mean: 0.0,
-            m2: 0.0,
+            sum: 0.0,
+            sumsq: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
@@ -28,9 +37,8 @@ impl RunningStats {
     /// Record one observation.
     pub fn record(&mut self, x: f64) {
         self.n += 1;
-        let delta = x - self.mean;
-        self.mean += delta / self.n as f64;
-        self.m2 += delta * (x - self.mean);
+        self.sum += x;
+        self.sumsq += x * x;
         self.min = self.min.min(x);
         self.max = self.max.max(x);
     }
@@ -45,7 +53,7 @@ impl RunningStats {
         if self.n == 0 {
             0.0
         } else {
-            self.mean
+            self.sum / self.n as f64
         }
     }
 
@@ -54,7 +62,8 @@ impl RunningStats {
         if self.n < 2 {
             0.0
         } else {
-            self.m2 / self.n as f64
+            let mean = self.sum / self.n as f64;
+            (self.sumsq / self.n as f64 - mean * mean).max(0.0)
         }
     }
 
@@ -81,8 +90,9 @@ impl RunningStats {
         }
     }
 
-    /// Merge another accumulator (parallel-sweep shard combination;
-    /// Chan et al. parallel variance formula).
+    /// Merge another accumulator (parallel-sweep / shard combination).
+    /// Component-wise sum addition: exact, and therefore bit-identical
+    /// to sequential accumulation for integer-valued samples.
     pub fn merge(&mut self, other: &RunningStats) {
         if other.n == 0 {
             return;
@@ -91,13 +101,9 @@ impl RunningStats {
             *self = other.clone();
             return;
         }
-        let n1 = self.n as f64;
-        let n2 = other.n as f64;
-        let delta = other.mean - self.mean;
-        let total = n1 + n2;
-        self.mean += delta * n2 / total;
-        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
         self.n += other.n;
+        self.sum += other.sum;
+        self.sumsq += other.sumsq;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }

@@ -25,7 +25,7 @@ use serde::Serialize;
 /// * scalar counters for the adaptive machinery: `explorations`
 ///   (exploration waves fired), `updates` (reconfigurations executed)
 ///   and `edges_changed` (neighbour-set churn caused by those updates).
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct RuntimeMetrics {
     /// Queries (or requests) issued, per hour.
     pub queries: BucketSeries,

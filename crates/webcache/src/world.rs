@@ -23,6 +23,7 @@ use crate::traffic::{PageSpace, RequestStream};
 use ddr_core::runtime::{Clock, Membership, NodeRuntime, SimObserver, Transport};
 use ddr_core::stats_store::ReplyObservation;
 use ddr_core::{plan_asymmetric_update, CumulativeBenefit};
+use ddr_net::NodeDelayStream;
 use ddr_overlay::{RelationKind, Topology};
 use ddr_sim::{
     EventLabel, ItemId, NodeId, QueryId, RngFactory, Scheduler, SimDuration, SimTime, World,
@@ -112,6 +113,10 @@ pub struct WebCacheWorld<T: TraceSink = NullSink> {
     /// Which proxies are currently up (all, without churn).
     up: Membership,
     rng: SmallRng,
+    /// Per-proxy delay-jitter streams (`net.delay` keyed by node), the
+    /// workspace-wide idiom for delay sampling: a node's delay sequence
+    /// depends only on `(seed, node)`, never on other nodes' traffic.
+    delays: Vec<NodeDelayStream>,
     /// Span ids for the tracer (requests resolve synchronously, so this
     /// is purely a trace-record label).
     next_query: u64,
@@ -157,6 +162,9 @@ impl<T: TraceSink> WebCacheWorld<T> {
 
         let digests = vec![None; config.proxies];
         let up = Membership::all_online(config.proxies);
+        let delays = (0..config.proxies)
+            .map(|p| NodeDelayStream::new(&rngs, NodeId::from_index(p)))
+            .collect();
         let tracer = QueryTracer::new(&config.telemetry);
         WebCacheWorld {
             config,
@@ -166,6 +174,7 @@ impl<T: TraceSink> WebCacheWorld<T> {
             digests,
             up,
             rng,
+            delays,
             next_query: 0,
             tracer,
             metrics: CacheMetrics::default(),
@@ -260,8 +269,12 @@ impl<T: TraceSink> WebCacheWorld<T> {
         }
     }
 
-    fn jittered(&mut self, base: SimDuration) -> SimDuration {
-        let f: f64 = self.rng.gen_range(0.8..1.2);
+    /// `base` scaled by the acting proxy's own jitter stream. Sampling
+    /// from the per-node stream (not a world RNG) keeps a proxy's delay
+    /// sequence independent of other proxies' traffic — the same
+    /// discipline the sharded Gnutella world needs, applied uniformly.
+    fn jittered(&mut self, node: NodeId, base: SimDuration) -> SimDuration {
+        let f = self.delays[node.index()].jitter(0.8, 1.2);
         SimDuration::from_millis(((base.as_millis() as f64) * f).round().max(1.0) as u64)
     }
 
@@ -348,7 +361,9 @@ impl<T: TraceSink> WebCacheWorld<T> {
                 .find(|&q| self.up.contains(q) && self.proxies[q.index()].cache.peek(page));
             match holder {
                 Some(q) => {
-                    let rtt = self.jittered(self.config.sibling_delay).saturating_mul(2);
+                    let rtt = self
+                        .jittered(proxy, self.config.sibling_delay)
+                        .saturating_mul(2);
                     let ms = rtt.as_millis() as f64;
                     self.metrics.runtime.on_hit(hour);
                     self.record_latency(now, ms);
@@ -370,7 +385,9 @@ impl<T: TraceSink> WebCacheWorld<T> {
                     ctx.send(proxy, rtt, CacheEvent::FetchComplete { proxy, page });
                 }
                 None => {
-                    let rtt = self.jittered(self.config.origin_delay).saturating_mul(2);
+                    let rtt = self
+                        .jittered(proxy, self.config.origin_delay)
+                        .saturating_mul(2);
                     self.metrics.origin_fetches.incr(hour);
                     self.record_latency(now, rtt.as_millis() as f64);
                     self.tracer
@@ -407,7 +424,9 @@ impl<T: TraceSink> WebCacheWorld<T> {
                 continue;
             }
             self.metrics.runtime.on_messages(hour, 1.0);
-            let rtt = self.jittered(self.config.sibling_delay).saturating_mul(2);
+            let rtt = self
+                .jittered(proxy, self.config.sibling_delay)
+                .saturating_mul(2);
             // The probe reply returns to the prober after the round trip.
             ctx.send(proxy, rtt, CacheEvent::ProbeReply { to: proxy, from: q });
         }
