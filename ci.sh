@@ -53,6 +53,19 @@ if [ "$DIGEST_SERIAL" != "$DIGEST_SHARDED" ]; then
 fi
 echo "    $DIGEST_SERIAL (serial == 2 shards)"
 
+echo "==> free_riders --smoke (scenario pack: in-line invariants + liar refusal gate)"
+# The other four pack scenarios (flash_crowd, partition_heal, heavy_churn,
+# bandwidth_eras) already ran under `ddr run --all --smoke` above, each
+# asserting its ScenarioInvariants in-line; this re-runs the adversarial
+# one explicitly and checks the invariant and digest notes made it out.
+PACK_OUT=$(cargo run -q --release -p ddr-experiments --bin ddr -- \
+    run free_riders --smoke 2> /dev/null)
+echo "$PACK_OUT" | grep -q '^invariants: ok' \
+    || { echo "free_riders did not report invariants: ok" >&2; exit 1; }
+echo "$PACK_OUT" | grep -q '^digest:' \
+    || { echo "free_riders emitted no digest" >&2; exit 1; }
+echo "    $(echo "$PACK_OUT" | grep '^digest:') (invariants ok)"
+
 echo "==> ddr serve --smoke (real-time bus load test, records qps/core + p99)"
 cargo run -q --release -p ddr-experiments --bin ddr -- \
     serve gnutella --nodes 200 --qps 50 --duration 2 --smoke \

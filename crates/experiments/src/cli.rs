@@ -29,8 +29,16 @@ flags (shared by every experiment):
   --profile         print a kernel dispatch/queue report after the run
   --threads N       cap sweep worker fan-out (default: one per core)
   --shards N        shard count for sharded-kernel experiments
-                    (fig1_dynamic, shard_scaling, perfbench; default 1;
-                    rejected for experiments on the serial kernel)";
+                    (fig1_dynamic, the scenario pack, shard_scaling,
+                    perfbench; default 1; rejected for experiments on
+                    the serial kernel)
+
+scenario-pack knobs (flash_crowd, partition_heal, heavy_churn,
+free_riders, bandwidth_eras):
+  --spike-boost F   flash-crowd peak weight in (0, 1] (default 0.8)
+  --pareto-shape F  heavy-churn Pareto shape, > 1 (default 1.5)
+  --liar-fraction F malicious-advertiser share in [0, 1) (default 0.15)
+  --islands N       partition island count, >= 2 (default 3)";
 
 /// The `ddr` binary, minus process concerns: parse `args` (everything
 /// after the program name) and return the exit code.
@@ -191,6 +199,33 @@ mod tests {
     fn bad_flag_fails_with_two() {
         assert_eq!(ddr_main(argv(&["run", "fig1", "--bogus"])), 2);
         assert_eq!(ddr_main(argv(&["run", "fig1", "--scale"])), 2);
+    }
+
+    #[test]
+    fn bad_pack_flag_values_exit_two_before_running() {
+        // Out-of-range pack knobs must take the CliError path (usage +
+        // exit 2), not panic inside a half-built scenario.
+        assert_eq!(
+            ddr_main(argv(&["run", "flash_crowd", "--spike-boost", "2.0"])),
+            2
+        );
+        assert_eq!(
+            ddr_main(argv(&["run", "heavy_churn", "--pareto-shape", "0.5"])),
+            2
+        );
+        assert_eq!(
+            ddr_main(argv(&["run", "free_riders", "--liar-fraction", "1.0"])),
+            2
+        );
+        assert_eq!(
+            ddr_main(argv(&["run", "partition_heal", "--islands", "1"])),
+            2
+        );
+        assert_eq!(
+            ddr_main(argv(&["run", "flash_crowd", "--spike-boost"])),
+            2,
+            "missing value exits 2"
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 pub mod ablations;
 pub mod all_experiments;
+pub mod bandwidth_eras;
 pub mod diag;
 pub mod exploration_sweep;
 pub mod fairness;
@@ -13,6 +14,10 @@ pub mod fig2;
 pub mod fig3a;
 pub mod fig3b;
 pub mod fig3b_ablation;
+pub mod flash_crowd;
+pub mod free_riders;
+pub mod heavy_churn;
+pub mod partition_heal;
 pub mod peerolap_eval;
 pub mod perf;
 pub mod shard_scaling;
@@ -20,7 +25,11 @@ pub mod strategies;
 pub mod webcache_eval;
 
 use crate::opts::ExpOptions;
+use ddr_gnutella::{
+    check_invariants, run_scenario_sharded_with_worlds, GnutellaWorld, RunReport, ScenarioConfig,
+};
 use ddr_peerolap::PeerOlapConfig;
+use ddr_telemetry::NullSink;
 use ddr_webcache::WebCacheConfig;
 
 /// Smoke-mode clamp for Gnutella-based experiments: force a tiny world
@@ -32,6 +41,40 @@ pub(crate) fn smoke_scale(mut opts: ExpOptions) -> ExpOptions {
         opts.hours = opts.hours.min(6);
     }
     opts
+}
+
+/// Run one scenario-pack configuration on the sharded kernel and assert
+/// the [`check_invariants`] layer over the result — every pack experiment
+/// goes through here, so a conservation or isolation violation aborts the
+/// run loudly instead of producing a quietly wrong table.
+pub(crate) fn run_pack(
+    config: ScenarioConfig,
+    shards: usize,
+    threads: usize,
+) -> (RunReport, Vec<GnutellaWorld<NullSink>>) {
+    config.validate().expect("pack scenario config");
+    let (report, worlds) = run_scenario_sharded_with_worlds(config, shards, threads);
+    if let Err(e) = check_invariants(&report, &worlds) {
+        panic!("scenario invariants violated: {e}");
+    }
+    (report, worlds)
+}
+
+/// Order-sensitive fold of several run digests into the single `digest:`
+/// line the shard-parity gate compares across `--shards` counts.
+pub(crate) fn fold_digests(reports: &[&RunReport]) -> u64 {
+    reports
+        .iter()
+        .fold(0u64, |acc, r| acc.rotate_left(17) ^ r.digest())
+}
+
+/// `value` as a percentage change relative to `base` (for delta notes).
+pub(crate) fn pct_delta(value: f64, base: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        100.0 * (value / base - 1.0)
+    }
 }
 
 /// Smoke-mode shrink for a web-cache world.

@@ -17,6 +17,10 @@
 //! --shards N        shard count for the conservative parallel kernel
 //!                   (shardable experiments only — the ddr CLI rejects it
 //!                   for serial-kernel experiments; default 1 = serial)
+//! --spike-boost F   scenario pack: flash-crowd peak weight in (0, 1]
+//! --pareto-shape F  scenario pack: heavy-churn Pareto shape (> 1)
+//! --liar-fraction F scenario pack: malicious-advertiser share in [0, 1)
+//! --islands N       scenario pack: partition island count (>= 2)
 //! ```
 //!
 //! Parsing is a pure function ([`ExpOptions::parse`]) returning
@@ -55,10 +59,39 @@ impl std::fmt::Display for CliError {
 
 /// The flag summary printed on `--help` and on parse errors.
 pub const USAGE: &str = "options: --scale N  --hours H  --seed S  --csv DIR  --json DIR  --smoke  \
-     --trace FILE  --trace-sample N  --profile  --threads N  --shards N  (-h for help)";
+     --trace FILE  --trace-sample N  --profile  --threads N  --shards N  \
+     --spike-boost F  --pareto-shape F  --liar-fraction F  --islands N  (-h for help)";
+
+/// Scenario-pack knobs (flash_crowd, heavy_churn, partition_heal,
+/// free_riders, bandwidth_eras). Range checks happen at parse time so a
+/// bad value prints usage and exits 2 instead of panicking mid-run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackOptions {
+    /// Flash-crowd peak weight: share of queries redirected to the hot
+    /// genre at the spike's plateau. In (0, 1].
+    pub spike_boost: f64,
+    /// Pareto shape for heavy-tailed churn (> 1 keeps the mean finite).
+    pub pareto_shape: f64,
+    /// Fraction of nodes advertising summaries they refuse to serve.
+    /// In [0, 1); combined with the scenario's free-rider share.
+    pub liar_fraction: f64,
+    /// Island count for the regional partition (>= 2).
+    pub islands: usize,
+}
+
+impl Default for PackOptions {
+    fn default() -> Self {
+        PackOptions {
+            spike_boost: 0.8,
+            pareto_shape: 1.5,
+            liar_fraction: 0.15,
+            islands: 3,
+        }
+    }
+}
 
 /// Command-line options shared by all experiment entry points.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExpOptions {
     /// Scale divisor for users/songs (1 = paper scale).
     pub scale: u32,
@@ -95,6 +128,9 @@ pub struct ExpOptions {
     /// `ddr run` subcommand rejects the flag for everything else rather
     /// than silently ignoring it.
     pub shards: Option<usize>,
+    /// Scenario-pack knobs; every field has a sensible default, so the
+    /// pack experiments run with no extra flags.
+    pub pack: PackOptions,
 }
 
 impl Default for ExpOptions {
@@ -113,6 +149,7 @@ impl Default for ExpOptions {
             profile: false,
             threads: None,
             shards: None,
+            pack: PackOptions::default(),
         }
     }
 }
@@ -179,6 +216,34 @@ impl ExpOptions {
                     opts.shards = match v.parse() {
                         Ok(n) if n >= 1 => Some(n),
                         _ => return Err(CliError::BadValue("--shards".into(), v)),
+                    };
+                }
+                "--spike-boost" => {
+                    let v = value("--spike-boost")?;
+                    opts.pack.spike_boost = match v.parse::<f64>() {
+                        Ok(f) if f > 0.0 && f <= 1.0 => f,
+                        _ => return Err(CliError::BadValue("--spike-boost".into(), v)),
+                    };
+                }
+                "--pareto-shape" => {
+                    let v = value("--pareto-shape")?;
+                    opts.pack.pareto_shape = match v.parse::<f64>() {
+                        Ok(f) if f > 1.0 && f.is_finite() => f,
+                        _ => return Err(CliError::BadValue("--pareto-shape".into(), v)),
+                    };
+                }
+                "--liar-fraction" => {
+                    let v = value("--liar-fraction")?;
+                    opts.pack.liar_fraction = match v.parse::<f64>() {
+                        Ok(f) if (0.0..1.0).contains(&f) => f,
+                        _ => return Err(CliError::BadValue("--liar-fraction".into(), v)),
+                    };
+                }
+                "--islands" => {
+                    let v = value("--islands")?;
+                    opts.pack.islands = match v.parse() {
+                        Ok(n) if n >= 2 => n,
+                        _ => return Err(CliError::BadValue("--islands".into(), v)),
                     };
                 }
                 "--help" | "-h" => return Err(CliError::Help),
@@ -375,6 +440,47 @@ mod tests {
             parse(&["--shards", "0"]),
             Err(CliError::BadValue("--shards".into(), "0".into()))
         );
+    }
+
+    #[test]
+    fn pack_flags_parse_and_default() {
+        let (o, _) = parse(&[]).unwrap();
+        assert_eq!(o.pack, PackOptions::default());
+        let (o, _) = parse(&[
+            "--spike-boost",
+            "0.5",
+            "--pareto-shape",
+            "2.5",
+            "--liar-fraction",
+            "0.2",
+            "--islands",
+            "4",
+        ])
+        .unwrap();
+        assert_eq!(o.pack.spike_boost, 0.5);
+        assert_eq!(o.pack.pareto_shape, 2.5);
+        assert_eq!(o.pack.liar_fraction, 0.2);
+        assert_eq!(o.pack.islands, 4);
+    }
+
+    #[test]
+    fn pack_flags_reject_out_of_range_values() {
+        for (flag, bad) in [
+            ("--spike-boost", "0"),
+            ("--spike-boost", "1.5"),
+            ("--pareto-shape", "1.0"),
+            ("--pareto-shape", "inf"),
+            ("--liar-fraction", "1.0"),
+            ("--liar-fraction", "-0.1"),
+            ("--islands", "1"),
+            ("--islands", "many"),
+        ] {
+            assert_eq!(
+                parse(&[flag, bad]),
+                Err(CliError::BadValue(flag.into(), bad.into())),
+                "{flag} {bad}"
+            );
+        }
     }
 
     #[test]

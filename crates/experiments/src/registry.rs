@@ -100,6 +100,38 @@ pub fn registry() -> Vec<Experiment> {
             shardable: false,
         },
         Experiment {
+            name: "flash_crowd",
+            description:
+                "Scenario pack: Zipf spike on one genre (ramp/hold/decay), invariant-checked",
+            run: crate::exps::flash_crowd::run,
+            shardable: true,
+        },
+        Experiment {
+            name: "partition_heal",
+            description:
+                "Scenario pack: regional partition into islands, then heal; isolation proof",
+            run: crate::exps::partition_heal::run,
+            shardable: true,
+        },
+        Experiment {
+            name: "heavy_churn",
+            description: "Scenario pack: Pareto session/offline times at fixed means",
+            run: crate::exps::heavy_churn::run,
+            shardable: true,
+        },
+        Experiment {
+            name: "free_riders",
+            description: "Scenario pack: query-only nodes + liars advertising content they refuse",
+            run: crate::exps::free_riders::run,
+            shardable: true,
+        },
+        Experiment {
+            name: "bandwidth_eras",
+            description: "Scenario pack: dial-up-heavy vs fiber-heavy access-link censuses",
+            run: crate::exps::bandwidth_eras::run,
+            shardable: true,
+        },
+        Experiment {
             name: "exploration_sweep",
             description: "Exploration-frequency sweep on the web-cache case study",
             run: crate::exps::exploration_sweep::run,
@@ -162,7 +194,16 @@ mod tests {
             .collect();
         assert_eq!(
             shardable,
-            vec!["fig1_dynamic", "perfbench", "shard_scaling"]
+            vec![
+                "fig1_dynamic",
+                "flash_crowd",
+                "partition_heal",
+                "heavy_churn",
+                "free_riders",
+                "bandwidth_eras",
+                "perfbench",
+                "shard_scaling"
+            ]
         );
     }
 }

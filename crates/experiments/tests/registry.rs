@@ -73,5 +73,15 @@ fn every_experiment_runs_and_emits_tables() {
         );
         let out = em.captured().expect("capture emitter holds output");
         assert!(!out.trim().is_empty(), "{} produced no output", e.name);
+        // No metric cell may be NaN or infinite: a division by an empty
+        // window renders as "NaN"/"inf" in the formatted table, so the
+        // text is a faithful detector.
+        for token in out.split(|c: char| !c.is_ascii_alphanumeric() && c != '.' && c != '-') {
+            assert!(
+                !matches!(token, "NaN" | "-NaN" | "nan" | "inf" | "-inf"),
+                "experiment {} emitted a non-finite metric cell ({token:?})",
+                e.name
+            );
+        }
     }
 }

@@ -63,6 +63,31 @@ fn fig1_dynamic_digest_is_identical_at_every_shard_count() {
 }
 
 #[test]
+fn scenario_pack_digests_are_identical_across_shard_counts() {
+    // Every pack experiment runs its scenarios through the sharded
+    // kernel and folds all run digests into one `digest:` line; the line
+    // must not move between the serial default and --shards 2. (The
+    // in-line invariant layer also runs on every one of these runs — a
+    // conservation or isolation violation panics the test.)
+    for name in [
+        "flash_crowd",
+        "partition_heal",
+        "heavy_churn",
+        "free_riders",
+        "bandwidth_eras",
+    ] {
+        let reference = captured(name, None);
+        let want = digest_line(&reference).to_string();
+        let out = captured(name, Some(2));
+        assert_eq!(
+            digest_line(&out),
+            want,
+            "{name} diverged between serial and 2 shards"
+        );
+    }
+}
+
+#[test]
 fn shard_scaling_curve_passes_its_parity_assertions() {
     // The run itself asserts every parallel point's digest equals the
     // serial reference; reaching the note line means parity held.

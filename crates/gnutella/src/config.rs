@@ -6,9 +6,74 @@ use ddr_core::benefit::{
     LatencyAwareBenefit,
 };
 use ddr_core::{ForwardSelection, InvitationPolicy, ResultScore};
+use ddr_net::ClassMix;
 use ddr_sim::SimDuration;
 use ddr_telemetry::TelemetryConfig;
 use ddr_workload::WorkloadConfig;
+
+/// A regional-partition window: for simulated hours `[from_hour, to_hour)`
+/// the node population is split into `islands` contiguous index ranges and
+/// every message crossing an island boundary is dropped at delivery time —
+/// correlated link failure, not independent loss. Outside the window the
+/// network heals and traffic flows normally again.
+///
+/// The gate is a pure function of `(sender, receiver, now, config)`, so it
+/// commutes with sharding: the sharded kernel applies it identically and
+/// digests stay parity-safe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionWindow {
+    /// Number of islands the population splits into (≥ 2).
+    pub islands: usize,
+    /// Hour the partition begins.
+    pub from_hour: u64,
+    /// Hour the partition heals (exclusive).
+    pub to_hour: u64,
+}
+
+impl PartitionWindow {
+    /// The island a node index belongs to: contiguous equal-width ranges,
+    /// matching `Partition::contiguous` in the sharded kernel so islands
+    /// never straddle a shard boundary ambiguity.
+    pub fn island_of(&self, node: usize, users: usize) -> usize {
+        debug_assert!(node < users);
+        (node * self.islands) / users
+    }
+
+    /// Whether the partition is active at millisecond timestamp `now_ms`.
+    pub fn active_at_ms(&self, now_ms: u64) -> bool {
+        let hour = now_ms / 3_600_000;
+        (self.from_hour..self.to_hour).contains(&hour)
+    }
+
+    /// Sanity checks against a `users`-node world.
+    pub fn validate(&self, users: usize, sim_hours: u64) -> Result<(), String> {
+        if self.islands < 2 {
+            return Err(format!(
+                "partition needs >= 2 islands, got {}",
+                self.islands
+            ));
+        }
+        if self.islands > users {
+            return Err(format!(
+                "more islands ({}) than users ({users})",
+                self.islands
+            ));
+        }
+        if self.from_hour >= self.to_hour {
+            return Err(format!(
+                "partition window [{}, {}) is empty",
+                self.from_hour, self.to_hour
+            ));
+        }
+        if self.from_hour >= sim_hours {
+            return Err(format!(
+                "partition starts at hour {} but the run ends at {sim_hours}",
+                self.from_hour
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// Static baseline vs dynamic (framework) reconfiguration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,6 +238,19 @@ pub struct ScenarioConfig {
     /// of neighbors (benefit 0 → evicted) — the `fairness` experiment
     /// measures exactly that.
     pub free_rider_fraction: f64,
+    /// Fraction of users who are *liars*: they advertise full content
+    /// summaries (so they look attractive to the statistics layer) but,
+    /// like free-riders, refuse to serve. Drawn from the non-free-rider
+    /// population. The benefit function must learn through observed
+    /// answers that the advertisement is hollow — the `free_riders`
+    /// scenario asserts it does.
+    pub liar_fraction: f64,
+    /// Optional regional partition-and-heal window (none in the paper).
+    pub partition: Option<PartitionWindow>,
+    /// Optional bandwidth-class mix override ("bandwidth eras"); `None`
+    /// keeps the paper's uniform split, bit-identical to previous
+    /// behaviour.
+    pub bandwidth_mix: Option<ClassMix>,
     /// Root seed; a run is a pure function of `(config, seed)`.
     pub seed: u64,
     /// Trace output settings. Only consulted when the world is built with
@@ -207,6 +285,9 @@ impl ScenarioConfig {
             warmup_hours: 12,
             reconfig_on_neighbor_loss: true,
             free_rider_fraction: 0.0,
+            liar_fraction: 0.0,
+            partition: None,
+            bandwidth_mix: None,
             seed: 0xDD_2003,
             telemetry: TelemetryConfig::default(),
         }
@@ -264,6 +345,21 @@ impl ScenarioConfig {
         }
         if !(0.0..=1.0).contains(&self.free_rider_fraction) {
             return Err("free_rider_fraction out of [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.liar_fraction) {
+            return Err("liar_fraction out of [0,1]".into());
+        }
+        if self.free_rider_fraction + self.liar_fraction > 1.0 {
+            return Err(format!(
+                "free riders ({}) + liars ({}) exceed the population",
+                self.free_rider_fraction, self.liar_fraction
+            ));
+        }
+        if let Some(p) = &self.partition {
+            p.validate(self.workload.users, self.sim_hours)?;
+        }
+        if let Some(mix) = &self.bandwidth_mix {
+            mix.validate()?;
         }
         match &self.strategy {
             SearchStrategy::Bfs => {}
@@ -347,6 +443,77 @@ mod tests {
         let mut c = ScenarioConfig::paper(Mode::Static, 2);
         c.reconfig_threshold = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn partition_window_islands_and_activity() {
+        let p = PartitionWindow {
+            islands: 3,
+            from_hour: 2,
+            to_hour: 4,
+        };
+        assert!(p.validate(60, 6).is_ok());
+        // Contiguous thirds of a 60-node world.
+        assert_eq!(p.island_of(0, 60), 0);
+        assert_eq!(p.island_of(19, 60), 0);
+        assert_eq!(p.island_of(20, 60), 1);
+        assert_eq!(p.island_of(39, 60), 1);
+        assert_eq!(p.island_of(40, 60), 2);
+        assert_eq!(p.island_of(59, 60), 2);
+        // Active exactly over [2h, 4h).
+        assert!(!p.active_at_ms(2 * 3_600_000 - 1));
+        assert!(p.active_at_ms(2 * 3_600_000));
+        assert!(p.active_at_ms(4 * 3_600_000 - 1));
+        assert!(!p.active_at_ms(4 * 3_600_000));
+    }
+
+    #[test]
+    fn validation_rejects_bad_pack_knobs() {
+        let mut c = ScenarioConfig::paper(Mode::Dynamic, 2);
+        c.liar_fraction = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = ScenarioConfig::paper(Mode::Dynamic, 2);
+        c.free_rider_fraction = 0.6;
+        c.liar_fraction = 0.6;
+        assert!(c.validate().is_err());
+        let mut c = ScenarioConfig::paper(Mode::Dynamic, 2);
+        c.partition = Some(PartitionWindow {
+            islands: 1,
+            from_hour: 2,
+            to_hour: 4,
+        });
+        assert!(c.validate().is_err());
+        let mut c = ScenarioConfig::paper(Mode::Dynamic, 2);
+        c.partition = Some(PartitionWindow {
+            islands: 3,
+            from_hour: 4,
+            to_hour: 4,
+        });
+        assert!(c.validate().is_err());
+        let mut c = ScenarioConfig::paper(Mode::Dynamic, 2);
+        c.partition = Some(PartitionWindow {
+            islands: 3,
+            from_hour: 100,
+            to_hour: 101,
+        });
+        assert!(c.validate().is_err());
+        let mut c = ScenarioConfig::paper(Mode::Dynamic, 2);
+        c.bandwidth_mix = Some(ClassMix {
+            modem: 0.9,
+            cable: 0.9,
+            lan: 0.9,
+        });
+        assert!(c.validate().is_err());
+        let mut c = ScenarioConfig::paper(Mode::Dynamic, 2);
+        c.liar_fraction = 0.15;
+        c.free_rider_fraction = 0.2;
+        c.partition = Some(PartitionWindow {
+            islands: 3,
+            from_hour: 2,
+            to_hour: 4,
+        });
+        c.bandwidth_mix = Some(ClassMix::dialup_era());
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -26,6 +26,7 @@
 pub mod config;
 pub mod events;
 pub mod hosts;
+pub mod invariants;
 pub mod metrics;
 pub mod node;
 pub mod peer;
@@ -33,10 +34,14 @@ pub mod scenario;
 pub mod sharded;
 pub mod world;
 
-pub use config::{BenefitKind, Mode, ScenarioConfig};
+pub use config::{BenefitKind, Mode, PartitionWindow, ScenarioConfig};
 pub use hosts::HostCache;
+pub use invariants::check_invariants;
 pub use metrics::{Metrics, RunReport};
 pub use node::{build_nodes, GnutellaNode, NodeMsg, NodeSetConfig, QueryOutcome};
 pub use scenario::{run_scenario, run_scenario_traced, run_scenario_with_world, GnutellaScenario};
-pub use sharded::{run_scenario_sharded, run_scenario_sharded_timed, ShardedRunStats};
+pub use sharded::{
+    run_scenario_sharded, run_scenario_sharded_timed, run_scenario_sharded_with_worlds,
+    ShardedRunStats,
+};
 pub use world::GnutellaWorld;

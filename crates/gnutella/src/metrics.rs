@@ -54,6 +54,15 @@ pub struct Metrics {
     pub trials_confirmed: u64,
     /// Trial relationships terminated for lack of benefit.
     pub trials_failed: u64,
+    /// Messages dropped by an active regional partition (scenario pack).
+    pub partition_drops: u64,
+    /// Cross-island deliveries per hour — must be zero inside the
+    /// partition window; the invariant checker reads this series.
+    pub cross_island: BucketSeries,
+    /// Queries finalised by their initiator (answered or timed out).
+    pub queries_finalized: u64,
+    /// Queries still pending when their initiator logged off.
+    pub queries_abandoned: u64,
 }
 
 impl Default for Metrics {
@@ -74,6 +83,10 @@ impl Default for Metrics {
             result_hops: RunningStats::new(),
             trials_confirmed: 0,
             trials_failed: 0,
+            partition_drops: 0,
+            cross_island: BucketSeries::new(),
+            queries_finalized: 0,
+            queries_abandoned: 0,
         }
     }
 }
@@ -104,6 +117,10 @@ impl Metrics {
         self.result_hops.merge(&other.result_hops);
         self.trials_confirmed += other.trials_confirmed;
         self.trials_failed += other.trials_failed;
+        self.partition_drops += other.partition_drops;
+        self.cross_island.merge(&other.cross_island);
+        self.queries_finalized += other.queries_finalized;
+        self.queries_abandoned += other.queries_abandoned;
     }
 }
 

@@ -47,6 +47,28 @@ pub fn run_scenario_sharded_timed(
     shards: usize,
     threads: usize,
 ) -> (RunReport, ShardedRunStats) {
+    let (report, stats, _worlds) = run_core(config, shards, threads);
+    (report, stats)
+}
+
+/// [`run_scenario_sharded`] plus the final per-shard worlds, for
+/// post-run inspection: the scenario-pack invariant checker walks the
+/// worlds (pending queries, per-node roles, degrees) next to the merged
+/// report.
+pub fn run_scenario_sharded_with_worlds(
+    config: ScenarioConfig,
+    shards: usize,
+    threads: usize,
+) -> (RunReport, Vec<GnutellaWorld<NullSink>>) {
+    let (report, _stats, worlds) = run_core(config, shards, threads);
+    (report, worlds)
+}
+
+fn run_core(
+    config: ScenarioConfig,
+    shards: usize,
+    threads: usize,
+) -> (RunReport, ShardedRunStats, Vec<GnutellaWorld<NullSink>>) {
     let window = MeasurementWindow::new(config.warmup_hours, config.sim_hours);
     let horizon = SimTime::from_hours(config.sim_hours);
     let label = config.mode.label();
@@ -81,8 +103,9 @@ pub fn run_scenario_sharded_timed(
         "a churn-driven simulation never drains: {outcome:?}"
     );
 
+    let worlds = sim.into_worlds();
     let mut metrics = Metrics::new();
-    for w in sim.into_worlds() {
+    for w in &worlds {
         metrics.merge(&w.metrics);
     }
     (
@@ -92,6 +115,7 @@ pub fn run_scenario_sharded_timed(
             label,
         },
         stats,
+        worlds,
     )
 }
 

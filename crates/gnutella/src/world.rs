@@ -113,6 +113,10 @@ struct SharedWorld {
     summaries: Vec<CategorySummary>,
     /// Which users are free-riders (query but never answer).
     free_rider: Vec<bool>,
+    /// Which users are liars: they advertise a full content summary but,
+    /// like free-riders, refuse to serve. The statistics layer cannot see
+    /// the flag — it has to learn from the absence of answers.
+    liar: Vec<bool>,
 }
 
 /// The complete simulation state for one contiguous node slice. The sink
@@ -204,7 +208,10 @@ impl<T: TraceSink> GnutellaWorld<T> {
             config.workload.theta,
         );
         let profiles = generate_profiles(&config.workload, &catalog, &rngs);
-        let net = NetworkModel::paper(users, &rngs);
+        let net = match config.bandwidth_mix {
+            Some(mix) => NetworkModel::paper_with_mix(users, &rngs, mix),
+            None => NetworkModel::paper(users, &rngs),
+        };
         let lookahead = net.min_delay();
         assert!(
             lookahead > SimDuration::ZERO,
@@ -242,12 +249,31 @@ impl<T: TraceSink> GnutellaWorld<T> {
             }
             flags
         };
+        let liar = {
+            // Liars come from the non-free-rider population (a node cannot
+            // both advertise nothing and advertise everything), shuffled
+            // on their own stream so the two adversary draws are
+            // independent knobs.
+            let mut flags = vec![false; users];
+            let count = (users as f64 * config.liar_fraction).round() as usize;
+            use rand::seq::SliceRandom;
+            let mut order: Vec<usize> = (0..users).filter(|&i| !free_rider[i]).collect();
+            order.shuffle(&mut rngs.stream("liars", 0));
+            for &i in order.iter().take(count) {
+                flags[i] = true;
+            }
+            flags
+        };
         // A summary advertises what a node *shares*, not what it has: a
         // free rider owns a library but serves nothing from it, so its
         // advertisement is empty — exactly how real Gnutella clients spot
         // free riders (a zero shared-file count in the handshake). Every
         // contributor's library is non-empty by construction, so an empty
         // summary identifies a free rider and FR-free worlds carry none.
+        // Liars exploit exactly this channel: they advertise their full
+        // library (passing every summary gate) yet never serve — the
+        // deception the benefit function must catch through observed
+        // answers alone.
         let summaries = profiles
             .iter()
             .enumerate()
@@ -308,6 +334,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
             net,
             summaries,
             free_rider,
+            liar,
         });
         let partition = Partition::contiguous(users, shards);
 
@@ -434,10 +461,11 @@ impl<T: TraceSink> GnutellaWorld<T> {
     /// if any (free-riders refuse to serve, index or not).
     fn index_holder(&self, node: NodeId, item: ItemId) -> Option<NodeId> {
         let idx = self.indices[self.li(node)].as_ref()?;
-        idx.holders(item)
-            .iter()
-            .copied()
-            .find(|&h| self.sessions[self.li(h)].online && !self.shared.free_rider[h.index()])
+        idx.holders(item).iter().copied().find(|&h| {
+            self.sessions[self.li(h)].online
+                && !self.shared.free_rider[h.index()]
+                && !self.shared.liar[h.index()]
+        })
     }
 
     /// Keep the most recent `capacity` protocol-event records (logins,
@@ -513,6 +541,18 @@ impl<T: TraceSink> GnutellaWorld<T> {
     /// Whether `node` is a configured free-rider.
     pub fn is_free_rider(&self, node: NodeId) -> bool {
         self.shared.free_rider[node.index()]
+    }
+
+    /// Whether `node` is a configured liar (advertises but never serves).
+    pub fn is_liar(&self, node: NodeId) -> bool {
+        self.shared.liar[node.index()]
+    }
+
+    /// In-flight queries still pending across this slice's owned nodes —
+    /// the third term of the conservation invariant `issued == finalized
+    /// + abandoned + pending-at-horizon`.
+    pub fn pending_queries(&self) -> usize {
+        self.peers.iter().map(|p| p.pending.len()).sum()
     }
 
     /// Results served per owned node (load-balance analysis).
@@ -832,6 +872,10 @@ impl<T: TraceSink> GnutellaWorld<T> {
                     .finish(ctx.now(), QueryId(q), TraceOutcome::Timeout, 0, -1.0);
             }
         }
+        // Queries still pending at logoff are abandoned, never finalised
+        // (`finalize_query` hits the removed-already branch afterwards):
+        // count them here so issued = finalized + abandoned + pending.
+        self.metrics.queries_abandoned += self.peers[k].pending.len() as u64;
         self.peers[k].end_session();
         self.sessions[k].logoff();
         self.metrics.logoffs += 1;
@@ -862,9 +906,13 @@ impl<T: TraceSink> GnutellaWorld<T> {
         let item = {
             let shared = &self.shared;
             let i = node.index();
+            // Fractional hour for the flash-crowd trapezoid; with no
+            // crowd configured `next_target_at` falls straight through to
+            // the clockless path with identical RNG draws.
+            let hour = now.as_millis() as f64 / 3_600_000.0;
             self.peers[k]
                 .queries
-                .next_target(&shared.catalog, &shared.profiles[i])
+                .next_target_at(&shared.catalog, &shared.profiles[i], hour)
         };
         let qid = self.fresh_qid(k, node);
         self.peers[k].rt.seen().first_sighting(qid);
@@ -995,10 +1043,15 @@ impl<T: TraceSink> GnutellaWorld<T> {
             self.tracer.dup(ctx.now(), desc.id, to);
             return; // "if the same message has been received before, discard"
         }
-        if !self.shared.free_rider[to.index()] && self.shared.profiles[to.index()].has(desc.item) {
+        if !self.shared.free_rider[to.index()]
+            && !self.shared.liar[to.index()]
+            && self.shared.profiles[to.index()].has(desc.item)
+        {
             // Reply to the initiator and do not propagate (§4.1).
             // Free-riders skip this branch entirely: they hold content
-            // but refuse to serve it (§2's imbalance scenario).
+            // but refuse to serve it (§2's imbalance scenario). Liars do
+            // too — their advertised summary is a lie, and the refusal
+            // here is what their benefit entries eventually reflect.
             self.served[k] += 1;
             let bw = self.shared.net.class(to);
             let d = self.delay(k, to, desc.origin);
@@ -1095,6 +1148,7 @@ impl<T: TraceSink> GnutellaWorld<T> {
         let Some(pq) = self.peers[k].pending.remove(&query) else {
             return; // logged off in the meantime, or double finalize
         };
+        self.metrics.queries_finalized += 1;
         let results = pq.responders.len();
         if results == 0 {
             self.tracer.finish(now, query, TraceOutcome::Miss, 0, -1.0);
@@ -1703,6 +1757,29 @@ impl<T: TraceSink> GnutellaWorld<T> {
         event: GnutellaEvent,
         ctx: &mut C,
     ) {
+        // Regional partition gate: while the window is active, every
+        // node-to-node message crossing an island boundary is dropped at
+        // delivery time. The verdict is a pure function of
+        // `(sender, receiver, now, config)` — no state, no RNG — so the
+        // serial and sharded kernels drop exactly the same messages and
+        // digest parity is preserved. Self events (timers) carry no
+        // sender and always deliver, which keeps per-query bookkeeping
+        // (`QueryFinalize`) alive through the outage.
+        if let Some(p) = &self.shared.config.partition {
+            if let Some(src) = event_source(&event) {
+                let users = self.shared.net.len();
+                let dst = event_target(&event);
+                if p.island_of(src.index(), users) != p.island_of(dst.index(), users) {
+                    if p.active_at_ms(now.as_millis()) {
+                        self.metrics.partition_drops += 1;
+                        return;
+                    }
+                    // Delivered across islands outside the window — the
+                    // series the no-cross-island-delivery invariant reads.
+                    self.metrics.cross_island.add(now.as_hours() as usize, 1.0);
+                }
+            }
+        }
         match event {
             GnutellaEvent::Toggle { node } => {
                 // `ChurnProcess::next_toggle` already flipped the target
@@ -1810,6 +1887,28 @@ pub(crate) fn event_target(event: &GnutellaEvent) -> NodeId {
         | GnutellaEvent::LinkRequest { to, .. }
         | GnutellaEvent::LinkAck { to, .. }
         | GnutellaEvent::Unlink { to, .. } => to,
+    }
+}
+
+/// The node a message event was sent *by* — `None` for self events
+/// (timers), which never cross a partition boundary. Used by the
+/// regional-partition gate in `dispatch`.
+pub(crate) fn event_source(event: &GnutellaEvent) -> Option<NodeId> {
+    match *event {
+        GnutellaEvent::QueryArrive { from, .. }
+        | GnutellaEvent::ReplyArrive { from, .. }
+        | GnutellaEvent::InviteArrive { from, .. }
+        | GnutellaEvent::InviteReply { from, .. }
+        | GnutellaEvent::EvictArrive { from, .. }
+        | GnutellaEvent::LinkRequest { from, .. }
+        | GnutellaEvent::LinkAck { from, .. }
+        | GnutellaEvent::Unlink { from, .. } => Some(from),
+        GnutellaEvent::Toggle { .. }
+        | GnutellaEvent::IssueQuery { .. }
+        | GnutellaEvent::QueryFinalize { .. }
+        | GnutellaEvent::WaveCheck { .. }
+        | GnutellaEvent::IndexRefresh { .. }
+        | GnutellaEvent::TrialExpire { .. } => None,
     }
 }
 

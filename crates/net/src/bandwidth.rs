@@ -85,6 +85,79 @@ impl BandwidthClass {
     }
 }
 
+/// A weighted mix over the three bandwidth classes — the "bandwidth era"
+/// knob of the adversarial scenario pack. The paper's uniform 1/3 split
+/// models 2003; the eras dial the population back to dial-up dominance or
+/// forward to fibre dominance while keeping the delay model itself fixed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassMix {
+    /// Probability of [`BandwidthClass::Modem56K`].
+    pub modem: f64,
+    /// Probability of [`BandwidthClass::Cable`].
+    pub cable: f64,
+    /// Probability of [`BandwidthClass::Lan`].
+    pub lan: f64,
+}
+
+impl ClassMix {
+    /// The paper's uniform split.
+    pub fn uniform() -> Self {
+        ClassMix {
+            modem: 1.0 / 3.0,
+            cable: 1.0 / 3.0,
+            lan: 1.0 / 3.0,
+        }
+    }
+
+    /// A dial-up-dominated population (early-network era).
+    pub fn dialup_era() -> Self {
+        ClassMix {
+            modem: 0.70,
+            cable: 0.25,
+            lan: 0.05,
+        }
+    }
+
+    /// A fibre/LAN-dominated population (modern era).
+    pub fn fiber_era() -> Self {
+        ClassMix {
+            modem: 0.05,
+            cable: 0.25,
+            lan: 0.70,
+        }
+    }
+
+    /// Check the weights form a probability distribution.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, w) in [
+            ("modem", self.modem),
+            ("cable", self.cable),
+            ("lan", self.lan),
+        ] {
+            if !w.is_finite() || !(0.0..=1.0).contains(&w) {
+                return Err(format!("class mix {name} weight {w} out of [0,1]"));
+            }
+        }
+        let sum = self.modem + self.cable + self.lan;
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(format!("class mix weights sum to {sum}, expected 1"));
+        }
+        Ok(())
+    }
+
+    /// Sample one class by inverse CDF (modem, then cable, then LAN).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> BandwidthClass {
+        let u: f64 = rng.gen();
+        if u < self.modem {
+            BandwidthClass::Modem56K
+        } else if u < self.modem + self.cable {
+            BandwidthClass::Cable
+        } else {
+            BandwidthClass::Lan
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +216,43 @@ mod tests {
             // each should be near 10_000 (±5 %)
             assert!((9_500..=10_500).contains(&c), "skewed counts: {counts:?}");
         }
+    }
+
+    #[test]
+    fn class_mix_eras_sample_to_their_weights() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        for (mix, expect_modem) in [
+            (ClassMix::dialup_era(), 0.70),
+            (ClassMix::fiber_era(), 0.05),
+            (ClassMix::uniform(), 1.0 / 3.0),
+        ] {
+            assert!(mix.validate().is_ok());
+            let n = 30_000;
+            let modems = (0..n)
+                .filter(|_| mix.sample(&mut rng) == BandwidthClass::Modem56K)
+                .count();
+            let frac = modems as f64 / n as f64;
+            assert!(
+                (frac - expect_modem).abs() < 0.02,
+                "modem share {frac} vs {expect_modem} for {mix:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn class_mix_validate_rejects_bad_weights() {
+        let bad = ClassMix {
+            modem: 0.5,
+            cable: 0.5,
+            lan: 0.5,
+        };
+        assert!(bad.validate().is_err());
+        let negative = ClassMix {
+            modem: -0.1,
+            cable: 0.6,
+            lan: 0.5,
+        };
+        assert!(negative.validate().is_err());
     }
 
     #[test]

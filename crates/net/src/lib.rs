@@ -24,7 +24,7 @@ pub mod latency;
 pub mod model;
 pub mod transfer;
 
-pub use bandwidth::BandwidthClass;
+pub use bandwidth::{BandwidthClass, ClassMix};
 pub use latency::{DelayModel, LatencyParams};
 pub use model::{NetworkModel, NodeDelayStream};
 pub use transfer::TransferModel;

@@ -1,7 +1,7 @@
 //! The assembled per-run network model: one bandwidth class per node plus
 //! the pairwise delay sampler.
 
-use crate::bandwidth::BandwidthClass;
+use crate::bandwidth::{BandwidthClass, ClassMix};
 use crate::latency::DelayModel;
 use ddr_sim::{NodeId, RngFactory, SimDuration};
 use rand::rngs::SmallRng;
@@ -55,6 +55,22 @@ impl NetworkModel {
         let classes = (0..n)
             .map(|_| BandwidthClass::sample_uniform(&mut rng))
             .collect();
+        NetworkModel {
+            classes,
+            delays: DelayModel::paper(),
+        }
+    }
+
+    /// Build a model for `n` nodes with classes drawn from `mix` instead
+    /// of the paper's uniform split — the "bandwidth era" scenarios.
+    /// Draws from the same `"net.classes"` stream as [`Self::paper`] (and
+    /// `ClassMix::uniform()` consumes the RNG differently than
+    /// `sample_uniform`, so a uniform mix is statistically but not
+    /// bit-identical to `paper`; era scenarios always pass an explicit
+    /// mix, never `None`-as-uniform through this path).
+    pub fn paper_with_mix(n: usize, rngs: &RngFactory, mix: ClassMix) -> Self {
+        let mut rng = rngs.stream("net.classes", 0);
+        let classes = (0..n).map(|_| mix.sample(&mut rng)).collect();
         NetworkModel {
             classes,
             delays: DelayModel::paper(),
@@ -161,6 +177,22 @@ mod tests {
         assert_eq!(m + c + l, 3_000);
         for share in [m, c, l] {
             assert!((850..=1_150).contains(&share), "skewed census: {m}/{c}/{l}");
+        }
+    }
+
+    #[test]
+    fn era_mix_skews_census() {
+        let rngs = RngFactory::new(11);
+        let dialup = NetworkModel::paper_with_mix(3_000, &rngs, ClassMix::dialup_era());
+        let (m, _, l) = dialup.census();
+        assert!(m > 1_900 && l < 300, "dialup census {:?}", dialup.census());
+        let fiber = NetworkModel::paper_with_mix(3_000, &rngs, ClassMix::fiber_era());
+        let (m, _, l) = fiber.census();
+        assert!(l > 1_900 && m < 300, "fiber census {:?}", fiber.census());
+        // Same seed + same mix → same classes.
+        let again = NetworkModel::paper_with_mix(3_000, &rngs, ClassMix::fiber_era());
+        for i in 0..3_000 {
+            assert_eq!(fiber.class(NodeId(i as u32)), again.class(NodeId(i as u32)));
         }
     }
 

@@ -3,6 +3,110 @@
 
 use ddr_sim::SimDuration;
 
+/// Which family of distributions the churn renewal process draws session
+/// and offline lengths from. The paper uses exponential draws (§4.2); the
+/// adversarial scenario pack swaps in Pareto draws with the *same means*
+/// so heavy tails are the only variable under test.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ChurnModel {
+    /// Memoryless sessions — the paper's model and the default.
+    #[default]
+    Exponential,
+    /// Pareto sessions with tail exponent `shape` (must be > 1 so the
+    /// configured means stay meaningful). `shape` in (1, 2] gives the
+    /// infinite-variance regime measured in deployed file-sharing
+    /// networks: most sessions are short, a few marathon sessions carry
+    /// most of the online time.
+    Pareto {
+        /// Tail exponent α applied to both online and offline draws.
+        shape: f64,
+    },
+}
+
+/// A flash-crowd event: for a window of simulated time, a slice of every
+/// user's queries is redirected onto one category with a sharper-than-
+/// nominal Zipf exponent, modelling "everyone suddenly wants the new
+/// album". Intensity follows a trapezoid: linear ramp up, flat hold,
+/// linear decay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashCrowd {
+    /// Index of the spiked category (must be < `categories`).
+    pub category: u16,
+    /// Hour (since simulation start) the ramp begins.
+    pub start_hour: f64,
+    /// Ramp-up duration in hours (0 ⇒ step onset).
+    pub ramp_hours: f64,
+    /// Plateau duration in hours at peak intensity.
+    pub hold_hours: f64,
+    /// Decay duration in hours back to zero (0 ⇒ step offset).
+    pub decay_hours: f64,
+    /// Peak fraction of queries redirected to the spiked category
+    /// (in [0, 1]; the remainder follows the user's normal mix).
+    pub peak_weight: f64,
+    /// Zipf exponent used *within* the spiked category during the event —
+    /// typically sharper than the nominal θ so the crowd piles onto a
+    /// handful of items.
+    pub spike_theta: f64,
+}
+
+impl FlashCrowd {
+    /// Trapezoid intensity in [0, `peak_weight`] at fractional `hour`.
+    pub fn intensity(&self, hour: f64) -> f64 {
+        let t = hour - self.start_hour;
+        if t < 0.0 {
+            return 0.0;
+        }
+        let ramp_end = self.ramp_hours;
+        let hold_end = ramp_end + self.hold_hours;
+        let decay_end = hold_end + self.decay_hours;
+        let shape = if t < ramp_end {
+            t / self.ramp_hours
+        } else if t < hold_end {
+            1.0
+        } else if t < decay_end {
+            (decay_end - t) / self.decay_hours
+        } else {
+            0.0
+        };
+        shape * self.peak_weight
+    }
+
+    /// Sanity-check against a workload with `categories` genres.
+    pub fn validate(&self, categories: u16) -> Result<(), String> {
+        if self.category >= categories {
+            return Err(format!(
+                "flash crowd category {} out of range (have {categories})",
+                self.category
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.peak_weight) {
+            return Err(format!(
+                "flash crowd peak_weight {} out of [0,1]",
+                self.peak_weight
+            ));
+        }
+        for (name, v) in [
+            ("start_hour", self.start_hour),
+            ("ramp_hours", self.ramp_hours),
+            ("hold_hours", self.hold_hours),
+            ("decay_hours", self.decay_hours),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!(
+                    "flash crowd {name} must be finite and >= 0, got {v}"
+                ));
+            }
+        }
+        if self.spike_theta <= 0.0 || !self.spike_theta.is_finite() {
+            return Err(format!(
+                "flash crowd spike_theta must be positive, got {}",
+                self.spike_theta
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// All workload parameters for one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadConfig {
@@ -33,6 +137,10 @@ pub struct WorkloadConfig {
     /// calibrated so static-Gnutella hits/messages land in the paper's
     /// reported per-hour ranges (see EXPERIMENTS.md "Calibration").
     pub mean_query_interval: SimDuration,
+    /// Session/offline length distribution family (paper: exponential).
+    pub churn_model: ChurnModel,
+    /// Optional flash-crowd query spike (none in the paper's figures).
+    pub flash_crowd: Option<FlashCrowd>,
 }
 
 impl Default for WorkloadConfig {
@@ -56,6 +164,8 @@ impl WorkloadConfig {
             mean_online: SimDuration::from_hours(3),
             mean_offline: SimDuration::from_hours(3),
             mean_query_interval: SimDuration::from_mins(6),
+            churn_model: ChurnModel::Exponential,
+            flash_crowd: None,
         }
     }
 
@@ -145,6 +255,16 @@ impl WorkloadConfig {
         if self.mean_query_interval == SimDuration::ZERO {
             return Err("mean_query_interval must be positive".into());
         }
+        if let ChurnModel::Pareto { shape } = self.churn_model {
+            if !shape.is_finite() || shape <= 1.0 {
+                return Err(format!(
+                    "Pareto churn shape must exceed 1 for finite means, got {shape}"
+                ));
+            }
+        }
+        if let Some(fc) = &self.flash_crowd {
+            fc.validate(self.categories)?;
+        }
         Ok(())
     }
 }
@@ -205,5 +325,90 @@ mod tests {
             ..WorkloadConfig::paper()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_pareto_shape() {
+        let c = WorkloadConfig {
+            churn_model: ChurnModel::Pareto { shape: 1.0 },
+            ..WorkloadConfig::paper()
+        };
+        assert!(c.validate().is_err());
+        let ok = WorkloadConfig {
+            churn_model: ChurnModel::Pareto { shape: 1.5 },
+            ..WorkloadConfig::paper()
+        };
+        assert!(ok.validate().is_ok());
+    }
+
+    fn crowd() -> FlashCrowd {
+        FlashCrowd {
+            category: 3,
+            start_hour: 2.0,
+            ramp_hours: 1.0,
+            hold_hours: 2.0,
+            decay_hours: 1.0,
+            peak_weight: 0.8,
+            spike_theta: 1.2,
+        }
+    }
+
+    #[test]
+    fn flash_crowd_intensity_is_a_trapezoid() {
+        let fc = crowd();
+        assert_eq!(fc.intensity(0.0), 0.0);
+        assert_eq!(fc.intensity(1.9), 0.0);
+        assert!((fc.intensity(2.5) - 0.4).abs() < 1e-12); // mid-ramp
+        assert!((fc.intensity(3.0) - 0.8).abs() < 1e-12); // plateau start
+        assert!((fc.intensity(4.9) - 0.8).abs() < 1e-12); // plateau end
+        assert!((fc.intensity(5.5) - 0.4).abs() < 1e-12); // mid-decay
+        assert_eq!(fc.intensity(6.0), 0.0);
+        assert_eq!(fc.intensity(10.0), 0.0);
+    }
+
+    #[test]
+    fn flash_crowd_step_edges_do_not_divide_by_zero() {
+        let fc = FlashCrowd {
+            ramp_hours: 0.0,
+            decay_hours: 0.0,
+            ..crowd()
+        };
+        assert_eq!(fc.intensity(1.9), 0.0);
+        assert!((fc.intensity(2.0) - 0.8).abs() < 1e-12);
+        assert!((fc.intensity(3.9) - 0.8).abs() < 1e-12);
+        assert_eq!(fc.intensity(4.0), 0.0);
+    }
+
+    #[test]
+    fn validate_catches_bad_flash_crowd() {
+        for bad in [
+            FlashCrowd {
+                category: 50,
+                ..crowd()
+            },
+            FlashCrowd {
+                peak_weight: 1.5,
+                ..crowd()
+            },
+            FlashCrowd {
+                ramp_hours: -1.0,
+                ..crowd()
+            },
+            FlashCrowd {
+                spike_theta: 0.0,
+                ..crowd()
+            },
+        ] {
+            let c = WorkloadConfig {
+                flash_crowd: Some(bad),
+                ..WorkloadConfig::paper()
+            };
+            assert!(c.validate().is_err(), "accepted {bad:?}");
+        }
+        let ok = WorkloadConfig {
+            flash_crowd: Some(crowd()),
+            ..WorkloadConfig::paper()
+        };
+        assert!(ok.validate().is_ok());
     }
 }

@@ -191,6 +191,70 @@ impl Exponential {
     }
 }
 
+/// Pareto (power-law) distribution with tail exponent `shape` (α) and the
+/// given mean — the heavy-tailed alternative to [`Exponential`] for churn
+/// session lengths (`ChurnModel::Pareto`). Sampling is inverse-CDF:
+/// `x = scale · u^(-1/α)`, so every draw is ≥ `scale` and the survival
+/// function is `P(X > x) = (scale / x)^α`.
+///
+/// Requires `shape > 1` so the mean exists; for `1 < shape ≤ 2` the
+/// variance is infinite, which is exactly the regime measured session
+/// lengths live in — a few marathon sessions dominate the total online
+/// time while the median session is *shorter* than the exponential's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Construct from the desired mean and tail exponent. The scale is
+    /// derived as `mean · (shape − 1) / shape` so `E[X] = mean` exactly.
+    ///
+    /// # Panics
+    /// Panics unless `mean > 0` and `shape > 1` (both finite).
+    pub fn from_mean(mean: f64, shape: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "invalid mean: {mean}");
+        assert!(
+            shape.is_finite() && shape > 1.0,
+            "shape must exceed 1 for a finite mean: {shape}"
+        );
+        Pareto {
+            scale: mean * (shape - 1.0) / shape,
+            shape,
+        }
+    }
+
+    /// The configured mean `scale · α / (α − 1)`.
+    pub fn mean(&self) -> f64 {
+        self.scale * self.shape / (self.shape - 1.0)
+    }
+
+    /// The tail exponent α.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The minimum value every sample is bounded below by.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The median `scale · 2^(1/α)` — unlike the sample mean, a stable
+    /// statistic under the infinite-variance regime, which is what the
+    /// seed-sensitivity tests pin.
+    pub fn median(&self) -> f64 {
+        self.scale * 2f64.powf(1.0 / self.shape)
+    }
+
+    /// One sample (always ≥ `scale`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u in (0, 1]: avoids the u = 0 pole.
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        self.scale * u.powf(-1.0 / self.shape)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,5 +379,89 @@ mod tests {
     #[should_panic(expected = "invalid mean")]
     fn exponential_rejects_zero_mean() {
         let _ = Exponential::from_mean(0.0);
+    }
+
+    #[test]
+    fn pareto_scale_and_median_follow_from_mean() {
+        let p = Pareto::from_mean(3.0, 1.5);
+        assert!((p.scale() - 1.0).abs() < 1e-12);
+        assert!((p.mean() - 3.0).abs() < 1e-12);
+        assert!((p.median() - 2f64.powf(2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pareto_samples_bounded_below_by_scale() {
+        let p = Pareto::from_mean(3.0, 1.5);
+        let mut rng = SmallRng::seed_from_u64(8);
+        for _ in 0..10_000 {
+            assert!(p.sample(&mut rng) >= p.scale());
+        }
+    }
+
+    #[test]
+    fn pareto_median_converges_despite_infinite_variance() {
+        // The sample mean is useless at α = 1.5 (infinite variance); the
+        // median is the stable statistic the churn seed-sensitivity test
+        // also pins.
+        let p = Pareto::from_mean(3.0, 1.5);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 100_000;
+        let mut xs: Vec<f64> = (0..n).map(|_| p.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = xs[n / 2];
+        let rel = (med - p.median()).abs() / p.median();
+        assert!(rel < 0.02, "median {med} vs {}, rel {rel}", p.median());
+    }
+
+    #[test]
+    fn pareto_is_seed_stable_across_16_seeds() {
+        // Seed-sensitivity bounds for the ChurnModel::Pareto draws
+        // (EXPERIMENTS.md, "Assertion recalibration"): at shape 1.5 the
+        // variance is infinite, so the sample mean wanders and only the
+        // median and fixed-threshold tail mass are pinned tightly.
+        // Analytic values for mean 3.0 h, shape 1.5: scale = 1.0,
+        // median = 2^(2/3) ≈ 1.587, P(X > 9.0) = (1/9)^1.5 ≈ 0.037.
+        let p = Pareto::from_mean(3.0, 1.5);
+        let n = 50_000;
+        for seed in 0..16u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut xs: Vec<f64> = (0..n).map(|_| p.sample(&mut rng)).collect();
+            let mean = xs.iter().sum::<f64>() / n as f64;
+            let tail = xs.iter().filter(|&&x| x > 3.0 * p.mean()).count() as f64 / n as f64;
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let med = xs[n / 2];
+            let rel = (med - p.median()).abs() / p.median();
+            assert!(rel < 0.03, "seed {seed}: median {med} off by {rel}");
+            assert!(
+                (0.02..=0.06).contains(&tail),
+                "seed {seed}: tail mass {tail} outside [0.02, 0.06]"
+            );
+            assert!(
+                (2.0..=5.0).contains(&mean),
+                "seed {seed}: sample mean {mean} outside the (wide) [2, 5] band"
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_tail_is_heavier_than_exponential() {
+        // Same mean 3.0; P(X > 30) is (1/30)^1.5 ≈ 6e-3 for the Pareto
+        // and e^{-10} ≈ 4.5e-5 for the exponential — two orders apart.
+        let p = Pareto::from_mean(3.0, 1.5);
+        let e = Exponential::from_mean(3.0);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let n = 200_000;
+        let p_tail = (0..n).filter(|_| p.sample(&mut rng) > 30.0).count();
+        let e_tail = (0..n).filter(|_| e.sample(&mut rng) > 30.0).count();
+        assert!(
+            p_tail > 20 * (e_tail + 1),
+            "pareto tail {p_tail} vs exponential {e_tail}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must exceed 1")]
+    fn pareto_rejects_shape_at_most_one() {
+        let _ = Pareto::from_mean(3.0, 1.0);
     }
 }

@@ -27,7 +27,7 @@ pub mod query;
 
 pub use catalog::{Catalog, CategoryId};
 pub use churn::ChurnProcess;
-pub use config::WorkloadConfig;
-pub use dist::{Exponential, TruncatedGaussian, Zipf};
+pub use config::{ChurnModel, FlashCrowd, WorkloadConfig};
+pub use dist::{Exponential, Pareto, TruncatedGaussian, Zipf};
 pub use profile::{generate_profiles, UserProfile};
 pub use query::QueryGenerator;

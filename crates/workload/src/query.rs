@@ -3,12 +3,23 @@
 //! follows the user's preference mix and the song follows within-category
 //! popularity. Each query requests exactly one song.
 
-use crate::catalog::Catalog;
-use crate::config::WorkloadConfig;
-use crate::dist::Exponential;
+use crate::catalog::{Catalog, CategoryId};
+use crate::config::{FlashCrowd, WorkloadConfig};
+use crate::dist::{Exponential, Zipf};
 use crate::profile::UserProfile;
 use ddr_sim::{ItemId, RngFactory, SimDuration};
 use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Flash-crowd state shared by shape across all users: the spiked
+/// category and the sharper within-category popularity curve used while
+/// the crowd is active.
+#[derive(Debug)]
+struct FlashSpike {
+    crowd: FlashCrowd,
+    category: CategoryId,
+    zipf: Zipf,
+}
 
 /// Per-user query stream.
 #[derive(Debug)]
@@ -19,6 +30,7 @@ pub struct QueryGenerator {
     /// for content they do *not* have; local hits would trivially satisfy
     /// Algo 1's "satisfied locally" branch and never enter the network).
     skip_local: bool,
+    flash: Option<FlashSpike>,
     rng: SmallRng,
 }
 
@@ -29,6 +41,14 @@ impl QueryGenerator {
             interval: Exponential::from_mean(config.mean_query_interval.as_millis() as f64),
             favorite_fraction: config.favorite_fraction,
             skip_local: true,
+            flash: config.flash_crowd.map(|crowd| FlashSpike {
+                crowd,
+                category: CategoryId(crowd.category),
+                zipf: Zipf::new(
+                    (config.songs / config.categories as u32) as usize,
+                    crowd.spike_theta,
+                ),
+            }),
             rng: rngs.stream("query", user),
         }
     }
@@ -60,6 +80,42 @@ impl QueryGenerator {
         }
         // Fallback: least popular song of the favourite category — all but
         // guaranteed absent from the library.
+        catalog.item_at(profile.favorite, catalog.per_category() - 1)
+    }
+
+    /// Draw the next query target for `profile` at fractional `hour` since
+    /// simulation start. With no flash crowd configured — or outside the
+    /// crowd's window — this consumes exactly the same RNG draws as
+    /// [`next_target`](Self::next_target), so benign runs are bit-identical
+    /// whether callers pass the clock or not. Inside the window, each query
+    /// is redirected to the spiked category with probability equal to the
+    /// trapezoid intensity, and the song is drawn from the sharper
+    /// `spike_theta` popularity curve.
+    pub fn next_target_at(
+        &mut self,
+        catalog: &Catalog,
+        profile: &UserProfile,
+        hour: f64,
+    ) -> ItemId {
+        let Some(flash) = &self.flash else {
+            return self.next_target(catalog, profile);
+        };
+        let w = flash.crowd.intensity(hour);
+        if w <= 0.0 {
+            return self.next_target(catalog, profile);
+        }
+        for _ in 0..64 {
+            let item = if self.rng.gen::<f64>() < w {
+                let rank = flash.zipf.sample(&mut self.rng) as u32;
+                catalog.item_at(flash.category, rank)
+            } else {
+                let cat = profile.sample_preferred_category(&mut self.rng, self.favorite_fraction);
+                catalog.sample_song(&mut self.rng, cat)
+            };
+            if !(self.skip_local && profile.has(item)) {
+                return item;
+            }
+        }
         catalog.item_at(profile.favorite, catalog.per_category() - 1)
     }
 }
@@ -143,6 +199,73 @@ mod tests {
         let mut q = QueryGenerator::new(&cfg, &rngs, 1).allow_local();
         let hit_local = (0..5_000).any(|_| p.has(q.next_target(&cat, p)));
         assert!(hit_local, "never drew a local song with skip_local off");
+    }
+
+    #[test]
+    fn next_target_at_matches_next_target_without_a_crowd() {
+        let (cfg, cat, profiles, rngs) = setup();
+        let mut a = QueryGenerator::new(&cfg, &rngs, 4);
+        let mut b = QueryGenerator::new(&cfg, &rngs, 4);
+        for i in 0..500 {
+            assert_eq!(
+                a.next_target(&cat, &profiles[4]),
+                b.next_target_at(&cat, &profiles[4], i as f64 * 0.01),
+            );
+        }
+    }
+
+    fn crowd_cfg() -> WorkloadConfig {
+        let (cfg, ..) = setup();
+        WorkloadConfig {
+            flash_crowd: Some(crate::config::FlashCrowd {
+                category: 7,
+                start_hour: 2.0,
+                ramp_hours: 0.5,
+                hold_hours: 2.0,
+                decay_hours: 0.5,
+                peak_weight: 0.9,
+                spike_theta: 1.2,
+            }),
+            ..cfg
+        }
+    }
+
+    #[test]
+    fn next_target_at_outside_window_matches_benign_draws() {
+        let (cfg, cat, profiles, rngs) = setup();
+        let crowd_cfg = crowd_cfg();
+        let mut benign = QueryGenerator::new(&cfg, &rngs, 4);
+        let mut crowded = QueryGenerator::new(&crowd_cfg, &rngs, 4);
+        // Before the spike and after it dies out, identical draw sequence.
+        for _ in 0..300 {
+            assert_eq!(
+                benign.next_target(&cat, &profiles[4]),
+                crowded.next_target_at(&cat, &profiles[4], 1.5),
+            );
+        }
+        for _ in 0..300 {
+            assert_eq!(
+                benign.next_target(&cat, &profiles[4]),
+                crowded.next_target_at(&cat, &profiles[4], 8.0),
+            );
+        }
+    }
+
+    #[test]
+    fn flash_crowd_redirects_queries_at_peak() {
+        let (_, cat, profiles, rngs) = setup();
+        let cfg = crowd_cfg();
+        let p = &profiles[2];
+        let spiked = CategoryId(7);
+        assert_ne!(p.favorite, spiked, "test profile must not favour the spike");
+        let mut q = QueryGenerator::new(&cfg, &rngs, 2);
+        let n = 4_000;
+        let hits = (0..n)
+            .filter(|_| cat.category_of(q.next_target_at(&cat, p, 3.0)) == spiked)
+            .count();
+        let frac = hits as f64 / n as f64;
+        // Peak weight 0.9; skip-local resampling moves it only slightly.
+        assert!((0.8..0.97).contains(&frac), "spiked share {frac}");
     }
 
     #[test]
