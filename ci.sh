@@ -66,6 +66,27 @@ echo "$PACK_OUT" | grep -q '^digest:' \
     || { echo "free_riders emitted no digest" >&2; exit 1; }
 echo "    $(echo "$PACK_OUT" | grep '^digest:') (invariants ok)"
 
+echo "==> metrics timeline smoke (metered + profiled sharded run, then inspect)"
+METRICS="$(mktemp -t ddr-ci-metrics.XXXXXX.jsonl)"
+trap 'rm -f "$TRACE" "$METRICS"' EXIT
+METERED_OUT=$(cargo run -q --release -p ddr-experiments --bin ddr -- \
+    run fig1_dynamic --smoke --shards 2 --metrics "$METRICS" --profile 2> /dev/null)
+test -s "$METRICS" || { echo "metrics timeline file is empty" >&2; exit 1; }
+# The metered+profiled digest must equal the plain serial one from above.
+DIGEST_METERED=$(echo "$METERED_OUT" | grep '^digest:')
+if [ "$DIGEST_SERIAL" != "$DIGEST_METERED" ]; then
+    echo "metrics/profile moved the digest: $DIGEST_SERIAL vs $DIGEST_METERED" >&2
+    exit 1
+fi
+echo "$METERED_OUT" | grep -q 'Sharded-kernel profile' \
+    || { echo "--profile emitted no per-shard breakdown" >&2; exit 1; }
+cargo run -q --release -p ddr-experiments --bin ddr -- inspect "$METRICS" > /dev/null
+echo "    $DIGEST_METERED (metered+profiled == plain)"
+
+echo "==> ddr compare self-compare (bench trajectory differ: zero regressions)"
+cargo run -q --release -p ddr-experiments --bin ddr -- \
+    compare BENCH_2.json BENCH_2.json > /dev/null
+
 echo "==> ddr serve --smoke (real-time bus load test, records qps/core + p99)"
 cargo run -q --release -p ddr-experiments --bin ddr -- \
     serve gnutella --nodes 200 --qps 50 --duration 2 --smoke \

@@ -10,8 +10,13 @@ usage:
   ddr list                     enumerate experiments
   ddr run <name>... [flags]    run the named experiments
   ddr run --all [flags]        run every experiment
-  ddr inspect <trace.jsonl>    summarize a query trace (hop depth, funnel,
-                               slowest queries, record breakdown)
+  ddr inspect <file.jsonl>     summarize a query trace (hop depth, funnel,
+                               slowest queries, record breakdown) or a
+                               metrics timeline (per-window table, anomaly
+                               flags) — the file kind is sniffed
+  ddr compare <old> <new>      diff two BENCH trajectory files and flag
+                               throughput/latency regressions beyond
+                               --threshold (exit 1 when any are found)
   ddr serve gnutella [flags]   real-time load test: shard the node fleet
                                across threads, inject queries at a target
                                rate, report qps/core and p50/p99 latency
@@ -27,6 +32,10 @@ flags (shared by every experiment):
   --trace FILE      write sampled query-lifecycle spans as JSONL to FILE
   --trace-sample N  trace every Nth query (default 1 = all)
   --profile         print a kernel dispatch/queue report after the run
+                    (on sharded runs: per-shard work/barrier/merge
+                    wall-clock breakdown)
+  --metrics FILE    append per-window metrics timeline JSONL to FILE
+                    (hourly snapshots; `ddr inspect FILE` renders them)
   --threads N       cap sweep worker fan-out (default: one per core)
   --shards N        shard count for sharded-kernel experiments
                     (fig1_dynamic, the scenario pack, shard_scaling,
@@ -114,21 +123,20 @@ pub fn ddr_main(args: Vec<String>) -> i32 {
             0
         }
         Some("serve") => crate::serve::serve_main(args.collect()),
+        Some("compare") => crate::compare::compare_main(args.collect()),
         Some("inspect") => {
             let rest: Vec<String> = args.collect();
             match rest.as_slice() {
-                [path] if !path.starts_with('-') => {
-                    match ddr_telemetry::summarize_file(std::path::Path::new(path)) {
-                        Ok(summary) => {
-                            print!("{}", summary.render());
-                            0
-                        }
-                        Err(e) => {
-                            eprintln!("inspect: {e}");
-                            2
-                        }
+                [path] if !path.starts_with('-') => match inspect_file(path) {
+                    Ok(rendered) => {
+                        print!("{rendered}");
+                        0
                     }
-                }
+                    Err(e) => {
+                        eprintln!("inspect: {e}");
+                        2
+                    }
+                },
                 [flag] if flag == "--help" || flag == "-h" => {
                     eprintln!("{DDR_USAGE}");
                     0
@@ -153,6 +161,18 @@ pub fn ddr_main(args: Vec<String>) -> i32 {
             eprintln!("{DDR_USAGE}");
             2
         }
+    }
+}
+
+/// `ddr inspect` body: sniff whether `path` is a metrics timeline or a
+/// query trace and render the matching summary. Both summarisers read
+/// the whole file anyway, so the sniff reads it once up front.
+fn inspect_file(path: &str) -> Result<String, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if ddr_telemetry::is_timeline(&src) {
+        Ok(ddr_telemetry::summarize_timeline(&src)?.render())
+    } else {
+        Ok(ddr_telemetry::summarize(&src)?.render())
     }
 }
 
@@ -276,6 +296,40 @@ mod tests {
         assert_eq!(ddr_main(argv(&["serve"])), 2, "scenario required");
         assert_eq!(ddr_main(argv(&["serve", "gnutella", "--bogus"])), 2);
         assert_eq!(ddr_main(argv(&["serve", "gnutella", "--help"])), 0);
+    }
+
+    #[test]
+    fn inspect_summarizes_a_metrics_timeline() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ddr-cli-timeline-{}.jsonl", std::process::id()));
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"v\":1,\"type\":\"window\",\"run\":\"T\",\"t\":1000,\"counters\":{\"hits\":3},\"gauges\":{\"online\":9}}\n",
+                "{\"v\":1,\"type\":\"window\",\"run\":\"T\",\"t\":2000,\"counters\":{\"hits\":4},\"gauges\":{\"online\":9}}\n",
+            ),
+        )
+        .expect("write timeline fixture into the temp dir");
+        let code = ddr_main(argv(&[
+            "inspect",
+            path.to_str().expect("temp path is valid UTF-8"),
+        ]));
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            code, 0,
+            "timeline files must route to the timeline summariser"
+        );
+    }
+
+    #[test]
+    fn compare_routes_through_ddr() {
+        // Self-compare of a committed trajectory file: clean, exit 0.
+        let bench = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_2.json");
+        assert_eq!(ddr_main(argv(&["compare", bench, bench])), 0);
+        // Invocation errors exit 2.
+        assert_eq!(ddr_main(argv(&["compare", bench])), 2);
+        assert_eq!(ddr_main(argv(&["compare", bench, "/no/such.json"])), 2);
+        assert_eq!(ddr_main(argv(&["compare", "--help"])), 0);
     }
 
     #[test]

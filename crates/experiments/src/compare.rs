@@ -1,0 +1,372 @@
+//! `ddr compare <old.json> <new.json>` — diff two bench trajectory
+//! files and flag performance regressions.
+//!
+//! Both perfbench files (`ddr-perfbench/v1`, BENCH_2/BENCH_7) and serve
+//! bench files (`ddr-serve-bench/v1`, BENCH_6) are supported; the two
+//! inputs must carry the same schema. Comparison is between the **last**
+//! entry of each file — the trajectory files are append-only, so the
+//! last entry is "the machine as of that commit".
+//!
+//! Regression rule: a throughput figure (events/sec, qps/core) regresses
+//! when `new < threshold × old`; a latency figure (p99) regresses when
+//! `new > old / threshold`. The default threshold 0.85 tolerates the
+//! ±10% wall-clock noise CI machines exhibit; tune with `--threshold`.
+//! Exit code: 0 = no regressions (a self-compare is always clean),
+//! 1 = regressions found, 2 = bad invocation or unreadable input.
+
+use crate::opts::CliError;
+use ddr_stats::table::fnum;
+use ddr_stats::Table;
+use serde::json::{parse, Value};
+
+/// Flag summary for `ddr compare --help` and parse errors.
+pub const COMPARE_USAGE: &str = "\
+usage: ddr compare <old.json> <new.json> [--threshold F]
+  old/new          two BENCH trajectory files with the same schema
+                   (ddr-perfbench/v1 or ddr-serve-bench/v1)
+  --threshold F    regression tolerance in (0, 1] (default 0.85):
+                   throughput regresses below F x old, latency above old / F";
+
+/// What one comparison concluded.
+#[derive(Debug)]
+pub struct CompareReport {
+    /// Rendered table plus per-regression lines.
+    pub rendered: String,
+    /// One line per regression beyond the threshold.
+    pub regressions: Vec<String>,
+}
+
+/// Parse everything after `ddr compare`.
+pub fn parse_compare_args(args: Vec<String>) -> Result<(String, String, f64), CliError> {
+    let mut paths = Vec::new();
+    let mut threshold = 0.85f64;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(CliError::Help),
+            "--threshold" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError::MissingValue("--threshold".into()))?;
+                threshold = match v.parse::<f64>() {
+                    Ok(f) if f > 0.0 && f <= 1.0 => f,
+                    _ => return Err(CliError::BadValue("--threshold".into(), v)),
+                };
+            }
+            flag if flag.starts_with('-') => return Err(CliError::UnknownFlag(flag.into())),
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        return Err(CliError::BadValue(
+            "files".into(),
+            format!("expected exactly 2 paths, got {}", paths.len()),
+        ));
+    }
+    let new = paths.pop().expect("len checked");
+    let old = paths.pop().expect("len checked");
+    Ok((old, new, threshold))
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: {e:?}"))
+}
+
+fn schema_of(v: &Value, path: &str) -> Result<String, String> {
+    match v.get("schema") {
+        Some(Value::Str(s)) => Ok(s.clone()),
+        _ => Err(format!("{path}: missing string field `schema`")),
+    }
+}
+
+fn last_entry<'v>(v: &'v Value, path: &str) -> Result<&'v Value, String> {
+    match v.get("entries") {
+        Some(Value::Arr(entries)) if !entries.is_empty() => Ok(entries.last().expect("non-empty")),
+        Some(Value::Arr(_)) => Err(format!("{path}: `entries` is empty")),
+        _ => Err(format!("{path}: missing array field `entries`")),
+    }
+}
+
+fn num(v: &Value, key: &str) -> f64 {
+    v.get(key).and_then(|x| x.as_f64()).unwrap_or(f64::NAN)
+}
+
+fn str_of(v: &Value, key: &str) -> String {
+    match v.get(key) {
+        Some(Value::Str(s)) => s.clone(),
+        _ => "?".into(),
+    }
+}
+
+fn pct(new: f64, old: f64) -> String {
+    if old == 0.0 || !old.is_finite() || !new.is_finite() {
+        return "-".into();
+    }
+    format!("{:+.1}%", 100.0 * (new / old - 1.0))
+}
+
+/// Compare perfbench entries: scenario-by-scenario events/sec of the
+/// last entry in each file.
+fn compare_perfbench(old: &Value, new: &Value, threshold: f64) -> CompareReport {
+    let empty = Vec::new();
+    let scenarios = |e: &Value| -> Vec<(String, f64)> {
+        match e.get("scenarios") {
+            Some(Value::Arr(list)) => list
+                .iter()
+                .map(|s| (str_of(s, "name"), num(s, "events_per_sec")))
+                .collect(),
+            _ => empty.clone(),
+        }
+    };
+    let old_sc = scenarios(old);
+    let new_sc = scenarios(new);
+    let mut t = Table::new(
+        format!(
+            "perfbench: {:?} -> {:?}",
+            str_of(old, "label"),
+            str_of(new, "label")
+        ),
+        &["scenario", "old ev/s", "new ev/s", "delta"],
+    );
+    let mut regressions = Vec::new();
+    for (name, old_eps) in &old_sc {
+        let Some((_, new_eps)) = new_sc.iter().find(|(n, _)| n == name) else {
+            t.row(vec![
+                name.clone(),
+                fnum(*old_eps, 0),
+                "-".into(),
+                "gone".into(),
+            ]);
+            continue;
+        };
+        t.row(vec![
+            name.clone(),
+            fnum(*old_eps, 0),
+            fnum(*new_eps, 0),
+            pct(*new_eps, *old_eps),
+        ]);
+        if new_eps.is_finite() && old_eps.is_finite() && *new_eps < threshold * old_eps {
+            regressions.push(format!(
+                "{name}: events/sec fell {} ({} -> {}, threshold {}%)",
+                pct(*new_eps, *old_eps),
+                fnum(*old_eps, 0),
+                fnum(*new_eps, 0),
+                fnum(100.0 * threshold, 0),
+            ));
+        }
+    }
+    for (name, new_eps) in &new_sc {
+        if !old_sc.iter().any(|(n, _)| n == name) {
+            t.row(vec![
+                name.clone(),
+                "-".into(),
+                fnum(*new_eps, 0),
+                "new".into(),
+            ]);
+        }
+    }
+    render(t, regressions)
+}
+
+/// Compare serve bench entries: qps/core (throughput) and p99 first-result
+/// latency of the last entry in each file.
+fn compare_serve(old: &Value, new: &Value, threshold: f64) -> CompareReport {
+    let mut t = Table::new(
+        format!(
+            "serve bench: {:?} -> {:?}",
+            str_of(old, "label"),
+            str_of(new, "label")
+        ),
+        &["metric", "old", "new", "delta"],
+    );
+    let mut regressions = Vec::new();
+    for key in [
+        "achieved_qps",
+        "qps_per_core",
+        "hit_rate",
+        "p50_first_ms",
+        "p99_first_ms",
+    ] {
+        let (o, n) = (num(old, key), num(new, key));
+        t.row(vec![key.into(), fnum(o, 2), fnum(n, 2), pct(n, o)]);
+    }
+    let (o_qps, n_qps) = (num(old, "qps_per_core"), num(new, "qps_per_core"));
+    if o_qps.is_finite() && n_qps.is_finite() && n_qps < threshold * o_qps {
+        regressions.push(format!(
+            "qps_per_core fell {} ({} -> {})",
+            pct(n_qps, o_qps),
+            fnum(o_qps, 1),
+            fnum(n_qps, 1),
+        ));
+    }
+    let (o_p99, n_p99) = (num(old, "p99_first_ms"), num(new, "p99_first_ms"));
+    // -1 encodes "no latency samples" in the bench schema; skip then.
+    if o_p99 > 0.0 && n_p99 > 0.0 && n_p99 > o_p99 / threshold {
+        regressions.push(format!(
+            "p99_first_ms rose {} ({} -> {})",
+            pct(n_p99, o_p99),
+            fnum(o_p99, 0),
+            fnum(n_p99, 0),
+        ));
+    }
+    render(t, regressions)
+}
+
+fn render(t: Table, regressions: Vec<String>) -> CompareReport {
+    let mut rendered = t.render();
+    if regressions.is_empty() {
+        rendered.push_str("no regressions\n");
+    } else {
+        for r in &regressions {
+            rendered.push_str(&format!("REGRESSION: {r}\n"));
+        }
+    }
+    CompareReport {
+        rendered,
+        regressions,
+    }
+}
+
+/// Compare two trajectory files; `Err` is an invocation-level problem
+/// (unreadable file, schema mismatch) that maps to exit 2.
+pub fn compare_files(old: &str, new: &str, threshold: f64) -> Result<CompareReport, String> {
+    let old_doc = load(old)?;
+    let new_doc = load(new)?;
+    let old_schema = schema_of(&old_doc, old)?;
+    let new_schema = schema_of(&new_doc, new)?;
+    if old_schema != new_schema {
+        return Err(format!(
+            "schema mismatch: {old} is {old_schema:?}, {new} is {new_schema:?}"
+        ));
+    }
+    let old_e = last_entry(&old_doc, old)?;
+    let new_e = last_entry(&new_doc, new)?;
+    match old_schema.as_str() {
+        "ddr-perfbench/v1" => Ok(compare_perfbench(old_e, new_e, threshold)),
+        "ddr-serve-bench/v1" => Ok(compare_serve(old_e, new_e, threshold)),
+        other => Err(format!("unsupported bench schema {other:?}")),
+    }
+}
+
+/// `ddr compare` body: everything after the subcommand token. Returns
+/// the process exit code.
+pub fn compare_main(args: Vec<String>) -> i32 {
+    let (old, new, threshold) = match parse_compare_args(args) {
+        Ok(parsed) => parsed,
+        Err(CliError::Help) => {
+            eprintln!("{COMPARE_USAGE}");
+            return 0;
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{COMPARE_USAGE}");
+            return 2;
+        }
+    };
+    match compare_files(&old, &new, threshold) {
+        Ok(report) => {
+            print!("{}", report.rendered);
+            if report.regressions.is_empty() {
+                0
+            } else {
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("compare: {e}");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str, body: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("ddr-compare-{}-{name}", std::process::id()));
+        std::fs::write(&p, body).expect("write fixture");
+        p
+    }
+
+    const PERF: &str = r#"{"schema":"ddr-perfbench/v1","entries":[
+      {"label":"a","scenarios":[{"name":"s1","events_per_sec":1000.0},
+                                 {"name":"s2","events_per_sec":2000.0}]}]}"#;
+    const PERF_SLOW: &str = r#"{"schema":"ddr-perfbench/v1","entries":[
+      {"label":"b","scenarios":[{"name":"s1","events_per_sec":500.0},
+                                 {"name":"s2","events_per_sec":1990.0}]}]}"#;
+    const SERVE: &str = r#"{"schema":"ddr-serve-bench/v1","entries":[
+      {"label":"x","achieved_qps":100.0,"qps_per_core":25.0,"hit_rate":0.4,
+       "p50_first_ms":200.0,"p99_first_ms":400.0}]}"#;
+    const SERVE_SLOW: &str = r#"{"schema":"ddr-serve-bench/v1","entries":[
+      {"label":"y","achieved_qps":100.0,"qps_per_core":25.0,"hit_rate":0.4,
+       "p50_first_ms":210.0,"p99_first_ms":900.0}]}"#;
+
+    #[test]
+    fn self_compare_is_clean() {
+        let p = tmp("self.json", PERF);
+        let r = compare_files(p.to_str().unwrap(), p.to_str().unwrap(), 0.85).unwrap();
+        assert!(r.regressions.is_empty(), "{:?}", r.regressions);
+        assert!(r.rendered.contains("no regressions"));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn perfbench_regression_is_flagged_with_threshold() {
+        let old = tmp("pf-old.json", PERF);
+        let new = tmp("pf-new.json", PERF_SLOW);
+        let r = compare_files(old.to_str().unwrap(), new.to_str().unwrap(), 0.85).unwrap();
+        // s1 halved (regression); s2 dipped 0.5% (inside tolerance).
+        assert_eq!(r.regressions.len(), 1, "{:?}", r.regressions);
+        assert!(r.regressions[0].contains("s1"));
+        // A forgiving threshold accepts the halving too.
+        let r = compare_files(old.to_str().unwrap(), new.to_str().unwrap(), 0.4).unwrap();
+        assert!(r.regressions.is_empty());
+        std::fs::remove_file(&old).ok();
+        std::fs::remove_file(&new).ok();
+    }
+
+    #[test]
+    fn serve_latency_regression_is_flagged() {
+        let old = tmp("sv-old.json", SERVE);
+        let new = tmp("sv-new.json", SERVE_SLOW);
+        let r = compare_files(old.to_str().unwrap(), new.to_str().unwrap(), 0.85).unwrap();
+        assert_eq!(r.regressions.len(), 1, "{:?}", r.regressions);
+        assert!(r.regressions[0].contains("p99_first_ms"));
+        std::fs::remove_file(&old).ok();
+        std::fs::remove_file(&new).ok();
+    }
+
+    #[test]
+    fn schema_mismatch_and_bad_args_are_errors() {
+        let a = tmp("mix-a.json", PERF);
+        let b = tmp("mix-b.json", SERVE);
+        assert!(compare_files(a.to_str().unwrap(), b.to_str().unwrap(), 0.85).is_err());
+        assert!(compare_files("/no/such/file.json", a.to_str().unwrap(), 0.85).is_err());
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+
+        assert!(matches!(
+            parse_compare_args(vec![]),
+            Err(CliError::BadValue(..))
+        ));
+        assert!(matches!(
+            parse_compare_args(vec![
+                "a".into(),
+                "b".into(),
+                "--threshold".into(),
+                "2".into()
+            ]),
+            Err(CliError::BadValue(..))
+        ));
+        assert!(matches!(
+            parse_compare_args(vec!["a".into(), "b".into(), "--bogus".into()]),
+            Err(CliError::UnknownFlag(..))
+        ));
+        assert_eq!(
+            parse_compare_args(vec!["a".into(), "b".into()]).unwrap(),
+            ("a".into(), "b".into(), 0.85)
+        );
+    }
+}

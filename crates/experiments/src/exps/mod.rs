@@ -29,7 +29,7 @@ use ddr_gnutella::{
     check_invariants, run_scenario_sharded_with_worlds, GnutellaWorld, RunReport, ScenarioConfig,
 };
 use ddr_peerolap::PeerOlapConfig;
-use ddr_telemetry::NullSink;
+use ddr_telemetry::{JsonlMetrics, MetricsRecorder, NullSink, TelemetryConfig};
 use ddr_webcache::WebCacheConfig;
 
 /// Smoke-mode clamp for Gnutella-based experiments: force a tiny world
@@ -58,6 +58,20 @@ pub(crate) fn run_pack(
         panic!("scenario invariants violated: {e}");
     }
     (report, worlds)
+}
+
+/// Run a serial (harness-driven) scenario with hourly metrics sampling
+/// into `telemetry.metrics_path`. Chunked via `ddr_harness::run_sampled`,
+/// so the report is bit-identical to a plain `run` — the timeline is a
+/// pure side channel.
+pub(crate) fn run_metered<S: ddr_harness::Scenario>(
+    cfg: S::Config,
+    telemetry: &TelemetryConfig,
+) -> S::Report {
+    let mut rec: MetricsRecorder<JsonlMetrics> = MetricsRecorder::new(telemetry);
+    let report = ddr_harness::run_sampled::<S>(cfg, |now, sim| rec.sample_sim(now, sim));
+    rec.finish();
+    report
 }
 
 /// Order-sensitive fold of several run digests into the single `digest:`

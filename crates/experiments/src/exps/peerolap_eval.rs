@@ -4,7 +4,7 @@
 //! same-workload peers — under *bounded* incoming lists, where adoption
 //! can be refused.
 
-use super::shrink_peerolap;
+use super::{run_metered, shrink_peerolap};
 use crate::emit::Emitter;
 use crate::opts::ExpOptions;
 use ddr_peerolap::{run_peerolap, run_peerolap_traced, OlapMode, PeerOlapConfig, PeerOlapScenario};
@@ -14,6 +14,11 @@ use ddr_telemetry::{JsonlSink, KernelProfiler};
 pub fn run(opts: &ExpOptions, em: &mut Emitter) {
     let hours: u64 = if opts.hours_explicit { opts.hours } else { 8 };
     let mut profiler = KernelProfiler::new();
+    if opts.profile && opts.metrics.is_some() {
+        em.note(
+            "--metrics is ignored under --profile for this experiment (probed driver is unchunked)",
+        );
+    }
 
     let mut table = Table::new(
         "Distributed OLAP caching: static vs dynamic neighborhoods",
@@ -39,11 +44,20 @@ pub fn run(opts: &ExpOptions, em: &mut Emitter) {
             shrink_peerolap(&mut cfg);
         }
         cfg.telemetry = opts.telemetry_for(mode.label());
+        let telemetry = cfg.telemetry.clone();
+        // --profile wins over --metrics (the probed driver is unchunked);
+        // cli warns when both are given.
         let r = if opts.profile {
             if opts.trace.is_some() {
                 ddr_harness::run_probed::<PeerOlapScenario<JsonlSink>, _>(cfg, &mut profiler)
             } else {
                 ddr_harness::run_probed::<PeerOlapScenario, _>(cfg, &mut profiler)
+            }
+        } else if opts.metrics.is_some() {
+            if opts.trace.is_some() {
+                run_metered::<PeerOlapScenario<JsonlSink>>(cfg, &telemetry)
+            } else {
+                run_metered::<PeerOlapScenario>(cfg, &telemetry)
             }
         } else if opts.trace.is_some() {
             run_peerolap_traced(cfg)

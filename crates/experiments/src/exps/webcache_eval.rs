@@ -7,7 +7,7 @@
 //! cuts mean latency vs static random neighborhoods, because exploration +
 //! asymmetric updates cluster same-interest proxies.
 
-use super::shrink_webcache;
+use super::{run_metered, shrink_webcache};
 use crate::emit::Emitter;
 use crate::opts::ExpOptions;
 use ddr_stats::Table;
@@ -19,6 +19,11 @@ use ddr_webcache::{
 pub fn run(opts: &ExpOptions, em: &mut Emitter) {
     let hours: u64 = if opts.hours_explicit { opts.hours } else { 12 };
     let mut profiler = KernelProfiler::new();
+    if opts.profile && opts.metrics.is_some() {
+        em.note(
+            "--metrics is ignored under --profile for this experiment (probed driver is unchunked)",
+        );
+    }
 
     let mut table = Table::new(
         "Cooperative web caching: static vs dynamic neighborhoods",
@@ -43,11 +48,20 @@ pub fn run(opts: &ExpOptions, em: &mut Emitter) {
             shrink_webcache(&mut cfg);
         }
         cfg.telemetry = opts.telemetry_for(mode.label());
+        let telemetry = cfg.telemetry.clone();
+        // --profile wins over --metrics (the probed driver is unchunked);
+        // cli warns when both are given.
         let r = if opts.profile {
             if opts.trace.is_some() {
                 ddr_harness::run_probed::<WebCacheScenario<JsonlSink>, _>(cfg, &mut profiler)
             } else {
                 ddr_harness::run_probed::<WebCacheScenario, _>(cfg, &mut profiler)
+            }
+        } else if opts.metrics.is_some() {
+            if opts.trace.is_some() {
+                run_metered::<WebCacheScenario<JsonlSink>>(cfg, &telemetry)
+            } else {
+                run_metered::<WebCacheScenario>(cfg, &telemetry)
             }
         } else if opts.trace.is_some() {
             run_webcache_traced(cfg)

@@ -25,6 +25,7 @@
 //! affects results — only wall-clock time.
 
 pub mod cli;
+pub mod compare;
 pub mod emit;
 pub mod exps;
 pub mod opts;

@@ -11,6 +11,7 @@
 //! --smoke           shrink every world to a seconds-long CI configuration
 //! --trace FILE      write sampled query-lifecycle spans as JSONL to FILE
 //! --trace-sample N  trace every Nth query (default 1 = all; needs --trace)
+//! --metrics FILE    write windowed metrics timeline records (JSONL) to FILE
 //! --profile         profile the kernel and print a dispatch/queue report
 //! --threads N       cap sweep worker fan-out (default: one per core);
 //!                   `ddr serve` reuses it as the shard count
@@ -59,7 +60,7 @@ impl std::fmt::Display for CliError {
 
 /// The flag summary printed on `--help` and on parse errors.
 pub const USAGE: &str = "options: --scale N  --hours H  --seed S  --csv DIR  --json DIR  --smoke  \
-     --trace FILE  --trace-sample N  --profile  --threads N  --shards N  \
+     --trace FILE  --trace-sample N  --metrics FILE  --profile  --threads N  --shards N  \
      --spike-boost F  --pareto-shape F  --liar-fraction F  --islands N  (-h for help)";
 
 /// Scenario-pack knobs (flash_crowd, heavy_churn, partition_heal,
@@ -115,6 +116,10 @@ pub struct ExpOptions {
     pub trace: Option<PathBuf>,
     /// Trace every Nth query (1 = all). Meaningful only with `--trace`.
     pub trace_sample: u64,
+    /// JSONL metrics timeline output path: sample windowed system
+    /// metrics (hits/h, messages, online population, queue depths)
+    /// there. Independent of `--trace`.
+    pub metrics: Option<PathBuf>,
     /// Profile the event kernel (per-event-type dispatch timing + queue
     /// occupancy) and print the report after the run.
     pub profile: bool,
@@ -146,6 +151,7 @@ impl Default for ExpOptions {
             hours_explicit: false,
             trace: None,
             trace_sample: 1,
+            metrics: None,
             profile: false,
             threads: None,
             shards: None,
@@ -196,6 +202,7 @@ impl ExpOptions {
                 "--json" => opts.json_dir = Some(PathBuf::from(value("--json")?)),
                 "--smoke" => opts.smoke = true,
                 "--trace" => opts.trace = Some(PathBuf::from(value("--trace")?)),
+                "--metrics" => opts.metrics = Some(PathBuf::from(value("--metrics")?)),
                 "--trace-sample" => {
                     let v = value("--trace-sample")?;
                     opts.trace_sample = match v.parse() {
@@ -309,6 +316,7 @@ impl ExpOptions {
             trace_path: self.trace.clone(),
             sample: self.trace_sample,
             run_label,
+            metrics_path: self.metrics.clone(),
         }
     }
 

@@ -37,6 +37,9 @@ usage: ddr serve gnutella [flags]
   --degree D       overlay degree (default 4)
   --smoke          500 ms collection window so the drain phase stays short
   --trace FILE     write completed-query spans as JSONL (ddr inspect reads it)
+  --metrics FILE   monitor thread writes windowed timeline JSONL to FILE
+  --metrics-port P serve a Prometheus-text snapshot + JSON report on 127.0.0.1:P
+  --monitor-interval MS  monitor sampling period, wall ms (default 250)
   --bench-out FILE append qps/core + latency percentiles to a BENCH_6.json
   --label L        label for the bench entry (default \"serve\")";
 
@@ -51,6 +54,9 @@ pub struct ServeArgs {
     pub degree: usize,
     pub smoke: bool,
     pub trace: Option<PathBuf>,
+    pub metrics: Option<PathBuf>,
+    pub metrics_port: Option<u16>,
+    pub monitor_interval_ms: u64,
     pub bench_out: Option<String>,
     pub label: String,
 }
@@ -66,6 +72,9 @@ impl Default for ServeArgs {
             degree: 4,
             smoke: false,
             trace: None,
+            metrics: None,
+            metrics_port: None,
+            monitor_interval_ms: 250,
             bench_out: None,
             label: "serve".into(),
         }
@@ -108,6 +117,14 @@ where
             "--degree" => out.degree = positive("--degree", value("--degree")?)?,
             "--smoke" => out.smoke = true,
             "--trace" => out.trace = Some(PathBuf::from(value("--trace")?)),
+            "--metrics" => out.metrics = Some(PathBuf::from(value("--metrics")?)),
+            "--metrics-port" => {
+                out.metrics_port = Some(positive("--metrics-port", value("--metrics-port")?)?)
+            }
+            "--monitor-interval" => {
+                out.monitor_interval_ms =
+                    positive("--monitor-interval", value("--monitor-interval")?)?
+            }
             "--bench-out" => out.bench_out = Some(value("--bench-out")?),
             "--label" => out.label = value("--label")?,
             "--help" | "-h" => return Err(CliError::Help),
@@ -131,7 +148,10 @@ pub fn serve_config(args: &ServeArgs) -> ServeConfig {
         trace_path: args.trace.clone(),
         sample: 1,
         run_label: "Serve",
+        metrics_path: args.metrics.clone(),
     };
+    cfg.metrics_port = args.metrics_port;
+    cfg.monitor_interval_ms = args.monitor_interval_ms;
     cfg
 }
 
@@ -389,6 +409,53 @@ mod tests {
             Err(CliError::BadValue("scenario".into(), "extra".into()))
         );
         assert_eq!(parse(&["-h"]), Err(CliError::Help));
+    }
+
+    #[test]
+    fn monitor_flags_parse_and_validate() {
+        let a = parse(&[
+            "--metrics",
+            "/tmp/serve-timeline.jsonl",
+            "--metrics-port",
+            "9400",
+            "--monitor-interval",
+            "100",
+        ])
+        .expect("monitor flags parse");
+        assert_eq!(
+            a.metrics.as_deref(),
+            Some(std::path::Path::new("/tmp/serve-timeline.jsonl"))
+        );
+        assert_eq!(a.metrics_port, Some(9400));
+        assert_eq!(a.monitor_interval_ms, 100);
+        let cfg = serve_config(&a);
+        assert_eq!(cfg.metrics_port, Some(9400));
+        assert_eq!(cfg.monitor_interval_ms, 100);
+
+        // Out-of-range or missing values take the CliError path (usage +
+        // exit 2 in serve_main), never a panic inside the bus.
+        assert_eq!(
+            parse(&["--metrics-port", "0"]),
+            Err(CliError::BadValue("--metrics-port".into(), "0".into()))
+        );
+        assert_eq!(
+            parse(&["--metrics-port", "99999"]),
+            Err(CliError::BadValue("--metrics-port".into(), "99999".into()))
+        );
+        assert_eq!(
+            parse(&["--metrics-port"]),
+            Err(CliError::MissingValue("--metrics-port".into()))
+        );
+        assert_eq!(
+            parse(&["--monitor-interval", "0"]),
+            Err(CliError::BadValue("--monitor-interval".into(), "0".into()))
+        );
+        let argv = |a: &[&str]| a.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(serve_main(argv(&["gnutella", "--metrics-port", "0"])), 2);
+        assert_eq!(
+            serve_main(argv(&["gnutella", "--monitor-interval", "x"])),
+            2
+        );
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! The committed BENCH trajectory files must parse under the typed
+//! codecs and re-encode idempotently — this is what lets `ddr compare`
+//! and the append paths (`perfbench --bench`, `ddr serve --bench`)
+//! trust the files years of entries later. Schema documentation lives
+//! in DESIGN.md §14.
+
+use ddr_experiments::exps::perf::BenchFile;
+use ddr_experiments::serve::ServeBenchFile;
+use serde::json::{parse, Value};
+
+fn committed(name: &str) -> String {
+    let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn schema_of(text: &str) -> String {
+    match parse(text).expect("bench file is JSON").get("schema") {
+        Some(Value::Str(s)) => s.clone(),
+        other => panic!("no string `schema`: {other:?}"),
+    }
+}
+
+fn entry_count(text: &str) -> usize {
+    match parse(text).expect("bench file is JSON").get("entries") {
+        Some(Value::Arr(entries)) => entries.len(),
+        other => panic!("no `entries` array: {other:?}"),
+    }
+}
+
+/// Typed round-trip + idempotence for a perfbench trajectory file.
+fn roundtrip_perfbench(name: &str) {
+    let text = committed(name);
+    assert_eq!(schema_of(&text), "ddr-perfbench/v1", "{name}");
+    assert!(entry_count(&text) >= 1, "{name} has no entries");
+
+    let file: BenchFile = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("{name} does not parse under the typed codec: {e:?}"));
+    let once = serde_json::to_string_pretty(&file).expect("encode");
+    let back: BenchFile = serde_json::from_str(&once).expect("re-parse");
+    let twice = serde_json::to_string_pretty(&back).expect("re-encode");
+    assert_eq!(once, twice, "{name}: re-encode is not idempotent");
+
+    // Every scenario the compare subcommand keys on is present and sane.
+    let doc = parse(&text).expect("JSON");
+    let Some(Value::Arr(entries)) = doc.get("entries") else {
+        unreachable!()
+    };
+    for (i, entry) in entries.iter().enumerate() {
+        let Some(Value::Arr(scenarios)) = entry.get("scenarios") else {
+            panic!("{name} entry {i}: no `scenarios` array");
+        };
+        assert!(!scenarios.is_empty(), "{name} entry {i}: empty scenarios");
+        for s in scenarios {
+            let sc_name = match s.get("name") {
+                Some(Value::Str(n)) => n.clone(),
+                other => panic!("{name} entry {i}: scenario without name: {other:?}"),
+            };
+            for key in [
+                "sim_hours",
+                "nodes",
+                "events_processed",
+                "wall_seconds",
+                "events_per_sec",
+                "peak_queue_depth",
+                "final_pending",
+            ] {
+                let v = s
+                    .get(key)
+                    .and_then(Value::as_f64)
+                    .unwrap_or_else(|| panic!("{name}/{sc_name}: missing numeric `{key}`"));
+                assert!(v.is_finite() && v >= 0.0, "{name}/{sc_name}: bad {key}={v}");
+            }
+            let eps = s.get("events_per_sec").and_then(Value::as_f64).unwrap();
+            assert!(eps > 0.0, "{name}/{sc_name}: zero throughput recorded");
+        }
+    }
+}
+
+#[test]
+fn bench_2_round_trips() {
+    roundtrip_perfbench("BENCH_2.json");
+}
+
+#[test]
+fn bench_7_round_trips_and_carries_shards_and_cores() {
+    roundtrip_perfbench("BENCH_7.json");
+    // BENCH_7 is the sharded-scaling trajectory: its entries stamp the
+    // recording host's core count and each scenario its shard count.
+    let doc = parse(&committed("BENCH_7.json")).expect("JSON");
+    let Some(Value::Arr(entries)) = doc.get("entries") else {
+        unreachable!()
+    };
+    let mut sharded = 0usize;
+    for (i, entry) in entries.iter().enumerate() {
+        let cores = entry
+            .get("cores")
+            .and_then(Value::as_f64)
+            .unwrap_or_else(|| panic!("BENCH_7 entry {i}: missing `cores`"));
+        assert!(cores >= 1.0);
+        let Some(Value::Arr(scenarios)) = entry.get("scenarios") else {
+            unreachable!()
+        };
+        // `shards` is optional per scenario (serial-kernel rows omit it)
+        // but must be >= 1 when present, and the trajectory as a whole
+        // must contain sharded rows — that's the point of this file.
+        for s in scenarios {
+            if let Some(shards) = s.get("shards").and_then(Value::as_f64) {
+                assert!(shards >= 1.0);
+                sharded += 1;
+            }
+        }
+    }
+    assert!(sharded > 0, "BENCH_7 has no sharded scenarios");
+}
+
+#[test]
+fn bench_6_round_trips() {
+    let text = committed("BENCH_6.json");
+    assert_eq!(schema_of(&text), "ddr-serve-bench/v1");
+    assert!(entry_count(&text) >= 1, "BENCH_6.json has no entries");
+
+    let file: ServeBenchFile = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("BENCH_6.json does not parse under the typed codec: {e:?}"));
+    let once = serde_json::to_string_pretty(&file).expect("encode");
+    let back: ServeBenchFile = serde_json::from_str(&once).expect("re-parse");
+    let twice = serde_json::to_string_pretty(&back).expect("re-encode");
+    assert_eq!(once, twice, "BENCH_6.json: re-encode is not idempotent");
+
+    let doc = parse(&text).expect("JSON");
+    let Some(Value::Arr(entries)) = doc.get("entries") else {
+        unreachable!()
+    };
+    for (i, e) in entries.iter().enumerate() {
+        for key in [
+            "recorded_unix",
+            "nodes",
+            "shards",
+            "qps_offered",
+            "duration_s",
+            "queries_completed",
+            "achieved_qps",
+            "qps_per_core",
+            "hit_rate",
+        ] {
+            let v = e
+                .get(key)
+                .and_then(Value::as_f64)
+                .unwrap_or_else(|| panic!("BENCH_6 entry {i}: missing numeric `{key}`"));
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "BENCH_6 entry {i}: bad {key}={v}"
+            );
+        }
+        let hit_rate = e.get("hit_rate").and_then(Value::as_f64).unwrap();
+        assert!((0.0..=1.0).contains(&hit_rate));
+        // p50/p99 may be -1 ("no samples") but must be present and finite.
+        for key in ["p50_first_ms", "p99_first_ms"] {
+            let v = e
+                .get(key)
+                .and_then(Value::as_f64)
+                .unwrap_or_else(|| panic!("BENCH_6 entry {i}: missing `{key}`"));
+            assert!(v.is_finite());
+        }
+    }
+}
+
+/// The compare subcommand must accept every committed trajectory file in
+/// a self-compare and find nothing to flag.
+#[test]
+fn self_compare_of_committed_files_is_clean() {
+    for name in ["BENCH_2.json", "BENCH_6.json", "BENCH_7.json"] {
+        let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+        let report = ddr_experiments::compare::compare_files(&path, &path, 0.85)
+            .unwrap_or_else(|e| panic!("self-compare of {name} errored: {e}"));
+        assert!(
+            report.regressions.is_empty(),
+            "{name}: self-compare flagged {:?}",
+            report.regressions
+        );
+    }
+}

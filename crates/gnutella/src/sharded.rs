@@ -12,9 +12,9 @@
 use crate::config::ScenarioConfig;
 use crate::metrics::{Metrics, RunReport};
 use crate::world::GnutellaWorld;
-use ddr_sim::{RunOutcome, ShardedSimulation, SimTime};
+use ddr_sim::{RunOutcome, ShardProfile, ShardedSimulation, SimTime};
 use ddr_stats::MeasurementWindow;
-use ddr_telemetry::NullSink;
+use ddr_telemetry::{JsonlMetrics, MetricsRecorder, MetricsSink, NullMetrics, NullSink};
 
 /// Kernel-side measurements from one sharded run, for perfbench entries:
 /// wall clock excludes construction and report merging.
@@ -47,7 +47,7 @@ pub fn run_scenario_sharded_timed(
     shards: usize,
     threads: usize,
 ) -> (RunReport, ShardedRunStats) {
-    let (report, stats, _worlds) = run_core(config, shards, threads);
+    let (report, stats, _prof, _worlds) = run_scenario_sharded_full(config, shards, threads, false);
     (report, stats)
 }
 
@@ -60,20 +60,52 @@ pub fn run_scenario_sharded_with_worlds(
     shards: usize,
     threads: usize,
 ) -> (RunReport, Vec<GnutellaWorld<NullSink>>) {
-    let (report, _stats, worlds) = run_core(config, shards, threads);
+    let (report, _stats, _prof, worlds) = run_scenario_sharded_full(config, shards, threads, false);
     (report, worlds)
 }
 
-fn run_core(
+/// The full-surface sharded entry point: report, kernel stats, an
+/// optional per-shard [`ShardProfile`] (when `profile` is set) and the
+/// final worlds. When `config.telemetry.metrics_path` is set, the run is
+/// chunked one simulated hour at a time and every shard world is sampled
+/// into a `"v":1` timeline file at each boundary — sampling happens
+/// strictly *between* kernel windows, so the report (and its digest) is
+/// identical to an unmetered run's.
+pub fn run_scenario_sharded_full(
     config: ScenarioConfig,
     shards: usize,
     threads: usize,
-) -> (RunReport, ShardedRunStats, Vec<GnutellaWorld<NullSink>>) {
+    profile: bool,
+) -> (
+    RunReport,
+    ShardedRunStats,
+    Option<ShardProfile>,
+    Vec<GnutellaWorld<NullSink>>,
+) {
+    if config.telemetry.metrics_path.is_some() {
+        run_core::<JsonlMetrics>(config, shards, threads, profile)
+    } else {
+        run_core::<NullMetrics>(config, shards, threads, profile)
+    }
+}
+
+fn run_core<M: MetricsSink>(
+    config: ScenarioConfig,
+    shards: usize,
+    threads: usize,
+    profile: bool,
+) -> (
+    RunReport,
+    ShardedRunStats,
+    Option<ShardProfile>,
+    Vec<GnutellaWorld<NullSink>>,
+) {
     let window = MeasurementWindow::new(config.warmup_hours, config.sim_hours);
     let horizon = SimTime::from_hours(config.sim_hours);
     let label = config.mode.label();
+    let mut recorder: MetricsRecorder<M> = MetricsRecorder::new(&config.telemetry);
     let (mut worlds, partition, lookahead) =
-        GnutellaWorld::<NullSink>::build_sharded(config, shards);
+        GnutellaWorld::<NullSink>::build_sharded(config.clone(), shards);
 
     // Initial events, concatenated in shard (= global node) order so the
     // kernel's insertion sequence matches the serial queue exactly.
@@ -85,9 +117,27 @@ fn run_core(
     for (at, node, ev) in prime {
         sim.schedule_at(at, node, ev);
     }
+    if profile {
+        sim.enable_profiling();
+    }
 
     let start = std::time::Instant::now();
-    let outcome = if threads > 1 {
+    let outcome = if MetricsRecorder::<M>::enabled() && config.sim_hours > 0 {
+        // Chunked horizon: `run(h1); run(h2)` is event-identical to
+        // `run(h2)` on this kernel (pinned by the resumability tests),
+        // so hourly sampling pauses cannot perturb the run.
+        let mut outcome = RunOutcome::ReachedHorizon;
+        for hour in 1..=config.sim_hours {
+            let chunk_end = SimTime::from_hours(hour);
+            outcome = if threads > 1 {
+                sim.run_parallel(chunk_end, threads)
+            } else {
+                sim.run(chunk_end)
+            };
+            recorder.sample_sharded(chunk_end, &sim);
+        }
+        outcome
+    } else if threads > 1 {
         sim.run_parallel(horizon, threads)
     } else {
         sim.run(horizon)
@@ -102,6 +152,8 @@ fn run_core(
         matches!(outcome, RunOutcome::ReachedHorizon),
         "a churn-driven simulation never drains: {outcome:?}"
     );
+    recorder.finish();
+    let prof = sim.profile();
 
     let worlds = sim.into_worlds();
     let mut metrics = Metrics::new();
@@ -115,6 +167,7 @@ fn run_core(
             label,
         },
         stats,
+        prof,
         worlds,
     )
 }

@@ -510,6 +510,34 @@ impl<T: TraceSink> GnutellaWorld<T> {
         self.sessions.iter().filter(|s| s.online).count()
     }
 
+    /// Report this slice's cumulative counters and instantaneous levels
+    /// into a metrics hub. Counters carry totals-so-far (the recorder
+    /// differences them into per-window deltas); contributions add, so
+    /// sampling every shard of a sharded run into one hub produces the
+    /// fleet-wide series. Read-only: a metered run stays digest-identical
+    /// to an unmetered one.
+    pub fn sample_metrics_into(&self, _now: SimTime, hub: &mut dyn ddr_sim::MetricsHub) {
+        let rt = &self.metrics.runtime;
+        hub.counter("queries", rt.queries.total() as u64);
+        hub.counter("hits", rt.hits.total() as u64);
+        hub.counter("messages", rt.messages.total() as u64);
+        hub.counter("results", self.metrics.results.total() as u64);
+        hub.counter("duplicates_dropped", self.metrics.duplicates_dropped);
+        hub.counter("logins", self.metrics.logins);
+        hub.counter("logoffs", self.metrics.logoffs);
+        hub.counter("invitations_sent", self.metrics.invitations_sent);
+        hub.counter("evictions", self.metrics.evictions);
+        hub.counter("queries_finalized", self.metrics.queries_finalized);
+        hub.counter("updates", rt.updates);
+        hub.gauge("online", self.online_count() as f64);
+        let dup_entries: usize = self
+            .peers
+            .iter()
+            .map(|p| p.rt.seen.as_ref().map_or(0, |c| c.len()))
+            .sum();
+        hub.gauge("dup_cache_entries", dup_entries as f64);
+    }
+
     /// Peer state for inspection in tests (owned nodes only).
     pub fn peer(&self, node: NodeId) -> &PeerState {
         &self.peers[self.li(node)]
@@ -1955,6 +1983,10 @@ impl<T: TraceSink> ShardWorld for GnutellaWorld<T> {
         let mut port = ShardPort { ctx, node };
         self.dispatch(now, event, &mut port);
     }
+
+    fn sample_metrics(&self, now: SimTime, hub: &mut dyn ddr_sim::MetricsHub) {
+        self.sample_metrics_into(now, hub);
+    }
 }
 
 impl<T: TraceSink> World for GnutellaWorld<T> {
@@ -1967,6 +1999,10 @@ impl<T: TraceSink> World for GnutellaWorld<T> {
         sched: &mut Scheduler<'_, GnutellaEvent>,
     ) {
         self.dispatch(now, event, sched);
+    }
+
+    fn sample_metrics(&self, now: SimTime, hub: &mut dyn ddr_sim::MetricsHub) {
+        self.sample_metrics_into(now, hub);
     }
 
     /// Warm the caches for the next event while the current one runs.

@@ -25,5 +25,5 @@
 pub mod scenario;
 pub mod sweep;
 
-pub use scenario::{run, run_probed, run_timed, run_with_world, Scenario, TimedRun};
+pub use scenario::{run, run_probed, run_sampled, run_timed, run_with_world, Scenario, TimedRun};
 pub use sweep::{default_workers, derive_seed, run_many, Sweep, SweepPoint};

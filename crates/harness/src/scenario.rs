@@ -112,6 +112,35 @@ where
     S::extract_report(&world, window)
 }
 
+/// Like [`run`] but paused every simulated hour for a metrics-sampling
+/// callback: `on_sample(now, &sim)` runs strictly *between* kernel steps
+/// (the serial kernel's chunked-horizon resumability guarantees
+/// `run(h1); run(h2)` ≡ `run(h2)`), so a sampled run's report is
+/// bit-identical to [`run`]'s. The harness stays telemetry-agnostic —
+/// the caller owns whatever recorder the samples feed.
+pub fn run_sampled<S: Scenario>(
+    config: S::Config,
+    mut on_sample: impl FnMut(SimTime, &Simulation<S::World>),
+) -> S::Report {
+    let window = S::window(&config);
+    let capacity = S::capacity_hint(&config);
+
+    let mut world = S::build(config);
+    let mut queue: EventQueue<<S::World as World>::Event> = EventQueue::with_capacity(capacity);
+    S::prime(&mut world, &mut queue);
+    let mut sim = Simulation::with_queue(world, queue);
+
+    let mut outcome = RunOutcome::ReachedHorizon;
+    for hour in 1..=window.to_hour.max(1) {
+        let chunk_end = SimTime::from_hours(hour);
+        outcome = sim.run(chunk_end);
+        on_sample(chunk_end, &sim);
+    }
+    S::check_outcome(outcome);
+    let world = sim.into_world();
+    S::extract_report(&world, window)
+}
+
 /// Kernel-level counters of one timed run (the perfbench measurement).
 ///
 /// The timing harness is deliberately identical to [`run_with_world`]
@@ -304,6 +333,21 @@ mod tests {
         assert_eq!(probed, plain, "probing must not perturb the run");
         assert_eq!(probe.dispatches, plain.fired);
         assert!(probe.samples > 0, "7200 events must trigger queue samples");
+    }
+
+    #[test]
+    fn sampled_run_pauses_hourly_and_changes_nothing() {
+        let mut cfg3 = cfg(7);
+        cfg3.hours = 3;
+        let mut samples = Vec::new();
+        let sampled = run_sampled::<TickScenario>(cfg3.clone(), |now, sim| {
+            samples.push((now.as_millis(), sim.pending()));
+        });
+        let plain = run::<TickScenario>(cfg3);
+        assert_eq!(sampled, plain, "sampling must not perturb the run");
+        assert_eq!(samples.len(), 3, "one sample per simulated hour");
+        assert_eq!(samples[0].0, 3_600_000);
+        assert!(samples.iter().all(|&(_, pending)| pending >= 1));
     }
 
     #[test]

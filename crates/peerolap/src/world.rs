@@ -605,6 +605,24 @@ impl<T: TraceSink> PeerOlapWorld<T> {
 impl<T: TraceSink> World for PeerOlapWorld<T> {
     type Event = OlapEvent;
 
+    /// Report cumulative counters (differenced into per-window deltas by
+    /// the recorder) and instantaneous levels. Read-only, so a metered
+    /// run stays bit-identical to an unmetered one.
+    fn sample_metrics(&self, _now: SimTime, hub: &mut dyn ddr_sim::MetricsHub) {
+        let rt = &self.metrics.runtime;
+        hub.counter("queries", rt.queries.total() as u64);
+        hub.counter("hits", rt.hits.total() as u64);
+        hub.counter("messages", rt.messages.total() as u64);
+        hub.counter("chunks_local", self.metrics.chunks_local.total() as u64);
+        hub.counter(
+            "chunks_warehouse",
+            self.metrics.chunks_warehouse.total() as u64,
+        );
+        hub.counter("departures", self.metrics.departures);
+        hub.counter("updates", rt.updates);
+        hub.gauge("online", self.present.len() as f64);
+    }
+
     fn handle(&mut self, now: SimTime, event: OlapEvent, sched: &mut Scheduler<'_, OlapEvent>) {
         match event {
             OlapEvent::IssueQuery { peer } => self.issue_query(peer, sched),

@@ -28,12 +28,14 @@
 //! exact message counts — non-deterministic; see EXPERIMENTS.md
 //! "Serve-backend determinism".
 
+use crate::monitor::{spawn_endpoint, spawn_monitor, MonitorShared};
 use ddr_core::runtime::{Clock, NodeBehavior, Transport};
 use ddr_gnutella::{build_nodes, GnutellaNode, NodeMsg, NodeSetConfig, QueryOutcome};
 use ddr_sim::{NodeId, QueryId, SimDuration, SimTime};
 use ddr_telemetry::{JsonlSink, NullSink, QueryTracer, TelemetryConfig, TraceOutcome, TraceSink};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::Ordering as AtomicOrd;
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread;
@@ -84,8 +86,15 @@ pub struct ServeConfig {
     /// Worker-thread count; nodes are owned `node_id % shards`.
     pub shards: usize,
     /// Tracing config (path, sampling, run label) for the traced entry
-    /// point; ignored under [`run_gnutella`]'s `NullSink`.
+    /// point; ignored under [`run_gnutella`]'s `NullSink`. When
+    /// `telemetry.metrics_path` is set a monitor thread samples the bus
+    /// into a timeline file at `monitor_interval_ms`.
     pub telemetry: TelemetryConfig,
+    /// When set, a stdlib TCP endpoint on `127.0.0.1:port` serves the
+    /// live Prometheus-text snapshot (`/metrics`) and report JSON.
+    pub metrics_port: Option<u16>,
+    /// Monitor sampling period, wall milliseconds.
+    pub monitor_interval_ms: u64,
 }
 
 impl ServeConfig {
@@ -98,6 +107,8 @@ impl ServeConfig {
             duration_s,
             shards: shards.max(1),
             telemetry: TelemetryConfig::default(),
+            metrics_port: None,
+            monitor_interval_ms: 250,
         }
     }
 }
@@ -238,6 +249,13 @@ struct Shard {
     /// Cross-shard envelopes bounced by a full inbox, retried each turn.
     outbox: VecDeque<(usize, Envelope)>,
     staged: Vec<Envelope>,
+    /// Live-introspection state; `None` keeps every hot-path branch a
+    /// predictable not-taken jump.
+    monitor: Option<Arc<MonitorShared>>,
+    /// Outcomes drained mid-run for the monitor, replayed into the
+    /// end-of-run report so monitored and unmonitored runs report the
+    /// same fields.
+    stash: Vec<QueryOutcome>,
 }
 
 impl Shard {
@@ -254,7 +272,11 @@ impl Shard {
             return;
         }
         match self.peers[target].try_send(env) {
-            Ok(()) => {}
+            Ok(()) => {
+                if let Some(m) = &self.monitor {
+                    m.inbox_depth[target].fetch_add(1, AtomicOrd::Relaxed);
+                }
+            }
             Err(TrySendError::Full(env)) => self.outbox.push_back((target, env)),
             // The peer already stopped (drain deadline passed there);
             // the message could never complete a query anyway.
@@ -266,10 +288,38 @@ impl Shard {
         for _ in 0..self.outbox.len() {
             let (target, env) = self.outbox.pop_front().expect("len-bounded pop");
             match self.peers[target].try_send(env) {
-                Ok(()) => {}
+                Ok(()) => {
+                    if let Some(m) = &self.monitor {
+                        m.inbox_depth[target].fetch_add(1, AtomicOrd::Relaxed);
+                    }
+                }
                 Err(TrySendError::Full(env)) => self.outbox.push_back((target, env)),
                 Err(TrySendError::Disconnected(_)) => {}
             }
+        }
+    }
+
+    /// One received envelope's monitor bookkeeping (inbox shrank by one).
+    fn note_recv(&self) {
+        if let Some(m) = &self.monitor {
+            m.inbox_depth[self.index].fetch_sub(1, AtomicOrd::Relaxed);
+        }
+    }
+
+    /// Drain outcomes the node finished during this delivery into the
+    /// stash, feeding the monitor's counters as they happen.
+    fn drain_completed(&mut self, local: usize) {
+        let Some(m) = self.monitor.clone() else {
+            return;
+        };
+        for done in self.nodes[local].take_completed() {
+            m.completed.fetch_add(1, AtomicOrd::Relaxed);
+            if let Some((_, at, _)) = done.first {
+                m.hits.fetch_add(1, AtomicOrd::Relaxed);
+                m.latency_ms
+                    .record(at.saturating_since(done.issued_at).as_millis() as f64);
+            }
+            self.stash.push(done);
         }
     }
 
@@ -292,10 +342,15 @@ impl Shard {
     /// The shard main loop: drain the inbox, deliver due envelopes,
     /// retry bounced sends, sleep until the next deadline. Runs until
     /// the wall clock passes `deadline`.
-    fn run(mut self, clock: Arc<WallClock>, deadline: SimTime) -> (Vec<GnutellaNode>, u64) {
+    fn run(
+        mut self,
+        clock: Arc<WallClock>,
+        deadline: SimTime,
+    ) -> (Vec<GnutellaNode>, u64, Vec<QueryOutcome>) {
         let mut delivered_issues = 0u64;
         loop {
             while let Ok(env) = self.rx.try_recv() {
+                self.note_recv();
                 self.route(env);
             }
             let now = clock.now();
@@ -309,8 +364,18 @@ impl Shard {
                 let due = self.heap.pop().expect("peeked entry vanished");
                 if matches!(due.env.msg, NodeMsg::Issue { .. }) {
                     delivered_issues += 1;
+                    if let Some(m) = &self.monitor {
+                        m.issued.fetch_add(1, AtomicOrd::Relaxed);
+                    }
                 }
+                let local = due.env.to.index() / self.nshards;
                 self.deliver(due.env, now);
+                if self.monitor.is_some() {
+                    self.drain_completed(local);
+                }
+            }
+            if let Some(m) = &self.monitor {
+                m.heap_len[self.index].store(self.heap.len(), AtomicOrd::Relaxed);
             }
             self.flush_outbox();
             // Sleep until the next timer or the next inbox arrival,
@@ -322,7 +387,10 @@ impl Shard {
                 .unwrap_or(u64::MAX)
                 .clamp(1, 2);
             match self.rx.recv_timeout(Duration::from_millis(next_gap)) {
-                Ok(env) => self.route(env),
+                Ok(env) => {
+                    self.note_recv();
+                    self.route(env);
+                }
                 Err(mpsc::RecvTimeoutError::Timeout) => {}
                 // All senders gone: only timers remain, pace manually.
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
@@ -330,7 +398,7 @@ impl Shard {
                 }
             }
         }
-        (self.nodes, delivered_issues)
+        (self.nodes, delivered_issues, self.stash)
     }
 }
 
@@ -371,6 +439,26 @@ fn run_bus<T: TraceSink + Send + 'static>(cfg: &ServeConfig) -> ServeReport {
         + cfg.node_set.query_timeout
         + DRAIN_GRACE;
 
+    // Live introspection: shared atomics plus a monitor and/or endpoint
+    // thread, only when asked for — otherwise every branch stays `None`.
+    let monitor = (cfg.telemetry.metrics_path.is_some() || cfg.metrics_port.is_some())
+        .then(|| Arc::new(MonitorShared::new(nshards)));
+    let monitor_handle = monitor
+        .as_ref()
+        .filter(|_| cfg.telemetry.metrics_path.is_some())
+        .map(|m| {
+            spawn_monitor(
+                Arc::clone(m),
+                Arc::clone(&clock),
+                cfg.telemetry.clone(),
+                cfg.monitor_interval_ms,
+            )
+        });
+    let endpoint_handle = match (&monitor, cfg.metrics_port) {
+        (Some(m), Some(port)) => Some(spawn_endpoint(Arc::clone(m), port)),
+        _ => None,
+    };
+
     let mut handles = Vec::with_capacity(nshards);
     for (index, (owned, rx)) in per_shard.into_iter().zip(rxs).enumerate() {
         let shard = Shard {
@@ -383,25 +471,41 @@ fn run_bus<T: TraceSink + Send + 'static>(cfg: &ServeConfig) -> ServeReport {
             peers: txs.clone(),
             outbox: VecDeque::new(),
             staged: Vec::new(),
+            monitor: monitor.clone(),
+            stash: Vec::new(),
         };
         let clock = Arc::clone(&clock);
         let telemetry = cfg.telemetry.clone();
+        let shared = monitor.clone();
         handles.push(thread::spawn(move || {
-            let (mut nodes, delivered_issues) = shard.run(clock, deadline);
+            let (mut nodes, delivered_issues, stash) = shard.run(clock, deadline);
             let mut result = ShardResult {
                 queries_issued: delivered_issues,
                 messages: 0,
                 duplicates: 0,
-                outcomes: Vec::new(),
+                outcomes: stash,
             };
             let mut tracer: QueryTracer<T> = QueryTracer::new(&telemetry);
             for node in &mut nodes {
                 result.messages += node.counters.messages_sent;
                 result.duplicates += node.counters.duplicates_dropped;
                 for done in node.take_completed() {
-                    trace_outcome(&mut tracer, &done);
+                    // Outcomes still parked on the node at shutdown were
+                    // never seen by the mid-run drain; count them so the
+                    // monitor's totals equal the final report.
+                    if let Some(m) = &shared {
+                        m.completed.fetch_add(1, AtomicOrd::Relaxed);
+                        if let Some((_, at, _)) = done.first {
+                            m.hits.fetch_add(1, AtomicOrd::Relaxed);
+                            m.latency_ms
+                                .record(at.saturating_since(done.issued_at).as_millis() as f64);
+                        }
+                    }
                     result.outcomes.push(done);
                 }
+            }
+            for done in &result.outcomes {
+                trace_outcome(&mut tracer, done);
             }
             result
         }));
@@ -432,6 +536,10 @@ fn run_bus<T: TraceSink + Send + 'static>(cfg: &ServeConfig) -> ServeReport {
                 break;
             }
             offered += 1;
+            if let Some(m) = &monitor {
+                m.offered.fetch_add(1, AtomicOrd::Relaxed);
+                m.inbox_depth[node.index() % nshards].fetch_add(1, AtomicOrd::Relaxed);
+            }
         }
         thread::sleep(Duration::from_micros(500));
     }
@@ -456,6 +564,19 @@ fn run_bus<T: TraceSink + Send + 'static>(cfg: &ServeConfig) -> ServeReport {
             }
         }
     }
+    // All shard threads are joined: the monitor atomics are final. Raise
+    // `done` so the monitor emits its closing window (whose column sums
+    // now equal this report) and the endpoint stops accepting.
+    if let Some(m) = &monitor {
+        m.done.store(true, AtomicOrd::Relaxed);
+    }
+    if let Some(h) = monitor_handle {
+        h.join().expect("monitor thread panicked");
+    }
+    if let Some(h) = endpoint_handle {
+        h.join().expect("metrics endpoint thread panicked");
+    }
+
     let elapsed_s = clock.now().as_millis() as f64 / 1_000.0;
     let achieved_qps = if cfg.duration_s > 0.0 {
         completed as f64 / cfg.duration_s
@@ -568,6 +689,7 @@ mod tests {
             trace_path: Some(path.clone()),
             sample: 1,
             run_label: "ServeSmoke",
+            ..TelemetryConfig::default()
         };
         let r = run_gnutella_traced(&cfg);
         assert!(r.queries_completed > 0);
@@ -577,6 +699,49 @@ mod tests {
             "one span per completed query"
         );
         assert!(summary.is_complete(), "every serve span must be closed");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The monitor thread is purely observational: its cumulative
+    /// counters must agree exactly with the end-of-run report, and the
+    /// timeline file's per-window deltas must sum back to those same
+    /// totals — i.e. turning the monitor on changes what is *written*,
+    /// never what is *reported*.
+    #[test]
+    fn monitor_does_not_perturb_the_report() {
+        let dir = std::env::temp_dir().join(format!("ddr-serve-mon-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("timeline.jsonl");
+        let mut cfg = quick_cfg(48, 7, 300.0, 0.4, 2);
+        cfg.telemetry.metrics_path = Some(path.clone());
+        cfg.monitor_interval_ms = 50;
+        let r = run_gnutella(&cfg);
+        assert!(r.queries_completed > 0, "run produced no completions");
+
+        let text = std::fs::read_to_string(&path).expect("timeline file written");
+        let mut sum_completed = 0u64;
+        let mut sum_hits = 0u64;
+        let mut sum_offered = 0u64;
+        let mut windows = 0u64;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let v = serde::json::parse(line).expect("window record parses");
+            let counters = v.get("counters").expect("counters object");
+            let num = |k: &str| counters.get(k).and_then(|x| x.as_f64()).unwrap_or(0.0) as u64;
+            sum_completed += num("queries_completed");
+            sum_hits += num("hits");
+            sum_offered += num("queries_offered");
+            windows += 1;
+        }
+        assert!(windows >= 2, "expected several windows, got {windows}");
+        assert_eq!(sum_completed, r.queries_completed, "completed parity");
+        assert_eq!(sum_hits, r.hits, "hits parity");
+        assert_eq!(sum_offered, r.queries_offered, "offered parity");
+        // The report's derived fields are internally consistent — the
+        // monitor did not leak into their computation.
+        assert!((r.achieved_qps - r.queries_completed as f64 / r.duration_s).abs() < 1e-9);
+        if r.queries_completed > 0 {
+            assert!((r.hit_rate - r.hits as f64 / r.queries_completed as f64).abs() < 1e-9);
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -25,9 +25,11 @@
 //! determinism" for what is and is not reproducible.
 
 pub mod bus;
+pub mod monitor;
 pub mod sim_backend;
 
 pub use bus::{run_gnutella, run_gnutella_traced, ServeConfig, ServeReport, WallClock};
+pub use monitor::MonitorShared;
 pub use sim_backend::{run_deterministic, SimFleetReport};
 
 /// Percentile over an unsorted sample set (nearest-rank); `None` when

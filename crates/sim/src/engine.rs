@@ -7,6 +7,7 @@
 //! view; it keeps the hot loop free of dynamic dispatch and allocation.
 
 use crate::event::{EventQueue, Scheduler};
+use crate::metrics::MetricsHub;
 use crate::probe::{EventLabel, KernelProbe, QueueSample};
 use crate::time::SimTime;
 
@@ -28,6 +29,13 @@ pub trait World {
     /// default does nothing, and correctness never depends on it.
     #[inline]
     fn prefetch(&self, _next: &Self::Event) {}
+
+    /// Report time-series metrics (counters as cumulative totals, gauges
+    /// as instantaneous levels) into `hub`. Called by metered runners at
+    /// sampling boundaries, between events — never mid-handler — so it
+    /// observes only quiescent state and must not mutate anything. The
+    /// default reports nothing.
+    fn sample_metrics(&self, _now: SimTime, _hub: &mut dyn MetricsHub) {}
 }
 
 /// Why a [`Simulation::run`] call returned.

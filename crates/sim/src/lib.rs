@@ -45,6 +45,7 @@ pub mod engine;
 pub mod event;
 pub mod hash;
 pub mod id;
+pub mod metrics;
 pub mod parallelism;
 pub mod probe;
 pub mod rng;
@@ -59,9 +60,10 @@ pub use event::{
 };
 pub use hash::{FastHashMap, FastHashSet, FxHasher};
 pub use id::{ItemId, NodeId, QueryId};
+pub use metrics::MetricsHub;
 pub use parallelism::{default_workers, resolve_workers};
 pub use probe::{EventLabel, KernelProbe, NullKernelProbe, QueueSample};
 pub use rng::RngFactory;
-pub use sharded::{Partition, ShardCtx, ShardWorld, ShardedSimulation};
+pub use sharded::{Partition, ShardCtx, ShardLane, ShardProfile, ShardWorld, ShardedSimulation};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Counters, Trace};

@@ -61,6 +61,7 @@ use crate::id::NodeId;
 use crate::time::{SimDuration, SimTime};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Barrier, Mutex};
+use std::time::Instant;
 
 /// Maps every node to the shard that owns it. Contiguous equal blocks:
 /// shard `s` owns `[s * block, (s + 1) * block)`, so the hot
@@ -140,6 +141,13 @@ pub trait ShardWorld {
 
     /// Dispatch one event at virtual time `now`.
     fn handle(&mut self, now: SimTime, event: Self::Event, ctx: &mut ShardCtx<'_, Self::Event>);
+
+    /// Report time-series metrics into `hub` (see
+    /// [`crate::MetricsHub`]). Metered runners call this on every shard
+    /// world at sampling boundaries — between windows, never mid-handler
+    /// — and the hub sums the per-shard contributions into fleet-wide
+    /// series. Must not mutate anything; the default reports nothing.
+    fn sample_metrics(&self, _now: SimTime, _hub: &mut dyn crate::MetricsHub) {}
 }
 
 /// An event staged in a per-shard outbox during a window, waiting for
@@ -216,6 +224,66 @@ struct Shard<W: ShardWorld> {
     queue: EventQueue<(u64, W::Event)>,
     staged: Vec<Staged<W::Event>>,
     processed: u64,
+    prof: LaneProf,
+}
+
+/// Per-shard profiling accumulators (all zero unless
+/// [`ShardedSimulation::enable_profiling`] was called). Workers fold
+/// their thread-local tallies in here at shutdown; the serial run writes
+/// directly.
+#[derive(Debug, Clone, Copy, Default)]
+struct LaneProf {
+    work_ns: u64,
+    barrier_ns: u64,
+    stall_ns: u64,
+    max_window_events: u64,
+}
+
+/// Coordinator-side merge tallies for one `run`/`run_parallel` call,
+/// folded into the kernel's cumulative profile on return.
+#[derive(Debug, Clone, Copy, Default)]
+struct MergeProf {
+    merged_events: u64,
+    cross_shard: u64,
+}
+
+/// One shard's row in a [`ShardProfile`]: where this worker's wall-clock
+/// time went across the whole run.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardLane {
+    /// Shard index (also the worker-thread index under `run_parallel`).
+    pub shard: usize,
+    /// Events this shard dispatched.
+    pub events: u64,
+    /// Time spent inside `process_window` (useful work).
+    pub work_ns: u64,
+    /// Time parked at the end-of-window barrier waiting for slower
+    /// sibling shards (load imbalance). Zero on the serial path.
+    pub barrier_ns: u64,
+    /// Time parked at the start-of-window barrier waiting for the
+    /// coordinator (merge + window scheduling). Zero on the serial path.
+    pub stall_ns: u64,
+    /// Largest single-window event count this shard saw.
+    pub max_window_events: u64,
+}
+
+/// Where a sharded run's time went, per shard and in the coordinator —
+/// the evidence behind the "why is 4 shards slower on 1 core" question
+/// (EXPERIMENTS.md "Where the 4-shard overhead goes"). Snapshot via
+/// [`ShardedSimulation::profile`] after a profiled run.
+#[derive(Debug, Clone)]
+pub struct ShardProfile {
+    /// One row per shard, in shard order.
+    pub lanes: Vec<ShardLane>,
+    /// Coordinator time inside the window-barrier merge.
+    pub merge_ns: u64,
+    /// Events that crossed the merge (staged in some window's outbox).
+    pub merged_events: u64,
+    /// Merged events whose destination lay on a *different* shard than
+    /// the one that created them (true cross-shard traffic).
+    pub cross_shard_events: u64,
+    /// Synchronization windows executed.
+    pub windows: u64,
 }
 
 /// The sharded kernel. Construct with one [`ShardWorld`] per shard and a
@@ -231,6 +299,10 @@ pub struct ShardedSimulation<W: ShardWorld> {
     windows: u64,
     event_budget: Option<u64>,
     merge_scratch: Vec<Staged<W::Event>>,
+    profiling: bool,
+    prof_merge_ns: u64,
+    prof_merged_events: u64,
+    prof_cross_shard: u64,
 }
 
 /// Sentinel window-end broadcast to workers to shut them down.
@@ -264,6 +336,7 @@ impl<W: ShardWorld> ShardedSimulation<W> {
                 queue: EventQueue::with_capacity(per_shard_hint),
                 staged: Vec::new(),
                 processed: 0,
+                prof: LaneProf::default(),
             })
             .collect();
         ShardedSimulation {
@@ -274,7 +347,46 @@ impl<W: ShardWorld> ShardedSimulation<W> {
             windows: 0,
             event_budget: None,
             merge_scratch: Vec::new(),
+            profiling: false,
+            prof_merge_ns: 0,
+            prof_merged_events: 0,
+            prof_cross_shard: 0,
         }
+    }
+
+    /// Record per-shard work/barrier/merge timings during subsequent
+    /// runs. Profiling only reads wall clocks around existing phases —
+    /// it never changes window boundaries or event order, so a profiled
+    /// run stays bit-identical to an unprofiled one.
+    pub fn enable_profiling(&mut self) {
+        self.profiling = true;
+    }
+
+    /// Snapshot of the accumulated [`ShardProfile`]; `None` unless
+    /// [`enable_profiling`](Self::enable_profiling) was called.
+    pub fn profile(&self) -> Option<ShardProfile> {
+        if !self.profiling {
+            return None;
+        }
+        Some(ShardProfile {
+            lanes: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| ShardLane {
+                    shard: i,
+                    events: s.processed,
+                    work_ns: s.prof.work_ns,
+                    barrier_ns: s.prof.barrier_ns,
+                    stall_ns: s.prof.stall_ns,
+                    max_window_events: s.prof.max_window_events,
+                })
+                .collect(),
+            merge_ns: self.prof_merge_ns,
+            merged_events: self.prof_merged_events,
+            cross_shard_events: self.prof_cross_shard,
+            windows: self.windows,
+        })
     }
 
     /// Stop dispatching once this many events have been processed,
@@ -324,6 +436,12 @@ impl<W: ShardWorld> ShardedSimulation<W> {
         self.shards.iter().map(|s| s.queue.len()).sum()
     }
 
+    /// Pending events in one shard's queue (the per-shard event-queue
+    /// depth gauge the metrics timeline samples).
+    pub fn shard_pending(&self, shard: usize) -> usize {
+        self.shards[shard].queue.len()
+    }
+
     /// Shard `i`'s world, for report extraction.
     pub fn world(&self, shard: usize) -> &W {
         &self.shards[shard].world
@@ -368,8 +486,21 @@ impl<W: ShardWorld> ShardedSimulation<W> {
         scratch: &mut Vec<Staged<W::Event>>,
         next_gseq: &mut u64,
         partition: &Partition,
+        prof: Option<&mut MergeProf>,
     ) {
         scratch.clear();
+        if let Some(prof) = prof {
+            // Count true cross-shard traffic while the outboxes still
+            // carry their source-shard identity (lost after the append).
+            for (i, s) in shards.iter().enumerate() {
+                prof.merged_events += s.staged.len() as u64;
+                prof.cross_shard += s
+                    .staged
+                    .iter()
+                    .filter(|e| partition.shard_of(e.dest) != i)
+                    .count() as u64;
+            }
+        }
         for s in shards.iter_mut() {
             scratch.append(&mut s.staged);
         }
@@ -394,35 +525,58 @@ impl<W: ShardWorld> ShardedSimulation<W> {
     pub fn run(&mut self, horizon: SimTime) -> RunOutcome {
         let lookahead = self.lookahead;
         let budget = self.event_budget;
+        let profiling = self.profiling;
         let partition = &self.partition;
         let scratch = &mut self.merge_scratch;
         let next_gseq = &mut self.next_gseq;
+        let mut mprof = MergeProf::default();
+        let mut merge_ns = 0u64;
+        let mut windows = 0u64;
         let mut refs: Vec<&mut Shard<W>> = self.shards.iter_mut().collect();
-        loop {
+        let outcome = loop {
             if let Some(b) = budget {
                 let processed: u64 = refs.iter().map(|s| s.processed).sum();
                 if processed >= b {
-                    return RunOutcome::EventBudgetExhausted;
+                    break RunOutcome::EventBudgetExhausted;
                 }
             }
             // The next window starts at the global minimum pending time
             // (empty stretches are skipped, not walked 10 ms at a time).
             let Some(t) = refs.iter().filter_map(|s| s.queue.peek_time()).min() else {
-                return RunOutcome::Exhausted;
+                break RunOutcome::Exhausted;
             };
             if t >= horizon {
-                return RunOutcome::ReachedHorizon;
+                break RunOutcome::ReachedHorizon;
             }
             let w_end = t
                 .checked_add(lookahead)
                 .unwrap_or(SimTime::MAX)
                 .min(horizon);
-            self.windows += 1;
-            for s in refs.iter_mut() {
-                Self::process_window(s, w_end, lookahead);
+            windows += 1;
+            if profiling {
+                for s in refs.iter_mut() {
+                    let before = s.processed;
+                    let t0 = Instant::now();
+                    Self::process_window(s, w_end, lookahead);
+                    s.prof.work_ns += t0.elapsed().as_nanos() as u64;
+                    s.prof.max_window_events = s.prof.max_window_events.max(s.processed - before);
+                }
+                let t0 = Instant::now();
+                Self::merge_windows(&mut refs, scratch, next_gseq, partition, Some(&mut mprof));
+                merge_ns += t0.elapsed().as_nanos() as u64;
+            } else {
+                for s in refs.iter_mut() {
+                    Self::process_window(s, w_end, lookahead);
+                }
+                Self::merge_windows(&mut refs, scratch, next_gseq, partition, None);
             }
-            Self::merge_windows(&mut refs, scratch, next_gseq, partition);
-        }
+        };
+        drop(refs);
+        self.windows += windows;
+        self.prof_merge_ns += merge_ns;
+        self.prof_merged_events += mprof.merged_events;
+        self.prof_cross_shard += mprof.cross_shard;
+        outcome
     }
 
     /// Advance all shards to `horizon` with one worker thread per shard
@@ -447,10 +601,13 @@ impl<W: ShardWorld> ShardedSimulation<W> {
         );
         let lookahead = self.lookahead;
         let budget = self.event_budget;
+        let profiling = self.profiling;
         let partition = &self.partition;
         let scratch = &mut self.merge_scratch;
         let next_gseq = &mut self.next_gseq;
         let windows = &mut self.windows;
+        let mut mprof = MergeProf::default();
+        let mut merge_ns = 0u64;
         // Broadcast cell for the current window end (ms); WINDOW_DONE
         // tells workers to exit.
         let w_end_shared = AtomicU64::new(0);
@@ -466,16 +623,48 @@ impl<W: ShardWorld> ShardedSimulation<W> {
                 let w_end_shared = &w_end_shared;
                 let start_barrier = &start_barrier;
                 let end_barrier = &end_barrier;
-                scope.spawn(move || loop {
-                    start_barrier.wait();
-                    let w = w_end_shared.load(AtomicOrdering::Acquire);
-                    if w == WINDOW_DONE {
-                        break;
+                scope.spawn(move || {
+                    // Thread-local profile tallies; folded into the shard
+                    // under its lock once, at shutdown. The clocks only
+                    // bracket existing phases — event processing is
+                    // untouched, so the run stays bit-identical.
+                    let mut lane = LaneProf::default();
+                    loop {
+                        let t0 = profiling.then(Instant::now);
+                        start_barrier.wait();
+                        if let Some(t0) = t0 {
+                            lane.stall_ns += t0.elapsed().as_nanos() as u64;
+                        }
+                        let w = w_end_shared.load(AtomicOrdering::Acquire);
+                        if w == WINDOW_DONE {
+                            break;
+                        }
+                        let mut shard = cell.lock().expect("shard mutex poisoned");
+                        if profiling {
+                            let before = shard.processed;
+                            let t1 = Instant::now();
+                            Self::process_window(&mut shard, SimTime::from_millis(w), lookahead);
+                            lane.work_ns += t1.elapsed().as_nanos() as u64;
+                            lane.max_window_events =
+                                lane.max_window_events.max(shard.processed - before);
+                            drop(shard);
+                            let t2 = Instant::now();
+                            end_barrier.wait();
+                            lane.barrier_ns += t2.elapsed().as_nanos() as u64;
+                        } else {
+                            Self::process_window(&mut shard, SimTime::from_millis(w), lookahead);
+                            drop(shard);
+                            end_barrier.wait();
+                        }
                     }
-                    let mut shard = cell.lock().expect("shard mutex poisoned");
-                    Self::process_window(&mut shard, SimTime::from_millis(w), lookahead);
-                    drop(shard);
-                    end_barrier.wait();
+                    if profiling {
+                        let mut shard = cell.lock().expect("shard mutex poisoned");
+                        shard.prof.work_ns += lane.work_ns;
+                        shard.prof.barrier_ns += lane.barrier_ns;
+                        shard.prof.stall_ns += lane.stall_ns;
+                        shard.prof.max_window_events =
+                            shard.prof.max_window_events.max(lane.max_window_events);
+                    }
                 });
             }
             loop {
@@ -520,11 +709,20 @@ impl<W: ShardWorld> ShardedSimulation<W> {
                     .map(|c| c.lock().expect("shard mutex poisoned"))
                     .collect();
                 let mut refs: Vec<&mut Shard<W>> = guards.iter_mut().map(|g| &mut ***g).collect();
-                Self::merge_windows(&mut refs, scratch, next_gseq, partition);
+                if profiling {
+                    let t0 = Instant::now();
+                    Self::merge_windows(&mut refs, scratch, next_gseq, partition, Some(&mut mprof));
+                    merge_ns += t0.elapsed().as_nanos() as u64;
+                } else {
+                    Self::merge_windows(&mut refs, scratch, next_gseq, partition, None);
+                }
             }
             w_end_shared.store(WINDOW_DONE, AtomicOrdering::Release);
             start_barrier.wait();
         });
+        self.prof_merge_ns += merge_ns;
+        self.prof_merged_events += mprof.merged_events;
+        self.prof_cross_shard += mprof.cross_shard;
         outcome
     }
 }

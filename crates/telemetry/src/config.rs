@@ -18,6 +18,11 @@ pub struct TelemetryConfig {
     /// Label stamped on each record (`"run"`), distinguishing e.g. the
     /// static and dynamic configs sharing one trace file.
     pub run_label: &'static str,
+    /// JSONL output path for the metrics timeline
+    /// ([`crate::JsonlMetrics`]). `None` discards. Independent of
+    /// `trace_path`: a run can trace spans, sample metrics, both, or
+    /// neither.
+    pub metrics_path: Option<PathBuf>,
 }
 
 impl Default for TelemetryConfig {
@@ -26,6 +31,7 @@ impl Default for TelemetryConfig {
             trace_path: None,
             sample: 1,
             run_label: "",
+            metrics_path: None,
         }
     }
 }

@@ -1,6 +1,6 @@
 //! # ddr-telemetry — structured observability for the framework
 //!
-//! Three pillars, each usable on its own:
+//! Four pillars, each usable on its own:
 //!
 //! * **Query-lifecycle tracing** — a [`QueryTracer`] embedded in each
 //!   scenario world records sampled per-query spans (issue → hops →
@@ -11,6 +11,12 @@
 //!   the traced and untraced builds share one hot path. The runtime
 //!   sink, [`JsonlSink`], buffers versioned (`"v":1`) JSONL records and
 //!   appends them to the configured file.
+//! * **Metrics timelines** — a [`MetricsRecorder`] samples whole-system
+//!   counters/gauges/histograms into windowed JSONL records through a
+//!   [`MetricsSink`] (same compile-time on/off pattern: [`NullMetrics`]
+//!   is free, [`JsonlMetrics`] writes `"v":1` timeline files). Worlds
+//!   report through the `ddr_sim::MetricsHub` hook; the
+//!   [`timeline`] module summarises the files for `ddr inspect`.
 //! * **Kernel profiling** — [`KernelProfiler`] implements
 //!   `ddr_sim::KernelProbe`: per-event-type dispatch counts and
 //!   wall-time histograms plus periodic calendar-queue statistics,
@@ -27,14 +33,21 @@
 
 pub mod config;
 pub mod inspect;
+pub mod metrics;
 pub mod profile;
 pub mod sink;
+pub mod timeline;
 pub mod tracer;
 
 pub use config::TelemetryConfig;
 pub use inspect::{summarize, summarize_file, TraceSummary};
-pub use profile::KernelProfiler;
+pub use metrics::{
+    JsonlMetrics, LogHistogram, MetricsRecorder, MetricsRegistry, MetricsSink, NullMetrics,
+    METRICS_SCHEMA_VERSION,
+};
+pub use profile::{shard_profile_report, KernelProfiler};
 pub use sink::{JsonlSink, NullSink, TraceSink};
+pub use timeline::{is_timeline, summarize_timeline, summarize_timeline_file, TimelineSummary};
 pub use tracer::{QueryTracer, TraceOutcome};
 
 /// Schema version stamped on every trace record (`"v":1`).

@@ -1,0 +1,471 @@
+//! The metrics timeline layer: whole-system time series next to
+//! per-query traces.
+//!
+//! `TraceSink` (PR 4) records *spans* — one query's lifecycle. This
+//! module records *windows*: periodic snapshots of fleet-wide counters
+//! (hits, messages, logins), gauges (online population, dup-cache
+//! occupancy, per-shard event-queue depth) and log-bucketed histograms,
+//! one JSONL record per sampling interval:
+//!
+//! ```json
+//! {"v":1,"type":"window","run":"Dynamic_Gnutella","t":3600000,
+//!  "counters":{"hits":412,"messages":180321},
+//!  "gauges":{"online":951,"queue_depth.s0":1204}}
+//! ```
+//!
+//! Counters are **per-window deltas** (worlds report cumulative totals
+//! through [`ddr_sim::MetricsHub`]; the recorder differences them), so a
+//! plot of any counter column is already the paper's "per hour" shape.
+//! Gauges are instantaneous levels summed across shards. Timestamps are
+//! virtual ms for simulations and wall ms for `ddr serve`.
+//!
+//! The on/off mechanism mirrors the trace layer exactly: the sink is a
+//! *type* ([`MetricsSink`]), [`NullMetrics`] const-folds every recording
+//! call site away, and a metered run samples only **between** kernel
+//! steps — so metrics-on runs are digest-identical to metrics-off runs
+//! (pinned by `metrics_determinism.rs`).
+
+use crate::config::TelemetryConfig;
+use crate::sink::flush_jsonl;
+use ddr_sim::{MetricsHub, ShardWorld, ShardedSimulation, SimTime, Simulation, World};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Version stamped on every timeline record (`"v"`).
+pub const METRICS_SCHEMA_VERSION: u64 = 1;
+
+/// A destination for JSONL timeline records. The metrics twin of
+/// [`crate::TraceSink`]: same `const ENABLED` guard, same construction
+/// from [`TelemetryConfig`], same whole-buffer JSONL discipline.
+pub trait MetricsSink {
+    /// Whether this sink records anything; `false` const-folds every
+    /// recorder call site to a no-op.
+    const ENABLED: bool;
+
+    /// Build the sink from the run's telemetry configuration.
+    fn create(cfg: &TelemetryConfig) -> Self;
+
+    /// Accept one complete JSON record (no trailing newline).
+    fn write_line(&mut self, line: &str);
+
+    /// Persist anything buffered.
+    fn flush(&mut self) {}
+}
+
+/// The compile-time-off metrics sink: records nothing, costs nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullMetrics;
+
+impl MetricsSink for NullMetrics {
+    const ENABLED: bool = false;
+
+    fn create(_cfg: &TelemetryConfig) -> Self {
+        NullMetrics
+    }
+
+    fn write_line(&mut self, _line: &str) {}
+}
+
+/// A buffered JSONL timeline file sink, pointed at
+/// [`TelemetryConfig::metrics_path`]. Shares the process-wide
+/// truncate-once-then-append registry with the trace sink, so a metrics
+/// file survives multiple worlds/chunks in one process but never keeps
+/// stale content from a previous run.
+#[derive(Debug)]
+pub struct JsonlMetrics {
+    path: Option<PathBuf>,
+    buf: String,
+}
+
+impl MetricsSink for JsonlMetrics {
+    const ENABLED: bool = true;
+
+    fn create(cfg: &TelemetryConfig) -> Self {
+        JsonlMetrics {
+            path: cfg.metrics_path.clone(),
+            buf: String::new(),
+        }
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.path.is_none() {
+            return;
+        }
+        self.buf.push_str(line);
+        self.buf.push('\n');
+        if self.buf.len() >= 1 << 20 {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        let Some(path) = &self.path else {
+            return;
+        };
+        flush_jsonl(path, &mut self.buf);
+    }
+}
+
+impl Drop for JsonlMetrics {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// A power-of-two log-bucketed histogram: bucket `k` covers values in
+/// `[2^(k-1), 2^k)` (bucket 0 holds everything below 1). 64 buckets
+/// cover the full `u64` range, so latency in µs, queue depths and event
+/// counts all fit without configuration; quantiles come back as the
+/// covering bucket's upper edge (a ≤2× overestimate, stable under
+/// merge).
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    counts: [u64; 64],
+    total: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            counts: [0; 64],
+            total: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// The bucket index covering `v`.
+    fn bucket(v: f64) -> usize {
+        if v.is_nan() || v < 1.0 {
+            // Negative, sub-1 and NaN samples all land in bucket 0.
+            return 0;
+        }
+        let u = if v >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            v as u64
+        };
+        ((64 - u.leading_zeros()) as usize).min(63)
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        self.counts[Self::bucket(v)] += 1;
+        self.total += 1;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Upper edge of the bucket holding the `q`-quantile sample
+    /// (`q` in `[0, 1]`); 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (k, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if k == 0 { 1.0 } else { (1u64 << k) as f64 };
+            }
+        }
+        (1u64 << 63) as f64
+    }
+
+    /// Fold another histogram in.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+/// The in-memory store behind a sampling pass: named counters, gauges
+/// and histograms. Implements [`MetricsHub`], so worlds report into it
+/// without a telemetry dependency. Counter and gauge contributions
+/// **add** (N shard worlds sampled into one registry produce fleet-wide
+/// sums); histograms accumulate across the whole run.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, LogHistogram>,
+}
+
+impl MetricsRegistry {
+    /// Reset the per-window state (counters and gauges) before a
+    /// sampling pass; histograms survive as rolling accumulators.
+    pub fn begin_sample(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+    }
+
+    /// Current cumulative value of a counter (testing / introspection).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge (testing / introspection).
+    pub fn gauge_value(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// The named histogram, if any samples ever reached it.
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.hists.get(name)
+    }
+}
+
+impl MetricsHub for MetricsRegistry {
+    fn counter(&mut self, name: &str, total: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += total;
+    }
+
+    fn gauge(&mut self, name: &str, value: f64) {
+        *self.gauges.entry(name.to_string()).or_insert(0.0) += value;
+    }
+
+    fn observe(&mut self, name: &str, value: f64) {
+        self.hists
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+}
+
+/// Format an `f64` as a JSON value; non-finite values become `null`
+/// (valid JSON; the timeline inspector flags them as anomalies).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Drives one run's timeline: owns the [`MetricsRegistry`], differences
+/// cumulative counters into per-window deltas, and emits one versioned
+/// record per sampling boundary into the sink type `M`. With
+/// [`NullMetrics`] every method is a const-folded no-op.
+pub struct MetricsRecorder<M: MetricsSink> {
+    registry: MetricsRegistry,
+    sink: M,
+    run_label: &'static str,
+    prev: BTreeMap<String, u64>,
+    last_t: Option<u64>,
+    windows: u64,
+}
+
+impl<M: MetricsSink> MetricsRecorder<M> {
+    /// Build a recorder for one run from its telemetry configuration.
+    pub fn new(cfg: &TelemetryConfig) -> Self {
+        MetricsRecorder {
+            registry: MetricsRegistry::default(),
+            sink: M::create(cfg),
+            run_label: cfg.run_label,
+            prev: BTreeMap::new(),
+            last_t: None,
+            windows: 0,
+        }
+    }
+
+    /// Whether this recorder records anything (decided by the sink type).
+    pub const fn enabled() -> bool {
+        M::ENABLED
+    }
+
+    /// Windows emitted so far.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// The registry, for sampling passes that report directly (the serve
+    /// monitor) rather than through a world hook.
+    pub fn registry_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.registry
+    }
+
+    /// Sample a serial simulation at a chunk boundary: clears the
+    /// per-window state, invokes the world's
+    /// [`World::sample_metrics`] hook, gauges the kernel queue depth,
+    /// and emits the window record at virtual time `now`.
+    pub fn sample_sim<W: World>(&mut self, now: SimTime, sim: &Simulation<W>) {
+        if !M::ENABLED {
+            return;
+        }
+        self.registry.begin_sample();
+        sim.world().sample_metrics(now, &mut self.registry);
+        self.registry.gauge("queue_depth", sim.pending() as f64);
+        self.emit_window(now.as_millis());
+    }
+
+    /// Sample a sharded simulation at a window-chunk boundary: every
+    /// shard world reports through [`ShardWorld::sample_metrics`] (the
+    /// registry sums them) and each shard's event-queue depth lands in
+    /// its own `queue_depth.s<i>` gauge.
+    pub fn sample_sharded<W: ShardWorld>(&mut self, now: SimTime, sim: &ShardedSimulation<W>) {
+        if !M::ENABLED {
+            return;
+        }
+        self.registry.begin_sample();
+        for (i, w) in sim.worlds().enumerate() {
+            w.sample_metrics(now, &mut self.registry);
+            self.registry
+                .gauge(&format!("queue_depth.s{i}"), sim.shard_pending(i) as f64);
+        }
+        self.emit_window(now.as_millis());
+    }
+
+    /// Difference the counters against the previous window, fold
+    /// histogram quantiles into the gauge set, and write one `"window"`
+    /// record at timestamp `t_ms`. Timestamps are forced strictly
+    /// monotonic (a late sampler can never emit a time-travelling
+    /// window).
+    pub fn emit_window(&mut self, t_ms: u64) {
+        if !M::ENABLED {
+            return;
+        }
+        let t = match self.last_t {
+            Some(last) if t_ms <= last => last + 1,
+            _ => t_ms,
+        };
+        self.last_t = Some(t);
+        self.windows += 1;
+
+        let mut line = String::with_capacity(256);
+        let _ = write!(
+            line,
+            "{{\"v\":{METRICS_SCHEMA_VERSION},\"type\":\"window\",\"run\":\"{}\",\"t\":{t}",
+            self.run_label
+        );
+        line.push_str(",\"counters\":{");
+        let mut first = true;
+        for (name, &cur) in &self.registry.counters {
+            let prev = self.prev.get(name).copied().unwrap_or(0);
+            if !first {
+                line.push(',');
+            }
+            first = false;
+            let _ = write!(line, "\"{name}\":{}", cur.saturating_sub(prev));
+            self.prev.insert(name.clone(), cur);
+        }
+        line.push_str("},\"gauges\":{");
+        let mut first = true;
+        for (name, &v) in &self.registry.gauges {
+            if !first {
+                line.push(',');
+            }
+            first = false;
+            let _ = write!(line, "\"{name}\":{}", json_f64(v));
+        }
+        for (name, h) in &self.registry.hists {
+            if !first {
+                line.push(',');
+            }
+            first = false;
+            let _ = write!(
+                line,
+                "\"{name}_count\":{},\"{name}_p50\":{},\"{name}_p99\":{}",
+                h.count(),
+                json_f64(h.quantile(0.50)),
+                json_f64(h.quantile(0.99)),
+            );
+        }
+        line.push_str("}}");
+        self.sink.write_line(&line);
+    }
+
+    /// Flush the sink (also happens on drop for `JsonlMetrics`).
+    pub fn finish(&mut self) {
+        self.sink.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_metrics_is_disabled_and_free() {
+        const { assert!(!NullMetrics::ENABLED) };
+        let mut r = MetricsRecorder::<NullMetrics>::new(&TelemetryConfig::default());
+        r.emit_window(1000);
+        assert_eq!(r.windows(), 0, "disabled recorder must not count windows");
+    }
+
+    #[test]
+    fn log_histogram_buckets_and_quantiles() {
+        let mut h = LogHistogram::default();
+        for v in [0.0, 0.5, 1.0, 3.0, 100.0, 1000.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert!(h.quantile(0.0) >= 1.0);
+        // p99 covers the largest sample's bucket: 1000 < 1024 = 2^10.
+        assert_eq!(h.quantile(0.99), 1024.0);
+        let mut other = LogHistogram::default();
+        other.record(1000.0);
+        h.merge(&other);
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn registry_sums_contributions() {
+        let mut reg = MetricsRegistry::default();
+        reg.counter("hits", 3);
+        reg.counter("hits", 4);
+        reg.gauge("online", 10.0);
+        reg.gauge("online", 5.0);
+        assert_eq!(reg.counter_value("hits"), 7);
+        assert_eq!(reg.gauge_value("online"), 15.0);
+        reg.begin_sample();
+        assert_eq!(reg.counter_value("hits"), 0);
+    }
+
+    #[test]
+    fn recorder_emits_deltas_and_monotonic_timestamps() {
+        let path =
+            std::env::temp_dir().join(format!("ddr_metrics_rec_{}.jsonl", std::process::id()));
+        let cfg = TelemetryConfig {
+            metrics_path: Some(path.clone()),
+            run_label: "T",
+            ..TelemetryConfig::default()
+        };
+        let mut r = MetricsRecorder::<JsonlMetrics>::new(&cfg);
+        r.registry_mut().begin_sample();
+        r.registry_mut().counter("hits", 10);
+        r.emit_window(1000);
+        r.registry_mut().begin_sample();
+        r.registry_mut().counter("hits", 25);
+        r.emit_window(1000); // same timestamp: must be bumped, not repeated
+        r.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"hits\":10"), "{}", lines[0]);
+        assert!(
+            lines[1].contains("\"hits\":15"),
+            "delta, not total: {}",
+            lines[1]
+        );
+        assert!(lines[0].contains("\"t\":1000"));
+        assert!(lines[1].contains("\"t\":1001"), "{}", lines[1]);
+        for l in &lines {
+            serde::json::parse(l).expect("record parses");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_finite_gauges_become_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(2.5), "2.5");
+    }
+}

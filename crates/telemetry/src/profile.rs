@@ -167,6 +167,76 @@ impl KernelProfiler {
     }
 }
 
+/// Render a sharded-kernel [`ddr_sim::ShardProfile`] as the per-shard
+/// work/barrier/merge breakdown behind `--profile --shards N`. `threads`
+/// says which execution path produced it: with one worker thread the
+/// barrier/stall columns are structurally zero (the serial reference
+/// path has no barriers), so the report points the reader at the merge
+/// and work columns instead.
+pub fn shard_profile_report(p: &ddr_sim::ShardProfile, threads: usize) -> String {
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let mut t = Table::new(
+        format!(
+            "Sharded-kernel profile: {} shards, {} windows, {} worker thread(s)",
+            p.lanes.len(),
+            p.windows,
+            threads
+        ),
+        &[
+            "shard",
+            "events",
+            "ev/win",
+            "max ev/win",
+            "work ms",
+            "barrier ms",
+            "stall ms",
+            "busy %",
+        ],
+    );
+    for lane in &p.lanes {
+        let busy_den = (lane.work_ns + lane.barrier_ns + lane.stall_ns) as f64;
+        let busy = if busy_den > 0.0 {
+            100.0 * lane.work_ns as f64 / busy_den
+        } else {
+            0.0
+        };
+        t.row(vec![
+            lane.shard.to_string(),
+            fnum(lane.events as f64, 0),
+            fnum(lane.events as f64 / (p.windows.max(1)) as f64, 1),
+            fnum(lane.max_window_events as f64, 0),
+            fnum(ms(lane.work_ns), 1),
+            fnum(ms(lane.barrier_ns), 1),
+            fnum(ms(lane.stall_ns), 1),
+            fnum(busy, 1),
+        ]);
+    }
+    let total_events: u64 = p.lanes.iter().map(|l| l.events).sum();
+    let total_work: u64 = p.lanes.iter().map(|l| l.work_ns).sum();
+    let cross_pct = if p.merged_events > 0 {
+        100.0 * p.cross_shard_events as f64 / p.merged_events as f64
+    } else {
+        0.0
+    };
+    let mut out = t.render();
+    out.push('\n');
+    out.push_str(&format!(
+        "coordinator: merge {} ms over {} windows ({} merged events, {} cross-shard = {}%)\n",
+        fnum(ms(p.merge_ns), 1),
+        p.windows,
+        fnum(p.merged_events as f64, 0),
+        fnum(p.cross_shard_events as f64, 0),
+        fnum(cross_pct, 1),
+    ));
+    out.push_str(&format!(
+        "totals: {} events, {} ms work across shards, {} ms merge (serialized)\n",
+        fnum(total_events as f64, 0),
+        fnum(ms(total_work), 1),
+        fnum(ms(p.merge_ns), 1),
+    ));
+    out
+}
+
 impl KernelProbe for KernelProfiler {
     fn on_dispatch(&mut self, label: &'static str, wall_ns: u64) {
         let s = self.by_label.entry(label).or_insert_with(LabelStats::new);

@@ -49,6 +49,32 @@ impl TraceSink for NullSink {
 /// flushed buffers never interleave mid-line.
 static OPENED: Mutex<Vec<PathBuf>> = Mutex::new(Vec::new());
 
+/// Drain `buf` into the JSONL file at `path` with truncate-once-then-
+/// append semantics (shared across every sink type in the process: the
+/// first writer of a path this process sees truncates stale content,
+/// later writers append). Used by [`JsonlSink`] and the metrics layer's
+/// `JsonlMetrics`.
+pub(crate) fn flush_jsonl(path: &PathBuf, buf: &mut String) {
+    if buf.is_empty() {
+        return;
+    }
+    let mut opened = OPENED.lock().unwrap_or_else(|e| e.into_inner());
+    let fresh = !opened.iter().any(|p| p == path);
+    let result = if fresh {
+        opened.push(path.clone());
+        std::fs::write(path, buf.as_bytes())
+    } else {
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(buf.as_bytes()))
+    };
+    if let Err(e) = result {
+        eprintln!("[telemetry] cannot write {}: {e}", path.display());
+    }
+    buf.clear();
+}
+
 /// A buffered JSONL file sink. Worlds run on sweep worker threads, so
 /// records accumulate in memory and reach the file in whole-buffer
 /// appends; the buffer drains when it exceeds ~1 MiB and on drop.
@@ -83,24 +109,7 @@ impl TraceSink for JsonlSink {
         let Some(path) = &self.path else {
             return;
         };
-        if self.buf.is_empty() {
-            return;
-        }
-        let mut opened = OPENED.lock().unwrap_or_else(|e| e.into_inner());
-        let fresh = !opened.iter().any(|p| p == path);
-        let result = if fresh {
-            opened.push(path.clone());
-            std::fs::write(path, self.buf.as_bytes())
-        } else {
-            std::fs::OpenOptions::new()
-                .append(true)
-                .open(path)
-                .and_then(|mut f| f.write_all(self.buf.as_bytes()))
-        };
-        if let Err(e) = result {
-            eprintln!("[telemetry] cannot write trace {}: {e}", path.display());
-        }
-        self.buf.clear();
+        flush_jsonl(path, &mut self.buf);
     }
 }
 

@@ -279,6 +279,7 @@ mod tests {
             trace_path: None,
             sample,
             run_label: "TestRun",
+            ..TelemetryConfig::default()
         }
     }
 

@@ -502,6 +502,22 @@ impl<T: TraceSink> WebCacheWorld<T> {
 impl<T: TraceSink> World for WebCacheWorld<T> {
     type Event = CacheEvent;
 
+    /// Report cumulative counters (differenced into per-window deltas by
+    /// the recorder) and instantaneous levels. Read-only, so a metered
+    /// run stays bit-identical to an unmetered one.
+    fn sample_metrics(&self, _now: SimTime, hub: &mut dyn ddr_sim::MetricsHub) {
+        let rt = &self.metrics.runtime;
+        hub.counter("queries", rt.queries.total() as u64);
+        hub.counter("hits", rt.hits.total() as u64);
+        hub.counter("messages", rt.messages.total() as u64);
+        hub.counter("local_hits", self.metrics.local_hits.total() as u64);
+        hub.counter("origin_fetches", self.metrics.origin_fetches.total() as u64);
+        hub.counter("updates", rt.updates);
+        hub.counter("explorations", rt.explorations);
+        hub.counter("restarts", self.metrics.restarts);
+        hub.gauge("online", self.up.len() as f64);
+    }
+
     fn handle(&mut self, now: SimTime, event: CacheEvent, sched: &mut Scheduler<'_, CacheEvent>) {
         match event {
             CacheEvent::Request { proxy } => self.handle_request(proxy, sched),

@@ -27,6 +27,7 @@ fn telemetry(path: &std::path::Path, sample: u64, label: &'static str) -> Teleme
         trace_path: Some(path.to_path_buf()),
         sample,
         run_label: label,
+        metrics_path: None,
     }
 }
 
